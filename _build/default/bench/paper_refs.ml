@@ -1,0 +1,63 @@
+(* Reference values quoted or read off the paper's figures, used to print
+   paper-vs-measured comparisons.  Figures give bar heights, so averages
+   are the numbers the text states and per-benchmark values are
+   approximate. *)
+
+(* Section 3.2.1 / Figure 7: LEI raises the proportion of cycle-spanning
+   traces "by nearly 5%" overall. *)
+let fig7_spanned_increase_avg = 0.05
+
+(* Section 3.2.2 / Figure 8. *)
+let fig8_expansion_ratio_avg = 0.92
+let fig8_transitions_ratio_avg = 0.80
+
+(* Section 3.2.3 / Figure 9: average 18% cover-set reduction. *)
+let fig9_cover_ratio_avg = 0.82
+
+(* Section 3.2.4 / Figure 10: LEI needs about two-thirds of NET's
+   counters. *)
+let fig10_counters_ratio_avg = 0.66
+
+(* Section 4.1 / Figures 11 and 12. *)
+let fig11_dup_fraction_range = 0.01, 0.07
+let fig12_dominated_net_avg = 0.15
+let fig12_dominated_lei_avg = 0.22
+
+(* Section 4.3.2 / Figure 16. *)
+let fig16_transitions_cnet_avg = 0.85
+let fig16_transitions_clei_avg = 0.64
+
+(* Section 4.3.2 text: combined expansion relative to the base policy. *)
+let expansion_cnet_avg = 0.98
+let expansion_clei_avg = 0.99
+
+(* Section 4.3.3 / Figure 17. *)
+let fig17_cover_cnet_avg = 0.85
+let fig17_cover_clei_avg = 0.72
+
+(* Section 4.3.4 / Figure 18: observed-trace memory as a share of the
+   estimated cache size. *)
+let fig18_memory_cnet_avg = 0.06
+let fig18_memory_cnet_max = 0.12
+let fig18_memory_clei_avg = 0.13
+let fig18_memory_clei_max = 0.18
+
+(* Section 4.3.4 / Figure 19. *)
+let fig19_stubs_cnet_avg = 0.82
+let fig19_stubs_clei_avg = 0.74
+
+(* Section 4.3.1 text. *)
+let exit_dom_dup_reduction = 0.65
+let exit_dom_region_reduction = 0.40
+
+(* Section 3.2 text: hit rates. *)
+let hit_net_mcf = 0.9980
+let hit_lei_mcf = 0.9831
+let hit_net_gcc = 0.9937
+let hit_lei_gcc = 0.9898
+
+(* Section 6: combined LEI versus the NET baseline. *)
+let summary_expansion = 0.91
+let summary_stubs = 0.68
+let summary_transitions = 0.50
+let summary_cover = 0.56

@@ -1,0 +1,380 @@
+(* Command-line driver: run any benchmark under any region-selection policy
+   and inspect the resulting metrics and regions. *)
+
+module Spec = Regionsel_workload.Spec
+module Suite = Regionsel_workload.Suite
+module Simulator = Regionsel_engine.Simulator
+module Context = Regionsel_engine.Context
+module Code_cache = Regionsel_engine.Code_cache
+module Region = Regionsel_engine.Region
+module Run_metrics = Regionsel_metrics.Run_metrics
+module Policies = Regionsel_core.Policies
+module Table = Regionsel_report.Table
+
+open Cmdliner
+
+let bench_arg =
+  let doc = "Benchmark to simulate (see the list subcommand)." in
+  Arg.(required & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let policy_arg =
+  let doc = "Region-selection policy: net, lei, combined-net, combined-lei, mojo, boa." in
+  Arg.(value & opt string "net" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let steps_arg =
+  let doc = "Override the benchmark's default block-step budget." in
+  Arg.(value & opt (some int) None & info [ "n"; "steps" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for branch behaviour." in
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let lookup_bench name =
+  match Suite.find name with
+  | Some s -> s
+  | None ->
+    Printf.eprintf "unknown benchmark %s (known: %s)\n" name (String.concat ", " Suite.names);
+    exit 2
+
+let lookup_policy name =
+  match Policies.find name with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "unknown policy %s (known: %s)\n" name
+      (String.concat ", " (List.map fst Policies.all));
+    exit 2
+
+let simulate spec policy steps seed =
+  let image = Spec.image spec in
+  let max_steps = Option.value ~default:spec.Spec.default_steps steps in
+  Simulator.run ~seed ~policy ~max_steps image
+
+let run_cmd =
+  let run bench policy steps seed =
+    let result = simulate (lookup_bench bench) (lookup_policy policy) steps seed in
+    Format.printf "%a@." Run_metrics.pp (Run_metrics.of_result result)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one benchmark under one policy and print its metrics")
+    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg)
+
+let regions_cmd =
+  let run bench policy steps seed limit =
+    let result = simulate (lookup_bench bench) (lookup_policy policy) steps seed in
+    let regions = Code_cache.regions result.Simulator.ctx.Context.cache in
+    let regions =
+      match limit with
+      | Some n -> List.filteri (fun i _ -> i < n) regions
+      | None -> regions
+    in
+    List.iter
+      (fun (r : Region.t) ->
+        Format.printf "%a@.  entries=%d cycles=%d exits=%d insts_exec=%d@.@." Region.pp r
+          r.Region.entries r.Region.cycle_iters r.Region.exits r.Region.insts_executed)
+      regions
+  in
+  let limit =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Print only N regions.")
+  in
+  Cmd.v
+    (Cmd.info "regions" ~doc:"Dump the regions a policy selected for a benchmark")
+    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ limit)
+
+let profile_cmd =
+  let run bench policy steps seed limit =
+    let result = simulate (lookup_bench bench) (lookup_policy policy) steps seed in
+    let profiles = Regionsel_metrics.Region_profile.of_result result in
+    let profiles =
+      match limit with Some n -> List.filteri (fun i _ -> i < n) profiles | None -> profiles
+    in
+    List.iter
+      (fun p -> Format.printf "%a@.@." Regionsel_metrics.Region_profile.pp p)
+      profiles
+  in
+  let limit =
+    Arg.(
+      value & opt (some int) (Some 10)
+      & info [ "limit" ] ~docv:"N" ~doc:"Print only the N hottest regions (default 10).")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Per-region execution profiles, hottest first")
+    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ limit)
+
+let disas_cmd =
+  let run bench policy steps seed limit =
+    let result = simulate (lookup_bench bench) (lookup_policy policy) steps seed in
+    let regions = Code_cache.regions result.Simulator.ctx.Context.cache in
+    let regions =
+      match limit with Some n -> List.filteri (fun i _ -> i < n) regions | None -> regions
+    in
+    List.iter
+      (fun r -> Format.printf "%a@.@." Regionsel_engine.Emitter.pp (Regionsel_engine.Emitter.emit r))
+      regions
+  in
+  let limit =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Print only N regions.")
+  in
+  Cmd.v
+    (Cmd.info "disas" ~doc:"Emit and disassemble the code-cache contents of a run")
+    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ limit)
+
+let matrix_cmd =
+  let run bench steps seed =
+    let spec = lookup_bench bench in
+    let rows =
+      List.map
+        (fun (name, policy) ->
+          let m = Run_metrics.of_result (simulate spec policy steps seed) in
+          [
+            name;
+            string_of_int m.Run_metrics.n_regions;
+            Table.fmt_pct m.Run_metrics.hit_rate;
+            string_of_int m.Run_metrics.code_expansion;
+            string_of_int m.Run_metrics.n_stubs;
+            string_of_int m.Run_metrics.region_transitions;
+            Table.fmt_pct m.Run_metrics.spanned_cycle_ratio;
+            Table.fmt_pct m.Run_metrics.executed_cycle_ratio;
+            string_of_int m.Run_metrics.cover_90;
+            string_of_int m.Run_metrics.counters_high_water;
+            Table.fmt_pct m.Run_metrics.exit_dominated_fraction;
+            Table.fmt_pct m.Run_metrics.icache_miss_rate;
+          ])
+        Policies.all
+    in
+    Table.print
+      ~header:
+        [
+          "policy"; "regions"; "hit"; "expansion"; "stubs"; "transitions"; "cyclic";
+          "exec-cyc"; "cover90"; "counters"; "exit-dom"; "icache-miss";
+        ]
+      rows
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Run one benchmark under every policy")
+    Term.(const run $ bench_arg $ steps_arg $ seed_arg)
+
+let domination_cmd =
+  let run bench policy steps seed =
+    let result = simulate (lookup_bench bench) (lookup_policy policy) steps seed in
+    let module Exit_domination = Regionsel_metrics.Exit_domination in
+    let module Edge_profile = Regionsel_engine.Edge_profile in
+    let regions = Code_cache.regions result.Simulator.ctx.Context.cache in
+    let summary =
+      Exit_domination.analyze ~regions ~preds:(Edge_profile.preds result.Simulator.edges)
+    in
+    List.iter
+      (fun (v : Exit_domination.verdict) ->
+        Printf.printf "region #%d (entry %s, %d insts) dominated by #%d (entry %s); dup=%d\n"
+          v.Exit_domination.dominated.Region.id
+          (Regionsel_isa.Addr.to_string v.Exit_domination.dominated.Region.entry)
+          v.Exit_domination.dominated.Region.copied_insts v.Exit_domination.dominator.Region.id
+          (Regionsel_isa.Addr.to_string v.Exit_domination.dominator.Region.entry)
+          v.Exit_domination.dup_insts)
+      summary.Exit_domination.verdicts;
+    Printf.printf "dominated %d / %d regions; duplicated %d insts\n"
+      summary.Exit_domination.n_dominated summary.Exit_domination.n_regions
+      summary.Exit_domination.dup_insts
+  in
+  Cmd.v
+    (Cmd.info "domination" ~doc:"Show the exit-domination verdicts for a run")
+    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg)
+
+let suite_cmd =
+  let run steps seed =
+    let module Aggregate = Regionsel_metrics.Aggregate in
+    let rows = ref [] in
+    List.iter
+      (fun (spec : Spec.t) ->
+        let m p = Run_metrics.of_result (simulate spec (lookup_policy p) steps seed) in
+        let net = m "net" and lei = m "lei" in
+        let cnet = m "combined-net" and clei = m "combined-lei" in
+        let r f a b = Table.fmt_float 2 (Aggregate.ratio_int (f a) (f b)) in
+        rows :=
+          [
+            spec.Spec.name;
+            Table.fmt_pct net.Run_metrics.hit_rate;
+            Table.fmt_pct lei.Run_metrics.hit_rate;
+            r (fun m -> m.Run_metrics.code_expansion) lei net;
+            r (fun m -> m.Run_metrics.region_transitions) lei net;
+            r (fun m -> m.Run_metrics.cover_90) lei net;
+            r (fun m -> m.Run_metrics.counters_high_water) lei net;
+            Table.fmt_pct lei.Run_metrics.spanned_cycle_ratio;
+            Table.fmt_pct net.Run_metrics.spanned_cycle_ratio;
+            r (fun m -> m.Run_metrics.region_transitions) cnet net;
+            r (fun m -> m.Run_metrics.region_transitions) clei lei;
+            r (fun m -> m.Run_metrics.cover_90) cnet net;
+            r (fun m -> m.Run_metrics.cover_90) clei lei;
+            Table.fmt_pct net.Run_metrics.exit_dominated_fraction;
+            Table.fmt_pct lei.Run_metrics.exit_dominated_fraction;
+          ]
+          :: !rows)
+      Suite.all;
+    Table.print
+      ~header:
+        [
+          "bench"; "hitN"; "hitL"; "exp L/N"; "tr L/N"; "cov L/N"; "ctr L/N"; "cycL"; "cycN";
+          "tr cN/N"; "tr cL/L"; "cov cN/N"; "cov cL/L"; "domN"; "domL";
+        ]
+      (List.rev !rows)
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Key LEI/NET and combination ratios across the whole suite")
+    Term.(const run $ steps_arg $ seed_arg)
+
+let sweep_cmd =
+  let apply params name value =
+    let module P = Regionsel_engine.Params in
+    match name with
+    | "net-threshold" -> { params with P.net_threshold = value }
+    | "lei-threshold" -> { params with P.lei_threshold = value }
+    | "lei-buffer" -> { params with P.lei_buffer_size = value }
+    | "t-prof" -> { params with P.combine_t_prof = value }
+    | "t-min" -> { params with P.combine_t_min = value }
+    | "method-threshold" -> { params with P.method_threshold = value }
+    | "cache-capacity" -> { params with P.cache_capacity_bytes = Some value }
+    | other ->
+      Printf.eprintf
+        "unknown parameter %s (known: net-threshold lei-threshold lei-buffer t-prof t-min \
+         method-threshold cache-capacity)\n"
+        other;
+      exit 2
+  in
+  let run bench policy steps seed param values =
+    let spec = lookup_bench bench in
+    let policy = lookup_policy policy in
+    let rows =
+      List.map
+        (fun value ->
+          let params = apply Regionsel_engine.Params.default param value in
+          let image = Spec.image spec in
+          let max_steps = Option.value ~default:spec.Spec.default_steps steps in
+          let m =
+            Run_metrics.of_result (Simulator.run ~seed ~params ~policy ~max_steps image)
+          in
+          [
+            string_of_int value;
+            Table.fmt_pct m.Run_metrics.hit_rate;
+            string_of_int m.Run_metrics.n_regions;
+            string_of_int m.Run_metrics.code_expansion;
+            string_of_int m.Run_metrics.region_transitions;
+            string_of_int m.Run_metrics.cover_90;
+            string_of_int m.Run_metrics.counters_high_water;
+          ])
+        values
+    in
+    Table.print
+      ~header:[ param; "hit"; "regions"; "expansion"; "transitions"; "cover90"; "counters" ]
+      rows
+  in
+  let param =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "param" ] ~docv:"NAME" ~doc:"Parameter to sweep (e.g. lei-buffer).")
+  in
+  let values =
+    Arg.(
+      non_empty & pos_all int []
+      & info [] ~docv:"VALUES" ~doc:"Values to sweep over.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep one parameter for a benchmark and policy")
+    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ param $ values)
+
+let export_cmd =
+  let run steps seed =
+    (* CSV of every metric for every benchmark x policy pair, for external
+       plotting. *)
+    let cols =
+      [
+        "benchmark"; "policy"; "steps"; "total_insts"; "hit_rate"; "regions"; "expansion";
+        "stubs"; "avg_region_insts"; "spanned_cycle_ratio"; "executed_cycle_ratio";
+        "transitions"; "dispatches"; "cover90"; "counters_high_water";
+        "observed_bytes_high_water"; "est_cache_bytes"; "exit_dominated_regions";
+        "exit_dominated_fraction"; "exit_dominated_dup_insts"; "icache_miss_rate"; "evictions";
+        "regenerations";
+      ]
+    in
+    print_endline (String.concat "," cols);
+    List.iter
+      (fun (spec : Spec.t) ->
+        List.iter
+          (fun (pname, policy) ->
+            let m = Run_metrics.of_result (simulate spec policy steps seed) in
+            let row =
+              [
+                m.Run_metrics.benchmark; pname;
+                string_of_int m.Run_metrics.steps;
+                string_of_int m.Run_metrics.total_insts;
+                Printf.sprintf "%.6f" m.Run_metrics.hit_rate;
+                string_of_int m.Run_metrics.n_regions;
+                string_of_int m.Run_metrics.code_expansion;
+                string_of_int m.Run_metrics.n_stubs;
+                Printf.sprintf "%.2f" m.Run_metrics.avg_region_insts;
+                Printf.sprintf "%.6f" m.Run_metrics.spanned_cycle_ratio;
+                Printf.sprintf "%.6f" m.Run_metrics.executed_cycle_ratio;
+                string_of_int m.Run_metrics.region_transitions;
+                string_of_int m.Run_metrics.dispatches;
+                string_of_int m.Run_metrics.cover_90;
+                string_of_int m.Run_metrics.counters_high_water;
+                string_of_int m.Run_metrics.observed_bytes_high_water;
+                string_of_int m.Run_metrics.est_cache_bytes;
+                string_of_int m.Run_metrics.exit_dominated_regions;
+                Printf.sprintf "%.6f" m.Run_metrics.exit_dominated_fraction;
+                string_of_int m.Run_metrics.exit_dominated_dup_insts;
+                Printf.sprintf "%.6f" m.Run_metrics.icache_miss_rate;
+                string_of_int m.Run_metrics.evictions;
+                string_of_int m.Run_metrics.regenerations;
+              ]
+            in
+            print_endline (String.concat "," row))
+          Policies.all)
+      Suite.all
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Emit a CSV of every metric for every benchmark x policy pair")
+    Term.(const run $ steps_arg $ seed_arg)
+
+let describe_cmd =
+  let run bench =
+    let module Characterize = Regionsel_workload.Characterize in
+    match bench with
+    | Some name ->
+      Format.printf "%a@." Characterize.pp
+        (Characterize.of_image (Spec.image (lookup_bench name)))
+    | None ->
+      Table.print ~header:Characterize.header
+        (List.map
+           (fun (s : Spec.t) -> Characterize.row (Characterize.of_image (Spec.image s)))
+           Suite.all)
+  in
+  let bench_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Describe one benchmark (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Static control-flow characterization of the workloads")
+    Term.(const run $ bench_opt)
+
+let list_cmd =
+  let run () =
+    print_endline "benchmarks:";
+    List.iter
+      (fun (s : Spec.t) ->
+        Printf.printf "  %-8s (default %d steps) %s\n" s.Spec.name s.Spec.default_steps
+          s.Spec.description)
+      Suite.all;
+    print_endline "policies:";
+    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Policies.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and policies") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "regionsel_sim" ~version:"1.0.0"
+       ~doc:"Simulate region selection for dynamic optimization systems")
+    [ run_cmd; regions_cmd; profile_cmd; disas_cmd; matrix_cmd; domination_cmd; suite_cmd; sweep_cmd; export_cmd; describe_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/interproc_cycle.mli:

@@ -1,0 +1,1 @@
+examples/nested_loops.ml: Format List Printf Regionsel_core Regionsel_engine Regionsel_workload

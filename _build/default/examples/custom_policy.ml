@@ -1,0 +1,83 @@
+(* Writing your own region-selection policy against the public API.
+
+   This example implements "eager blocks": the simplest imaginable policy —
+   profile every taken-branch target and, at a small threshold, select just
+   that one block as a region.  It is deliberately naive (no paths, no
+   cycles), and running it against NET and LEI on the same workload shows
+   on every metric why the paper's path-based selection matters. *)
+
+open Regionsel_isa
+module Policy = Regionsel_engine.Policy
+module Context = Regionsel_engine.Context
+module Region = Regionsel_engine.Region
+module Code_cache = Regionsel_engine.Code_cache
+module Counters = Regionsel_engine.Counters
+module Simulator = Regionsel_engine.Simulator
+module Run_metrics = Regionsel_metrics.Run_metrics
+module Suite = Regionsel_workload.Suite
+module Spec = Regionsel_workload.Spec
+module Policies = Regionsel_core.Policies
+module Table = Regionsel_report.Table
+
+module Eager_blocks : Policy.S = struct
+  type t = { ctx : Context.t; threshold : int }
+
+  let name = "eager-blocks"
+  let create ctx = { ctx; threshold = 20 }
+
+  (* Select the single block at [tgt], closing the trivial self-loop if the
+     block branches to itself. *)
+  let single_block_region t tgt =
+    let block = Program.block_at_exn t.ctx.Context.program tgt in
+    let final_next =
+      match block.Block.term with
+      | Terminator.Cond target | Terminator.Jump target -> Some target
+      | _ -> None
+    in
+    Region.spec_of_path ~kind:Region.Trace { Region.blocks = [ block ]; final_next }
+
+  let handle t = function
+    | Policy.Interp_block { block; taken; next } -> (
+      match next with
+      | Some tgt when taken && not (Code_cache.mem t.ctx.Context.cache tgt) ->
+        let count = Counters.incr t.ctx.Context.counters tgt in
+        if count >= t.threshold then begin
+          Counters.release t.ctx.Context.counters tgt;
+          ignore block;
+          Policy.Install [ single_block_region t tgt ]
+        end
+        else Policy.No_action
+      | Some _ | None -> Policy.No_action)
+    | Policy.Cache_exited _ -> Policy.No_action
+end
+
+let eager : (module Policy.S) = (module Eager_blocks)
+
+let () =
+  print_endline
+    "A custom policy (single-block regions) vs NET and LEI on the twolf workload:\n";
+  let spec = Option.get (Suite.find "twolf") in
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        let result = Simulator.run ~seed:1L ~policy ~max_steps:300_000 (Spec.image spec) in
+        let m = Run_metrics.of_result result in
+        [
+          name;
+          Table.fmt_pct m.Run_metrics.hit_rate;
+          string_of_int m.Run_metrics.n_regions;
+          Table.fmt_float 1 m.Run_metrics.avg_region_insts;
+          string_of_int m.Run_metrics.region_transitions;
+          string_of_int m.Run_metrics.cover_90;
+          Table.fmt_pct m.Run_metrics.icache_miss_rate;
+        ])
+      [ "eager-blocks", eager; "net", Policies.net; "lei", Policies.lei ]
+  in
+  Table.print
+    ~header:[ "policy"; "hit"; "regions"; "avg insts"; "transitions"; "cover90"; "icache miss" ]
+    rows;
+  print_endline
+    "\nOne-block regions exit on every control transfer, so most execution never stays in\n\
+     the cache (the hit rate collapses) and covering 90% of execution takes several times\n\
+     more regions.  Closing that gap is exactly what path-based (NET) and cycle-based (LEI)\n\
+     selection are for."

@@ -1,0 +1,1 @@
+lib/core/boa.ml: Addr Block List Program Regionsel_engine Regionsel_isa Terminator

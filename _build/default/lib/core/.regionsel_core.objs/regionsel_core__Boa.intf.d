@@ -1,0 +1,1 @@
+lib/core/boa.mli: Regionsel_engine

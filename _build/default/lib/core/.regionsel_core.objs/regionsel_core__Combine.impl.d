@@ -1,0 +1,1 @@
+lib/core/combine.ml: Addr Compact_trace List Regionsel_engine Regionsel_isa Trace_cfg

@@ -1,0 +1,1 @@
+lib/core/combined_lei.ml: Addr Block Combine Compact_trace History_buffer Lei_former Observation_store Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/core/combined_lei.mli: Regionsel_engine

@@ -1,0 +1,1 @@
+lib/core/combined_net.ml: Addr Block Combine Compact_trace List Net_former Observation_store Regionsel_engine Regionsel_isa

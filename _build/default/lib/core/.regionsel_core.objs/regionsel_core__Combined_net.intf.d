@@ -1,0 +1,1 @@
+lib/core/combined_net.mli: Regionsel_engine

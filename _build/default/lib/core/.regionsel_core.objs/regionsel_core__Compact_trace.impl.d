@@ -1,0 +1,1 @@
+lib/core/compact_trace.ml: Addr Bitbuf Block Bytes Format List Printf Program Regionsel_engine Regionsel_isa Terminator

@@ -1,0 +1,1 @@
+lib/core/compact_trace.mli: Addr Program Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/core/history_buffer.ml: Addr Array List Regionsel_isa

@@ -1,0 +1,1 @@
+lib/core/history_buffer.mli: Addr Regionsel_isa

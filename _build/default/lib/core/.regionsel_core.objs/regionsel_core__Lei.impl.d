@@ -1,0 +1,1 @@
+lib/core/lei.ml: Addr Block History_buffer Lei_former Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/core/lei.mli: Regionsel_engine

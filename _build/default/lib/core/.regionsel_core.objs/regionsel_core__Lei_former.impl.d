@@ -1,0 +1,1 @@
+lib/core/lei_former.ml: Addr Block History_buffer List Program Regionsel_engine Regionsel_isa Terminator

@@ -1,0 +1,1 @@
+lib/core/lei_former.mli: Addr History_buffer Regionsel_engine Regionsel_isa

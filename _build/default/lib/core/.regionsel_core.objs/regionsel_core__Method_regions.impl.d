@@ -1,0 +1,1 @@
+lib/core/method_regions.ml: Addr Block List Program Regionsel_engine Regionsel_isa Terminator

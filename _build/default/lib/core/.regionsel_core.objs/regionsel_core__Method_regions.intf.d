@@ -1,0 +1,1 @@
+lib/core/method_regions.mli: Regionsel_engine

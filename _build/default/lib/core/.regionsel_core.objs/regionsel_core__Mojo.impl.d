@@ -1,0 +1,1 @@
+lib/core/mojo.ml: Net_like Regionsel_engine

@@ -1,0 +1,1 @@
+lib/core/mojo.mli: Regionsel_engine

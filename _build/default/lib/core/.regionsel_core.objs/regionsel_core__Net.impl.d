@@ -1,0 +1,1 @@
+lib/core/net.ml: Net_like Regionsel_engine

@@ -1,0 +1,1 @@
+lib/core/net.mli: Regionsel_engine

@@ -1,0 +1,1 @@
+lib/core/net_former.ml: Addr Block List Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/core/net_former.mli: Addr Block Regionsel_engine Regionsel_isa

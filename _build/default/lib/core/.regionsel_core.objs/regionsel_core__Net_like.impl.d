@@ -1,0 +1,1 @@
+lib/core/net_like.ml: Addr Block List Net_former Regionsel_engine Regionsel_isa

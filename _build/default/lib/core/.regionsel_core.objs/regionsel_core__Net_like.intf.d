@@ -1,0 +1,1 @@
+lib/core/net_like.mli: Regionsel_engine

@@ -1,0 +1,1 @@
+lib/core/observation_store.ml: Addr Compact_trace List Option Regionsel_engine Regionsel_isa

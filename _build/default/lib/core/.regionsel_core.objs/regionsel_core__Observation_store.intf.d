@@ -1,0 +1,1 @@
+lib/core/observation_store.mli: Addr Compact_trace Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/core/policies.ml: Boa Combined_lei Combined_net Lei List Method_regions Mojo Net Regionsel_engine

@@ -1,0 +1,1 @@
+lib/core/policies.mli: Regionsel_engine

@@ -1,0 +1,1 @@
+lib/core/trace_cfg.ml: Addr Block List Regionsel_engine Regionsel_isa Terminator

@@ -1,0 +1,1 @@
+lib/core/trace_cfg.mli: Addr Regionsel_engine Regionsel_isa

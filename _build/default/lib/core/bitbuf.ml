@@ -1,0 +1,68 @@
+module Writer = struct
+  type t = { mutable buf : bytes; mutable n_bits : int }
+
+  let create () = { buf = Bytes.make 16 '\000'; n_bits = 0 }
+
+  let ensure t n_bytes =
+    if n_bytes > Bytes.length t.buf then begin
+      let cap = max n_bytes (2 * Bytes.length t.buf) in
+      let buf = Bytes.make cap '\000' in
+      Bytes.blit t.buf 0 buf 0 (Bytes.length t.buf);
+      t.buf <- buf
+    end
+
+  let add_bit t bit =
+    let byte_pos = t.n_bits / 8 and bit_pos = t.n_bits mod 8 in
+    ensure t (byte_pos + 1);
+    if bit then begin
+      let mask = 0x80 lsr bit_pos in
+      Bytes.unsafe_set t.buf byte_pos
+        (Char.chr (Char.code (Bytes.unsafe_get t.buf byte_pos) lor mask))
+    end;
+    t.n_bits <- t.n_bits + 1
+
+  let add_bits2 t v =
+    assert (v >= 0 && v <= 3);
+    add_bit t (v land 2 <> 0);
+    add_bit t (v land 1 <> 0)
+
+  let add_uint32 t v =
+    assert (v >= 0 && v < 0x1_0000_0000);
+    for i = 31 downto 0 do
+      add_bit t ((v lsr i) land 1 = 1)
+    done
+
+  let length_bits t = t.n_bits
+  let byte_length t = (t.n_bits + 7) / 8
+  let contents t = Bytes.sub t.buf 0 (byte_length t)
+end
+
+module Reader = struct
+  type t = { buf : bytes; n_bits : int; mutable pos : int }
+
+  exception Out_of_bits
+
+  let create buf ~n_bits =
+    if (n_bits + 7) / 8 > Bytes.length buf then invalid_arg "Bitbuf.Reader.create";
+    { buf; n_bits; pos = 0 }
+
+  let read_bit t =
+    if t.pos >= t.n_bits then raise Out_of_bits;
+    let byte_pos = t.pos / 8 and bit_pos = t.pos mod 8 in
+    t.pos <- t.pos + 1;
+    Char.code (Bytes.unsafe_get t.buf byte_pos) land (0x80 lsr bit_pos) <> 0
+
+  let read_bits2 t =
+    let hi = read_bit t in
+    let lo = read_bit t in
+    ((if hi then 2 else 0) lor if lo then 1 else 0 : int)
+
+  let read_uint32 t =
+    let v = ref 0 in
+    for _ = 1 to 32 do
+      v := (!v lsl 1) lor if read_bit t then 1 else 0
+    done;
+    !v
+
+  let remaining_bits t = t.n_bits - t.pos
+end

@@ -1,0 +1,43 @@
+(** Growable bit buffers: the substrate of the Figure 14 compact trace
+    encoding.
+
+    Bits are written most-significant-first within each byte, so the
+    serialized form is deterministic and the reader consumes bits in write
+    order. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val add_bit : t -> bool -> unit
+
+  val add_bits2 : t -> int -> unit
+  (** Append a 2-bit code (value in [[0, 3]]). *)
+
+  val add_uint32 : t -> int -> unit
+  (** Append a 32-bit big-endian unsigned value (value in [[0, 2^32)]). *)
+
+  val length_bits : t -> int
+
+  val byte_length : t -> int
+  (** Bytes needed to store the bits written so far: the memory-cost of the
+      encoding (Figure 18). *)
+
+  val contents : t -> bytes
+  (** The written bits, final partial byte zero-padded. *)
+end
+
+module Reader : sig
+  type t
+
+  val create : bytes -> n_bits:int -> t
+  val read_bit : t -> bool
+
+  val read_bits2 : t -> int
+  val read_uint32 : t -> int
+
+  val remaining_bits : t -> int
+
+  exception Out_of_bits
+  (** Raised when reading past [n_bits]. *)
+end

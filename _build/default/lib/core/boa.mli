@@ -1,0 +1,13 @@
+(** BOA-style bias-directed trace selection (Sathaye et al., 1999;
+    Section 5).
+
+    During emulation BOA keeps taken/not-taken counts for every conditional
+    branch; once an entry point has executed a small number of times
+    (15 in the original system) a trace is grown {e statically} from the
+    entry by following, at each conditional, the direction with the higher
+    count.  Growth stops at indirect branches (whose target is unknown
+    statically), at blocks already in the trace, at blocks that begin
+    cached regions, at backward transfers, and at the size limit.
+    Provided as a related-work comparison policy. *)
+
+include Regionsel_engine.Policy.S

@@ -1,0 +1,59 @@
+open Regionsel_isa
+module Policy = Regionsel_engine.Policy
+module Context = Regionsel_engine.Context
+module Code_cache = Regionsel_engine.Code_cache
+module Counters = Regionsel_engine.Counters
+module Params = Regionsel_engine.Params
+
+type t = { ctx : Context.t; store : Observation_store.t; buf : History_buffer.t }
+
+let name = "combined-lei"
+
+let create (ctx : Context.t) =
+  {
+    ctx;
+    store = Observation_store.create ctx.Context.gauges;
+    buf = History_buffer.create ~capacity:ctx.Context.params.Params.lei_buffer_size;
+  }
+
+let t_start t = t.ctx.Context.params.Params.combined_lei_start
+let t_prof t = t.ctx.Context.params.Params.combine_t_prof
+
+let observe t ~tgt ~(old : History_buffer.entry) =
+  let path = Lei_former.form ~ctx:t.ctx ~buf:t.buf ~start:tgt ~after_seq:old.History_buffer.seq in
+  History_buffer.truncate_after t.buf ~seq:old.History_buffer.seq;
+  match path with
+  | None -> Policy.No_action
+  | Some path ->
+    Observation_store.record t.store (Compact_trace.encode path);
+    if Observation_store.count t.store tgt >= t_prof t then begin
+      let observations = Observation_store.take t.store tgt in
+      Counters.release t.ctx.Context.counters tgt;
+      match Combine.build_region t.ctx ~entry:tgt ~observations with
+      | Some spec -> Policy.Install [ spec ]
+      | None -> Policy.No_action
+    end
+    else Policy.No_action
+
+(* LEI's Figure 5 algorithm with the Figure 13 thresholds: counted cycle
+   completions beyond [T_start] each record one observed cyclic trace. *)
+let on_taken_branch t ~src ~tgt ~is_exit =
+  let old = History_buffer.find t.buf tgt in
+  ignore (History_buffer.insert t.buf ~src ~tgt ~follows_exit:is_exit);
+  match old with
+  | None -> Policy.No_action
+  | Some old ->
+    if Addr.is_backward ~src ~tgt || old.History_buffer.follows_exit then begin
+      let c = Counters.incr t.ctx.Context.counters tgt in
+      if c > t_start t then observe t ~tgt ~old else Policy.No_action
+    end
+    else Policy.No_action
+
+let handle t = function
+  | Policy.Interp_block { block; taken; next } -> (
+    match next with
+    | Some tgt when taken ->
+      if Code_cache.mem t.ctx.Context.cache tgt then Policy.No_action
+      else on_taken_branch t ~src:(Block.last block) ~tgt ~is_exit:false
+    | Some _ | None -> Policy.No_action)
+  | Policy.Cache_exited { src; tgt; _ } -> on_taken_branch t ~src ~tgt ~is_exit:true

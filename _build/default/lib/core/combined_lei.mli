@@ -1,0 +1,9 @@
+(** Trace combination over LEI traces (Section 4.3's "combined LEI").
+
+    Cycle detection and profiling work exactly as in LEI, but at the lower
+    start threshold [Params.combined_lei_start]; each further counted cycle
+    completion forms a cyclic trace from the history buffer and stores it
+    compactly, and after [T_prof] observations the stored traces are
+    combined into one multi-path region. *)
+
+include Regionsel_engine.Policy.S

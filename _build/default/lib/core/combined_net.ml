@@ -1,0 +1,91 @@
+open Regionsel_isa
+module Policy = Regionsel_engine.Policy
+module Context = Regionsel_engine.Context
+module Region = Regionsel_engine.Region
+module Code_cache = Regionsel_engine.Code_cache
+module Counters = Regionsel_engine.Counters
+module Params = Regionsel_engine.Params
+
+type t = {
+  ctx : Context.t;
+  store : Observation_store.t;
+  formers : Net_former.t Addr.Table.t; (* active observations, by entry *)
+  mutable pending : Addr.t option; (* entry armed to start recording *)
+}
+
+let name = "combined-net"
+
+let create (ctx : Context.t) =
+  {
+    ctx;
+    store = Observation_store.create ctx.Context.gauges;
+    formers = Addr.Table.create 16;
+    pending = None;
+  }
+
+let t_start t = t.ctx.Context.params.Params.combined_net_start
+let t_prof t = t.ctx.Context.params.Params.combine_t_prof
+
+(* One more eligible execution of [tgt]; maybe arm an observation. *)
+let bump t tgt =
+  let c = Counters.incr t.ctx.Context.counters tgt in
+  if
+    c > t_start t
+    && (not (Addr.Table.mem t.formers tgt))
+    && Observation_store.count t.store tgt < t_prof t
+  then t.pending <- Some tgt
+
+let resolve_pending t block =
+  match t.pending with
+  | None -> ()
+  | Some entry ->
+    t.pending <- None;
+    if Addr.equal block.Block.start entry then
+      Addr.Table.replace t.formers entry (Net_former.start ~entry)
+
+(* Feed every active former; turn completed observations into stored
+   compact traces and, at [T_prof], into an installable combined region. *)
+let advance_observations t block taken next =
+  let completed = ref [] in
+  Addr.Table.iter
+    (fun entry former ->
+      match Net_former.feed former ~ctx:t.ctx ~block ~taken ~next with
+      | Net_former.Continue -> ()
+      | Net_former.Done path -> completed := (entry, path) :: !completed)
+    t.formers;
+  let specs = ref [] in
+  List.iter
+    (fun (entry, path) ->
+      Addr.Table.remove t.formers entry;
+      Observation_store.record t.store (Compact_trace.encode path);
+      if Observation_store.count t.store entry >= t_prof t then begin
+        let observations = Observation_store.take t.store entry in
+        Counters.release t.ctx.Context.counters entry;
+        match Combine.build_region t.ctx ~entry ~observations with
+        | Some spec -> specs := spec :: !specs
+        | None -> ()
+      end)
+    !completed;
+  if !specs = [] then Policy.No_action else Policy.Install !specs
+
+let install_entries = function
+  | Policy.No_action -> Addr.Set.empty
+  | Policy.Install specs ->
+    List.fold_left (fun acc (s : Region.spec) -> Addr.Set.add s.Region.entry acc) Addr.Set.empty
+      specs
+
+let handle t = function
+  | Policy.Interp_block { block; taken; next } ->
+    resolve_pending t block;
+    let action = advance_observations t block taken next in
+    (match next with
+    | Some tgt
+      when taken
+           && (not (Code_cache.mem t.ctx.Context.cache tgt))
+           && (not (Addr.Set.mem tgt (install_entries action)))
+           && Addr.is_backward ~src:(Block.last block) ~tgt -> bump t tgt
+    | Some _ | None -> ());
+    action
+  | Policy.Cache_exited { tgt; _ } ->
+    bump t tgt;
+    Policy.No_action

@@ -1,0 +1,9 @@
+(** Trace combination over NET traces (Section 4.3's "combined NET").
+
+    Profiles the same targets as NET but starts at the lower threshold
+    [Params.combined_net_start]; each further execution of a profiled
+    target records one next-executing tail as a compact observed trace, and
+    after [T_prof] observations the traces are combined into a single
+    multi-path region. *)
+
+include Regionsel_engine.Policy.S

@@ -1,0 +1,54 @@
+open Regionsel_isa
+
+type entry = { src : Addr.t; tgt : Addr.t; follows_exit : bool; seq : int }
+
+type t = {
+  slots : entry option array;
+  cap : int;
+  mutable hi : int; (* highest live sequence number; 0 = empty *)
+  hash : int Addr.Table.t; (* target -> seq of most recent occurrence *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "History_buffer.create: capacity must be >= 1";
+  { slots = Array.make capacity None; cap = capacity; hi = 0; hash = Addr.Table.create 1024 }
+
+let capacity t = t.cap
+
+let get t seq =
+  if seq < 1 || seq > t.hi || seq <= t.hi - t.cap then None
+  else
+    match t.slots.(seq mod t.cap) with
+    | Some e when e.seq = seq -> Some e
+    | Some _ | None -> None
+
+let find t tgt =
+  match Addr.Table.find_opt t.hash tgt with
+  | None -> None
+  | Some seq -> (
+    match get t seq with
+    | Some e when Addr.equal e.tgt tgt -> Some e
+    | Some _ | None -> None)
+
+let insert t ~src ~tgt ~follows_exit =
+  let seq = t.hi + 1 in
+  let e = { src; tgt; follows_exit; seq } in
+  t.slots.(seq mod t.cap) <- Some e;
+  t.hi <- seq;
+  Addr.Table.replace t.hash tgt seq;
+  e
+
+let entries_after t ~seq =
+  let rec collect s acc = if s > t.hi then List.rev acc else
+      collect (s + 1) (match get t s with Some e -> e :: acc | None -> acc)
+  in
+  collect (max 1 (seq + 1)) []
+
+let truncate_after t ~seq = if seq < t.hi then t.hi <- max 0 seq
+
+let length t =
+  let lo = max 1 (t.hi - t.cap + 1) in
+  let rec count s acc =
+    if s > t.hi then acc else count (s + 1) (if get t s <> None then acc + 1 else acc)
+  in
+  count lo 0

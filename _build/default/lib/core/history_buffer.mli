@@ -1,0 +1,46 @@
+(** LEI's branch history buffer (Figures 5 and 6 of the paper).
+
+    A bounded circular buffer of the most recently interpreted taken
+    branches, with a hash index from target address to that target's most
+    recent occurrence.  If an inserted branch's target is already in the
+    buffer, a cycle has just executed and the buffer slice between the two
+    occurrences spells out its path.
+
+    Entries carry a [follows_exit] flag: the entry recorded immediately
+    after execution left the code cache, which is LEI's analogue of NET's
+    trace-exit profiling points (line 9 of Figure 5 accepts a cycle whose
+    earlier occurrence "follows an exit from the code cache").
+
+    Each entry has a monotonically increasing sequence number; sequence
+    numbers identify occurrences stably across wrap-around and truncation. *)
+
+open Regionsel_isa
+
+type entry = { src : Addr.t; tgt : Addr.t; follows_exit : bool; seq : int }
+
+type t
+
+val create : capacity:int -> t
+(** Requires [capacity >= 1]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently held (at most [capacity]). *)
+
+val find : t -> Addr.t -> entry option
+(** The most recent live occurrence of the address as a branch target —
+    the paper's [HASH-LOOKUP(Buf.hash, tgt)]. *)
+
+val insert : t -> src:Addr.t -> tgt:Addr.t -> follows_exit:bool -> entry
+(** Append a taken branch, evicting the oldest entry when full, and update
+    the hash index to this newest occurrence. *)
+
+val entries_after : t -> seq:int -> entry list
+(** Live entries with sequence number strictly greater than [seq], oldest
+    first: the just-completed cycle's branches, when called with the
+    previous occurrence's sequence number. *)
+
+val truncate_after : t -> seq:int -> unit
+(** Drop all entries with sequence number strictly greater than [seq] —
+    line 13 of Figure 5 ("remove all elements of Buf after old"). *)

@@ -1,0 +1,49 @@
+open Regionsel_isa
+module Policy = Regionsel_engine.Policy
+module Context = Regionsel_engine.Context
+module Region = Regionsel_engine.Region
+module Code_cache = Regionsel_engine.Code_cache
+module Counters = Regionsel_engine.Counters
+module Params = Regionsel_engine.Params
+
+type t = { ctx : Context.t; buf : History_buffer.t }
+
+let name = "lei"
+
+let create (ctx : Context.t) =
+  { ctx; buf = History_buffer.create ~capacity:ctx.Context.params.Params.lei_buffer_size }
+
+(* INTERPRETED-BRANCH-TAKEN, Figure 5, for a target that is not cached.  A
+   code-cache exit reaches the dispatcher exactly like an interpreted taken
+   branch, so it runs the same algorithm; its buffer entry carries the
+   [follows_exit] flag that line 9 tests on the {e previous} occurrence. *)
+let on_taken_branch t ~src ~tgt ~is_exit =
+  let old = History_buffer.find t.buf tgt in
+  ignore (History_buffer.insert t.buf ~src ~tgt ~follows_exit:is_exit);
+  match old with
+  | None -> Policy.No_action
+  | Some old ->
+    if Addr.is_backward ~src ~tgt || old.History_buffer.follows_exit then begin
+      let c = Counters.incr t.ctx.Context.counters tgt in
+      if c >= t.ctx.Context.params.Params.lei_threshold then begin
+        let path =
+          Lei_former.form ~ctx:t.ctx ~buf:t.buf ~start:tgt ~after_seq:old.History_buffer.seq
+        in
+        History_buffer.truncate_after t.buf ~seq:old.History_buffer.seq;
+        Counters.release t.ctx.Context.counters tgt;
+        match path with
+        | Some path -> Policy.Install [ Region.spec_of_path ~kind:Region.Trace path ]
+        | None -> Policy.No_action
+      end
+      else Policy.No_action
+    end
+    else Policy.No_action
+
+let handle t = function
+  | Policy.Interp_block { block; taken; next } -> (
+    match next with
+    | Some tgt when taken ->
+      if Code_cache.mem t.ctx.Context.cache tgt then Policy.No_action
+      else on_taken_branch t ~src:(Block.last block) ~tgt ~is_exit:false
+    | Some _ | None -> Policy.No_action)
+  | Policy.Cache_exited { src; tgt; _ } -> on_taken_branch t ~src ~tgt ~is_exit:true

@@ -1,0 +1,14 @@
+(** Last-Executed Iteration (LEI) trace selection — the paper's first
+    contribution (Section 3, Figures 5 and 6).
+
+    Every interpreted taken branch whose target is not cached is pushed
+    into a history buffer.  When the target already occurs in the buffer, a
+    cycle has just executed; if the closing branch is backward, or the
+    earlier occurrence followed a code-cache exit, the target's counter is
+    incremented.  At [Params.lei_threshold] the cyclic path recorded in the
+    buffer is selected as a trace.  Unlike NET, formation crosses backward
+    calls and returns, so interprocedural cycles are spanned, and it stops
+    at blocks that begin existing regions, so nested cycles are not
+    duplicated. *)
+
+include Regionsel_engine.Policy.S

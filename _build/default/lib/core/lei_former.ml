@@ -1,0 +1,102 @@
+open Regionsel_isa
+module Region = Regionsel_engine.Region
+module Context = Regionsel_engine.Context
+module Code_cache = Regionsel_engine.Code_cache
+module Params = Regionsel_engine.Params
+
+(* The history buffer only records interpreted taken branches, so a slice
+   of it is execution-contiguous except where control passed through the
+   code cache.  Every such gap is immediately followed by a cache-exit
+   entry ([follows_exit]): control re-enters the interpreter only through
+   an exit.  FORM-TRACE therefore walks the slice normally between plain
+   entries and, on reaching a gap, finishes with a best-effort fall-through
+   tail from the last known point — stopping at blocks that begin cached
+   regions (the paper's "next instruction begins a trace") and at
+   unconditional transfers, whose taken target in a gap segment can only
+   have been a cache dispatch. *)
+
+type acc = {
+  mutable rev_blocks : Block.t list;
+  node_set : unit Addr.Table.t;
+  mutable n_insts : int;
+}
+
+let form ~ctx ~buf ~start ~after_seq =
+  let branches = History_buffer.entries_after buf ~seq:after_seq in
+  let program = ctx.Context.program in
+  let cache = ctx.Context.cache in
+  let max_insts = ctx.Context.params.Params.max_trace_insts in
+  let acc = { rev_blocks = []; node_set = Addr.Table.create 32; n_insts = 0 } in
+  let path final_next =
+    if acc.rev_blocks = [] then None
+    else Some { Region.blocks = List.rev acc.rev_blocks; final_next }
+  in
+  let add b =
+    acc.rev_blocks <- b :: acc.rev_blocks;
+    Addr.Table.replace acc.node_set b.Block.start ();
+    acc.n_insts <- acc.n_insts + b.Block.size
+  in
+  (* Extend the trace from [cur] along fall-throughs only, into a segment
+     whose branch outcomes were not recorded. *)
+  let rec tail_walk cur =
+    if Code_cache.mem cache cur then path (Some cur)
+    else
+      match Program.block_at program cur with
+      | None -> path None
+      | Some b ->
+        add b;
+        if acc.n_insts >= max_insts then path (Some (Block.fall_addr b))
+        else begin
+          match b.Block.term with
+          | Terminator.Fallthrough -> tail_walk (Block.fall_addr b)
+          | Terminator.Cond tgt ->
+            (* A taken conditional in a gap segment must have dispatched
+               into the cache; otherwise it was not taken. *)
+            if Code_cache.mem cache tgt then path (Some tgt)
+            else tail_walk (Block.fall_addr b)
+          | Terminator.Jump tgt | Terminator.Call tgt -> path (Some tgt)
+          | Terminator.Return | Terminator.Indirect_jump | Terminator.Indirect_call
+          | Terminator.Halt -> path None
+        end
+  in
+  (* Walk the recorded fall-through blocks from [cur] up to the block
+     ending at [branch.src]; [`Stopped] ends trace formation. *)
+  let rec walk_fall_through cur (branch : History_buffer.entry) =
+    if Code_cache.mem cache cur then `Stopped (path (Some cur))
+    else
+      match Program.block_at program cur with
+      | None -> `Stopped (path None)
+      | Some b ->
+        add b;
+        let next_on_path =
+          if Addr.equal (Block.last b) branch.src then None else Some (Block.fall_addr b)
+        in
+        if acc.n_insts >= max_insts then
+          `Stopped (path (match next_on_path with Some a -> Some a | None -> Some branch.tgt))
+        else begin
+          match next_on_path with
+          | None -> `Reached_branch
+          | Some a ->
+            (* The slice disagrees with the program layout: stop rather
+               than walk off the recorded path. *)
+            if (not (Terminator.can_fall_through b.Block.term)) || a > branch.src then
+              `Stopped (path (Terminator.static_target b.Block.term))
+            else walk_fall_through a branch
+        end
+  in
+  let rec over_branches prev = function
+    | [] -> path (Some prev)
+    | (branch : History_buffer.entry) :: rest ->
+      if branch.follows_exit then
+        (* Control passed through the code cache before this entry: the
+           recorded outcomes end at [prev]. *)
+        tail_walk prev
+      else begin
+        match walk_fall_through prev branch with
+        | `Stopped result -> result
+        | `Reached_branch ->
+          if Addr.Table.mem acc.node_set branch.tgt then path (Some branch.tgt)
+          else over_branches branch.tgt rest
+      end
+  in
+  over_branches start branches

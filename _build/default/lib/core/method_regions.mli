@@ -1,0 +1,15 @@
+(** Whole-method region selection (extension).
+
+    The paper's introduction contrasts trace-based systems with just-in-time
+    compilers organised around whole methods (Jikes RVM).  This policy
+    models that organisation inside the same framework: it profiles function
+    entries (dynamic call targets, plus loop headers as an on-stack-
+    replacement proxy attributed to their containing function) and, at the
+    threshold, selects the {e whole function} as one multi-path region.
+
+    Method regions exercise the engine's multi-entry support: a call inside
+    a compiled method exits to the callee, and the return re-enters the
+    method at the call's continuation (an auxiliary entry point), exactly
+    as returns re-enter compiled code in a real JIT. *)
+
+include Regionsel_engine.Policy.S

@@ -1,0 +1,7 @@
+module Params = Regionsel_engine.Params
+
+include Net_like.Make (struct
+  let name = "mojo"
+  let backward_threshold (p : Params.t) = p.Params.net_threshold
+  let exit_threshold (p : Params.t) = p.Params.mojo_exit_threshold
+end)

@@ -1,0 +1,8 @@
+(** Mojo-style trace selection (Chen et al., FDDO 2000; Section 5).
+
+    Identical to NET except that trace-exit targets use a lower execution
+    threshold than backward-branch targets, reducing the delay before a
+    related trace is selected.  Provided as a related-work comparison
+    policy. *)
+
+include Regionsel_engine.Policy.S

@@ -1,0 +1,8 @@
+(** Next-Executing Tail (NET) trace selection — the paper's baseline
+    (Duesterwald & Bala, ASPLOS 2000; Section 2.1 of the paper).
+
+    Profiles targets of taken backward branches and of code-cache exits
+    with a single threshold ([Params.net_threshold], 50 by default) and
+    selects the next-executing tail as a trace. *)
+
+include Regionsel_engine.Policy.S

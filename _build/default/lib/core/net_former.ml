@@ -1,0 +1,45 @@
+open Regionsel_isa
+module Region = Regionsel_engine.Region
+module Context = Regionsel_engine.Context
+module Code_cache = Regionsel_engine.Code_cache
+module Params = Regionsel_engine.Params
+
+type t = {
+  entry : Addr.t;
+  mutable rev_blocks : Block.t list;
+  mutable n_blocks : int;
+  mutable n_insts : int;
+  mutable finished : bool;
+}
+
+type outcome = Continue | Done of Region.path
+
+let start ~entry = { entry; rev_blocks = []; n_blocks = 0; n_insts = 0; finished = false }
+let entry t = t.entry
+
+let finish t ~final_next =
+  t.finished <- true;
+  Done { Region.blocks = List.rev t.rev_blocks; final_next }
+
+let feed t ~ctx ~block ~taken ~next =
+  if t.finished then invalid_arg "Net_former.feed: already finished";
+  if t.rev_blocks = [] && not (Addr.equal block.Block.start t.entry) then
+    invalid_arg "Net_former.feed: first block does not start at the entry";
+  t.rev_blocks <- block :: t.rev_blocks;
+  t.n_blocks <- t.n_blocks + 1;
+  t.n_insts <- t.n_insts + block.Block.size;
+  let params = ctx.Context.params in
+  match next with
+  | None -> finish t ~final_next:None
+  | Some a ->
+    let stop_taken =
+      taken
+      && (Addr.is_backward ~src:(Block.last block) ~tgt:a
+         || Addr.equal a t.entry
+         || Code_cache.mem ctx.Context.cache a)
+    in
+    if stop_taken then finish t ~final_next:(Some a)
+    else if
+      t.n_insts >= params.Params.max_trace_insts || t.n_blocks >= params.Params.max_trace_blocks
+    then finish t ~final_next:(Some a)
+    else Continue

@@ -1,0 +1,28 @@
+(** Next-executing-tail trace recording (Section 2.1).
+
+    When a profiled target reaches its threshold, NET "selects a trace by
+    interpreting and copying the path that is executed next".  A former is
+    fed every subsequently interpreted block and decides when the trace
+    ends: at a taken backward branch, at a taken branch targeting the start
+    of an existing trace (or of this trace — a completed cycle), or at the
+    size limit.  Both the plain NET policy and combined NET (which records
+    observed traces without installing them) drive their recordings through
+    this module. *)
+
+open Regionsel_isa
+module Region = Regionsel_engine.Region
+module Context = Regionsel_engine.Context
+
+type t
+
+type outcome =
+  | Continue
+  | Done of Region.path
+
+val start : entry:Addr.t -> t
+val entry : t -> Addr.t
+
+val feed : t -> ctx:Context.t -> block:Block.t -> taken:bool -> next:Addr.t option -> outcome
+(** Extend the recording with one interpreted block.  The first fed block
+    must start at the former's entry.  After [Done] the former must not be
+    fed again. *)

@@ -1,0 +1,19 @@
+(** The NET policy family, parameterized over profiling thresholds.
+
+    NET (Duesterwald & Bala) profiles the targets of taken backward
+    branches and of code-cache exits; when a counter reaches the threshold
+    it records the next-executing tail as a trace.  Mojo (Chen et al.,
+    Section 5) is the same machine with a lower threshold for exit targets,
+    so both are instances of this functor. *)
+
+module type CONFIG = sig
+  val name : string
+
+  val backward_threshold : Regionsel_engine.Params.t -> int
+  (** Threshold applied to targets profiled via taken backward branches. *)
+
+  val exit_threshold : Regionsel_engine.Params.t -> int
+  (** Threshold applied to targets profiled via code-cache exits. *)
+end
+
+module Make (_ : CONFIG) : Regionsel_engine.Policy.S

@@ -1,0 +1,30 @@
+open Regionsel_isa
+module Gauges = Regionsel_engine.Gauges
+
+type t = { table : Compact_trace.t list Addr.Table.t; gauges : Gauges.t; mutable bytes : int }
+
+let create gauges = { table = Addr.Table.create 64; gauges; bytes = 0 }
+
+let record t trace =
+  let entry = Compact_trace.entry trace in
+  let prev = Option.value ~default:[] (Addr.Table.find_opt t.table entry) in
+  Addr.Table.replace t.table entry (trace :: prev);
+  let bytes = Compact_trace.size_bytes trace in
+  t.bytes <- t.bytes + bytes;
+  Gauges.add_observed_bytes t.gauges bytes
+
+let count t entry =
+  match Addr.Table.find_opt t.table entry with Some l -> List.length l | None -> 0
+
+let take t entry =
+  match Addr.Table.find_opt t.table entry with
+  | None -> []
+  | Some traces ->
+    Addr.Table.remove t.table entry;
+    let bytes = List.fold_left (fun acc tr -> acc + Compact_trace.size_bytes tr) 0 traces in
+    t.bytes <- t.bytes - bytes;
+    Gauges.add_observed_bytes t.gauges (-bytes);
+    List.rev traces
+
+let total_bytes t = t.bytes
+let n_entries t = Addr.Table.length t.table

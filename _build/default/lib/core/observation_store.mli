@@ -1,0 +1,27 @@
+(** Storage for compactly-encoded observed traces, keyed by entry address
+    (Section 4.2.1).
+
+    Each stored trace is independent — no cross-trace analysis happens
+    until the entry's region is selected — and the store keeps the shared
+    memory gauge up to date so the Figure 18 high-water metric reflects the
+    bytes held at every instant. *)
+
+open Regionsel_isa
+module Gauges = Regionsel_engine.Gauges
+
+type t
+
+val create : Gauges.t -> t
+
+val record : t -> Compact_trace.t -> unit
+(** File one observed trace under its entry address. *)
+
+val count : t -> Addr.t -> int
+(** Observed traces currently stored for the entry. *)
+
+val take : t -> Addr.t -> Compact_trace.t list
+(** Remove and return the entry's traces in observation order, returning
+    their bytes to the gauge. *)
+
+val total_bytes : t -> int
+val n_entries : t -> int

@@ -1,0 +1,13 @@
+let net : (module Regionsel_engine.Policy.S) = (module Net)
+let lei : (module Regionsel_engine.Policy.S) = (module Lei)
+let combined_net : (module Regionsel_engine.Policy.S) = (module Combined_net)
+let combined_lei : (module Regionsel_engine.Policy.S) = (module Combined_lei)
+let mojo : (module Regionsel_engine.Policy.S) = (module Mojo)
+let boa : (module Regionsel_engine.Policy.S) = (module Boa)
+let jit_method : (module Regionsel_engine.Policy.S) = (module Method_regions)
+
+let paper =
+  [ "net", net; "lei", lei; "combined-net", combined_net; "combined-lei", combined_lei ]
+
+let all = paper @ [ "mojo", mojo; "boa", boa; "jit-method", jit_method ]
+let find name = List.assoc_opt name all

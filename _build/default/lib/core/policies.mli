@@ -1,0 +1,18 @@
+(** Registry of the available region-selection policies. *)
+
+val net : (module Regionsel_engine.Policy.S)
+val lei : (module Regionsel_engine.Policy.S)
+val combined_net : (module Regionsel_engine.Policy.S)
+val combined_lei : (module Regionsel_engine.Policy.S)
+val mojo : (module Regionsel_engine.Policy.S)
+val boa : (module Regionsel_engine.Policy.S)
+val jit_method : (module Regionsel_engine.Policy.S)
+
+val all : (string * (module Regionsel_engine.Policy.S)) list
+(** Every policy, keyed by its name. *)
+
+val paper : (string * (module Regionsel_engine.Policy.S)) list
+(** The four policies evaluated in the paper: net, lei, combined-net,
+    combined-lei. *)
+
+val find : string -> (module Regionsel_engine.Policy.S) option

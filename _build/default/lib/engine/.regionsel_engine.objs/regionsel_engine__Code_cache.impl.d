@@ -1,0 +1,1 @@
+lib/engine/code_cache.ml: Addr List Params Printf Region Regionsel_isa

@@ -1,0 +1,1 @@
+lib/engine/code_cache.mli: Addr Params Region Regionsel_isa

@@ -1,0 +1,1 @@
+lib/engine/context.mli: Code_cache Counters Gauges Params Program Regionsel_isa

@@ -1,0 +1,1 @@
+lib/engine/counters.ml: Addr Option Regionsel_isa

@@ -1,0 +1,1 @@
+lib/engine/edge_profile.ml: Addr Hashtbl Option Regionsel_isa

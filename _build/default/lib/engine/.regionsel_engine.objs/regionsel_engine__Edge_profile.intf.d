@@ -1,0 +1,1 @@
+lib/engine/edge_profile.mli: Addr Regionsel_isa

@@ -1,0 +1,1 @@
+lib/engine/emitter.ml: Addr Array Block Format List Printf Region Regionsel_isa Terminator

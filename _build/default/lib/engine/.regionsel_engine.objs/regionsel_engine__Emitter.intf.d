@@ -1,0 +1,1 @@
+lib/engine/emitter.mli: Addr Format Region Regionsel_isa Terminator

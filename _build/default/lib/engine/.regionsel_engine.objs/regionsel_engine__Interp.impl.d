@@ -1,0 +1,1 @@
+lib/engine/interp.ml: Addr Block Printf Program Regionsel_isa Regionsel_prng Regionsel_workload Stack Terminator

@@ -1,0 +1,1 @@
+lib/engine/interp.mli: Addr Block Regionsel_isa Regionsel_workload

@@ -1,0 +1,1 @@
+lib/engine/params.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/engine/region.ml: Addr Block Format Hashtbl List Option Regionsel_isa Terminator

@@ -1,0 +1,1 @@
+lib/engine/region.mli: Addr Block Format Hashtbl Regionsel_isa

@@ -1,0 +1,1 @@
+lib/engine/simulator.ml: Addr Block Code_cache Context Edge_profile Hashtbl Icache Interp List Params Policy Region Regionsel_isa Regionsel_workload Stats

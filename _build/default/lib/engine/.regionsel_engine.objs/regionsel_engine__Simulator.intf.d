@@ -1,0 +1,1 @@
+lib/engine/simulator.mli: Context Edge_profile Icache Params Policy Regionsel_workload Stats

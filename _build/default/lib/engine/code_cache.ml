@@ -1,0 +1,108 @@
+open Regionsel_isa
+
+type t = {
+  by_entry : Region.t Addr.Table.t;
+  by_aux_entry : Region.t Addr.Table.t;
+  mutable live_order : Region.t list; (* newest first *)
+  mutable retired : Region.t list; (* newest first *)
+  mutable next_id : int;
+  mutable bytes_used : int;
+  mutable alloc_cursor : int;
+      (* Bump allocator for region placement; holes left by eviction are not
+         reused, as in cache managers that only reclaim on flush. *)
+  capacity_bytes : int option;
+  eviction : Params.eviction;
+  evicted_entries : unit Addr.Table.t;
+  mutable evictions : int;
+  mutable flushes : int;
+  mutable regenerations : int;
+}
+
+let create ?capacity_bytes ?(eviction = Params.Flush_all) () =
+  {
+    by_entry = Addr.Table.create 256;
+    by_aux_entry = Addr.Table.create 64;
+    live_order = [];
+    retired = [];
+    next_id = 0;
+    bytes_used = 0;
+    alloc_cursor = 0;
+    capacity_bytes;
+    eviction;
+    evicted_entries = Addr.Table.create 64;
+    evictions = 0;
+    flushes = 0;
+    regenerations = 0;
+  }
+
+let find t a =
+  match Addr.Table.find_opt t.by_entry a with
+  | Some _ as hit -> hit
+  | None -> Addr.Table.find_opt t.by_aux_entry a
+
+let mem t a = Addr.Table.mem t.by_entry a || Addr.Table.mem t.by_aux_entry a
+
+let retire t (region : Region.t) =
+  Addr.Table.remove t.by_entry region.Region.entry;
+  Addr.Set.iter
+    (fun a ->
+      match Addr.Table.find_opt t.by_aux_entry a with
+      | Some r when r == region -> Addr.Table.remove t.by_aux_entry a
+      | Some _ | None -> ())
+    region.Region.aux_entries;
+  Addr.Table.replace t.evicted_entries region.Region.entry ();
+  t.retired <- region :: t.retired;
+  t.bytes_used <- t.bytes_used - Region.cache_bytes region;
+  t.evictions <- t.evictions + 1
+
+let flush_all t =
+  List.iter (retire t) t.live_order;
+  t.live_order <- [];
+  t.flushes <- t.flushes + 1
+
+let evict_oldest t =
+  match List.rev t.live_order with
+  | [] -> ()
+  | oldest :: _ ->
+    retire t oldest;
+    t.live_order <- List.filter (fun r -> not (r == oldest)) t.live_order
+
+let rec make_room t needed =
+  match t.capacity_bytes with
+  | None -> ()
+  | Some capacity ->
+    if t.bytes_used + needed > capacity && t.live_order <> [] then begin
+      (match t.eviction with Params.Flush_all -> flush_all t | Params.Evict_oldest -> evict_oldest t);
+      make_room t needed
+    end
+
+let install t (spec : Region.spec) =
+  if mem t spec.Region.entry then
+    invalid_arg
+      (Printf.sprintf "Code_cache.install: entry %s already cached"
+         (Addr.to_string spec.Region.entry));
+  let region = Region.of_spec ~id:t.next_id ~selected_at:t.next_id spec in
+  make_room t (Region.cache_bytes region);
+  t.next_id <- t.next_id + 1;
+  if Addr.Table.mem t.evicted_entries spec.Region.entry then
+    t.regenerations <- t.regenerations + 1;
+  Addr.Table.replace t.by_entry spec.Region.entry region;
+  Addr.Set.iter
+    (fun a -> Addr.Table.replace t.by_aux_entry a region)
+    region.Region.aux_entries;
+  t.live_order <- region :: t.live_order;
+  t.bytes_used <- t.bytes_used + Region.cache_bytes region;
+  Region.set_cache_base region t.alloc_cursor;
+  t.alloc_cursor <- t.alloc_cursor + Region.cache_bytes region;
+  region
+
+let by_selection rs =
+  List.sort (fun (a : Region.t) b -> compare a.Region.selected_at b.Region.selected_at) rs
+
+let regions t = List.rev t.live_order
+let all_regions t = by_selection (t.retired @ t.live_order)
+let n_regions t = Addr.Table.length t.by_entry
+let bytes_used t = t.bytes_used
+let evictions t = t.evictions
+let flushes t = t.flushes
+let regenerations t = t.regenerations

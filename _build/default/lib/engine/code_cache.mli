@@ -1,0 +1,51 @@
+(** The code cache: installed regions, indexed by entry address.
+
+    As in the paper's framework (Section 2.3) the cache is unbounded by
+    default.  A capacity (under the {!Region.cache_bytes} cost model) can
+    be set for the bounded-cache ablation, with either of two overflow
+    policies: Dynamo's preemptive whole-cache flush, or FIFO eviction of
+    the oldest regions.  Evicted regions are retired — kept for metrics but
+    no longer dispatchable — and re-selecting an entry that was previously
+    evicted counts as a {e regeneration}, the cost the paper argues its
+    fewer-larger-regions algorithms reduce. *)
+
+open Regionsel_isa
+
+type t
+
+val create : ?capacity_bytes:int -> ?eviction:Params.eviction -> unit -> t
+(** [create ()] is unbounded; pass [capacity_bytes] to bound it. *)
+
+val find : t -> Addr.t -> Region.t option
+(** The live region whose {e entry} is the given address, if any.  Regions
+    are single-entry: an address inside a region's body is not a hit. *)
+
+val mem : t -> Addr.t -> bool
+
+val install : t -> Region.spec -> Region.t
+(** Install a region, assigning it the next id and selection sequence
+    number, evicting under the configured policy if the cache would
+    overflow.
+    @raise Invalid_argument if a live region with the same entry exists. *)
+
+val regions : t -> Region.t list
+(** Live regions, in selection order. *)
+
+val all_regions : t -> Region.t list
+(** Live and retired regions, in selection order: the population metrics
+    should be computed over. *)
+
+val n_regions : t -> int
+(** Live regions. *)
+
+val bytes_used : t -> int
+(** Live footprint under the cost model. *)
+
+val evictions : t -> int
+(** Regions retired by capacity pressure. *)
+
+val flushes : t -> int
+(** Whole-cache flushes performed (Flush_all only). *)
+
+val regenerations : t -> int
+(** Installs whose entry had previously been evicted. *)

@@ -1,0 +1,20 @@
+open Regionsel_isa
+
+type t = {
+  program : Program.t;
+  params : Params.t;
+  cache : Code_cache.t;
+  counters : Counters.t;
+  gauges : Gauges.t;
+}
+
+let create ?(params = Params.default) program =
+  {
+    program;
+    params;
+    cache =
+      Code_cache.create ?capacity_bytes:params.Params.cache_capacity_bytes
+        ~eviction:params.Params.cache_eviction ();
+    counters = Counters.create ();
+    gauges = Gauges.create ();
+  }

@@ -1,0 +1,13 @@
+(** The view of the system a region-selection policy operates on. *)
+
+open Regionsel_isa
+
+type t = {
+  program : Program.t;
+  params : Params.t;
+  cache : Code_cache.t;
+  counters : Counters.t;
+  gauges : Gauges.t;
+}
+
+val create : ?params:Params.t -> Program.t -> t

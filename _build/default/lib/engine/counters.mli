@@ -1,0 +1,35 @@
+(** The recyclable profiling-counter pool.
+
+    Both NET and LEI associate execution counters with a small subset of
+    branch targets and recycle a counter once its trace has been selected
+    (Sections 2.1 and 3.2.4).  The pool tracks how many counters are live at
+    once; the high-water mark is the paper's Figure 10 metric ("maximum
+    number of counters in use at any point"). *)
+
+open Regionsel_isa
+
+type t
+
+val create : unit -> t
+
+val incr : t -> Addr.t -> int
+(** [incr t a] allocates a counter for [a] if none is live and increments
+    it, returning the new count. *)
+
+val peek : t -> Addr.t -> int
+(** Current count for [a]; 0 if no counter is live. *)
+
+val release : t -> Addr.t -> unit
+(** Recycle the counter for [a] (no-op if none is live). *)
+
+val live : t -> int
+(** Number of counters currently allocated. *)
+
+val high_water : t -> int
+(** Maximum of {!live} over the pool's lifetime. *)
+
+val total_allocations : t -> int
+(** Number of allocations performed, counting re-allocations after release. *)
+
+val live_entries : t -> (Addr.t * int) list
+(** Currently live counters with their counts, unordered. *)

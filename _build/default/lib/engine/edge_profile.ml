@@ -1,0 +1,31 @@
+open Regionsel_isa
+
+type t = { edges : (Addr.t * Addr.t, int) Hashtbl.t; mutable pred_index : Addr.Set.t Addr.Table.t option }
+
+let create () = { edges = Hashtbl.create 4096; pred_index = None }
+
+let record t ~src ~dst =
+  t.pred_index <- None;
+  let key = src, dst in
+  match Hashtbl.find_opt t.edges key with
+  | Some c -> Hashtbl.replace t.edges key (c + 1)
+  | None -> Hashtbl.replace t.edges key 1
+
+let count t ~src ~dst = Option.value ~default:0 (Hashtbl.find_opt t.edges (src, dst))
+
+let build_pred_index t =
+  let index = Addr.Table.create 1024 in
+  Hashtbl.iter
+    (fun (src, dst) _ ->
+      let prev = Option.value ~default:Addr.Set.empty (Addr.Table.find_opt index dst) in
+      Addr.Table.replace index dst (Addr.Set.add src prev))
+    t.edges;
+  t.pred_index <- Some index;
+  index
+
+let preds t a =
+  let index = match t.pred_index with Some i -> i | None -> build_pred_index t in
+  Option.value ~default:Addr.Set.empty (Addr.Table.find_opt index a)
+
+let n_edges t = Hashtbl.length t.edges
+let fold f t init = Hashtbl.fold (fun (src, dst) c acc -> f ~src ~dst c acc) t.edges init

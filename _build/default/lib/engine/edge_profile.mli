@@ -1,0 +1,21 @@
+(** Executed control-flow edge profile of a whole run.
+
+    Records every dynamic transfer between blocks (interpreted or cached).
+    Exit domination (Section 4.1) needs it to decide whether a region
+    entrance has any executed predecessor other than its dominator's exit
+    block. *)
+
+open Regionsel_isa
+
+type t
+
+val create : unit -> t
+val record : t -> src:Addr.t -> dst:Addr.t -> unit
+
+val count : t -> src:Addr.t -> dst:Addr.t -> int
+
+val preds : t -> Addr.t -> Addr.Set.t
+(** Blocks from which an executed edge reaches the given block start. *)
+
+val n_edges : t -> int
+val fold : (src:Addr.t -> dst:Addr.t -> int -> 'a -> 'a) -> t -> 'a -> 'a

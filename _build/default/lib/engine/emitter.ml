@@ -1,0 +1,100 @@
+open Regionsel_isa
+
+type operand = Internal of int | Stub of int
+
+type inst =
+  | Copied of { orig : Addr.t }
+  | Rewritten of {
+      orig : Addr.t;
+      kind : Terminator.t;
+      taken : operand option;
+      fall : operand option;
+    }
+
+type stub = { index : int; exit_target : Addr.t option; from : Addr.t }
+
+type t = { region : Region.t; body : inst array; stubs : stub array }
+
+let layout_order (region : Region.t) =
+  let with_offsets =
+    List.filter_map
+      (fun (b : Block.t) ->
+        match Addr.Table.find_opt region.Region.block_offsets b.Block.start with
+        | Some off -> Some (off, b)
+        | None -> None)
+      (Region.nodes region)
+  in
+  List.map snd (List.sort compare with_offsets)
+
+let emit (region : Region.t) =
+  let offset_of a = Addr.Table.find_opt region.Region.block_offsets a in
+  let body = ref [] in
+  let stubs = ref [] in
+  let new_stub ~from ~exit_target =
+    let index = List.length !stubs in
+    stubs := { index; exit_target; from } :: !stubs;
+    Stub index
+  in
+  let direction ~from target =
+    if Region.has_edge region ~src:from ~dst:target then
+      match offset_of target with
+      | Some off -> Internal off
+      | None -> new_stub ~from ~exit_target:(Some target)
+    else new_stub ~from ~exit_target:(Some target)
+  in
+  let emit_block (b : Block.t) =
+    let s = b.Block.start in
+    for i = 0 to b.Block.size - 2 do
+      body := Copied { orig = s + i } :: !body
+    done;
+    let taken, fall =
+      match b.Block.term with
+      | Terminator.Fallthrough -> None, Some (direction ~from:s (Block.fall_addr b))
+      | Terminator.Cond tgt ->
+        Some (direction ~from:s tgt), Some (direction ~from:s (Block.fall_addr b))
+      | Terminator.Jump tgt | Terminator.Call tgt -> Some (direction ~from:s tgt), None
+      | Terminator.Return | Terminator.Indirect_jump | Terminator.Indirect_call ->
+        (* Predicted indirect targets may be internal edges, but the
+           mispredict path always exits through a stub. *)
+        Some (new_stub ~from:s ~exit_target:None), None
+      | Terminator.Halt -> None, None
+    in
+    body := Rewritten { orig = Block.last b; kind = b.Block.term; taken; fall } :: !body
+  in
+  List.iter emit_block (layout_order region);
+  let stubs = Array.of_list (List.rev !stubs) in
+  if Array.length stubs <> region.Region.n_stubs then
+    invalid_arg
+      (Printf.sprintf "Emitter.emit: emitted %d stubs but the region accounts for %d"
+         (Array.length stubs) region.Region.n_stubs);
+  { region; body = Array.of_list (List.rev !body); stubs }
+
+let body_bytes t = Array.length t.body * Region.inst_bytes
+let total_bytes t = body_bytes t + (Array.length t.stubs * Region.stub_bytes)
+
+let pp_operand ppf = function
+  | Internal off -> Format.fprintf ppf "+%04x" off
+  | Stub i -> Format.fprintf ppf "stub%d" i
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>emitted region #%d: %d insts + %d stubs = %d bytes"
+    t.region.Region.id (Array.length t.body) (Array.length t.stubs) (total_bytes t);
+  Array.iteri
+    (fun i inst ->
+      let off = i * Region.inst_bytes in
+      match inst with
+      | Copied { orig } -> Format.fprintf ppf "@,  +%04x  %a" off Addr.pp orig
+      | Rewritten { orig; kind; taken; fall } ->
+        Format.fprintf ppf "@,  +%04x  %a  %a" off Addr.pp orig Terminator.pp kind;
+        (match taken with Some op -> Format.fprintf ppf " -> %a" pp_operand op | None -> ());
+        (match fall with
+        | Some op -> Format.fprintf ppf " / fall %a" pp_operand op
+        | None -> ()))
+    t.body;
+  Array.iter
+    (fun { index; exit_target; from } ->
+      match exit_target with
+      | Some a -> Format.fprintf ppf "@,  stub%d: exit to %a (from %a)" index Addr.pp a Addr.pp from
+      | None -> Format.fprintf ppf "@,  stub%d: indirect exit (from %a)" index Addr.pp from)
+    t.stubs;
+  Format.fprintf ppf "@]"

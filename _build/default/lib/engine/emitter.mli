@@ -1,0 +1,52 @@
+(** Materializing a region as code-cache contents.
+
+    The simulator models regions abstractly; this module emits what a real
+    system would write into the cache (Section 2.1): the selected blocks
+    copied contiguously — in the same layout {!Region.block_cache_addr}
+    reports — with every control transfer rewritten, followed by one exit
+    stub per off-region direction.  A branch whose target is inside the
+    region becomes a region-relative jump; every other direction jumps to a
+    stub, which saves the exit target for the dispatcher.
+
+    Emission is the ground truth the byte-cost model approximates:
+    {!emit} fails if the emitted stub count disagrees with
+    {!Region.t.n_stubs}, and tests check the emitted image's size against
+    {!Region.cache_bytes}. *)
+
+open Regionsel_isa
+
+type operand =
+  | Internal of int  (** Byte offset of the target within the region. *)
+  | Stub of int  (** Index of the exit stub handling this direction. *)
+
+type inst =
+  | Copied of { orig : Addr.t }
+      (** A straight-line instruction copied from the program. *)
+  | Rewritten of { orig : Addr.t; kind : Terminator.t; taken : operand option;
+                   fall : operand option }
+      (** A control transfer with its directions resolved.  [None] means the
+          direction does not exist for this terminator. *)
+
+type stub = {
+  index : int;
+  exit_target : Addr.t option;
+      (** Static target the stub hands to the dispatcher; [None] for
+          indirect exits, whose target is only known at run time. *)
+  from : Addr.t;  (** The block whose direction this stub serves. *)
+}
+
+type t = {
+  region : Region.t;
+  body : inst array;  (** One entry per instruction, in layout order. *)
+  stubs : stub array;  (** Appended after the body, 10 bytes each. *)
+}
+
+val emit : Region.t -> t
+(** @raise Invalid_argument if the region's recorded stub count does not
+    match the emitted stubs (an internal-consistency failure). *)
+
+val body_bytes : t -> int
+val total_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** A disassembly-style listing of the emitted region. *)

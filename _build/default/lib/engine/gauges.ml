@@ -1,0 +1,11 @@
+type t = { mutable observed_bytes : int; mutable high_water : int }
+
+let create () = { observed_bytes = 0; high_water = 0 }
+
+let add_observed_bytes t delta =
+  t.observed_bytes <- t.observed_bytes + delta;
+  assert (t.observed_bytes >= 0);
+  if t.observed_bytes > t.high_water then t.high_water <- t.observed_bytes
+
+let observed_bytes t = t.observed_bytes
+let observed_bytes_high_water t = t.high_water

@@ -1,0 +1,20 @@
+(** Shared gauges a policy exposes to the measurement machinery.
+
+    Trace combination stores compact observed traces while profiling an
+    entry (Section 4.2.1); Figure 18 reports the {e maximum} memory those
+    stored traces occupy at any point of the run.  A policy keeps the
+    current byte total up to date here and the gauge records the high-water
+    mark. *)
+
+type t
+
+val create : unit -> t
+
+val add_observed_bytes : t -> int -> unit
+(** Add (or, with a negative argument, subtract) stored observed-trace
+    bytes. *)
+
+val observed_bytes : t -> int
+(** Currently stored observed-trace bytes. *)
+
+val observed_bytes_high_water : t -> int

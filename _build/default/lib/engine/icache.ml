@@ -1,0 +1,68 @@
+type t = {
+  line_bytes : int;
+  n_sets : int;
+  ways : int;
+  tags : int array; (* n_sets * ways, -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(size_bytes = 32 * 1024) ?(line_bytes = 64) ?(ways = 4) () =
+  if size_bytes <= 0 || line_bytes <= 0 || ways <= 0 then
+    invalid_arg "Icache.create: geometry must be positive";
+  let n_lines = size_bytes / line_bytes in
+  if n_lines mod ways <> 0 then invalid_arg "Icache.create: lines not divisible by ways";
+  let n_sets = n_lines / ways in
+  if not (is_power_of_two n_sets) then invalid_arg "Icache.create: set count must be a power of two";
+  {
+    line_bytes;
+    n_sets;
+    ways;
+    tags = Array.make (n_sets * ways) (-1);
+    stamps = Array.make (n_sets * ways) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let touch_line t line =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let set = line land (t.n_sets - 1) in
+  let tag = line lsr 0 in
+  let base = set * t.ways in
+  let rec find i = if i = t.ways then None else if t.tags.(base + i) = tag then Some i else find (i + 1) in
+  match find 0 with
+  | Some i -> t.stamps.(base + i) <- t.clock
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict the least-recently-used way. *)
+    let victim = ref 0 in
+    for i = 1 to t.ways - 1 do
+      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.stamps.(base + !victim) <- t.clock
+
+let access t ~addr ~bytes =
+  if bytes > 0 then begin
+    let first = addr / t.line_bytes in
+    let last = (addr + bytes - 1) / t.line_bytes in
+    for line = first to last do
+      touch_line t line
+    done
+  end
+
+let accesses t = t.accesses
+let misses t = t.misses
+let miss_rate t = if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0

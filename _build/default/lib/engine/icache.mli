@@ -1,0 +1,33 @@
+(** A set-associative instruction-cache model over the code cache.
+
+    The paper's case for locality (Sections 1 and 2.2) is instruction-fetch
+    performance: separated traces live far apart in the code cache, so
+    region transitions cost I-cache misses, and duplication inflates the
+    working set.  This model quantifies that: regions are laid out at real
+    byte addresses in the code cache (see {!Code_cache.address_of}), every
+    instruction fetched from a region touches the cache, and the miss rate
+    compares selection policies on the locality axis directly.
+
+    Geometry defaults to a typical 2005-era L1 I-cache: 32 KiB, 64-byte
+    lines, 4-way set-associative, LRU replacement. *)
+
+type t
+
+val create : ?size_bytes:int -> ?line_bytes:int -> ?ways:int -> unit -> t
+(** @raise Invalid_argument if the geometry is not a power-of-two set
+    count. *)
+
+val access : t -> addr:int -> bytes:int -> unit
+(** Fetch [bytes] starting at byte address [addr], touching every line the
+    range covers. *)
+
+val accesses : t -> int
+(** Line-granularity accesses so far. *)
+
+val misses : t -> int
+
+val miss_rate : t -> float
+(** [misses / accesses]; 0 before any access. *)
+
+val reset : t -> unit
+(** Clear contents and counters. *)

@@ -1,0 +1,86 @@
+open Regionsel_isa
+module Image = Regionsel_workload.Image
+module Behavior = Regionsel_workload.Behavior
+module Splitmix = Regionsel_prng.Splitmix
+
+exception Runaway_stack of int
+
+let max_stack_depth = 100_000
+
+type t = {
+  image : Image.t;
+  mutable pc : Addr.t option;
+  stack : Addr.t Stack.t;
+  cond_states : Behavior.state Addr.Table.t;
+  indirect_states : Behavior.indirect_state Addr.Table.t;
+  prng : Splitmix.t;
+}
+
+let create image ~seed =
+  {
+    image;
+    pc = Some (Program.entry image.Image.program);
+    stack = Stack.create ();
+    cond_states = Addr.Table.create 256;
+    indirect_states = Addr.Table.create 32;
+    prng = Splitmix.create ~seed;
+  }
+
+type step = { block : Block.t; taken : bool; next : Addr.t option }
+
+let cond_state t site =
+  match Addr.Table.find_opt t.cond_states site with
+  | Some s -> s
+  | None ->
+    let s = Behavior.make_state (Image.cond_spec t.image site) t.prng in
+    Addr.Table.replace t.cond_states site s;
+    s
+
+let indirect_state t site =
+  match Addr.Table.find_opt t.indirect_states site with
+  | Some s -> s
+  | None ->
+    let s = Behavior.make_indirect (Image.indirect_spec t.image site) t.prng in
+    Addr.Table.replace t.indirect_states site s;
+    s
+
+let push_return t addr =
+  if Stack.length t.stack >= max_stack_depth then raise (Runaway_stack max_stack_depth);
+  Stack.push addr t.stack
+
+let step t =
+  match t.pc with
+  | None -> None
+  | Some pc ->
+    let block = Program.block_at_exn t.image.Image.program pc in
+    let site = Block.last block in
+    let taken, next =
+      match block.Block.term with
+      | Terminator.Fallthrough -> false, Some (Block.fall_addr block)
+      | Terminator.Jump tgt -> true, Some tgt
+      | Terminator.Cond tgt ->
+        if Behavior.decide (cond_state t site) then true, Some tgt
+        else false, Some (Block.fall_addr block)
+      | Terminator.Call tgt ->
+        push_return t (Block.fall_addr block);
+        true, Some tgt
+      | Terminator.Indirect_jump -> true, Some (Behavior.choose (indirect_state t site))
+      | Terminator.Indirect_call ->
+        push_return t (Block.fall_addr block);
+        true, Some (Behavior.choose (indirect_state t site))
+      | Terminator.Return ->
+        if Stack.is_empty t.stack then true, None else true, Some (Stack.pop t.stack)
+      | Terminator.Halt -> false, None
+    in
+    (match next with
+    | Some a ->
+      if not (Program.is_block_start t.image.Image.program a) then
+        invalid_arg
+          (Printf.sprintf "Interp.step: transfer from %s to %s, which is not a block start"
+             (Addr.to_string site) (Addr.to_string a))
+    | None -> ());
+    t.pc <- next;
+    Some { block; taken; next }
+
+let pc t = t.pc
+let stack_depth t = Stack.length t.stack

@@ -1,0 +1,33 @@
+(** The program interpreter: replays a workload image block by block.
+
+    This is the substitute for the Pin-reported dynamic basic-block stream
+    of the paper's framework (Section 2.3).  Branch outcomes come from the
+    image's behaviour specs, instantiated with a private PRNG stream per
+    branch site so runs are deterministic per seed.  Calls and returns use a
+    real shadow stack, so return addresses — and hence interprocedural
+    cycles — behave exactly as in native execution. *)
+
+open Regionsel_isa
+
+type t
+
+val create : Regionsel_workload.Image.t -> seed:int64 -> t
+
+type step = {
+  block : Block.t;  (** The block just executed. *)
+  taken : bool;  (** Whether its terminator transferred control away. *)
+  next : Addr.t option;  (** The next block start; [None] after a halt. *)
+}
+
+val step : t -> step option
+(** Execute one block. [None] once the program has halted (explicit [Halt]
+    or return with an empty stack). *)
+
+val pc : t -> Addr.t option
+(** The next block to execute. *)
+
+val stack_depth : t -> int
+
+exception Runaway_stack of int
+(** Raised if the shadow stack exceeds a sanity bound (100_000 frames),
+    which would indicate a malformed workload. *)

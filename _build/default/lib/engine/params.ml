@@ -1,0 +1,58 @@
+type eviction = Flush_all | Evict_oldest
+
+type t = {
+  net_threshold : int;
+  lei_threshold : int;
+  lei_buffer_size : int;
+  combine_t_prof : int;
+  combine_t_min : int;
+  combined_net_start : int;
+  combined_lei_start : int;
+  max_trace_insts : int;
+  max_trace_blocks : int;
+  mojo_exit_threshold : int;
+  boa_threshold : int;
+  method_threshold : int;
+  cache_capacity_bytes : int option;
+  cache_eviction : eviction;
+  combined_layout_hot_first : bool;
+  icache_size_bytes : int;
+  icache_line_bytes : int;
+  icache_ways : int;
+}
+
+let default =
+  {
+    net_threshold = 50;
+    lei_threshold = 35;
+    lei_buffer_size = 500;
+    combine_t_prof = 15;
+    combine_t_min = 5;
+    combined_net_start = 35;
+    combined_lei_start = 20;
+    max_trace_insts = 1024;
+    max_trace_blocks = 64;
+    mojo_exit_threshold = 25;
+    boa_threshold = 15;
+    method_threshold = 50;
+    cache_capacity_bytes = None;
+    cache_eviction = Flush_all;
+    combined_layout_hot_first = true;
+    icache_size_bytes = 256;
+    icache_line_bytes = 16;
+    icache_ways = 2;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>net_threshold=%d@,lei_threshold=%d@,lei_buffer_size=%d@,combine_t_prof=%d@,\
+     combine_t_min=%d@,combined_net_start=%d@,combined_lei_start=%d@,max_trace_insts=%d@,\
+     max_trace_blocks=%d@,mojo_exit_threshold=%d@,boa_threshold=%d@,cache=%s@]"
+    t.net_threshold t.lei_threshold t.lei_buffer_size t.combine_t_prof t.combine_t_min
+    t.combined_net_start t.combined_lei_start t.max_trace_insts t.max_trace_blocks
+    t.mojo_exit_threshold t.boa_threshold
+    (match t.cache_capacity_bytes with
+    | None -> "unbounded"
+    | Some b ->
+      Printf.sprintf "%dB/%s" b
+        (match t.cache_eviction with Flush_all -> "flush" | Evict_oldest -> "fifo"))

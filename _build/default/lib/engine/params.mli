@@ -1,0 +1,54 @@
+(** Tunable parameters of the simulated dynamic optimization system.
+
+    Defaults follow the paper (see DESIGN.md for the per-parameter source):
+    NET's published threshold of 50, LEI's 35 with a 500-entry history
+    buffer, and the trace-combination settings [T_prof = 15], [T_min = 5]
+    with start thresholds lowered so that regions are selected after the
+    same number of interpreted executions as the underlying algorithm
+    (Section 4.3). *)
+
+type eviction =
+  | Flush_all  (** Dynamo's policy: preemptively empty the whole cache. *)
+  | Evict_oldest  (** FIFO: drop regions in selection order until it fits. *)
+
+type t = {
+  net_threshold : int;  (** Execution count before NET selects a trace. *)
+  lei_threshold : int;  (** LEI's [T_cyc]: counted cycle completions. *)
+  lei_buffer_size : int;  (** LEI history buffer capacity (taken branches). *)
+  combine_t_prof : int;  (** Observed traces per combined region. *)
+  combine_t_min : int;  (** Occurrences for a block to be marked. *)
+  combined_net_start : int;  (** [T_start] when combining NET traces. *)
+  combined_lei_start : int;  (** [T_start] when combining LEI traces. *)
+  max_trace_insts : int;  (** Trace size limit, instructions. *)
+  max_trace_blocks : int;  (** Trace size limit, blocks. *)
+  mojo_exit_threshold : int;
+      (** Extension (Section 5): Mojo's lower threshold for trace-exit
+          targets. *)
+  boa_threshold : int;
+      (** Extension (Section 5): BOA's entry threshold before a bias-directed
+          trace is grown. *)
+  method_threshold : int;
+      (** Extension: invocation count before the whole-method policy
+          compiles a function. *)
+  cache_capacity_bytes : int option;
+      (** Extension ablation: bound the code cache to this many bytes under
+          the {!Region.cache_bytes} cost model ([None] = unbounded, the
+          paper's setting). *)
+  cache_eviction : eviction;
+      (** What to do when a bounded cache overflows. *)
+  combined_layout_hot_first : bool;
+      (** Lay combined regions out hottest-block-first (the Section 4.4
+          profile-guided layout); [false] uses address order (ablation). *)
+  icache_size_bytes : int;
+  icache_line_bytes : int;
+  icache_ways : int;
+      (** Geometry of the modelled I-cache.  The default (256 B, 16-byte
+          lines, 2-way) is deliberately scaled down in proportion to the
+          synthetic workloads' kilobyte-sized code caches, just as the
+          workloads themselves are scaled-down SPEC stand-ins; a real
+          32 KiB L1 would hold every toy region at once and show nothing. *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+open Regionsel_isa
+
+type event =
+  | Interp_block of { block : Block.t; taken : bool; next : Addr.t option }
+  | Cache_exited of { from_entry : Addr.t; src : Addr.t; tgt : Addr.t }
+
+type action = No_action | Install of Region.spec list
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Context.t -> t
+  val handle : t -> event -> action
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let instantiate (module P : S) ctx = Packed ((module P), P.create ctx)
+let handle (Packed ((module P), state)) event = P.handle state event
+let name (module P : S) = P.name

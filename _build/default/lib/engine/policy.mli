@@ -1,0 +1,41 @@
+(** The region-selection policy interface.
+
+    A policy is the pluggable heart of the system: NET, LEI, their combined
+    variants and the related-work algorithms all implement this signature.
+    The simulator delivers two kinds of events:
+
+    - [Interp_block]: a block was just executed {e by the interpreter}
+      (never delivered for blocks executed from the code cache).  The policy
+      sees every interpreted block, including ones whose taken branch is
+      about to dispatch into the cache — it must itself skip profiling work
+      in that case, mirroring lines 1-4 of the paper's Figure 5.
+    - [Cache_exited]: execution left a cached region through an exit stub
+      whose target is {e not} cached (a linked stub — one leading to another
+      region — performs no profiling in a real system, so no event is
+      delivered for it).
+
+    A policy responds with at most one region to install.  The simulator
+    installs it and, if the current transfer targets the new region's entry,
+    dispatches into it immediately — the paper's "jump newT". *)
+
+open Regionsel_isa
+
+type event =
+  | Interp_block of { block : Block.t; taken : bool; next : Addr.t option }
+  | Cache_exited of { from_entry : Addr.t; src : Addr.t; tgt : Addr.t }
+
+type action = No_action | Install of Region.spec list
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Context.t -> t
+  val handle : t -> event -> action
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+val instantiate : (module S) -> Context.t -> packed
+val handle : packed -> event -> action
+val name : (module S) -> string

@@ -1,0 +1,207 @@
+open Regionsel_isa
+
+type kind = Trace | Combined | Method
+
+type path = { blocks : Block.t list; final_next : Addr.t option }
+
+let path_insts path = List.fold_left (fun acc b -> acc + b.Block.size) 0 path.blocks
+
+type spec = {
+  entry : Addr.t;
+  nodes : Block.t list;
+  edges : (Addr.t * Addr.t) list;
+  copied_insts : int;
+  kind : kind;
+  aux_entries : Addr.t list;
+  layout_hint : Addr.t list;
+}
+
+let spec_of_path ~kind path =
+  match path.blocks with
+  | [] -> invalid_arg "Region.spec_of_path: empty path"
+  | first :: _ ->
+    let entry = first.Block.start in
+    let nodes = ref [] in
+    let node_set = Addr.Table.create 16 in
+    List.iter
+      (fun b ->
+        if not (Addr.Table.mem node_set b.Block.start) then begin
+          Addr.Table.replace node_set b.Block.start ();
+          nodes := b :: !nodes
+        end)
+      path.blocks;
+    let rec consecutive acc = function
+      | a :: (b :: _ as rest) -> consecutive ((a.Block.start, b.Block.start) :: acc) rest
+      | [ last ] ->
+        (* Close the region when execution continued to a block of the path:
+           the spanned-cycle case when that block is the entry. *)
+        (match path.final_next with
+        | Some next when Addr.Table.mem node_set next -> (last.Block.start, next) :: acc
+        | Some _ | None -> acc)
+      | [] -> acc
+    in
+    let edges = List.sort_uniq compare (consecutive [] path.blocks) in
+    let nodes = List.rev !nodes in
+    let layout_hint = List.map (fun (b : Block.t) -> b.Block.start) nodes in
+    (* A block revisited within one path (possible for LEI's cyclic paths)
+       is stored once: the region is an automaton over distinct blocks, so
+       its cache footprint counts each selected block once.  Cross-region
+       duplication — the paper's code-expansion signal — is unaffected. *)
+    let copied_insts = List.fold_left (fun acc (b : Block.t) -> acc + b.Block.size) 0 nodes in
+    { entry; nodes; edges; copied_insts; kind; aux_entries = []; layout_hint }
+
+type t = {
+  id : int;
+  entry : Addr.t;
+  kind : kind;
+  node_index : Block.t Addr.Table.t;
+  n_nodes : int;
+  copied_insts : int;
+  n_stubs : int;
+  spans_cycle : bool;
+  selected_at : int;
+  mutable entries : int;
+  mutable cycle_iters : int;
+  mutable exits : int;
+  mutable insts_executed : int;
+  exit_log : (Addr.t * Addr.t, int) Hashtbl.t;
+  edge_index : (Addr.t * Addr.t, unit) Hashtbl.t;
+  aux_entries : Addr.Set.t;
+  mutable cache_base : int;
+  block_offsets : int Addr.Table.t;
+}
+
+let count_stubs ~node_index ~edge_index nodes =
+  let internal src dst = Hashtbl.mem edge_index (src, dst) in
+  let stub_count b =
+    let s = b.Block.start in
+    match b.Block.term with
+    | Terminator.Cond tgt ->
+      (if internal s tgt then 0 else 1) + if internal s (Block.fall_addr b) then 0 else 1
+    | Terminator.Jump tgt | Terminator.Call tgt -> if internal s tgt then 0 else 1
+    | Terminator.Fallthrough -> if internal s (Block.fall_addr b) then 0 else 1
+    | Terminator.Return | Terminator.Indirect_jump | Terminator.Indirect_call ->
+      (* Predicted targets may be internal edges, but the mispredict path
+         always needs a stub. *)
+      1
+    | Terminator.Halt -> 0
+  in
+  ignore node_index;
+  List.fold_left (fun acc b -> acc + stub_count b) 0 nodes
+
+let of_spec ~id ~selected_at spec =
+  let node_index = Addr.Table.create (List.length spec.nodes * 2) in
+  List.iter (fun b -> Addr.Table.replace node_index b.Block.start b) spec.nodes;
+  if not (Addr.Table.mem node_index spec.entry) then
+    invalid_arg "Region.of_spec: entry is not a node";
+  let edge_index = Hashtbl.create (List.length spec.edges * 2) in
+  List.iter
+    (fun (src, dst) ->
+      if not (Addr.Table.mem node_index src && Addr.Table.mem node_index dst) then
+        invalid_arg "Region.of_spec: edge endpoint is not a node";
+      Hashtbl.replace edge_index (src, dst) ())
+    spec.edges;
+  List.iter
+    (fun a ->
+      if not (Addr.Table.mem node_index a) then
+        invalid_arg "Region.of_spec: aux entry is not a node")
+    spec.aux_entries;
+  let spans_cycle = List.exists (fun (_, dst) -> Addr.equal dst spec.entry) spec.edges in
+  let n_stubs = count_stubs ~node_index ~edge_index spec.nodes in
+  (* Lay the blocks out contiguously: the entry first, then the layout
+     hint's order, then any remaining nodes in address order. *)
+  let block_offsets = Addr.Table.create (List.length spec.nodes * 2) in
+  let hint_rank = Addr.Table.create 16 in
+  List.iteri
+    (fun i a -> if not (Addr.Table.mem hint_rank a) then Addr.Table.replace hint_rank a i)
+    spec.layout_hint;
+  let sorted_nodes =
+    List.sort
+      (fun (a : Block.t) (b : Block.t) ->
+        let rank (x : Block.t) =
+          if Addr.equal x.Block.start spec.entry then (-1, 0)
+          else
+            match Addr.Table.find_opt hint_rank x.Block.start with
+            | Some i -> (0, i)
+            | None -> (1, x.Block.start)
+        in
+        compare (rank a) (rank b))
+      spec.nodes
+  in
+  let cursor = ref 0 in
+  List.iter
+    (fun (b : Block.t) ->
+      if not (Addr.Table.mem block_offsets b.Block.start) then begin
+        Addr.Table.replace block_offsets b.Block.start !cursor;
+        cursor := !cursor + (b.Block.size * 4)
+      end)
+    sorted_nodes;
+  {
+    id;
+    entry = spec.entry;
+    kind = spec.kind;
+    node_index;
+    n_nodes = Addr.Table.length node_index;
+    copied_insts = spec.copied_insts;
+    n_stubs;
+    spans_cycle;
+    selected_at;
+    entries = 0;
+    cycle_iters = 0;
+    exits = 0;
+    insts_executed = 0;
+    exit_log = Hashtbl.create 8;
+    edge_index;
+    aux_entries = Addr.Set.of_list spec.aux_entries;
+    cache_base = -1;
+    block_offsets;
+  }
+
+let mem_block t a = Addr.Table.mem t.node_index a
+let find_block t a = Addr.Table.find_opt t.node_index a
+let has_edge t ~src ~dst = Hashtbl.mem t.edge_index (src, dst)
+
+let nodes t =
+  let all = Addr.Table.fold (fun _ b acc -> b :: acc) t.node_index [] in
+  List.sort (fun a b -> Addr.compare a.Block.start b.Block.start) all
+
+let record_entry t = t.entries <- t.entries + 1
+let record_cycle t = t.cycle_iters <- t.cycle_iters + 1
+let record_exec t n = t.insts_executed <- t.insts_executed + n
+
+let record_exit t ~from ~tgt =
+  t.exits <- t.exits + 1;
+  let key = from, tgt in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.exit_log key) in
+  Hashtbl.replace t.exit_log key (prev + 1)
+
+let exit_targets t =
+  Hashtbl.fold (fun (_, tgt) _ acc -> Addr.Set.add tgt acc) t.exit_log Addr.Set.empty
+
+let exited_to t ~tgt =
+  Hashtbl.fold
+    (fun (from, tgt') _ acc -> if Addr.equal tgt tgt' then Addr.Set.add from acc else acc)
+    t.exit_log Addr.Set.empty
+
+let inst_bytes = 4
+let stub_bytes = 10
+let cache_bytes t = (t.copied_insts * inst_bytes) + (t.n_stubs * stub_bytes)
+
+let set_cache_base t base = t.cache_base <- base
+
+let block_cache_addr t a =
+  if t.cache_base < 0 then None
+  else
+    match Addr.Table.find_opt t.block_offsets a with
+    | Some off -> Some (t.cache_base + off)
+    | None -> None
+
+let pp ppf t =
+  let kind =
+    match t.kind with Trace -> "trace" | Combined -> "region" | Method -> "method"
+  in
+  Format.fprintf ppf "@[<v>%s #%d entry=%a (%d blocks, %d insts, %d stubs%s)" kind t.id Addr.pp
+    t.entry t.n_nodes t.copied_insts t.n_stubs
+    (if t.spans_cycle then ", cyclic" else "");
+  List.iter (fun b -> Format.fprintf ppf "@,  %a" Block.pp b) (nodes t);
+  Format.fprintf ppf "@]"

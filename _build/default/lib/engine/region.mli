@@ -1,0 +1,134 @@
+(** Regions: the unit of code selected, cached and executed by the system.
+
+    A region is a single-entry set of program blocks plus the internal
+    control edges along which execution stays inside the region.  A
+    classical trace is the special case where the edges form a single path,
+    possibly closed by a back edge to the entry; a combined region
+    (Section 4) may contain splits and joins.
+
+    A region also carries its run-time statistics (executions, completed
+    cycles, exits) and its static cost model (copied instructions, exit
+    stubs), which together feed every metric in the paper's evaluation. *)
+
+open Regionsel_isa
+
+type kind =
+  | Trace
+  | Combined
+  | Method  (** A whole-method region (JIT-style), entered at the function
+                entry or re-entered at a return continuation. *)
+
+type path = {
+  blocks : Block.t list;  (** Executed blocks, in order; possibly with repeats. *)
+  final_next : Addr.t option;
+      (** Where control went after the last block ([None] if the program
+          halted there or the continuation is unknown). *)
+}
+(** A recorded single path of execution, as produced by the NET recorder or
+    LEI's FORM-TRACE. *)
+
+val path_insts : path -> int
+(** Instructions along the path, counting repeats: the path's contribution
+    to code expansion. *)
+
+type spec = {
+  entry : Addr.t;
+  nodes : Block.t list;  (** Distinct blocks; must include [entry]. *)
+  edges : (Addr.t * Addr.t) list;
+      (** Internal edges between node start addresses. *)
+  copied_insts : int;
+      (** Instructions copied into the cache for this region (counts
+          duplicated blocks, unlike [nodes]). *)
+  kind : kind;
+  aux_entries : Addr.t list;
+      (** Additional dispatchable entry points (must be nodes).  Traces and
+          combined regions have none; method regions list each call's
+          return continuation, where the compiled method is re-entered. *)
+  layout_hint : Addr.t list;
+      (** The order in which to place the blocks in the code cache — for a
+          trace, the path order, which is the point of traces ("placing
+          frequently executed code together in consecutive memory
+          locations", Section 1); for a combined region, hottest blocks
+          first.  Nodes not listed are appended in address order; the entry
+          always comes first. *)
+}
+(** What a policy submits for installation. *)
+
+val spec_of_path : kind:kind -> path -> spec
+(** Build a single-path region: consecutive-block edges, plus a closing
+    edge when [final_next] lands on a block of the path (a spanned cycle
+    when that block is the entry). *)
+
+type t = private {
+  id : int;
+  entry : Addr.t;
+  kind : kind;
+  node_index : Block.t Addr.Table.t;
+  n_nodes : int;
+  copied_insts : int;
+  n_stubs : int;
+  spans_cycle : bool;  (** Region contains an edge back to its entry. *)
+  selected_at : int;  (** Selection sequence number (0-based). *)
+  mutable entries : int;  (** Times control entered at the region entry. *)
+  mutable cycle_iters : int;  (** Completed internal cycles back to entry. *)
+  mutable exits : int;  (** Times control left the region. *)
+  mutable insts_executed : int;
+  exit_log : (Addr.t * Addr.t, int) Hashtbl.t;
+      (** (exit block start, target) -> count. *)
+  edge_index : (Addr.t * Addr.t, unit) Hashtbl.t;
+  aux_entries : Addr.Set.t;
+  mutable cache_base : int;
+      (** Byte address of the region in the code cache; -1 until
+          installed. *)
+  block_offsets : int Addr.Table.t;
+      (** Byte offset of each node's copy within the region. *)
+}
+
+val of_spec : id:int -> selected_at:int -> spec -> t
+(** Freeze a spec into an installed region, computing its exit-stub count:
+    one stub per static successor direction (taken and fall-through of
+    conditionals, targets of jumps and calls, the continuation of
+    fall-through blocks) not covered by an internal edge, and always one
+    stub per indirect branch or return (the mispredict path).
+    @raise Invalid_argument if the spec is malformed (entry not a node, or
+    an edge endpoint that is not a node). *)
+
+val mem_block : t -> Addr.t -> bool
+val find_block : t -> Addr.t -> Block.t option
+val has_edge : t -> src:Addr.t -> dst:Addr.t -> bool
+
+val nodes : t -> Block.t list
+(** Distinct blocks, in increasing address order. *)
+
+val record_entry : t -> unit
+val record_cycle : t -> unit
+val record_exec : t -> int -> unit
+
+val record_exit : t -> from:Addr.t -> tgt:Addr.t -> unit
+(** Log a dynamic exit for the exit-domination analysis. *)
+
+val exit_targets : t -> Addr.Set.t
+(** All targets dynamically exited to. *)
+
+val exited_to : t -> tgt:Addr.t -> Addr.Set.t
+(** The blocks of this region from which an exit to [tgt] was taken. *)
+
+val inst_bytes : int
+(** Bytes per instruction in the cache-size cost model (4: the upper end
+    of the paper's "between three and four bytes", Section 4.3.4). *)
+
+val stub_bytes : int
+(** Bytes per exit stub (10, per Section 4.3.4). *)
+
+val cache_bytes : t -> int
+(** The region's footprint in the code cache under the cost model. *)
+
+val set_cache_base : t -> int -> unit
+(** Called by the code cache when the region is placed. *)
+
+val block_cache_addr : t -> Addr.t -> int option
+(** The byte address in the code cache at which the copy of the given
+    block starts, once the region is installed ([None] for non-nodes or
+    before installation). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+open Regionsel_isa
+module Image = Regionsel_workload.Image
+
+type result = {
+  image : Image.t;
+  policy_name : string;
+  ctx : Context.t;
+  stats : Stats.t;
+  edges : Edge_profile.t;
+  icache : Icache.t;
+  halted : bool;
+}
+
+type mode = Interpreting | In_region of Region.t * Addr.t
+
+let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
+  let ctx = Context.create ~params image.Image.program in
+  let policy_name = Policy.name policy in
+  let policy = Policy.instantiate policy ctx in
+  let interp = Interp.create image ~seed in
+  let stats = Stats.create () in
+  let edges = Edge_profile.create () in
+  let icache =
+    Icache.create ~size_bytes:params.Params.icache_size_bytes
+      ~line_bytes:params.Params.icache_line_bytes ~ways:params.Params.icache_ways ()
+  in
+  let mode = ref Interpreting in
+  let halted = ref false in
+  let links = Hashtbl.create 64 in
+  let record_link ~(from : Region.t) ~(into : Region.t) =
+    let key = from.Region.id, into.Region.id in
+    if not (Hashtbl.mem links key) then begin
+      Hashtbl.replace links key ();
+      stats.Stats.links <- stats.Stats.links + 1
+    end
+  in
+  let install_if_any = function
+    | Policy.No_action -> ()
+    | Policy.Install specs ->
+      List.iter
+        (fun spec ->
+          stats.Stats.installs <- stats.Stats.installs + 1;
+          ignore (Code_cache.install ctx.Context.cache spec))
+        specs
+  in
+  let interpret_step (s : Interp.step) =
+    let block = s.Interp.block in
+    stats.Stats.interpreted_insts <- stats.Stats.interpreted_insts + block.Block.size;
+    install_if_any
+      (Policy.handle policy
+         (Policy.Interp_block { block; taken = s.Interp.taken; next = s.Interp.next }));
+    match s.Interp.next with
+    | None -> halted := true
+    | Some a ->
+      if s.Interp.taken then begin
+        match Code_cache.find ctx.Context.cache a with
+        | Some region ->
+          stats.Stats.dispatches <- stats.Stats.dispatches + 1;
+          Region.record_entry region;
+          mode := In_region (region, a)
+        | None -> ()
+      end
+  in
+  let region_step region cur (s : Interp.step) =
+    let block = s.Interp.block in
+    assert (Addr.equal block.Block.start cur);
+    stats.Stats.cached_insts <- stats.Stats.cached_insts + block.Block.size;
+    Region.record_exec region block.Block.size;
+    (match Region.block_cache_addr region cur with
+    | Some addr -> Icache.access icache ~addr ~bytes:(block.Block.size * Region.inst_bytes)
+    | None -> ());
+    match s.Interp.next with
+    | None -> halted := true
+    | Some a ->
+      if Region.has_edge region ~src:cur ~dst:a then begin
+        if Addr.equal a region.Region.entry then Region.record_cycle region;
+        mode := In_region (region, a)
+      end
+      else begin
+        match Code_cache.find ctx.Context.cache a with
+        | Some other when other == region ->
+          (* A side exit linked back to this region's own entry: execution
+             stays put, and the paper's executed-cycle metric counts it as a
+             completed cycle, not an exit. *)
+          Region.record_cycle region;
+          mode := In_region (region, a)
+        | Some other ->
+          Region.record_exit region ~from:cur ~tgt:a;
+          stats.Stats.region_transitions <- stats.Stats.region_transitions + 1;
+          record_link ~from:region ~into:other;
+          Region.record_entry other;
+          mode := In_region (other, a)
+        | None ->
+          Region.record_exit region ~from:cur ~tgt:a;
+          stats.Stats.cache_exits_to_interp <- stats.Stats.cache_exits_to_interp + 1;
+          install_if_any
+            (Policy.handle policy
+               (Policy.Cache_exited
+                  { from_entry = region.Region.entry; src = Block.last block; tgt = a }));
+          (* The paper's "jump newT": if the policy just installed a region
+             at the pending target, enter it without interpreting. *)
+          (match Code_cache.find ctx.Context.cache a with
+          | Some fresh ->
+            stats.Stats.dispatches <- stats.Stats.dispatches + 1;
+            Region.record_entry fresh;
+            mode := In_region (fresh, a)
+          | None -> mode := Interpreting)
+      end
+  in
+  let rec loop () =
+    if stats.Stats.steps >= max_steps || !halted then ()
+    else
+      match Interp.step interp with
+      | None -> halted := true
+      | Some s ->
+        stats.Stats.steps <- stats.Stats.steps + 1;
+        if s.Interp.taken then stats.Stats.taken_branches <- stats.Stats.taken_branches + 1;
+        (match s.Interp.next with
+        | Some a -> Edge_profile.record edges ~src:s.Interp.block.Block.start ~dst:a
+        | None -> ());
+        (match !mode with
+        | Interpreting -> interpret_step s
+        | In_region (region, cur) -> region_step region cur s);
+        loop ()
+  in
+  loop ();
+  { image; policy_name; ctx; stats; edges; icache; halted = !halted }

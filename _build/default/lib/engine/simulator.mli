@@ -1,0 +1,38 @@
+(** The dynamic optimization system simulator (the paper's Figure 1).
+
+    Execution alternates between the interpreter and the code cache:
+
+    - While interpreting, every executed block is delivered to the policy;
+      on a {e taken} branch whose target is a cached region entry, control
+      dispatches into the cache.
+    - While in a region, control follows internal edges.  An exit whose
+      target is another cached region's entry is a linked jump (counted as a
+      region transition); an exit to the region's own entry completes a
+      cycle; any other exit returns to the interpreter and is reported to
+      the policy.
+
+    When the policy installs a region whose entry is the pending transfer
+    target, control enters it immediately (the paper's "jump newT"). *)
+
+type result = {
+  image : Regionsel_workload.Image.t;
+  policy_name : string;
+  ctx : Context.t;  (** Final cache, counters and gauges. *)
+  stats : Stats.t;
+  edges : Edge_profile.t;
+  icache : Icache.t;
+      (** Instruction-cache model fed by every fetch from the code cache:
+          the locality instrument behind the paper's separation claims. *)
+  halted : bool;  (** Whether the program ran to completion within budget. *)
+}
+
+val run :
+  ?params:Params.t ->
+  ?seed:int64 ->
+  policy:(module Policy.S) ->
+  max_steps:int ->
+  Regionsel_workload.Image.t ->
+  result
+(** [run ~policy ~max_steps image] simulates [image] under [policy] for at
+    most [max_steps] executed blocks. The [seed] (default [1L]) drives all
+    branch behaviour. *)

@@ -1,0 +1,30 @@
+type t = {
+  mutable steps : int;
+  mutable interpreted_insts : int;
+  mutable cached_insts : int;
+  mutable taken_branches : int;
+  mutable region_transitions : int;
+  mutable dispatches : int;
+  mutable cache_exits_to_interp : int;
+  mutable installs : int;
+  mutable links : int;
+}
+
+let create () =
+  {
+    steps = 0;
+    interpreted_insts = 0;
+    cached_insts = 0;
+    taken_branches = 0;
+    region_transitions = 0;
+    dispatches = 0;
+    cache_exits_to_interp = 0;
+    installs = 0;
+    links = 0;
+  }
+
+let total_insts t = t.interpreted_insts + t.cached_insts
+
+let hit_rate t =
+  let total = total_insts t in
+  if total = 0 then 0.0 else float_of_int t.cached_insts /. float_of_int total

@@ -1,0 +1,25 @@
+(** Raw dynamic counts accumulated over one simulated run. *)
+
+type t = {
+  mutable steps : int;  (** Blocks executed (interpreted + cached). *)
+  mutable interpreted_insts : int;
+  mutable cached_insts : int;
+  mutable taken_branches : int;
+  mutable region_transitions : int;
+      (** Exits from one cached region directly into another (the linked-stub
+          jumps the paper counts as separation). *)
+  mutable dispatches : int;  (** Interpreter-to-cache entries. *)
+  mutable cache_exits_to_interp : int;
+  mutable installs : int;  (** Regions selected. *)
+  mutable links : int;
+      (** Distinct region-to-region links created (exit stubs patched to
+          jump directly to another region) — the memory the paper's
+          footnote 9 expects its algorithms to reduce. *)
+}
+
+val create : unit -> t
+
+val total_insts : t -> int
+
+val hit_rate : t -> float
+(** Fraction of executed instructions executed from the code cache. *)

@@ -1,0 +1,1 @@
+lib/isa/addr.ml: Format Hashtbl Int Map Printf Set

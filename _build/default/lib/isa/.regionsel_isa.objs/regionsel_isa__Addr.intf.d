@@ -1,0 +1,1 @@
+lib/isa/addr.mli: Format Hashtbl Map Set

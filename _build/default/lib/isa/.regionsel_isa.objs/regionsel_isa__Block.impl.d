@@ -1,0 +1,1 @@
+lib/isa/block.ml: Addr Format Terminator

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Addr Array Block Format List Terminator

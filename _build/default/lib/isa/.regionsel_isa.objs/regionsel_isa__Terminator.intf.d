@@ -1,0 +1,1 @@
+lib/isa/terminator.mli: Addr Format

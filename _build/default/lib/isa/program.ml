@@ -1,0 +1,85 @@
+type t = {
+  entry : Addr.t;
+  blocks : Block.t array; (* sorted by start address *)
+  index : Block.t Addr.Table.t; (* start address -> block *)
+  n_insts : int;
+}
+
+let entry t = t.entry
+let block_at t a = Addr.Table.find_opt t.index a
+let block_at_exn t a = Addr.Table.find t.index a
+let is_block_start t a = Addr.Table.mem t.index a
+let n_blocks t = Array.length t.blocks
+let n_insts t = t.n_insts
+let blocks t = Array.copy t.blocks
+let iter_blocks f t = Array.iter f t.blocks
+
+let errorf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let validate ~entry blocks =
+  let sorted = List.sort (fun a b -> Addr.compare a.Block.start b.Block.start) blocks in
+  let index = Addr.Table.create (List.length sorted * 2) in
+  let rec check_layout = function
+    | [] | [ _ ] -> Ok ()
+    | a :: (b :: _ as rest) ->
+      if Block.fall_addr a > b.Block.start then
+        errorf "blocks %a and %a overlap" Block.pp a Block.pp b
+      else check_layout rest
+  in
+  let check_target b tgt =
+    if Addr.Table.mem index tgt then Ok ()
+    else errorf "block %a targets %a, which is not a block start" Block.pp b Addr.pp tgt
+  in
+  let check_fall b =
+    let fall = Block.fall_addr b in
+    if Addr.Table.mem index fall then Ok ()
+    else errorf "block %a falls through to %a, which is not a block start" Block.pp b Addr.pp fall
+  in
+  let check_block b =
+    match b.Block.term with
+    | Terminator.Fallthrough -> check_fall b
+    | Terminator.Jump tgt -> check_target b tgt
+    | Terminator.Cond tgt -> (
+      match check_target b tgt with Ok () -> check_fall b | Error _ as e -> e)
+    | Terminator.Call tgt -> (
+      (* The return address must be a valid resumption point. *)
+      match check_target b tgt with Ok () -> check_fall b | Error _ as e -> e)
+    | Terminator.Indirect_call -> check_fall b
+    | Terminator.Indirect_jump | Terminator.Return | Terminator.Halt -> Ok ()
+  in
+  let rec check_all = function
+    | [] -> Ok ()
+    | b :: rest -> ( match check_block b with Ok () -> check_all rest | Error _ as e -> e)
+  in
+  if sorted = [] then errorf "program has no blocks"
+  else begin
+    List.iter (fun b -> Addr.Table.replace index b.Block.start b) sorted;
+    if Addr.Table.length index <> List.length sorted then
+      errorf "two blocks share a start address"
+    else
+      match check_layout sorted with
+      | Error _ as e -> e
+      | Ok () ->
+        if not (Addr.Table.mem index entry) then
+          errorf "entry %a is not a block start" Addr.pp entry
+        else begin
+          match check_all sorted with
+          | Error _ as e -> e
+          | Ok () ->
+            let n_insts = List.fold_left (fun acc b -> acc + b.Block.size) 0 sorted in
+            Ok { entry; blocks = Array.of_list sorted; index; n_insts }
+        end
+  end
+
+let of_blocks ~entry blocks = validate ~entry blocks
+
+let of_blocks_exn ~entry blocks =
+  match of_blocks ~entry blocks with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Program.of_blocks_exn: " ^ msg)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program entry=%a (%d blocks, %d insts)" Addr.pp t.entry (n_blocks t)
+    t.n_insts;
+  Array.iter (fun b -> Format.fprintf ppf "@,  %a" Block.pp b) t.blocks;
+  Format.fprintf ppf "@]"

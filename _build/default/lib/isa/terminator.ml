@@ -1,0 +1,46 @@
+type t =
+  | Fallthrough
+  | Jump of Addr.t
+  | Cond of Addr.t
+  | Call of Addr.t
+  | Indirect_jump
+  | Indirect_call
+  | Return
+  | Halt
+
+let equal a b =
+  match a, b with
+  | Fallthrough, Fallthrough
+  | Indirect_jump, Indirect_jump
+  | Indirect_call, Indirect_call
+  | Return, Return
+  | Halt, Halt -> true
+  | Jump x, Jump y | Cond x, Cond y | Call x, Call y -> Addr.equal x y
+  | ( Fallthrough | Jump _ | Cond _ | Call _ | Indirect_jump | Indirect_call | Return | Halt ), _
+    -> false
+
+let static_target = function
+  | Jump a | Cond a | Call a -> Some a
+  | Fallthrough | Indirect_jump | Indirect_call | Return | Halt -> None
+
+let is_branch = function
+  | Fallthrough | Halt -> false
+  | Jump _ | Cond _ | Call _ | Indirect_jump | Indirect_call | Return -> true
+
+let is_indirect = function
+  | Indirect_jump | Indirect_call | Return -> true
+  | Fallthrough | Jump _ | Cond _ | Call _ | Halt -> false
+
+let can_fall_through = function
+  | Fallthrough | Cond _ -> true
+  | Jump _ | Call _ | Indirect_jump | Indirect_call | Return | Halt -> false
+
+let pp ppf = function
+  | Fallthrough -> Format.pp_print_string ppf "fallthrough"
+  | Jump a -> Format.fprintf ppf "jmp %a" Addr.pp a
+  | Cond a -> Format.fprintf ppf "bcc %a" Addr.pp a
+  | Call a -> Format.fprintf ppf "call %a" Addr.pp a
+  | Indirect_jump -> Format.pp_print_string ppf "ijmp"
+  | Indirect_call -> Format.pp_print_string ppf "icall"
+  | Return -> Format.pp_print_string ppf "ret"
+  | Halt -> Format.pp_print_string ppf "halt"

@@ -1,0 +1,41 @@
+(** Block terminators: the control-transfer instruction ending a basic block.
+
+    Every basic block ends with exactly one terminator; all earlier
+    instructions in the block are straight-line.  The terminator taxonomy is
+    the minimum needed by the paper's algorithms: NET and LEI only care about
+    (a) whether a transfer was taken, (b) its source and target addresses,
+    and (c) — for the compact trace encoding of Figure 14 — whether the
+    target is knowable from the instruction alone (direct) or not
+    (indirect / return). *)
+
+type t =
+  | Fallthrough  (** No branch: control continues at the next address. *)
+  | Jump of Addr.t  (** Unconditional direct jump. *)
+  | Cond of Addr.t
+      (** Conditional direct branch; taken goes to the target, not-taken
+          falls through. *)
+  | Call of Addr.t
+      (** Direct call; pushes the fall-through address as the return
+          address. *)
+  | Indirect_jump  (** Jump through a register; target chosen at run time. *)
+  | Indirect_call  (** Call through a register. *)
+  | Return  (** Pops the most recent return address. *)
+  | Halt  (** End of program. *)
+
+val equal : t -> t -> bool
+
+val static_target : t -> Addr.t option
+(** The taken-direction target when it is encoded in the instruction. *)
+
+val is_branch : t -> bool
+(** [is_branch t] is [false] only for [Fallthrough] and [Halt]: whether this
+    instruction participates in the Figure 14 compact encoding. *)
+
+val is_indirect : t -> bool
+(** Whether the taken target is unknown from the instruction ([Indirect_jump],
+    [Indirect_call] or [Return]). *)
+
+val can_fall_through : t -> bool
+(** Whether the not-taken direction exists ([Fallthrough] and [Cond]). *)
+
+val pp : Format.formatter -> t -> unit

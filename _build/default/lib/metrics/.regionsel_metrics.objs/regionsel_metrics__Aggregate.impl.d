@@ -1,0 +1,1 @@
+lib/metrics/aggregate.ml: List Printf

@@ -1,0 +1,1 @@
+lib/metrics/cover.ml: List Regionsel_engine

@@ -1,0 +1,1 @@
+lib/metrics/cover.mli: Regionsel_engine

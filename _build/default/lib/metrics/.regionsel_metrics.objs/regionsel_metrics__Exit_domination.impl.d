@@ -1,0 +1,1 @@
+lib/metrics/exit_domination.ml: Addr Block List Option Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/metrics/exit_domination.mli: Addr Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/metrics/region_profile.ml: Addr Format Hashtbl List Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/metrics/region_profile.mli: Addr Format Regionsel_engine Regionsel_isa

@@ -1,0 +1,1 @@
+lib/metrics/run_metrics.ml: Cover Exit_domination Format List Regionsel_engine Regionsel_workload

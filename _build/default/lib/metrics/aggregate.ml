@@ -1,0 +1,14 @@
+let ratio a b = if b = 0.0 then 0.0 else a /. b
+let ratio_int a b = ratio (float_of_int a) (float_of_int b)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  let logs = List.filter_map (fun x -> if x > 0.0 then Some (log x) else None) xs in
+  match logs with
+  | [] -> 0.0
+  | _ -> exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
+
+let percent_change r = Printf.sprintf "%+.1f%%" ((r -. 1.0) *. 100.0)

@@ -1,0 +1,21 @@
+(** Cross-benchmark aggregation helpers.
+
+    The paper reports per-benchmark ratios of one policy's metric to
+    another's, plus an "average" bar that is the arithmetic mean of those
+    per-benchmark ratios; geometric means are also provided for robustness
+    checks. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], or [0.] when [b = 0.]. *)
+
+val ratio_int : int -> int -> float
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; non-positive entries are skipped. *)
+
+val percent_change : float -> string
+(** Render a ratio as a signed percentage change, e.g. [0.82] ->
+    ["-18.0%"]. *)

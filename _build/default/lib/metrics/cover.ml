@@ -1,0 +1,18 @@
+module Region = Regionsel_engine.Region
+
+type t = { size : int; achievable : bool; covered_insts : int }
+
+let compute ~x ~total_insts regions =
+  if not (x > 0.0 && x <= 1.0) then invalid_arg "Cover.compute: x must be in (0, 1]";
+  let target = int_of_float (ceil (x *. float_of_int total_insts)) in
+  let by_execution =
+    List.sort
+      (fun (a : Region.t) (b : Region.t) -> compare b.Region.insts_executed a.Region.insts_executed)
+      regions
+  in
+  let rec pick n covered = function
+    | _ when covered >= target -> { size = n; achievable = true; covered_insts = covered }
+    | [] -> { size = n; achievable = covered >= target; covered_insts = covered }
+    | (r : Region.t) :: rest -> pick (n + 1) (covered + r.Region.insts_executed) rest
+  in
+  pick 0 0 by_execution

@@ -1,0 +1,21 @@
+(** The X% cover set metric (Section 2.3).
+
+    The X% cover set of a region-selection algorithm is the smallest set of
+    regions that together account for at least X% of the program's executed
+    instructions.  Bala et al. found the 90% cover set size to be a perfect
+    predictor of real Dynamo performance, which is why it is the paper's
+    headline metric (Figures 9 and 17). *)
+
+module Region = Regionsel_engine.Region
+
+type t = {
+  size : int;  (** Regions needed, or the total region count if unreachable. *)
+  achievable : bool;
+      (** Whether the target coverage can be met from the cache at all (it
+          cannot when the hit rate is below X%). *)
+  covered_insts : int;  (** Instructions the chosen set executed. *)
+}
+
+val compute : x:float -> total_insts:int -> Region.t list -> t
+(** [compute ~x ~total_insts regions] greedily picks regions by executed
+    instructions.  Requires [0 < x <= 1]. *)

@@ -1,0 +1,88 @@
+open Regionsel_isa
+module Region = Regionsel_engine.Region
+
+type verdict = { dominated : Region.t; dominator : Region.t; dup_insts : int }
+
+type summary = {
+  verdicts : verdict list;
+  n_regions : int;
+  n_dominated : int;
+  dominated_fraction : float;
+  dup_insts : int;
+  dup_fraction : float;
+}
+
+let shared_insts (r : Region.t) (s : Region.t) =
+  List.fold_left
+    (fun acc b -> if Region.mem_block r b.Block.start then acc + b.Block.size else acc)
+    0 (Region.nodes s)
+
+(* The regions containing a given block, used to resolve the unique outside
+   predecessor to candidate dominators. *)
+let index_by_block regions =
+  let table = Addr.Table.create 1024 in
+  List.iter
+    (fun (r : Region.t) ->
+      List.iter
+        (fun b ->
+          let prev = Option.value ~default:[] (Addr.Table.find_opt table b.Block.start) in
+          Addr.Table.replace table b.Block.start (r :: prev))
+        (Region.nodes r))
+    regions;
+  table
+
+let dominator_of ~by_block ~preds (s : Region.t) =
+  let entry = s.Region.entry in
+  let executed_preds = preds entry in
+  let outside = Addr.Set.filter (fun p -> not (Region.mem_block s p)) executed_preds in
+  let qualifies p (r : Region.t) =
+    r.Region.selected_at < s.Region.selected_at
+    && (not (r == s))
+    && Addr.Set.mem p (Region.exited_to r ~tgt:entry)
+  in
+  let earliest candidates =
+    let by_age (a : Region.t) (b : Region.t) = compare a.Region.selected_at b.Region.selected_at in
+    match List.sort by_age candidates with r :: _ -> Some r | [] -> None
+  in
+  let dominator_via p =
+    let candidates = Option.value ~default:[] (Addr.Table.find_opt by_block p) in
+    earliest (List.filter (qualifies p) candidates)
+  in
+  match Addr.Set.elements outside with
+  | [ p ] -> dominator_via p
+  | [] ->
+    (* Every executed predecessor of the entrance lies inside [s] itself —
+       which happens when [s] duplicates its dominator's exit block.  The
+       separation is still useless, so it still counts as domination if some
+       earlier region dynamically exited to the entrance from one of those
+       predecessors. *)
+    Addr.Set.fold
+      (fun p acc -> match acc with Some _ -> acc | None -> dominator_via p)
+      executed_preds None
+  | _ :: _ :: _ -> None
+
+let analyze ~regions ~preds =
+  let by_block = index_by_block regions in
+  let verdicts =
+    List.filter_map
+      (fun s ->
+        match dominator_of ~by_block ~preds s with
+        | Some r -> Some { dominated = s; dominator = r; dup_insts = shared_insts r s }
+        | None -> None)
+      regions
+  in
+  let n_regions = List.length regions in
+  let n_dominated = List.length verdicts in
+  let dup_insts = List.fold_left (fun acc (v : verdict) -> acc + v.dup_insts) 0 verdicts in
+  let total_selected =
+    List.fold_left (fun acc (r : Region.t) -> acc + r.Region.copied_insts) 0 regions
+  in
+  let frac num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+  {
+    verdicts;
+    n_regions;
+    n_dominated;
+    dominated_fraction = frac n_dominated n_regions;
+    dup_insts;
+    dup_fraction = frac dup_insts total_selected;
+  }

@@ -1,0 +1,36 @@
+(** Exit-domination analysis (Section 4.1).
+
+    Region [r] exit-dominates region [s] when (1) [s] begins at a dynamic
+    exit of [r], (2) the exiting block of [r] is the only {e executed}
+    predecessor of [s]'s entrance outside [s] itself, and (3) [r] was
+    selected before [s].  When the two regions additionally share blocks,
+    the shared instructions are {e exit-dominated duplication}.  Both
+    quantities measure selection work that brought no benefit — Figures 11
+    and 12 of the paper — and are the motivation for trace combination. *)
+
+open Regionsel_isa
+module Region = Regionsel_engine.Region
+
+type verdict = {
+  dominated : Region.t;
+  dominator : Region.t;
+  dup_insts : int;  (** Instructions of blocks present in both regions. *)
+}
+
+type summary = {
+  verdicts : verdict list;
+  n_regions : int;
+  n_dominated : int;
+  dominated_fraction : float;  (** Figure 12: share of regions dominated. *)
+  dup_insts : int;
+  dup_fraction : float;
+      (** Figure 11: share of all selected instructions that are
+          exit-dominated duplication. *)
+}
+
+val analyze :
+  regions:Region.t list -> preds:(Addr.t -> Addr.Set.t) -> summary
+(** [analyze ~regions ~preds] runs the analysis over a finished run;
+    [preds] gives the executed predecessors of a block start (from
+    {!Regionsel_engine.Edge_profile}).  Each dominated region is counted
+    once, against its earliest-selected dominator. *)

@@ -1,0 +1,34 @@
+(** Per-region execution profiles: how each selected region actually
+    behaved at run time.
+
+    This is the drill-down behind the aggregate metrics — for each region,
+    how much of the program ran inside it, how often its executions
+    completed the spanned cycle, and where control went when it left.  The
+    paper uses aggregates (Section 2.3); the profile is what an engineer
+    tuning a selection policy looks at. *)
+
+open Regionsel_isa
+module Region = Regionsel_engine.Region
+
+type exit_route = {
+  from_block : Addr.t;  (** The block whose stub was taken. *)
+  target : Addr.t;
+  count : int;
+}
+
+type t = {
+  region : Region.t;
+  exec_share : float;  (** Fraction of all executed instructions. *)
+  completion_ratio : float;
+      (** Cycle completions over (completions + exits): how often an
+          execution stayed for the whole spanned cycle. *)
+  insts_per_entry : float;
+      (** Average instructions executed per entry into the region. *)
+  routes : exit_route list;  (** Exit routes, most frequent first. *)
+}
+
+val of_result : Regionsel_engine.Simulator.result -> t list
+(** Profiles for every region (including any retired by a bounded cache),
+    ordered by execution share, largest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+module Simulator = Regionsel_engine.Simulator
+module Stats = Regionsel_engine.Stats
+module Region = Regionsel_engine.Region
+module Code_cache = Regionsel_engine.Code_cache
+module Context = Regionsel_engine.Context
+module Counters = Regionsel_engine.Counters
+module Gauges = Regionsel_engine.Gauges
+module Edge_profile = Regionsel_engine.Edge_profile
+module Image = Regionsel_workload.Image
+
+type t = {
+  benchmark : string;
+  policy : string;
+  steps : int;
+  halted : bool;
+  total_insts : int;
+  hit_rate : float;
+  n_regions : int;
+  code_expansion : int;
+  n_stubs : int;
+  avg_region_insts : float;
+  spanned_cycle_ratio : float;
+  executed_cycle_ratio : float;
+  region_transitions : int;
+  dispatches : int;
+  cover_90 : int;
+  cover_90_achievable : bool;
+  counters_high_water : int;
+  observed_bytes_high_water : int;
+  est_cache_bytes : int;
+  exit_dominated_regions : int;
+  exit_dominated_fraction : float;
+  exit_dominated_dup_insts : int;
+  exit_dominated_dup_fraction : float;
+  links : int;
+  icache_accesses : int;
+  icache_misses : int;
+  icache_miss_rate : float;
+  evictions : int;
+  cache_flushes : int;
+  regenerations : int;
+}
+
+let inst_bytes = Region.inst_bytes
+let stub_bytes = Region.stub_bytes
+
+let of_result ?(x = 0.9) (result : Simulator.result) =
+  let cache = result.Simulator.ctx.Context.cache in
+  (* Metrics cover every region ever selected, including any retired by a
+     bounded cache. *)
+  let regions = Code_cache.all_regions cache in
+  let n_regions = List.length regions in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 regions in
+  let code_expansion = sum (fun (r : Region.t) -> r.Region.copied_insts) in
+  let n_stubs = sum (fun (r : Region.t) -> r.Region.n_stubs) in
+  let n_cyclic =
+    List.length (List.filter (fun (r : Region.t) -> r.Region.spans_cycle) regions)
+  in
+  let cycles = sum (fun (r : Region.t) -> r.Region.cycle_iters) in
+  let exits = sum (fun (r : Region.t) -> r.Region.exits) in
+  let total_insts = Stats.total_insts result.Simulator.stats in
+  let cover = Cover.compute ~x ~total_insts regions in
+  let dom =
+    Exit_domination.analyze ~regions ~preds:(Edge_profile.preds result.Simulator.edges)
+  in
+  let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+  {
+    benchmark = result.Simulator.image.Image.name;
+    policy = result.Simulator.policy_name;
+    steps = result.Simulator.stats.Stats.steps;
+    halted = result.Simulator.halted;
+    total_insts;
+    hit_rate = Stats.hit_rate result.Simulator.stats;
+    n_regions;
+    code_expansion;
+    n_stubs;
+    avg_region_insts = ratio code_expansion n_regions;
+    spanned_cycle_ratio = ratio n_cyclic n_regions;
+    executed_cycle_ratio = ratio cycles (cycles + exits);
+    region_transitions = result.Simulator.stats.Stats.region_transitions;
+    dispatches = result.Simulator.stats.Stats.dispatches;
+    cover_90 = cover.Cover.size;
+    cover_90_achievable = cover.Cover.achievable;
+    counters_high_water = Counters.high_water result.Simulator.ctx.Context.counters;
+    observed_bytes_high_water =
+      Gauges.observed_bytes_high_water result.Simulator.ctx.Context.gauges;
+    est_cache_bytes = (code_expansion * inst_bytes) + (n_stubs * stub_bytes);
+    exit_dominated_regions = dom.Exit_domination.n_dominated;
+    exit_dominated_fraction = dom.Exit_domination.dominated_fraction;
+    exit_dominated_dup_insts = dom.Exit_domination.dup_insts;
+    exit_dominated_dup_fraction = dom.Exit_domination.dup_fraction;
+    links = result.Simulator.stats.Stats.links;
+    icache_accesses = Regionsel_engine.Icache.accesses result.Simulator.icache;
+    icache_misses = Regionsel_engine.Icache.misses result.Simulator.icache;
+    icache_miss_rate = Regionsel_engine.Icache.miss_rate result.Simulator.icache;
+    evictions = Code_cache.evictions cache;
+    cache_flushes = Code_cache.flushes cache;
+    regenerations = Code_cache.regenerations cache;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s / %s:@,\
+    \  steps=%d halted=%b total_insts=%d@,\
+    \  hit_rate=%.4f regions=%d expansion=%d stubs=%d avg_region=%.1f@,\
+    \  spanned_cycle=%.3f executed_cycle=%.3f transitions=%d dispatches=%d@,\
+    \  cover90=%d%s counters_hw=%d observed_hw=%dB cache=%dB@,\
+    \  exit_dom regions=%d (%.3f) dup_insts=%d (%.3f)@]" t.benchmark t.policy t.steps t.halted
+    t.total_insts t.hit_rate t.n_regions t.code_expansion t.n_stubs t.avg_region_insts
+    t.spanned_cycle_ratio t.executed_cycle_ratio t.region_transitions t.dispatches t.cover_90
+    (if t.cover_90_achievable then "" else "(unachievable)")
+    t.counters_high_water t.observed_bytes_high_water t.est_cache_bytes t.exit_dominated_regions
+    t.exit_dominated_fraction t.exit_dominated_dup_insts t.exit_dominated_dup_fraction

@@ -1,0 +1,54 @@
+(** The full metric record of one simulated run: everything the paper's
+    evaluation plots, computed from a {!Regionsel_engine.Simulator.result}. *)
+
+type t = {
+  benchmark : string;
+  policy : string;
+  steps : int;
+  halted : bool;
+  total_insts : int;
+  hit_rate : float;
+  n_regions : int;
+  code_expansion : int;  (** Instructions copied into the cache. *)
+  n_stubs : int;
+  avg_region_insts : float;
+  spanned_cycle_ratio : float;
+      (** Share of selected regions containing a branch to their own top. *)
+  executed_cycle_ratio : float;
+      (** Share of region executions that end by branching to the top. *)
+  region_transitions : int;
+  dispatches : int;
+  cover_90 : int;
+  cover_90_achievable : bool;
+  counters_high_water : int;
+  observed_bytes_high_water : int;  (** Figure 18 numerator. *)
+  est_cache_bytes : int;
+      (** Figure 18 denominator: instruction bytes + stub bytes. *)
+  exit_dominated_regions : int;
+  exit_dominated_fraction : float;  (** Figure 12. *)
+  exit_dominated_dup_insts : int;
+  exit_dominated_dup_fraction : float;  (** Figure 11. *)
+  links : int;  (** Distinct inter-region links created (footnote 9). *)
+  icache_accesses : int;
+  icache_misses : int;
+  icache_miss_rate : float;
+      (** Miss rate of the modelled I-cache over code-cache fetches: the
+          direct locality instrument (lower = better layout). *)
+  evictions : int;  (** Bounded-cache ablation: regions retired. *)
+  cache_flushes : int;
+  regenerations : int;  (** Re-selections of previously evicted entries. *)
+}
+
+val inst_bytes : int
+(** Bytes per instruction in the cache-size estimate (an alias of
+    {!Regionsel_engine.Region.inst_bytes}). *)
+
+val stub_bytes : int
+(** Bytes per exit stub in the cache-size estimate (an alias of
+    {!Regionsel_engine.Region.stub_bytes}). *)
+
+val of_result : ?x:float -> Regionsel_engine.Simulator.result -> t
+(** [of_result result] computes all metrics; [x] is the cover-set target
+    (default 0.9). *)
+
+val pp : Format.formatter -> t -> unit

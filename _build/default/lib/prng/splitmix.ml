@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* Finalization mix from the SplitMix64 reference implementation. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = next_int64 g in
+  { state = seed }
+
+let bits30 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 34)
+
+let int g bound =
+  assert (bound > 0);
+  if bound <= 1 then 0
+  else
+    (* Rejection sampling over 30-bit values to avoid modulo bias. *)
+    let limit = 0x4000_0000 - (0x4000_0000 mod bound) in
+    let rec draw () =
+      let v = bits30 g in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+
+let float g =
+  (* 53 uniform bits, as in the reference double generator. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 g) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let bernoulli g ~p = if p >= 1.0 then true else if p <= 0.0 then false else float g < p
+
+let categorical g ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  assert (Array.length weights > 0 && total > 0.0);
+  let x = float g *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

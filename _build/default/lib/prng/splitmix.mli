@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the simulator (branch outcomes, indirect
+    targets, workload synthesis) flows through this module so that every run
+    is reproducible from a fixed seed.  The generator is SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014): a tiny, fast, splittable generator
+    with good statistical quality for simulation purposes. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will produce the same future
+    stream as [g]. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s remaining stream.  Used to give every
+    branch site its own stream so that adding a branch to a workload does not
+    perturb the outcomes of unrelated branches. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** [bits30 g] is a uniform integer in [[0, 2^30)]. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float
+(** [float g] is uniform in [[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli g ~p] is [true] with probability [p]. *)
+
+val categorical : t -> weights:float array -> int
+(** [categorical g ~weights] samples an index with probability proportional
+    to its weight. Requires a non-empty array with positive total weight. *)

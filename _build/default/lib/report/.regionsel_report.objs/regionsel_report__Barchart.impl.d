@@ -1,0 +1,1 @@
+lib/report/barchart.ml: Array Buffer Float List Printf String

@@ -1,0 +1,29 @@
+let eighths = [| ""; "\xe2\x96\x8f"; "\xe2\x96\x8e"; "\xe2\x96\x8d"; "\xe2\x96\x8c";
+                 "\xe2\x96\x8b"; "\xe2\x96\x8a"; "\xe2\x96\x89" |]
+
+let full = "\xe2\x96\x88"
+
+let bar ~width ~max v =
+  if max <= 0.0 then ""
+  else begin
+    let frac = Float.max 0.0 (Float.min 1.0 (v /. max)) in
+    let cells = frac *. float_of_int width in
+    let whole = int_of_float cells in
+    let rem = int_of_float ((cells -. float_of_int whole) *. 8.0) in
+    let b = Buffer.create (width * 3) in
+    for _ = 1 to whole do
+      Buffer.add_string b full
+    done;
+    if whole < width then Buffer.add_string b eighths.(rem);
+    Buffer.contents b
+  end
+
+let chart ?(width = 40) ~title rows =
+  let max_v = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 rows in
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows in
+  let line (label, v) =
+    Printf.sprintf "  %-*s %s %.3f" label_w label (bar ~width ~max:max_v v) v
+  in
+  String.concat "\n" (title :: List.map line rows)
+
+let print ?width ~title rows = print_endline (chart ?width ~title rows)

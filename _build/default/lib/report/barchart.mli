@@ -1,0 +1,11 @@
+(** Unicode bar charts, used to render the paper's figures in a terminal. *)
+
+val bar : width:int -> max:float -> float -> string
+(** [bar ~width ~max v] is a horizontal bar proportional to [v / max]
+    (clamped to [[0, 1]]), using block characters for sub-cell precision. *)
+
+val chart : ?width:int -> title:string -> (string * float) list -> string
+(** [chart ~title rows] renders a labelled bar per row, scaled to the
+    largest value, with the numeric value printed after each bar. *)
+
+val print : ?width:int -> title:string -> (string * float) list -> unit

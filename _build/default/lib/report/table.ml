@@ -1,0 +1,41 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let normalize_aligns a n =
+  let len = List.length a in
+  if len >= n then a else a @ List.init (n - len) (fun _ -> Right)
+
+let render ~header ?aligns rows =
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows in
+  let normalize row =
+    let pad_count = n_cols - List.length row in
+    row @ List.init (max 0 pad_count) (fun _ -> "")
+  in
+  let header = normalize header in
+  let rows = List.map normalize rows in
+  let aligns =
+    match aligns with
+    | Some a -> normalize_aligns a n_cols
+    | None -> List.init n_cols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths =
+    List.init n_cols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 (header :: rows))
+  in
+  let render_row row =
+    let cells = List.map2 (fun (a, w) s -> pad a w s) (List.combine aligns widths) row in
+    String.concat "  " cells
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let print ~header ?aligns rows = print_endline (render ~header ?aligns rows)
+let fmt_float digits v = Printf.sprintf "%.*f" digits v
+let fmt_pct v = Printf.sprintf "%.1f%%" (v *. 100.0)
+let fmt_ratio v = Printf.sprintf "%.2fx" v

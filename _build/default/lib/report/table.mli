@@ -1,0 +1,22 @@
+(** Plain-text tables for the benchmark harness. *)
+
+type align = Left | Right
+
+val render : header:string list -> ?aligns:align list -> string list list -> string
+(** [render ~header rows] lays the rows out under the header with column
+    separators and a rule under the header.  Columns default to
+    right-aligned except the first.  Ragged rows are padded with empty
+    cells. *)
+
+val print : header:string list -> ?aligns:align list -> string list list -> unit
+(** {!render} to stdout, followed by a newline. *)
+
+val fmt_float : int -> float -> string
+(** [fmt_float digits v] renders with fixed decimals. *)
+
+val fmt_pct : float -> string
+(** Render a fraction as a percentage with one decimal, e.g. [0.982] ->
+    ["98.2%"]. *)
+
+val fmt_ratio : float -> string
+(** Render a relative value, e.g. [0.82] -> ["0.82x"]. *)

@@ -1,0 +1,1 @@
+lib/workload/behavior.ml: Addr Array Format List Regionsel_isa Regionsel_prng String

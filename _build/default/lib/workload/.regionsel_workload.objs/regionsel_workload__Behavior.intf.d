@@ -1,0 +1,1 @@
+lib/workload/behavior.mli: Addr Format Regionsel_isa Regionsel_prng

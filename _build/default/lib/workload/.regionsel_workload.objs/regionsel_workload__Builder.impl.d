@@ -1,0 +1,1 @@
+lib/workload/builder.ml: Addr Array Behavior Block Hashtbl Image List Printf Program Regionsel_isa String Terminator

@@ -1,0 +1,1 @@
+lib/workload/characterize.ml: Addr Behavior Block Format Image List Program Regionsel_isa Terminator

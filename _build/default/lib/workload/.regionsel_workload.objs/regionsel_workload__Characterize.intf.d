@@ -1,0 +1,1 @@
+lib/workload/characterize.mli: Format Image

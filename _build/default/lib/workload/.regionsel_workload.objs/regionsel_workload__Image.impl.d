@@ -1,0 +1,1 @@
+lib/workload/image.ml: Addr Behavior Program Regionsel_isa

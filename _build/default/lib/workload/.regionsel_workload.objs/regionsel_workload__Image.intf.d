@@ -1,0 +1,1 @@
+lib/workload/image.mli: Addr Behavior Program Regionsel_isa

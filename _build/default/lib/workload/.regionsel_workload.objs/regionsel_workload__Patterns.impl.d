@@ -1,0 +1,1 @@
+lib/workload/patterns.ml: Array Behavior Builder List Printf

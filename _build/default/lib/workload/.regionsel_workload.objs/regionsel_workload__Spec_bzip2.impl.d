@@ -1,0 +1,1 @@
+lib/workload/spec_bzip2.ml: Builder Patterns Spec

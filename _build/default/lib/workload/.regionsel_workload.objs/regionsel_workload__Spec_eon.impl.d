@@ -1,0 +1,1 @@
+lib/workload/spec_eon.ml: Builder List Patterns Printf Spec

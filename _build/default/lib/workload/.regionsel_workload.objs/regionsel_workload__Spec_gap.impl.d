@@ -1,0 +1,1 @@
+lib/workload/spec_gap.ml: Builder Patterns Spec

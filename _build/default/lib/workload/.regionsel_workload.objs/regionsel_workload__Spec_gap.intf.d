@@ -1,0 +1,1 @@
+lib/workload/spec_gap.mli: Spec

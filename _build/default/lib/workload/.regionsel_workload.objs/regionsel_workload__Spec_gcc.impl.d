@@ -1,0 +1,1 @@
+lib/workload/spec_gcc.ml: Behavior Builder List Patterns Printf Spec

@@ -1,0 +1,1 @@
+lib/workload/spec_gzip.ml: Builder Patterns Spec

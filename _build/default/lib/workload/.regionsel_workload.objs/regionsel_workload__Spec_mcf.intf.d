@@ -1,0 +1,1 @@
+lib/workload/spec_mcf.mli: Spec

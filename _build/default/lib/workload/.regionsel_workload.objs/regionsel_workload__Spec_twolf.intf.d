@@ -1,0 +1,1 @@
+lib/workload/spec_twolf.mli: Spec

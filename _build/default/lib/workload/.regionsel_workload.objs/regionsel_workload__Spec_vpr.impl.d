@@ -1,0 +1,1 @@
+lib/workload/spec_vpr.ml: Builder Patterns Spec

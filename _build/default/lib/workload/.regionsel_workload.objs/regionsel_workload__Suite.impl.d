@@ -1,0 +1,1 @@
+lib/workload/suite.ml: List Spec Spec_bzip2 Spec_crafty Spec_eon Spec_gap Spec_gcc Spec_gzip Spec_mcf Spec_parser Spec_perlbmk Spec_twolf Spec_vortex Spec_vpr String

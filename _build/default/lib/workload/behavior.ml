@@ -1,0 +1,105 @@
+open Regionsel_isa
+module Splitmix = Regionsel_prng.Splitmix
+
+type spec =
+  | Always_taken
+  | Never_taken
+  | Bernoulli of float
+  | Loop of int
+  | Pattern of bool array
+  | Phased of (int * spec) list
+
+type indirect_spec =
+  | Weighted_targets of (Addr.t * float) array
+  | Round_robin of Addr.t array
+
+type state =
+  | S_const of bool
+  | S_bernoulli of float * Splitmix.t
+  | S_loop of { trip : int; mutable left : int }
+  | S_pattern of { pattern : bool array; mutable pos : int }
+  | S_phased of { phases : (int * state) array; mutable phase : int; mutable left : int }
+
+let rec make_state spec prng =
+  match spec with
+  | Always_taken -> S_const true
+  | Never_taken -> S_const false
+  | Bernoulli p ->
+    if p < 0.0 || p > 1.0 then invalid_arg "Behavior: Bernoulli probability out of range";
+    S_bernoulli (p, Splitmix.split prng)
+  | Loop n ->
+    if n < 1 then invalid_arg "Behavior: Loop trip count must be >= 1";
+    S_loop { trip = n; left = n - 1 }
+  | Pattern pat ->
+    if Array.length pat = 0 then invalid_arg "Behavior: empty pattern";
+    S_pattern { pattern = Array.copy pat; pos = 0 }
+  | Phased phases ->
+    if phases = [] then invalid_arg "Behavior: empty phase list";
+    List.iter (fun (k, _) -> if k < 1 then invalid_arg "Behavior: phase length must be >= 1") phases;
+    let phases = Array.of_list (List.map (fun (k, s) -> k, make_state s prng) phases) in
+    let first_len, _ = phases.(0) in
+    S_phased { phases; phase = 0; left = first_len }
+
+let rec decide = function
+  | S_const b -> b
+  | S_bernoulli (p, prng) -> Splitmix.bernoulli prng ~p
+  | S_loop s ->
+    if s.left > 0 then begin
+      s.left <- s.left - 1;
+      true
+    end
+    else begin
+      s.left <- s.trip - 1;
+      false
+    end
+  | S_pattern s ->
+    let outcome = s.pattern.(s.pos) in
+    s.pos <- (s.pos + 1) mod Array.length s.pattern;
+    outcome
+  | S_phased s ->
+    let _, inner = s.phases.(s.phase) in
+    let outcome = decide inner in
+    s.left <- s.left - 1;
+    if s.left = 0 then begin
+      s.phase <- (s.phase + 1) mod Array.length s.phases;
+      let len, _ = s.phases.(s.phase) in
+      s.left <- len
+    end;
+    outcome
+
+type indirect_state =
+  | I_weighted of { targets : Addr.t array; weights : float array; prng : Splitmix.t }
+  | I_round_robin of { targets : Addr.t array; mutable pos : int }
+
+let make_indirect spec prng =
+  match spec with
+  | Weighted_targets pairs ->
+    if Array.length pairs = 0 then invalid_arg "Behavior: no indirect targets";
+    let targets = Array.map fst pairs in
+    let weights = Array.map snd pairs in
+    I_weighted { targets; weights; prng = Splitmix.split prng }
+  | Round_robin targets ->
+    if Array.length targets = 0 then invalid_arg "Behavior: no indirect targets";
+    I_round_robin { targets = Array.copy targets; pos = 0 }
+
+let choose = function
+  | I_weighted s -> s.targets.(Splitmix.categorical s.prng ~weights:s.weights)
+  | I_round_robin s ->
+    let tgt = s.targets.(s.pos) in
+    s.pos <- (s.pos + 1) mod Array.length s.targets;
+    tgt
+
+let rec pp_spec ppf = function
+  | Always_taken -> Format.pp_print_string ppf "always"
+  | Never_taken -> Format.pp_print_string ppf "never"
+  | Bernoulli p -> Format.fprintf ppf "bernoulli(%.2f)" p
+  | Loop n -> Format.fprintf ppf "loop(%d)" n
+  | Pattern pat ->
+    Format.fprintf ppf "pattern(%s)"
+      (String.concat "" (Array.to_list (Array.map (fun b -> if b then "T" else "N") pat)))
+  | Phased phases ->
+    Format.fprintf ppf "phased(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (k, s) -> Format.fprintf ppf "%d:%a" k pp_spec s))
+      phases

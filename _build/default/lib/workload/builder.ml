@@ -1,0 +1,123 @@
+open Regionsel_isa
+
+type indirect = Weighted of (string * float) list | Round_robin of string list
+
+type term =
+  | Fallthrough
+  | Jump of string
+  | Cond of string * Behavior.spec
+  | Call of string
+  | Indirect_jump of indirect
+  | Indirect_call of indirect
+  | Return
+  | Halt
+
+type decl = { label : string; size : int; term : term }
+
+type t = {
+  base : Addr.t;
+  mutable funcs : (string * decl list ref) list; (* newest first *)
+  mutable labels : string list; (* for duplicate detection *)
+  mutable first_func : string option;
+  mutable anon : int;
+}
+
+let create ?(base = 0x1000) () =
+  { base; funcs = []; labels = []; first_func = None; anon = 0 }
+
+let func t name =
+  if t.first_func = None then t.first_func <- Some name;
+  t.funcs <- (name, ref []) :: t.funcs
+
+let fresh_label t =
+  t.anon <- t.anon + 1;
+  Printf.sprintf "__anon_%d" t.anon
+
+let block t ?label ?(size = 4) term =
+  match t.funcs with
+  | [] -> invalid_arg "Builder.block: no function open (call Builder.func first)"
+  | (fname, decls) :: _ ->
+    let label =
+      match label, !decls with
+      | Some l, [] ->
+        if not (String.equal l fname) then
+          invalid_arg
+            (Printf.sprintf "Builder.block: first block of %s must be labelled %s (got %s)" fname
+               fname l);
+        l
+      | Some l, _ -> l
+      | None, [] -> fname
+      | None, _ -> fresh_label t
+    in
+    if List.exists (String.equal label) t.labels then
+      invalid_arg (Printf.sprintf "Builder.block: duplicate label %s" label);
+    t.labels <- label :: t.labels;
+    decls := { label; size; term } :: !decls
+
+let compile ?entry t ~name =
+  let funcs = List.rev_map (fun (fname, decls) -> fname, List.rev !decls) t.funcs in
+  (* Pass 1: lay out addresses. *)
+  let addr_of_label = Hashtbl.create 64 in
+  let cursor = ref t.base in
+  List.iter
+    (fun (_fname, decls) ->
+      List.iter
+        (fun d ->
+          Hashtbl.replace addr_of_label d.label !cursor;
+          cursor := !cursor + d.size)
+        decls)
+    funcs;
+  let resolve context l =
+    match Hashtbl.find_opt addr_of_label l with
+    | Some a -> a
+    | None -> invalid_arg (Printf.sprintf "Builder.compile: unresolved label %s (in %s)" l context)
+  in
+  (* Pass 2: build blocks and behaviour tables. *)
+  let cond_specs = Addr.Table.create 64 in
+  let indirect_specs = Addr.Table.create 16 in
+  let blocks = ref [] in
+  let cursor = ref t.base in
+  List.iter
+    (fun (_fname, decls) ->
+      List.iter
+        (fun d ->
+          let start = !cursor in
+          cursor := !cursor + d.size;
+          let last = start + d.size - 1 in
+          let resolve_indirect = function
+            | Weighted pairs ->
+              Behavior.Weighted_targets
+                (Array.of_list (List.map (fun (l, w) -> resolve d.label l, w) pairs))
+            | Round_robin ls ->
+              Behavior.Round_robin (Array.of_list (List.map (resolve d.label) ls))
+          in
+          let term =
+            match d.term with
+            | Fallthrough -> Terminator.Fallthrough
+            | Jump l -> Terminator.Jump (resolve d.label l)
+            | Cond (l, spec) ->
+              Addr.Table.replace cond_specs last spec;
+              Terminator.Cond (resolve d.label l)
+            | Call l -> Terminator.Call (resolve d.label l)
+            | Indirect_jump ind ->
+              Addr.Table.replace indirect_specs last (resolve_indirect ind);
+              Terminator.Indirect_jump
+            | Indirect_call ind ->
+              Addr.Table.replace indirect_specs last (resolve_indirect ind);
+              Terminator.Indirect_call
+            | Return -> Terminator.Return
+            | Halt -> Terminator.Halt
+          in
+          blocks := Block.make ~start ~size:d.size ~term :: !blocks)
+        decls)
+    funcs;
+  let entry_label =
+    match entry, t.first_func with
+    | Some l, _ -> l
+    | None, Some f -> f
+    | None, None -> invalid_arg "Builder.compile: empty program"
+  in
+  let entry = resolve "entry" entry_label in
+  match Program.of_blocks ~entry (List.rev !blocks) with
+  | Ok program -> { Image.name; program; cond_specs; indirect_specs }
+  | Error msg -> invalid_arg ("Builder.compile: " ^ msg)

@@ -1,0 +1,49 @@
+(** A small DSL for constructing workload programs.
+
+    Programs are written as a sequence of functions, each a sequence of
+    labelled basic blocks.  Layout follows declaration order: the first
+    declared function gets the lowest addresses, blocks within a function are
+    contiguous, and consecutive blocks fall through to each other.  This
+    gives workload authors direct control over which calls and jumps are
+    {e backward} (target at a lower or equal address) — the property NET and
+    LEI key their profiling on — simply by ordering declarations: declare a
+    callee before its caller to make the call a backward branch, as in the
+    paper's Figure 2.
+
+    Branch targets are symbolic labels resolved at {!compile} time.  A label
+    is any string unique within the program; a function's name labels its
+    first block. *)
+
+type t
+
+type indirect =
+  | Weighted of (string * float) list  (** Targets with sampling weights. *)
+  | Round_robin of string list  (** Deterministic cycling through targets. *)
+
+type term =
+  | Fallthrough  (** Continue into the next declared block. *)
+  | Jump of string
+  | Cond of string * Behavior.spec  (** Taken target and outcome model. *)
+  | Call of string
+  | Indirect_jump of indirect
+  | Indirect_call of indirect
+  | Return
+  | Halt
+
+val create : ?base:Regionsel_isa.Addr.t -> unit -> t
+(** [create ()] starts an empty program laid out from [base]
+    (default [0x1000]). *)
+
+val func : t -> string -> unit
+(** [func t name] opens a new function.  Its first block is labelled
+    [name]. Subsequent {!block} calls append to it until the next [func]. *)
+
+val block : t -> ?label:string -> ?size:int -> term -> unit
+(** [block t ~label ~size term] appends a block of [size] instructions
+    (default 4, including the terminator) to the current function.
+    @raise Invalid_argument if no function is open or the label repeats. *)
+
+val compile : ?entry:string -> t -> name:string -> Image.t
+(** [compile t ~name] lays out, resolves and validates the program.  [entry]
+    defaults to the first declared function.
+    @raise Invalid_argument on unresolved labels or invalid layout. *)

@@ -1,0 +1,104 @@
+open Regionsel_isa
+
+type t = {
+  name : string;
+  n_functions : int;
+  n_blocks : int;
+  n_insts : int;
+  n_conditionals : int;
+  n_unbiased : int;
+  n_loops : int;
+  n_phased : int;
+  n_calls : int;
+  n_backward_calls : int;
+  n_indirect : int;
+  n_returns : int;
+  avg_block_size : float;
+}
+
+let rec spec_is_unbiased = function
+  | Behavior.Bernoulli p -> p >= 0.4 && p <= 0.6
+  | Behavior.Phased phases -> List.exists (fun (_, s) -> spec_is_unbiased s) phases
+  | Behavior.Always_taken | Behavior.Never_taken | Behavior.Loop _ | Behavior.Pattern _ -> false
+
+let rec spec_is_loop = function
+  | Behavior.Loop _ -> true
+  | Behavior.Phased phases -> List.exists (fun (_, s) -> spec_is_loop s) phases
+  | Behavior.Always_taken | Behavior.Never_taken | Behavior.Bernoulli _ | Behavior.Pattern _ ->
+    false
+
+let of_image (image : Image.t) =
+  let p = image.Image.program in
+  let conditionals = ref 0 in
+  let unbiased = ref 0 in
+  let loops = ref 0 in
+  let phased = ref 0 in
+  let calls = ref 0 in
+  let backward_calls = ref 0 in
+  let indirect = ref 0 in
+  let returns = ref 0 in
+  let call_targets = ref Addr.Set.empty in
+  Program.iter_blocks
+    (fun b ->
+      match b.Block.term with
+      | Terminator.Cond _ ->
+        incr conditionals;
+        let spec = Image.cond_spec image (Block.last b) in
+        if spec_is_unbiased spec then incr unbiased;
+        if spec_is_loop spec then incr loops;
+        (match spec with Behavior.Phased _ -> incr phased | _ -> ())
+      | Terminator.Call tgt ->
+        incr calls;
+        call_targets := Addr.Set.add tgt !call_targets;
+        if Addr.is_backward ~src:(Block.last b) ~tgt then incr backward_calls
+      | Terminator.Indirect_jump | Terminator.Indirect_call -> incr indirect
+      | Terminator.Return -> incr returns
+      | Terminator.Fallthrough | Terminator.Jump _ | Terminator.Halt -> ())
+    p;
+  {
+    name = image.Image.name;
+    n_functions = 1 + Addr.Set.cardinal (Addr.Set.remove (Program.entry p) !call_targets);
+    n_blocks = Program.n_blocks p;
+    n_insts = Program.n_insts p;
+    n_conditionals = !conditionals;
+    n_unbiased = !unbiased;
+    n_loops = !loops;
+    n_phased = !phased;
+    n_calls = !calls;
+    n_backward_calls = !backward_calls;
+    n_indirect = !indirect;
+    n_returns = !returns;
+    avg_block_size =
+      (if Program.n_blocks p = 0 then 0.0
+       else float_of_int (Program.n_insts p) /. float_of_int (Program.n_blocks p));
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: %d functions, %d blocks, %d insts (%.1f insts/block)@,\
+     branches: %d conditionals (%d unbiased, %d trip-counted, %d phased), %d calls (%d \
+     backward), %d indirect, %d returns@]"
+    t.name t.n_functions t.n_blocks t.n_insts t.avg_block_size t.n_conditionals t.n_unbiased
+    t.n_loops t.n_phased t.n_calls t.n_backward_calls t.n_indirect t.n_returns
+
+let header =
+  [
+    "bench"; "funcs"; "blocks"; "insts"; "conds"; "unbiased"; "loops"; "phased"; "calls";
+    "bwd-calls"; "indirect"; "returns";
+  ]
+
+let row t =
+  [
+    t.name;
+    string_of_int t.n_functions;
+    string_of_int t.n_blocks;
+    string_of_int t.n_insts;
+    string_of_int t.n_conditionals;
+    string_of_int t.n_unbiased;
+    string_of_int t.n_loops;
+    string_of_int t.n_phased;
+    string_of_int t.n_calls;
+    string_of_int t.n_backward_calls;
+    string_of_int t.n_indirect;
+    string_of_int t.n_returns;
+  ]

@@ -1,0 +1,30 @@
+(** Static characterization of a workload: the control-flow census that
+    explains why each benchmark behaves as it does under the selection
+    policies (block/branch mix, bias distribution, call structure). *)
+
+type t = {
+  name : string;
+  n_functions : int;
+      (** Distinct call targets plus the entry: the function census used by
+          the method-region policy. *)
+  n_blocks : int;
+  n_insts : int;
+  n_conditionals : int;
+  n_unbiased : int;  (** Conditionals with taken probability in [0.4, 0.6]. *)
+  n_loops : int;  (** Conditionals modelled with a trip count. *)
+  n_phased : int;  (** Conditionals whose bias flips by phase. *)
+  n_calls : int;  (** Direct call sites. *)
+  n_backward_calls : int;  (** Call sites targeting lower addresses. *)
+  n_indirect : int;  (** Indirect jumps and calls. *)
+  n_returns : int;
+  avg_block_size : float;
+}
+
+val of_image : Image.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** A one-benchmark characterization card. *)
+
+val header : string list
+val row : t -> string list
+(** Table rendering hooks for multi-benchmark summaries. *)

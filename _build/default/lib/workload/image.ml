@@ -1,0 +1,11 @@
+open Regionsel_isa
+
+type t = {
+  name : string;
+  program : Program.t;
+  cond_specs : Behavior.spec Addr.Table.t;
+  indirect_specs : Behavior.indirect_spec Addr.Table.t;
+}
+
+let cond_spec t a = Addr.Table.find t.cond_specs a
+let indirect_spec t a = Addr.Table.find t.indirect_specs a

@@ -1,0 +1,26 @@
+(** A compiled workload: a validated program image plus the behaviour specs
+    of its branch sites.
+
+    This is the unit handed to the engine: the interpreter instantiates the
+    behaviour specs with a seed-derived PRNG and replays the program, playing
+    the role Pin plays in the paper (reporting the dynamic sequence of basic
+    blocks). *)
+
+open Regionsel_isa
+
+type t = {
+  name : string;
+  program : Program.t;
+  cond_specs : Behavior.spec Addr.Table.t;
+      (** Keyed by the terminator address ({!Block.last}) of each [Cond]
+          block. *)
+  indirect_specs : Behavior.indirect_spec Addr.Table.t;
+      (** Keyed by the terminator address of each [Indirect_jump] /
+          [Indirect_call] block. *)
+}
+
+val cond_spec : t -> Addr.t -> Behavior.spec
+(** @raise Not_found if the address is not a known conditional site. *)
+
+val indirect_spec : t -> Addr.t -> Behavior.indirect_spec
+(** @raise Not_found if the address is not a known indirect site. *)

@@ -1,0 +1,224 @@
+type diamond = { bias : float; side_size : int }
+
+let leaf b ~name ~size =
+  Builder.func b name;
+  Builder.block b ~size Builder.Return
+
+let plain_loop b ~name ~trip ~body_blocks ~body_size =
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  Builder.block b ~label:head ~size:body_size Builder.Fallthrough;
+  for _ = 2 to max 2 body_blocks do
+    Builder.block b ~size:body_size Builder.Fallthrough
+  done;
+  Builder.block b ~size:2 (Builder.Cond (head, Behavior.Loop trip));
+  Builder.block b ~size:1 Builder.Return
+
+let loop_with_calls b ~name ~trip ~callees =
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  Builder.block b ~label:head ~size:4 Builder.Fallthrough;
+  List.iter (fun callee -> Builder.block b ~size:3 (Builder.Call callee)) callees;
+  Builder.block b ~size:2 (Builder.Cond (head, Behavior.Loop trip));
+  Builder.block b ~size:1 Builder.Return
+
+let nested_loop b ~name ~outer_trip ~inner_trip ~body_size =
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let outer = name ^ ".outer" and inner = name ^ ".inner" in
+  Builder.block b ~label:outer ~size:3 Builder.Fallthrough;
+  Builder.block b ~label:inner ~size:body_size
+    (Builder.Cond (inner, Behavior.Loop inner_trip));
+  Builder.block b ~size:3 (Builder.Cond (outer, Behavior.Loop outer_trip));
+  Builder.block b ~size:1 Builder.Return
+
+let diamond_loop b ~name ~trip ~diamonds =
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  let n = List.length diamonds in
+  List.iteri
+    (fun i { bias; side_size } ->
+      let taken = Printf.sprintf "%s.d%d.taken" name i in
+      let join = Printf.sprintf "%s.d%d.join" name i in
+      let split_label = if i = 0 then Some head else None in
+      Builder.block b ?label:split_label ~size:3 (Builder.Cond (taken, Behavior.Bernoulli bias));
+      (* fall-through arm *)
+      Builder.block b ~size:side_size (Builder.Jump join);
+      Builder.block b ~label:taken ~size:side_size Builder.Fallthrough;
+      Builder.block b ~label:join ~size:2
+        (if i = n - 1 then Builder.Cond (head, Behavior.Loop trip) else Builder.Fallthrough))
+    diamonds;
+  Builder.block b ~size:1 Builder.Return
+
+let diamond_loop_with b ~name ~trip ~diamonds =
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  let n = List.length diamonds in
+  List.iteri
+    (fun i (behaviour, side_size) ->
+      let taken = Printf.sprintf "%s.d%d.taken" name i in
+      let join = Printf.sprintf "%s.d%d.join" name i in
+      let split_label = if i = 0 then Some head else None in
+      Builder.block b ?label:split_label ~size:3 (Builder.Cond (taken, behaviour));
+      Builder.block b ~size:side_size (Builder.Jump join);
+      Builder.block b ~label:taken ~size:side_size Builder.Fallthrough;
+      Builder.block b ~label:join ~size:2
+        (if i = n - 1 then Builder.Cond (head, Behavior.Loop trip) else Builder.Fallthrough))
+    diamonds;
+  Builder.block b ~size:1 Builder.Return
+
+let dispatch_loop b ~name ~trip ~cases =
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  let case_label i = Printf.sprintf "%s.case%d" name i in
+  let targets = List.mapi (fun i (_, w) -> case_label i, w) cases in
+  let latch = name ^ ".latch" in
+  Builder.block b ~label:head ~size:3 Builder.Fallthrough;
+  Builder.block b ~size:2 (Builder.Indirect_jump (Builder.Weighted targets));
+  List.iteri
+    (fun i (size, _) -> Builder.block b ~label:(case_label i) ~size (Builder.Jump latch))
+    cases;
+  Builder.block b ~label:latch ~size:2 (Builder.Cond (head, Behavior.Loop trip));
+  Builder.block b ~size:1 Builder.Return
+
+let long_cycle_loop b ~name ~trip ~segments ~hops_per_segment =
+  (* A pointer-chasing walk of [segments * hops_per_segment] taken jumps per
+     iteration.  Segments are laid out in {e descending} address order (the
+     first-executed segment last), so every segment entry is the target of a
+     backward jump: NET profiles all segment entries in parallel and covers
+     the walk with one trace per segment, while a cycle longer than the
+     history buffer never completes inside it, so LEI selects nothing. *)
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  let seg i = Printf.sprintf "%s.seg%d" name i in
+  let hop i j = Printf.sprintf "%s.hop%d_%d" name i j in
+  Builder.block b ~label:head ~size:3 (Builder.Jump (seg 0));
+  Builder.block b ~label:(name ^ ".latch") ~size:2 (Builder.Cond (head, Behavior.Loop trip));
+  Builder.block b ~size:1 Builder.Return;
+  (* Segments as separate functions, declared in reverse execution order. *)
+  for i = segments - 1 downto 0 do
+    Builder.func b (seg i);
+    Builder.block b ~size:2 (Builder.Jump (hop i 0));
+    for j = 0 to hops_per_segment - 1 do
+      let next =
+        if j < hops_per_segment - 1 then hop i (j + 1)
+        else if i < segments - 1 then seg (i + 1)
+        else name ^ ".latch"
+      in
+      Builder.block b ~label:(hop i j) ~size:1 (Builder.Jump next)
+    done
+  done
+
+type element =
+  | Straight of int
+  | Diamond of diamond
+  | Call_to of string
+  | Continue of float
+
+let composite_loop b ~name ~trip ~body =
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  let fresh =
+    let n = ref 0 in
+    fun tag ->
+      incr n;
+      Printf.sprintf "%s.%s%d" name tag !n
+  in
+  List.iteri
+    (fun i element ->
+      let label = if i = 0 then Some head else None in
+      match element with
+      | Straight size -> Builder.block b ?label ~size Builder.Fallthrough
+      | Call_to callee ->
+        (* Put the call in its own block so the head label stays on a
+           plain block even when a call opens the body. *)
+        (match label with Some _ -> Builder.block b ?label ~size:2 Builder.Fallthrough | None -> ());
+        Builder.block b ~size:3 (Builder.Call callee)
+      | Continue prob ->
+        (match label with Some _ -> Builder.block b ?label ~size:2 Builder.Fallthrough | None -> ());
+        Builder.block b ~size:2 (Builder.Cond (head, Behavior.Bernoulli prob))
+      | Diamond { bias; side_size } ->
+        let taken = fresh "arm" and join = fresh "join" in
+        Builder.block b ?label ~size:3 (Builder.Cond (taken, Behavior.Bernoulli bias));
+        Builder.block b ~size:side_size (Builder.Jump join);
+        Builder.block b ~label:taken ~size:side_size Builder.Fallthrough;
+        Builder.block b ~label:join ~size:2 Builder.Fallthrough)
+    body;
+  Builder.block b ~size:2 (Builder.Cond (head, Behavior.Loop trip));
+  Builder.block b ~size:1 Builder.Return
+
+let recursive_fn b ~name ~depth ~body_size =
+  Builder.func b name;
+  Builder.block b ~size:2
+    (Builder.Cond (name ^ ".base", Behavior.Pattern
+                     (Array.init depth (fun i -> i = depth - 1))));
+  Builder.block b ~size:body_size (Builder.Call name);
+  Builder.block b ~size:2 Builder.Fallthrough;
+  Builder.block b ~label:(name ^ ".base") ~size:body_size Builder.Return
+
+let spaced_loop b ~name ~body_size =
+  (* A loop whose backward branch is taken exactly once per call.  Called
+     less often than once per 500 taken branches, its header recurs in the
+     history buffer only after eviction: NET allocates a counter for it on
+     every call, LEI never does (Figure 10's counter-memory gap). *)
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  Builder.block b ~label:head ~size:body_size
+    (Builder.Cond (head, Behavior.Pattern [| true; false |]));
+  Builder.block b ~size:1 Builder.Return
+
+let cold_farm b ~name ~n ~body_size =
+  let member i = Printf.sprintf "%s.fn%d" name i in
+  let members = List.init n member in
+  List.iter (fun m -> spaced_loop b ~name:m ~body_size) members;
+  Builder.func b name;
+  Builder.block b ~size:2
+    (Builder.Indirect_call (Builder.Round_robin members));
+  Builder.block b ~size:1 Builder.Return
+
+
+
+let call_farm b ~name ~callees ~n_callers ~trip =
+  List.init n_callers (fun i ->
+      let caller = Printf.sprintf "%s.caller%d" name i in
+      loop_with_calls b ~name:caller ~trip ~callees;
+      caller)
+
+let driver b ~name ?(weights = []) funcs =
+  Builder.func b name;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  let head = name ^ ".head" in
+  let skip_label f = name ^ ".skip." ^ f in
+  let alt_label f = name ^ ".alt." ^ f in
+  let join_label f = name ^ ".join." ^ f in
+  List.iteri
+    (fun i f ->
+      let label = if i = 0 then Some head else None in
+      match List.assoc_opt f weights with
+      | None ->
+        (* Call from one of two sites, as real programs reach a function
+           from several places; a single-site entrance would make every
+           callee trace look exit-dominated. *)
+        Builder.block b ?label ~size:2
+          (Builder.Cond (alt_label f, Behavior.Bernoulli 0.5));
+        Builder.block b ~size:2 (Builder.Call f);
+        Builder.block b ~size:1 (Builder.Jump (join_label f));
+        Builder.block b ~label:(alt_label f) ~size:2 (Builder.Call f);
+        Builder.block b ~label:(join_label f) ~size:1 Builder.Fallthrough
+      | Some p ->
+        (* Branch around the call with probability 1 - p. *)
+        Builder.block b ?label ~size:2
+          (Builder.Cond (skip_label f, Behavior.Bernoulli (1.0 -. p)));
+        Builder.block b ~size:2 (Builder.Call f);
+        Builder.block b ~label:(skip_label f) ~size:1 Builder.Fallthrough)
+    funcs;
+  Builder.block b ~size:2 (Builder.Cond (head, Behavior.Always_taken));
+  Builder.block b ~size:1 Builder.Halt

@@ -1,0 +1,102 @@
+(** Reusable control-flow patterns for the synthetic benchmarks.
+
+    Each pattern declares one function (or a family) in a {!Builder}
+    program.  The twelve SPECint2000 stand-ins are built by composing these
+    patterns with per-benchmark biases and trip counts; every pattern
+    corresponds to a control-flow trait the paper leans on:
+
+    - loops with and without calls (Figures 2 and 3: interprocedural cycles
+      and nested loops);
+    - chains of biased/unbiased diamonds (Figure 4 and Section 4: path
+      splits that rejoin);
+    - indirect dispatch loops (interpreter-style code, many warm targets);
+    - very long cycles (more taken branches per iteration than LEI's
+      history buffer holds);
+    - call farms (many callers of one callee — eon's exit-domination
+      outlier). *)
+
+type diamond = {
+  bias : float;  (** Probability of the taken (non-fall-through) side. *)
+  side_size : int;  (** Instructions per arm. *)
+}
+
+val leaf : Builder.t -> name:string -> size:int -> unit
+(** A straight-line function of [size] instructions that returns. *)
+
+val plain_loop :
+  Builder.t -> name:string -> trip:int -> body_blocks:int -> body_size:int -> unit
+(** A function with one self-contained loop of [trip] iterations per call;
+    the body is a fall-through chain of [body_blocks] blocks. *)
+
+val loop_with_calls : Builder.t -> name:string -> trip:int -> callees:string list -> unit
+(** A loop whose body calls each (already declared, hence backward) callee
+    in turn each iteration: the Figure 2 interprocedural cycle. *)
+
+val nested_loop :
+  Builder.t -> name:string -> outer_trip:int -> inner_trip:int -> body_size:int -> unit
+(** The Figure 3 shape: an outer loop whose body contains an inner loop. *)
+
+val diamond_loop : Builder.t -> name:string -> trip:int -> diamonds:diamond list -> unit
+(** A loop whose body is a chain of if-else diamonds, each rejoining before
+    the next: unbiased entries reproduce the Figure 4 split-and-rejoin. *)
+
+val diamond_loop_with :
+  Builder.t -> name:string -> trip:int -> diamonds:(Behavior.spec * int) list -> unit
+(** Like {!diamond_loop} but with explicit outcome models per split, e.g.
+    {!Behavior.Phased} flips for phase-changing programs. *)
+
+val dispatch_loop :
+  Builder.t -> name:string -> trip:int -> cases:(int * float) list -> unit
+(** An interpreter-style loop: the header indirect-jumps to one of the case
+    blocks (size, weight) and every case jumps back to the header. *)
+
+val long_cycle_loop :
+  Builder.t -> name:string -> trip:int -> segments:int -> hops_per_segment:int -> unit
+(** A pointer-chasing loop executing [segments * hops_per_segment] taken
+    jumps per iteration, laid out so every segment entry is a backward-jump
+    target.  With the product above the history-buffer capacity, NET covers
+    the walk (one trace per segment) but LEI never sees the cycle complete:
+    the source of mcf's hit-rate gap. *)
+
+type element =
+  | Straight of int  (** A fall-through block of this many instructions. *)
+  | Diamond of diamond  (** An if-else split rejoining before the next element. *)
+  | Call_to of string  (** A call to an already-declared (backward) callee. *)
+  | Continue of float
+      (** A second latch: branch back to the loop head with this
+          probability, giving the head multiple executed predecessors. *)
+
+val composite_loop : Builder.t -> name:string -> trip:int -> body:element list -> unit
+(** A loop whose body mixes straight code, diamonds, calls and continue
+    edges — the realistic "big hot loop" shape on which NET must split at
+    every backward call while LEI spans the whole cycle. *)
+
+val cold_farm : Builder.t -> name:string -> n:int -> body_size:int -> unit
+(** [n] cold functions behind one umbrella that indirect-calls them
+    round-robin, one per invocation.  Each member's loop header and entry
+    are visited too rarely to recur inside LEI's history buffer but are
+    backward-branch targets for NET: a pure profiling-counter load
+    (Figure 10). *)
+
+val recursive_fn : Builder.t -> name:string -> depth:int -> body_size:int -> unit
+(** A self-recursive function: each top-level call recurses [depth - 1]
+    more times before hitting the base case, exercising deep call stacks
+    and return-target cycles.  Requires [depth >= 1]. *)
+
+val spaced_loop : Builder.t -> name:string -> body_size:int -> unit
+(** A loop whose backward branch is taken exactly once per call: when
+    called rarely, its header leaves the history buffer between calls, so
+    NET allocates a profiling counter for it but LEI never does. *)
+
+val call_farm :
+  Builder.t -> name:string -> callees:string list -> n_callers:int -> trip:int -> string list
+(** [call_farm b ~name ~callees ~n_callers ~trip] declares [n_callers]
+    functions, each a [trip]-iteration loop calling every callee, and
+    returns their names (callers are declared after the callees the caller
+    list references, so the calls are backward). *)
+
+val driver : Builder.t -> name:string -> ?weights:(string * float) list -> string list -> unit
+(** [driver b ~name funcs] declares the program's [main]: an endless loop
+    calling each function in [funcs] every iteration; functions listed in
+    [weights] are instead called only with the given probability, modelling
+    cold or phase-dependent work. *)

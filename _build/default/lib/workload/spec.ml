@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  description : string;
+  image : Image.t Lazy.t;
+  default_steps : int;
+}
+
+let make ~name ~description ~steps build =
+  { name; description; image = lazy (build ()); default_steps = steps }
+
+let image t = Lazy.force t.image

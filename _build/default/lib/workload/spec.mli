@@ -1,0 +1,13 @@
+(** Benchmark descriptors: a named workload plus its default step budget. *)
+
+type t = {
+  name : string;
+  description : string;
+      (** Which SPECint2000 benchmark this stands in for and which
+          control-flow traits it models. *)
+  image : Image.t Lazy.t;
+  default_steps : int;  (** Block-step budget for the full evaluation. *)
+}
+
+val make : name:string -> description:string -> steps:int -> (unit -> Image.t) -> t
+val image : t -> Image.t

@@ -1,0 +1,42 @@
+(* 256.bzip2: block-sorting compression.  The hot sorting kernels are big
+   interprocedural cycles (comparison helpers called from the sort loops):
+   LEI captures each as one long cyclic trace while NET splits it at every
+   backward call, so LEI's cover set is already far smaller than NET's —
+   which is why trace combination improves bzip2's LEI less than its NET
+   (the paper's Figure 17 callout). *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.leaf b ~name:"cmp_block" ~size:8;
+  Patterns.leaf b ~name:"swap" ~size:4;
+  Patterns.composite_loop b ~name:"qsort3" ~trip:250
+    ~body:
+      [
+        Patterns.Straight 6;
+        Patterns.Call_to "cmp_block";
+        Patterns.Diamond { Patterns.bias = 0.6; side_size = 4 };
+        Patterns.Call_to "swap";
+        Patterns.Straight 4;
+      ];
+  Patterns.composite_loop b ~name:"fallback_sort" ~trip:200
+    ~body:
+      [
+        Patterns.Straight 5;
+        Patterns.Call_to "cmp_block";
+        Patterns.Straight 5;
+        Patterns.Continue 0.1;
+      ];
+  Patterns.plain_loop b ~name:"mtf" ~trip:300 ~body_blocks:3 ~body_size:4;
+  Patterns.nested_loop b ~name:"huffman" ~outer_trip:20 ~inner_trip:40 ~body_size:4;
+  Patterns.cold_farm b ~name:"sort_pool" ~n:8 ~body_size:6;
+  Patterns.driver b ~name:"main"
+      ~weights:[ "sort_pool", 0.1 ]
+    [ "qsort3"; "fallback_sort"; "mtf"; "huffman"; "sort_pool" ];
+  Builder.compile b ~name:"bzip2" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"bzip2"
+    ~description:
+      "256.bzip2 stand-in: sort kernels as big interprocedural cycles; LEI already has \
+       a much smaller cover set, so combination helps its NET more"
+    ~steps:1_000_000 build

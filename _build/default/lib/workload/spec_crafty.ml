@@ -1,0 +1,43 @@
+(* 186.crafty: chess search.  Bitboard arithmetic in self-contained,
+   strongly biased intraprocedural loops — no calls inside the hot cycles,
+   so NET's backward-branch profiling already spans nearly everything LEI
+   can span.  This is the benchmark where LEI gains least (the paper's
+   Figure 7/8 outlier: no code-expansion win for crafty). *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.plain_loop b ~name:"popcnt" ~trip:400 ~body_blocks:2 ~body_size:4;
+  Patterns.composite_loop b ~name:"attacks" ~trip:500
+    ~body:[ Patterns.Straight 5; Patterns.Straight 6; Patterns.Straight 5 ];
+  Patterns.composite_loop b ~name:"evaluate" ~trip:450
+    ~body:
+      [
+        Patterns.Straight 5;
+        Patterns.Diamond { Patterns.bias = 0.95; side_size = 4 };
+        Patterns.Diamond { Patterns.bias = 0.92; side_size = 5 };
+        Patterns.Straight 4;
+        Patterns.Continue 0.1;
+      ];
+  Patterns.composite_loop b ~name:"search" ~trip:400
+    ~body:
+      [
+        Patterns.Straight 5;
+        Patterns.Diamond { Patterns.bias = 0.9; side_size = 5 };
+        Patterns.Straight 5;
+        Patterns.Diamond { Patterns.bias = 0.97; side_size = 3 };
+        Patterns.Continue 0.12;
+      ];
+  Patterns.plain_loop b ~name:"movgen" ~trip:300 ~body_blocks:4 ~body_size:4;
+  Patterns.spaced_loop b ~name:"book_probe" ~body_size:6;
+  Patterns.cold_farm b ~name:"hash_pool" ~n:12 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:[ "book_probe", 0.1; "hash_pool", 0.1 ]
+    [ "popcnt"; "attacks"; "evaluate"; "search"; "movgen"; "book_probe"; "hash_pool" ];
+  Builder.compile b ~name:"crafty" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"crafty"
+    ~description:
+      "186.crafty stand-in: strongly biased intraprocedural loops with no calls in hot \
+       cycles; the benchmark where LEI spans fewest additional cycles"
+    ~steps:900_000 build

@@ -1,0 +1,29 @@
+(* 252.eon: C++ ray tracer.  Small constructors (the paper names the
+   ggPoint3 constructors) are called from many distinct rendering
+   functions; once a constructor's trace is selected, every caller's
+   post-call tail is selected through an exit of it — the paper's
+   exit-domination outlier (Figure 12). *)
+
+let build () =
+  let b = Builder.create () in
+  let callers = List.init 12 (fun i -> Printf.sprintf "render.caller%d" i) in
+  Patterns.leaf b ~name:"ggpoint3_ctor" ~size:5;
+  Patterns.leaf b ~name:"ggvector3_ctor" ~size:5;
+  Patterns.leaf b ~name:"ggray_ctor" ~size:6;
+  let declared =
+    Patterns.call_farm b ~name:"render"
+      ~callees:[ "ggpoint3_ctor"; "ggvector3_ctor"; "ggray_ctor" ]
+      ~n_callers:12 ~trip:40
+  in
+  assert (declared = callers);
+  Patterns.plain_loop b ~name:"sample" ~trip:150 ~body_blocks:3 ~body_size:5;
+  Patterns.cold_farm b ~name:"texture_pool" ~n:8 ~body_size:6;
+  Patterns.driver b ~name:"main" (callers @ [ "sample"; "texture_pool" ]);
+  Builder.compile b ~name:"eon" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"eon"
+    ~description:
+      "252.eon stand-in: tiny shared constructors called from a dozen rendering loops; \
+       the exit-domination outlier"
+    ~steps:1_000_000 build

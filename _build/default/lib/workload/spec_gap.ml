@@ -1,0 +1,40 @@
+(* 254.gap: computational group theory.  Arithmetic kernels — garbage
+   collected bag operations with an interprocedural allocation cycle,
+   nested multiplication loops, and moderately biased permutation
+   filters. *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.leaf b ~name:"new_bag" ~size:6;
+  Patterns.composite_loop b ~name:"collect" ~trip:200
+    ~body:
+      [
+        Patterns.Straight 5;
+        Patterns.Call_to "new_bag";
+        Patterns.Diamond { Patterns.bias = 0.75; side_size = 4 };
+        Patterns.Straight 4;
+        Patterns.Continue 0.12;
+      ];
+  Patterns.nested_loop b ~name:"mult_perm" ~outer_trip:25 ~inner_trip:40 ~body_size:5;
+  Patterns.composite_loop b ~name:"filter_orbit" ~trip:200
+    ~body:
+      [
+        Patterns.Straight 4;
+        Patterns.Diamond { Patterns.bias = 0.6; side_size = 5 };
+        Patterns.Straight 5;
+      ];
+  Patterns.plain_loop b ~name:"vec_add" ~trip:250 ~body_blocks:2 ~body_size:5;
+  Patterns.spaced_loop b ~name:"read_syntax" ~body_size:4;
+  Patterns.recursive_fn b ~name:"pow_mod" ~depth:8 ~body_size:5;
+  Patterns.cold_farm b ~name:"lib_pool" ~n:10 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:[ "read_syntax", 0.2; "pow_mod", 0.3; "lib_pool", 0.1 ]
+    [ "collect"; "mult_perm"; "filter_orbit"; "vec_add"; "read_syntax"; "pow_mod"; "lib_pool" ];
+  Builder.compile b ~name:"gap" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"gap"
+    ~description:
+      "254.gap stand-in: allocation cycle through the GC, nested permutation loops, \
+       biased orbit filters"
+    ~steps:900_000 build

@@ -1,0 +1,71 @@
+(* 176.gcc: the paper's canonical "many important procedures, mix of biased
+   and unbiased branches" program (Section 6).  Dozens of warm functions —
+   pass bodies with diamond chains at varied biases, several loops with
+   calls, and an insn-dispatch loop — so execution spreads over one to two
+   orders of magnitude more paths than the small kernels (Ball & Larus).
+   Produces the largest cover sets and the lowest hit rates. *)
+
+let build () =
+  let b = Builder.create () in
+  let passes = List.init 28 (fun i -> Printf.sprintf "pass%d" i) in
+  let analyses = List.init 8 (fun i -> Printf.sprintf "analysis%d" i) in
+  let spaced = List.init 4 (fun i -> Printf.sprintf "reload%d" i) in
+  Patterns.leaf b ~name:"alloc" ~size:6;
+  Patterns.leaf b ~name:"lookup" ~size:8;
+  (* 28 warm "pass" functions with varied diamond chains and trips. *)
+  let pass i =
+    let name = Printf.sprintf "pass%d" i in
+    let bias =
+      match i mod 4 with 0 -> 0.5 | 1 -> 0.65 | 2 -> 0.8 | _ -> 0.95
+    in
+    (* Odd passes flip their dominant direction every few thousand
+       decisions: the phase behaviour (Sherwood et al.) that Section 4.3.1
+       blames for observed traces misrepresenting future execution. *)
+    let behave p =
+      if i mod 2 = 1 then
+        Behavior.Phased [ 3_000, Behavior.Bernoulli p; 3_000, Behavior.Bernoulli (1.0 -. p) ]
+      else Behavior.Bernoulli p
+    in
+    Patterns.diamond_loop_with b ~name
+      ~trip:(20 + (3 * (i mod 7)))
+      ~diamonds:
+        [
+          behave bias, 3 + (i mod 3);
+          behave (1.0 -. bias), 4;
+        ];
+    name
+  in
+  let declared_passes = List.init 28 pass in
+  assert (declared_passes = passes);
+  (* 8 analysis loops that call the shared helpers (interprocedural cycles). *)
+  let analysis i =
+    let name = Printf.sprintf "analysis%d" i in
+    let callee = if i mod 2 = 0 then "alloc" else "lookup" in
+    Patterns.composite_loop b ~name
+      ~trip:(25 + (5 * (i mod 5)))
+      ~body:
+        [
+          Patterns.Straight (4 + (i mod 3));
+          Patterns.Call_to callee;
+          Patterns.Diamond { Patterns.bias = 0.7 +. (0.05 *. float_of_int (i mod 4)); side_size = 4 };
+          Patterns.Straight 4;
+        ];
+    name
+  in
+  let declared_analyses = List.init 8 analysis in
+  assert (declared_analyses = analyses);
+  Patterns.dispatch_loop b ~name:"recog" ~trip:80
+    ~cases:[ 5, 3.0; 6, 2.0; 4, 2.0; 7, 1.0; 5, 1.0; 6, 0.5; 4, 0.5; 8, 0.25 ];
+  List.iteri (fun i name -> Patterns.spaced_loop b ~name ~body_size:(4 + (i mod 3))) spaced;
+  Patterns.cold_farm b ~name:"rtl_pool" ~n:20 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:(List.map (fun f -> f, 0.2) spaced)
+    (passes @ analyses @ [ "recog"; "rtl_pool" ] @ spaced);
+  Builder.compile b ~name:"gcc" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"gcc"
+    ~description:
+      "176.gcc stand-in: dozens of warm pass/analysis functions with mixed biases; \
+       the many-hot-paths outlier (largest cover sets, lowest hit rate)"
+    ~steps:1_600_000 build

@@ -1,0 +1,44 @@
+(* 164.gzip: LZ77 compression.  A handful of very hot, strongly biased
+   kernels — the longest-match scan (an interprocedural cycle through the
+   hash probe), the deflate output loop and the CRC loop — so nearly all
+   execution concentrates in a tiny set of regions: the paper's smallest
+   90% cover sets.  A farm of rarely-run maintenance routines exercises
+   profiling-counter memory without mattering to execution time. *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.leaf b ~name:"hash_probe" ~size:7;
+  Patterns.composite_loop b ~name:"longest_match" ~trip:300
+    ~body:
+      [
+        Patterns.Straight 5;
+        Patterns.Diamond { Patterns.bias = 0.9; side_size = 4 };
+        Patterns.Call_to "hash_probe";
+        Patterns.Straight 4;
+        Patterns.Continue 0.12;
+        Patterns.Straight 3;
+      ];
+  Patterns.composite_loop b ~name:"deflate" ~trip:400
+    ~body:
+      [
+        Patterns.Straight 6;
+        Patterns.Straight 5;
+        Patterns.Diamond { Patterns.bias = 0.93; side_size = 4 };
+        Patterns.Straight 5;
+      ];
+  Patterns.nested_loop b ~name:"crc" ~outer_trip:30 ~inner_trip:60 ~body_size:4;
+  Patterns.diamond_loop b ~name:"send_bits" ~trip:250
+    ~diamonds:[ { Patterns.bias = 0.9; side_size = 4 } ];
+  Patterns.spaced_loop b ~name:"flush_block" ~body_size:5;
+  Patterns.cold_farm b ~name:"maintenance" ~n:10 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:[ "flush_block", 0.2; "maintenance", 0.1 ]
+    [ "longest_match"; "deflate"; "crc"; "send_bits"; "flush_block"; "maintenance" ];
+  Builder.compile b ~name:"gzip" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"gzip"
+    ~description:
+      "164.gzip stand-in: few very hot biased kernels (match scan, deflate, CRC); \
+       concentrated execution, smallest cover sets"
+    ~steps:1_200_000 build

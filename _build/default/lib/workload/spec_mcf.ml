@@ -1,0 +1,43 @@
+(* 181.mcf: network-simplex minimum-cost flow.  Pointer-chasing arc scans
+   dominate; the distinguishing trait is a basis-refresh walk whose cycle
+   takes more taken branches than LEI's 500-entry history buffer holds:
+   NET covers the walk (its segment entries are backward-jump targets that
+   profile in parallel) while LEI never sees the cycle complete and leaves
+   it interpreted — reproducing the paper's mcf hit-rate drop (99.80% to
+   98.31%), the largest of any benchmark. *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.leaf b ~name:"arc_cost" ~size:5;
+  Patterns.composite_loop b ~name:"price_arcs" ~trip:220
+    ~body:
+      [
+        Patterns.Straight 8;
+        Patterns.Call_to "arc_cost";
+        Patterns.Diamond { Patterns.bias = 0.7; side_size = 6 };
+        Patterns.Straight 7;
+        Patterns.Continue 0.1;
+      ];
+  Patterns.composite_loop b ~name:"select_pivot" ~trip:200
+    ~body:
+      [
+        Patterns.Straight 5;
+        Patterns.Diamond { Patterns.bias = 0.5; side_size = 5 };
+        Patterns.Straight 6;
+      ];
+  Patterns.nested_loop b ~name:"update_tree" ~outer_trip:20 ~inner_trip:40 ~body_size:6;
+  (* One basis refresh executes 9 * 61 = 549 taken jumps: just beyond the
+     500-entry LEI history buffer. *)
+  Patterns.long_cycle_loop b ~name:"refresh_basis" ~trip:1 ~segments:9 ~hops_per_segment:60;
+  Patterns.cold_farm b ~name:"misc_pool" ~n:10 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:[ "refresh_basis", 0.22; "misc_pool", 0.1 ]
+    [ "price_arcs"; "select_pivot"; "update_tree"; "refresh_basis"; "misc_pool" ];
+  Builder.compile b ~name:"mcf" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"mcf"
+    ~description:
+      "181.mcf stand-in: pointer-chasing arc loops plus a basis-refresh cycle longer \
+       than the LEI history buffer (drives the paper's mcf hit-rate drop)"
+    ~steps:3_000_000 build

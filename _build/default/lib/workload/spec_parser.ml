@@ -1,0 +1,43 @@
+(* 197.parser: link-grammar parsing.  Dictionary scans and connector
+   matching: intraprocedural loops with biased early-out tests, helpers
+   called between (not inside) the hot cycles.  Like crafty, NET already
+   spans most of these cycles, so LEI's locality gain is minimal — the
+   paper's region-transition outlier in Figure 8. *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.leaf b ~name:"hash_word" ~size:7;
+  Patterns.composite_loop b ~name:"dict_scan" ~trip:450
+    ~body:
+      [
+        Patterns.Straight 4;
+        Patterns.Straight 5;
+        Patterns.Diamond { Patterns.bias = 0.9; side_size = 3 };
+        Patterns.Continue 0.15;
+      ];
+  Patterns.composite_loop b ~name:"match_connector" ~trip:400
+    ~body:
+      [
+        Patterns.Straight 4;
+        Patterns.Diamond { Patterns.bias = 0.88; side_size = 4 };
+        Patterns.Diamond { Patterns.bias = 0.93; side_size = 3 };
+        Patterns.Continue 0.1;
+      ];
+  Patterns.plain_loop b ~name:"count_links" ~trip:300 ~body_blocks:3 ~body_size:4;
+  Patterns.plain_loop b ~name:"prune" ~trip:350 ~body_blocks:2 ~body_size:5;
+  (* Link-grammar parsing is recursive: a descent that exercises the call
+     stack and return-target cycles. *)
+  Patterns.recursive_fn b ~name:"parse_expr" ~depth:12 ~body_size:4;
+  Patterns.cold_farm b ~name:"dict_pool" ~n:10 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:[ "hash_word", 0.5; "parse_expr", 0.3; "dict_pool", 0.1 ]
+    [ "dict_scan"; "match_connector"; "count_links"; "prune"; "hash_word"; "parse_expr";
+      "dict_pool" ];
+  Builder.compile b ~name:"parser" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"parser"
+    ~description:
+      "197.parser stand-in: biased intraprocedural scan loops with helpers outside the \
+       hot cycles; minimal LEI locality gain (the Figure 8 outlier)"
+    ~steps:900_000 build

@@ -1,0 +1,4 @@
+(** The parser stand-in workload. See the module implementation for the
+    modelled control-flow traits. *)
+
+val spec : Spec.t

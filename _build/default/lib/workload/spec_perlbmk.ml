@@ -1,0 +1,37 @@
+(* 253.perlbmk: the Perl interpreter.  An opcode-dispatch loop whose
+   indirect jump fans out to many warm handlers: a single trace can follow
+   only one handler, so NET and LEI both split the dispatch across many
+   separated traces, while trace combination can keep several handlers in
+   one region — a strong combination winner. *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.dispatch_loop b ~name:"runops" ~trip:400
+    ~cases:
+      [
+        6, 4.0; 5, 3.0; 7, 2.5; 4, 2.0; 6, 1.5; 5, 1.0; 8, 0.8; 4, 0.6;
+        6, 0.4; 5, 0.3; 7, 0.2; 4, 0.1;
+      ];
+  Patterns.nested_loop b ~name:"regmatch" ~outer_trip:20 ~inner_trip:40 ~body_size:4;
+  Patterns.leaf b ~name:"sv_grow" ~size:7;
+  Patterns.composite_loop b ~name:"string_ops" ~trip:160
+    ~body:
+      [
+        Patterns.Straight 5;
+        Patterns.Call_to "sv_grow";
+        Patterns.Diamond { Patterns.bias = 0.8; side_size = 4 };
+        Patterns.Straight 4;
+      ];
+  Patterns.spaced_loop b ~name:"gv_fetch" ~body_size:5;
+  Patterns.cold_farm b ~name:"op_pool" ~n:12 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:[ "gv_fetch", 0.2; "op_pool", 0.1 ]
+    [ "runops"; "regmatch"; "string_ops"; "gv_fetch"; "op_pool" ];
+  Builder.compile b ~name:"perlbmk" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"perlbmk"
+    ~description:
+      "253.perlbmk stand-in: opcode dispatch through an indirect jump with a dozen warm \
+       handlers; traces split per handler, combination merges them"
+    ~steps:900_000 build

@@ -1,0 +1,43 @@
+(* 300.twolf: standard-cell placement via simulated annealing.  The
+   accept/reject decision of annealing is inherently unbiased, and both
+   outcomes rejoin the cost-update code (which calls position helpers) —
+   exactly the Figure 4 shape whose tail duplication trace combination
+   removes. *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.leaf b ~name:"dbox_pos" ~size:6;
+  Patterns.composite_loop b ~name:"ucxx" ~trip:250
+    ~body:
+      [
+        Patterns.Straight 4;
+        Patterns.Diamond { Patterns.bias = 0.5; side_size = 6 };
+        Patterns.Call_to "dbox_pos";
+        Patterns.Diamond { Patterns.bias = 0.5; side_size = 5 };
+        Patterns.Straight 4;
+        Patterns.Continue 0.1;
+      ];
+  Patterns.composite_loop b ~name:"new_dbox" ~trip:200
+    ~body:
+      [
+        Patterns.Straight 4;
+        Patterns.Diamond { Patterns.bias = 0.5; side_size = 5 };
+        Patterns.Diamond { Patterns.bias = 0.7; side_size = 4 };
+        Patterns.Straight 3;
+      ];
+  Patterns.composite_loop b ~name:"term_newpos" ~trip:150
+    ~body:[ Patterns.Straight 4; Patterns.Call_to "dbox_pos"; Patterns.Straight 4 ];
+  Patterns.plain_loop b ~name:"wirecosts" ~trip:200 ~body_blocks:3 ~body_size:4;
+  Patterns.spaced_loop b ~name:"config_read" ~body_size:4;
+  Patterns.cold_farm b ~name:"cell_pool" ~n:10 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:[ "config_read", 0.1; "cell_pool", 0.1 ]
+    [ "ucxx"; "new_dbox"; "term_newpos"; "wirecosts"; "config_read"; "cell_pool" ];
+  Builder.compile b ~name:"twolf" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"twolf"
+    ~description:
+      "300.twolf stand-in: unbiased annealing accept/reject diamonds that rejoin; the \
+       canonical trace-combination winner"
+    ~steps:900_000 build

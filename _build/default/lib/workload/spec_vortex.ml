@@ -1,0 +1,35 @@
+(* 255.vortex: an object-oriented database.  Transactions take one of many
+   moderately likely paths from the same entry — an 8-way dispatch inside
+   the hot loop plus near-unbiased validation diamonds — so each block
+   appears in only a few of the T_prof observed traces.  Combination then
+   keeps only fragments (the T_min filter), which is how the paper explains
+   vortex's region transitions rising ~1% under combined NET. *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.leaf b ~name:"mem_get" ~size:6;
+  Patterns.dispatch_loop b ~name:"transaction" ~trip:500
+    ~cases:[ 5, 1.0; 6, 1.0; 4, 1.0; 7, 1.0; 5, 1.0; 6, 1.0; 4, 1.0; 8, 1.0 ];
+  Patterns.diamond_loop b ~name:"validate" ~trip:80
+    ~diamonds:
+      [ { Patterns.bias = 0.85; side_size = 5 }; { Patterns.bias = 0.9; side_size = 4 } ];
+  Patterns.composite_loop b ~name:"index_scan" ~trip:200
+    ~body:
+      [
+        Patterns.Straight 4;
+        Patterns.Call_to "mem_get";
+        Patterns.Straight 5;
+        Patterns.Continue 0.15;
+      ];
+  Patterns.cold_farm b ~name:"obj_pool" ~n:12 ~body_size:5;
+  Patterns.driver b ~name:"main"
+      ~weights:[ "obj_pool", 0.1 ]
+    [ "transaction"; "validate"; "index_scan"; "obj_pool" ];
+  Builder.compile b ~name:"vortex" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"vortex"
+    ~description:
+      "255.vortex stand-in: 8-way uniform transaction dispatch and near-unbiased \
+       validation; path diversity defeats the T_min filter (combined-NET outlier)"
+    ~steps:900_000 build

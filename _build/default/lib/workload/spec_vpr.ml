@@ -1,0 +1,40 @@
+(* 175.vpr: FPGA placement and routing.  Simulated-annealing swaps with a
+   moderately unbiased accept/reject split and a distance call inside the
+   hot cycle, a routing wave expansion, and a timing-analysis loop. *)
+
+let build () =
+  let b = Builder.create () in
+  Patterns.leaf b ~name:"dist" ~size:6;
+  Patterns.composite_loop b ~name:"try_swap" ~trip:220
+    ~body:
+      [
+        Patterns.Straight 4;
+        Patterns.Diamond { Patterns.bias = 0.55; side_size = 6 };
+        Patterns.Call_to "dist";
+        Patterns.Diamond { Patterns.bias = 0.5; side_size = 5 };
+        Patterns.Straight 4;
+        Patterns.Continue 0.15;
+      ];
+  Patterns.composite_loop b ~name:"route_net" ~trip:180
+    ~body:
+      [
+        Patterns.Straight 4;
+        Patterns.Call_to "dist";
+        Patterns.Diamond { Patterns.bias = 0.85; side_size = 4 };
+        Patterns.Straight 3;
+      ];
+  Patterns.plain_loop b ~name:"timing" ~trip:200 ~body_blocks:3 ~body_size:5;
+  Patterns.nested_loop b ~name:"update_bb" ~outer_trip:20 ~inner_trip:30 ~body_size:4;
+  Patterns.spaced_loop b ~name:"dump_stats" ~body_size:4;
+  Patterns.cold_farm b ~name:"misc_pool" ~n:12 ~body_size:5;
+  Patterns.driver b ~name:"main"
+    ~weights:[ "dump_stats", 0.1; "misc_pool", 0.1 ]
+    [ "try_swap"; "route_net"; "timing"; "update_bb"; "dump_stats"; "misc_pool" ];
+  Builder.compile b ~name:"vpr" ~entry:"main"
+
+let spec =
+  Spec.make ~name:"vpr"
+    ~description:
+      "175.vpr stand-in: annealing accept/reject diamonds around a distance call, \
+       routing loop, timing loops"
+    ~steps:900_000 build

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Regionsel_engine Regionsel_workload String

@@ -1,0 +1,1 @@
+test/test_behavior.ml: Alcotest Fixtures Format Fun List QCheck QCheck_alcotest Regionsel_prng Regionsel_workload

@@ -1,0 +1,1 @@
+test/test_bitbuf.ml: Alcotest Bytes Char Fixtures Gen List QCheck QCheck_alcotest Regionsel_core

@@ -1,0 +1,1 @@
+test/test_builder.ml: Addr Alcotest Array Block Fixtures Program Regionsel_isa Regionsel_workload Terminator

@@ -1,0 +1,1 @@
+test/test_characterize.ml: Fixtures Format List Regionsel_workload

@@ -1,0 +1,1 @@
+test/test_emitter.ml: Alcotest Array Block Fixtures Format List Regionsel_core Regionsel_engine Regionsel_isa Terminator

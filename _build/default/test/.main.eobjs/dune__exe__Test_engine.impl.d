@@ -1,0 +1,1 @@
+test/test_engine.ml: Addr Alcotest Block Fixtures List QCheck QCheck_alcotest Regionsel_engine Regionsel_isa Terminator

@@ -1,0 +1,1 @@
+test/test_formers.ml: Alcotest Block Fixtures List Program Regionsel_core Regionsel_engine Regionsel_isa Regionsel_workload

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Fixtures Gen List Printf QCheck QCheck_alcotest Regionsel_core Regionsel_engine Regionsel_workload

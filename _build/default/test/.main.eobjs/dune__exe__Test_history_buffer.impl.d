@@ -1,0 +1,1 @@
+test/test_history_buffer.ml: Alcotest Fixtures Gen List QCheck QCheck_alcotest Regionsel_core

@@ -1,0 +1,1 @@
+test/test_icache.ml: Alcotest Block Fixtures Regionsel_core Regionsel_engine Regionsel_isa Terminator

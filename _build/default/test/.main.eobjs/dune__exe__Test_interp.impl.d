@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Block Fixtures List Option Program Regionsel_engine Regionsel_isa Regionsel_workload Terminator

@@ -1,0 +1,1 @@
+test/test_isa.ml: Addr Alcotest Block Fixtures Format Gen List Printf Program QCheck QCheck_alcotest Regionsel_isa Terminator

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Block Fixtures Gen List QCheck QCheck_alcotest Regionsel_core Regionsel_engine Regionsel_isa Regionsel_metrics Terminator

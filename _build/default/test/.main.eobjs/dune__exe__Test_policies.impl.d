@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Fixtures List Regionsel_core Regionsel_engine

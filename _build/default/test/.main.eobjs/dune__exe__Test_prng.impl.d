@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fixtures Int64 List QCheck QCheck_alcotest Regionsel_prng

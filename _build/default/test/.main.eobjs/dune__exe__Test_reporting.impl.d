@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Fixtures Format List Regionsel_core Regionsel_engine Regionsel_metrics

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Fixtures List Regionsel_core Regionsel_engine

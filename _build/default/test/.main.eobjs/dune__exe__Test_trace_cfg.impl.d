@@ -1,0 +1,1 @@
+test/test_trace_cfg.ml: Array Block Fixtures Gen List QCheck QCheck_alcotest Regionsel_core Regionsel_engine Regionsel_isa Terminator

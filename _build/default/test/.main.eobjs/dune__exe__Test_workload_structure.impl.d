@@ -1,0 +1,1 @@
+test/test_workload_structure.ml: Addr Array Block Fixtures List Option Printf Program Regionsel_core Regionsel_isa Regionsel_workload Terminator

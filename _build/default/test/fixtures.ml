@@ -1,0 +1,83 @@
+(* Shared builders for the scenario programs used across test suites,
+   including the paper's three motivating examples (Figures 2, 3 and 4). *)
+
+module Builder = Regionsel_workload.Builder
+module Behavior = Regionsel_workload.Behavior
+module Image = Regionsel_workload.Image
+module Simulator = Regionsel_engine.Simulator
+module Context = Regionsel_engine.Context
+module Code_cache = Regionsel_engine.Code_cache
+module Region = Regionsel_engine.Region
+module Params = Regionsel_engine.Params
+
+(* The Figure 2 program: a hot loop whose dominant path calls a function at
+   a lower address, so the call is a backward branch and the loop is an
+   interprocedural cycle.  Block names follow the figure: the loop is
+   A B D (D calls E), the callee is E F, and C is a rarely-taken side. *)
+let figure2 ?(iters = 5_000) () =
+  let b = Builder.create () in
+  Builder.func b "callee";
+  Builder.block b ~size:4 Builder.Fallthrough (* E *);
+  Builder.block b ~size:2 Builder.Return (* F *);
+  Builder.func b "main";
+  Builder.block b ~size:2 Builder.Fallthrough;
+  Builder.block b ~label:"a" ~size:3 (Builder.Cond ("c", Behavior.Bernoulli 0.02));
+  Builder.block b ~label:"bd" ~size:4 (Builder.Call "callee");
+  Builder.block b ~size:2 (Builder.Cond ("a", Behavior.Loop iters));
+  Builder.block b ~size:1 Builder.Halt;
+  Builder.block b ~label:"c" ~size:3 (Builder.Jump "bd");
+  Builder.compile b ~name:"figure2" ~entry:"main"
+
+(* The Figure 3 program: simple nested loops.  A is the outer-loop header
+   falling into the inner loop B, which exits to C, which branches back to
+   A. *)
+let figure3 ?(inner = 20) ?(outer = 2_000) () =
+  let b = Builder.create () in
+  Builder.func b "main";
+  Builder.block b ~size:2 Builder.Fallthrough;
+  Builder.block b ~label:"a" ~size:3 Builder.Fallthrough;
+  Builder.block b ~label:"inner" ~size:4 (Builder.Cond ("inner", Behavior.Loop inner));
+  Builder.block b ~label:"c" ~size:3 (Builder.Cond ("a", Behavior.Loop outer));
+  Builder.block b ~size:1 Builder.Halt;
+  Builder.compile b ~name:"figure3" ~entry:"main"
+
+(* The Figure 4 program inside a loop: an unbiased branch (ending A)
+   followed by a biased branch (ending D), all paths rejoining. *)
+let figure4 ?(iters = 20_000) ?(p_first = 0.5) ?(p_second = 0.9) () =
+  let b = Builder.create () in
+  Builder.func b "main";
+  Builder.block b ~size:2 Builder.Fallthrough;
+  Builder.block b ~label:"a" ~size:3 (Builder.Cond ("c", Behavior.Bernoulli p_first));
+  Builder.block b ~label:"b" ~size:4 (Builder.Jump "d");
+  Builder.block b ~label:"c" ~size:4 Builder.Fallthrough;
+  Builder.block b ~label:"d" ~size:3 (Builder.Cond ("f", Behavior.Bernoulli p_second));
+  Builder.block b ~label:"e" ~size:4 (Builder.Jump "g");
+  Builder.block b ~label:"f" ~size:4 Builder.Fallthrough;
+  Builder.block b ~label:"g" ~size:2 (Builder.Cond ("a", Behavior.Loop iters));
+  Builder.block b ~size:1 Builder.Halt;
+  Builder.compile b ~name:"figure4" ~entry:"main"
+
+(* A single self-contained hot loop, the simplest possible workload. *)
+let simple_loop ?(trip = 10_000) ?(body_size = 5) () =
+  let b = Builder.create () in
+  Builder.func b "main";
+  Builder.block b ~size:2 Builder.Fallthrough;
+  Builder.block b ~label:"head" ~size:body_size (Builder.Cond ("head", Behavior.Loop trip));
+  Builder.block b ~size:1 Builder.Halt;
+  Builder.compile b ~name:"simple_loop" ~entry:"main"
+
+let run ?params ?(seed = 7L) ?(max_steps = 200_000) policy image =
+  Simulator.run ?params ~seed ~policy ~max_steps image
+
+let regions_of (result : Simulator.result) =
+  Code_cache.regions result.Simulator.ctx.Context.cache
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0
+
+(* Alcotest helpers. *)
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+let case name f = Alcotest.test_case name `Quick f

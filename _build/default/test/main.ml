@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "regionsel"
+    [
+      "prng", Test_prng.suite;
+      "isa", Test_isa.suite;
+      "behavior", Test_behavior.suite;
+      "builder", Test_builder.suite;
+      "interp", Test_interp.suite;
+      "history-buffer", Test_history_buffer.suite;
+      "bitbuf", Test_bitbuf.suite;
+      "compact-trace", Test_compact_trace.suite;
+      "engine", Test_engine.suite;
+      "policies", Test_policies.suite;
+      "trace-cfg", Test_trace_cfg.suite;
+      "simulator", Test_simulator.suite;
+      "metrics", Test_metrics.suite;
+      "observation-store", Test_observation_store.suite;
+      "report", Test_report.suite;
+      "workloads", Test_workloads.suite;
+      "workload-structure", Test_workload_structure.suite;
+      "transparency", Test_transparency.suite;
+      "characterize", Test_characterize.suite;
+      "reporting", Test_reporting.suite;
+      "fuzz", Test_fuzz.suite;
+      "formers", Test_formers.suite;
+      "combined", Test_combined.suite;
+      "icache", Test_icache.suite;
+      "emitter", Test_emitter.suite;
+      "extensions", Test_extensions.suite;
+    ]

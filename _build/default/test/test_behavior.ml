@@ -1,0 +1,130 @@
+module Behavior = Regionsel_workload.Behavior
+module Splitmix = Regionsel_prng.Splitmix
+open Fixtures
+
+let prng () = Splitmix.create ~seed:21L
+
+let decisions spec n =
+  let state = Behavior.make_state spec (prng ()) in
+  List.init n (fun _ -> Behavior.decide state)
+
+let constant_specs () =
+  check_true "always taken" (List.for_all Fun.id (decisions Behavior.Always_taken 50));
+  check_true "never taken" (List.for_all not (decisions Behavior.Never_taken 50))
+
+let loop_sequence () =
+  (* Loop 4: taken three times, not taken once, repeating. *)
+  let expected = [ true; true; true; false; true; true; true; false ] in
+  Alcotest.(check (list bool)) "loop 4 pattern" expected (decisions (Behavior.Loop 4) 8)
+
+let loop_one () =
+  check_true "trip 1 never taken" (List.for_all not (decisions (Behavior.Loop 1) 10))
+
+let loop_invalid () =
+  Alcotest.check_raises "trip 0 rejected"
+    (Invalid_argument "Behavior: Loop trip count must be >= 1") (fun () ->
+      ignore (Behavior.make_state (Behavior.Loop 0) (prng ())))
+
+let pattern_cycles () =
+  let expected = [ true; false; false; true; false; false ] in
+  Alcotest.(check (list bool)) "pattern repeats" expected
+    (decisions (Behavior.Pattern [| true; false; false |]) 6)
+
+let pattern_empty () =
+  Alcotest.check_raises "empty pattern rejected" (Invalid_argument "Behavior: empty pattern")
+    (fun () -> ignore (Behavior.make_state (Behavior.Pattern [||]) (prng ())))
+
+let bernoulli_deterministic () =
+  Alcotest.(check (list bool)) "same seed, same outcomes"
+    (decisions (Behavior.Bernoulli 0.5) 32)
+    (decisions (Behavior.Bernoulli 0.5) 32)
+
+let bernoulli_invalid () =
+  Alcotest.check_raises "p > 1 rejected"
+    (Invalid_argument "Behavior: Bernoulli probability out of range") (fun () ->
+      ignore (Behavior.make_state (Behavior.Bernoulli 1.5) (prng ())))
+
+let phased_switches () =
+  (* Two decisions always-taken, then two never-taken, cycling. *)
+  let spec = Behavior.Phased [ 2, Behavior.Always_taken; 2, Behavior.Never_taken ] in
+  let expected = [ true; true; false; false; true; true; false; false ] in
+  Alcotest.(check (list bool)) "phases cycle" expected (decisions spec 8)
+
+let phased_nested_loop () =
+  let spec = Behavior.Phased [ 3, Behavior.Loop 3; 1, Behavior.Never_taken ] in
+  let expected = [ true; true; false; false; true; true; false; false ] in
+  Alcotest.(check (list bool)) "loop state persists across phases" expected (decisions spec 8)
+
+let phased_invalid () =
+  Alcotest.check_raises "empty phases rejected" (Invalid_argument "Behavior: empty phase list")
+    (fun () -> ignore (Behavior.make_state (Behavior.Phased []) (prng ())))
+
+let round_robin_cycles () =
+  let state = Behavior.make_indirect (Behavior.Round_robin [| 10; 20; 30 |]) (prng ()) in
+  let picks = List.init 7 (fun _ -> Behavior.choose state) in
+  Alcotest.(check (list int)) "round robin order" [ 10; 20; 30; 10; 20; 30; 10 ] picks
+
+let weighted_targets_in_set () =
+  let state =
+    Behavior.make_indirect (Behavior.Weighted_targets [| 10, 1.0; 20, 2.0 |]) (prng ())
+  in
+  for _ = 1 to 500 do
+    let t = Behavior.choose state in
+    check_true "chosen target is known" (t = 10 || t = 20)
+  done
+
+let weighted_rates () =
+  let state =
+    Behavior.make_indirect (Behavior.Weighted_targets [| 10, 1.0; 20, 3.0 |]) (prng ())
+  in
+  let n = 20_000 in
+  let twenties = ref 0 in
+  for _ = 1 to n do
+    if Behavior.choose state = 20 then incr twenties
+  done;
+  let rate = float_of_int !twenties /. float_of_int n in
+  check_true "weighted rate near 0.75" (abs_float (rate -. 0.75) < 0.02)
+
+let empty_targets_rejected () =
+  Alcotest.check_raises "no indirect targets" (Invalid_argument "Behavior: no indirect targets")
+    (fun () -> ignore (Behavior.make_indirect (Behavior.Round_robin [||]) (prng ())))
+
+let pp_spec_smoke () =
+  let render s = Format.asprintf "%a" Behavior.pp_spec s in
+  Alcotest.(check string) "loop" "loop(7)" (render (Behavior.Loop 7));
+  Alcotest.(check string) "pattern" "pattern(TN)" (render (Behavior.Pattern [| true; false |]));
+  check_true "phased mentions inner"
+    (contains ~sub:"loop(3)" (render (Behavior.Phased [ 5, Behavior.Loop 3 ])))
+
+let qcheck_loop_rate =
+  QCheck.Test.make ~name:"Loop n is taken exactly (n-1)/n of the time" ~count:50
+    QCheck.(int_range 1 20)
+    (fun n ->
+      let state = Behavior.make_state (Behavior.Loop n) (prng ()) in
+      let takes = ref 0 in
+      let total = n * 100 in
+      for _ = 1 to total do
+        if Behavior.decide state then incr takes
+      done;
+      !takes = (n - 1) * 100)
+
+let suite =
+  [
+    case "constant specs" constant_specs;
+    case "loop sequence" loop_sequence;
+    case "loop trip 1" loop_one;
+    case "loop invalid" loop_invalid;
+    case "pattern cycles" pattern_cycles;
+    case "pattern empty" pattern_empty;
+    case "bernoulli deterministic" bernoulli_deterministic;
+    case "bernoulli invalid" bernoulli_invalid;
+    case "phased switches" phased_switches;
+    case "phased nested loop" phased_nested_loop;
+    case "phased invalid" phased_invalid;
+    case "round robin cycles" round_robin_cycles;
+    case "weighted targets in set" weighted_targets_in_set;
+    case "weighted rates" weighted_rates;
+    case "empty targets rejected" empty_targets_rejected;
+    case "pp spec" pp_spec_smoke;
+    QCheck_alcotest.to_alcotest qcheck_loop_rate;
+  ]

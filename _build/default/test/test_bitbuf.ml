@@ -1,0 +1,94 @@
+module Bitbuf = Regionsel_core.Bitbuf
+open Fixtures
+
+let roundtrip_bits () =
+  let w = Bitbuf.Writer.create () in
+  let bits = [ true; false; true; true; false; false; true; false; true ] in
+  List.iter (Bitbuf.Writer.add_bit w) bits;
+  check_int "nine bits" 9 (Bitbuf.Writer.length_bits w);
+  check_int "two bytes" 2 (Bitbuf.Writer.byte_length w);
+  let r = Bitbuf.Reader.create (Bitbuf.Writer.contents w) ~n_bits:9 in
+  let back = List.init 9 (fun _ -> Bitbuf.Reader.read_bit r) in
+  Alcotest.(check (list bool)) "bits round-trip" bits back
+
+let roundtrip_codes () =
+  let w = Bitbuf.Writer.create () in
+  List.iter (Bitbuf.Writer.add_bits2 w) [ 0; 1; 2; 3; 3; 0 ];
+  Bitbuf.Writer.add_uint32 w 0xDEADBEEF;
+  Bitbuf.Writer.add_bits2 w 2;
+  let r = Bitbuf.Reader.create (Bitbuf.Writer.contents w) ~n_bits:(Bitbuf.Writer.length_bits w) in
+  Alcotest.(check (list int)) "codes" [ 0; 1; 2; 3; 3; 0 ]
+    (List.init 6 (fun _ -> Bitbuf.Reader.read_bits2 r));
+  check_int "uint32" 0xDEADBEEF (Bitbuf.Reader.read_uint32 r);
+  check_int "trailing code" 2 (Bitbuf.Reader.read_bits2 r);
+  check_int "nothing remains" 0 (Bitbuf.Reader.remaining_bits r)
+
+let out_of_bits () =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.add_bit w true;
+  let r = Bitbuf.Reader.create (Bitbuf.Writer.contents w) ~n_bits:1 in
+  ignore (Bitbuf.Reader.read_bit r);
+  check_true "reading past the end raises"
+    (try
+       ignore (Bitbuf.Reader.read_bit r);
+       false
+     with Bitbuf.Reader.Out_of_bits -> true)
+
+let growth () =
+  let w = Bitbuf.Writer.create () in
+  for i = 0 to 9_999 do
+    Bitbuf.Writer.add_bit w (i mod 3 = 0)
+  done;
+  check_int "ten thousand bits" 10_000 (Bitbuf.Writer.length_bits w);
+  let r = Bitbuf.Reader.create (Bitbuf.Writer.contents w) ~n_bits:10_000 in
+  let ok = ref true in
+  for i = 0 to 9_999 do
+    if Bitbuf.Reader.read_bit r <> (i mod 3 = 0) then ok := false
+  done;
+  check_true "all bits correct after growth" !ok
+
+let padding_is_zero () =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.add_bit w true;
+  let bytes = Bitbuf.Writer.contents w in
+  check_int "single byte" 1 (Bytes.length bytes);
+  check_int "only the top bit set" 0x80 (Char.code (Bytes.get bytes 0))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"arbitrary bit sequences round-trip" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 200) bool)
+    (fun bits ->
+      let w = Bitbuf.Writer.create () in
+      List.iter (Bitbuf.Writer.add_bit w) bits;
+      let r =
+        Bitbuf.Reader.create (Bitbuf.Writer.contents w) ~n_bits:(Bitbuf.Writer.length_bits w)
+      in
+      List.for_all (fun b -> Bitbuf.Reader.read_bit r = b) bits)
+
+let qcheck_uint32_roundtrip =
+  QCheck.Test.make ~name:"uint32 values round-trip at any bit offset" ~count:300
+    QCheck.(pair (int_range 0 15) (int_bound 0x3FFFFFFF))
+    (fun (offset, v) ->
+      let w = Bitbuf.Writer.create () in
+      for _ = 1 to offset do
+        Bitbuf.Writer.add_bit w true
+      done;
+      Bitbuf.Writer.add_uint32 w v;
+      let r =
+        Bitbuf.Reader.create (Bitbuf.Writer.contents w) ~n_bits:(Bitbuf.Writer.length_bits w)
+      in
+      for _ = 1 to offset do
+        ignore (Bitbuf.Reader.read_bit r)
+      done;
+      Bitbuf.Reader.read_uint32 r = v)
+
+let suite =
+  [
+    case "roundtrip bits" roundtrip_bits;
+    case "roundtrip codes" roundtrip_codes;
+    case "out of bits" out_of_bits;
+    case "growth" growth;
+    case "padding is zero" padding_is_zero;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_uint32_roundtrip;
+  ]

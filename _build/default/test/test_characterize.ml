@@ -1,0 +1,52 @@
+module Characterize = Regionsel_workload.Characterize
+module Suite = Regionsel_workload.Suite
+module Spec = Regionsel_workload.Spec
+open Fixtures
+
+let figure4_census () =
+  let c = Characterize.of_image (figure4 ()) in
+  check_int "one function" 1 c.Characterize.n_functions;
+  check_int "nine blocks" 9 c.Characterize.n_blocks;
+  check_int "three conditionals" 3 c.Characterize.n_conditionals;
+  check_int "one unbiased" 1 c.Characterize.n_unbiased;
+  check_int "one loop" 1 c.Characterize.n_loops;
+  check_int "no calls" 0 c.Characterize.n_calls
+
+let figure2_census () =
+  let c = Characterize.of_image (figure2 ()) in
+  check_int "two functions" 2 c.Characterize.n_functions;
+  check_int "one call site" 1 c.Characterize.n_calls;
+  check_int "the call is backward" 1 c.Characterize.n_backward_calls;
+  check_int "one return" 1 c.Characterize.n_returns
+
+let census_consistency_on_suite () =
+  List.iter
+    (fun (s : Spec.t) ->
+      let c = Characterize.of_image (Spec.image s) in
+      check_true (s.Spec.name ^ ": unbiased <= conditionals")
+        (c.Characterize.n_unbiased <= c.Characterize.n_conditionals);
+      check_true (s.Spec.name ^ ": loops <= conditionals")
+        (c.Characterize.n_loops <= c.Characterize.n_conditionals);
+      check_true (s.Spec.name ^ ": backward calls <= calls")
+        (c.Characterize.n_backward_calls <= c.Characterize.n_calls);
+      check_true (s.Spec.name ^ ": several functions") (c.Characterize.n_functions >= 5);
+      check_true (s.Spec.name ^ ": block sizes sane")
+        (c.Characterize.avg_block_size >= 1.0 && c.Characterize.avg_block_size <= 16.0);
+      check_int (s.Spec.name ^ ": row width matches header")
+        (List.length Characterize.header)
+        (List.length (Characterize.row c)))
+    Suite.all
+
+let pp_smoke () =
+  let c = Characterize.of_image (figure2 ()) in
+  let rendered = Format.asprintf "%a" Characterize.pp c in
+  check_true "mentions functions" (contains ~sub:"functions" rendered);
+  check_true "mentions calls" (contains ~sub:"calls" rendered)
+
+let suite =
+  [
+    case "figure4 census" figure4_census;
+    case "figure2 census" figure2_census;
+    case "census consistency on suite" census_consistency_on_suite;
+    case "pp smoke" pp_smoke;
+  ]

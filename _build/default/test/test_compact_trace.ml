@@ -1,0 +1,115 @@
+open Regionsel_isa
+module Compact_trace = Regionsel_core.Compact_trace
+module Region = Regionsel_engine.Region
+module Interp = Regionsel_engine.Interp
+module Image = Regionsel_workload.Image
+open Fixtures
+
+(* Slice real executions into paths: any contiguous run of interpreted
+   blocks is a valid trace, which is exactly what the observers record. *)
+let executed_steps image ~seed ~n =
+  let interp = Interp.create image ~seed in
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else match Interp.step interp with None -> List.rev acc | Some s -> go (s :: acc) (k - 1)
+  in
+  go [] n
+
+let path_of_slice steps =
+  match List.rev steps with
+  | [] -> invalid_arg "empty slice"
+  | last :: _ ->
+    { Region.blocks = List.map (fun s -> s.Interp.block) steps; final_next = last.Interp.next }
+
+let block_starts path = List.map (fun b -> b.Block.start) path.Region.blocks
+
+let roundtrip_path image path =
+  let encoded = Compact_trace.encode path in
+  let decoded = Compact_trace.decode image.Image.program encoded in
+  Alcotest.(check (list int)) "blocks round-trip" (block_starts path) (block_starts decoded);
+  Alcotest.(check (option int)) "final transfer round-trips" path.Region.final_next
+    decoded.Region.final_next
+
+let roundtrip_figure2 () =
+  let image = figure2 ~iters:100 () in
+  let steps = executed_steps image ~seed:3L ~n:200 in
+  let rec slices = function
+    | [] -> ()
+    | steps ->
+      let len = min 17 (List.length steps) in
+      let slice = List.filteri (fun i _ -> i < len) steps in
+      roundtrip_path image (path_of_slice slice);
+      slices (List.filteri (fun i _ -> i >= len) steps)
+  in
+  slices steps
+
+let roundtrip_single_block () =
+  let image = simple_loop ~trip:5 () in
+  let steps = executed_steps image ~seed:1L ~n:1 in
+  roundtrip_path image (path_of_slice steps)
+
+let roundtrip_halting_path () =
+  let image = simple_loop ~trip:3 () in
+  let steps = executed_steps image ~seed:1L ~n:100 in
+  (* The full run ends in a halt: final_next = None. *)
+  let path = path_of_slice steps in
+  check_true "final transfer unknown" (path.Region.final_next = None);
+  roundtrip_path image path
+
+let entry_recorded () =
+  let image = figure4 ~iters:50 () in
+  let steps = executed_steps image ~seed:2L ~n:10 in
+  let path = path_of_slice steps in
+  let encoded = Compact_trace.encode path in
+  check_int "entry is the first block"
+    (List.hd path.Region.blocks).Block.start
+    (Compact_trace.entry encoded)
+
+let size_is_compact () =
+  let image = figure4 ~iters:1000 () in
+  let steps = executed_steps image ~seed:2L ~n:400 in
+  let path = path_of_slice steps in
+  let encoded = Compact_trace.encode path in
+  (* Two bits per branch plus the 34-bit end marker: far below one byte per
+     instruction. *)
+  check_true "encoding is much smaller than the code"
+    (Compact_trace.size_bytes encoded < Region.path_insts path)
+
+let inconsistent_path_rejected () =
+  let image = figure2 ~iters:10 () in
+  let p = image.Image.program in
+  let entry = Program.entry p in
+  let b1 = Program.block_at_exn p entry in
+  (* Claim that b1 transfers to itself, which its terminator cannot do. *)
+  let bogus = { Region.blocks = [ b1; b1 ]; final_next = None } in
+  check_true "encode rejects impossible transfer"
+    (try
+       ignore (Compact_trace.encode bogus);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"random executed slices round-trip" ~count:150
+    QCheck.(pair (int_range 1 60) (pair (int_bound 200) (int_bound 1000)))
+    (fun (len, (skip, seed)) ->
+      let image = figure4 ~iters:5_000 ~p_first:0.5 ~p_second:0.7 () in
+      let steps = executed_steps image ~seed:(Int64.of_int seed) ~n:(skip + len) in
+      if List.length steps <= skip then true
+      else begin
+        let slice = List.filteri (fun i _ -> i >= skip) steps in
+        let path = path_of_slice slice in
+        let decoded = Compact_trace.decode image.Image.program (Compact_trace.encode path) in
+        block_starts decoded = block_starts path
+        && decoded.Region.final_next = path.Region.final_next
+      end)
+
+let suite =
+  [
+    case "roundtrip figure2 slices" roundtrip_figure2;
+    case "roundtrip single block" roundtrip_single_block;
+    case "roundtrip halting path" roundtrip_halting_path;
+    case "entry recorded" entry_recorded;
+    case "size is compact" size_is_compact;
+    case "inconsistent path rejected" inconsistent_path_rejected;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

@@ -1,0 +1,120 @@
+(* Fuzzing the whole stack: random workload programs are generated from a
+   compact genome, executed under every policy, and checked against the
+   global invariants (accounting identities, transparency, region
+   well-formedness, emitter agreement).  Any seed that fails shrinks to a
+   small reproducible genome. *)
+
+
+module Builder = Regionsel_workload.Builder
+module Behavior = Regionsel_workload.Behavior
+module Patterns = Regionsel_workload.Patterns
+module Simulator = Regionsel_engine.Simulator
+module Stats = Regionsel_engine.Stats
+module Region = Regionsel_engine.Region
+module Emitter = Regionsel_engine.Emitter
+module Policies = Regionsel_core.Policies
+open Fixtures
+
+(* A genome is a list of small integers; each entry adds one function with
+   derived shape parameters.  The builder-level derivation keeps every
+   generated program valid by construction. *)
+let image_of_genome genome =
+  let b = Builder.create () in
+  let funcs =
+    List.mapi
+      (fun i gene ->
+        let name = Printf.sprintf "f%d" i in
+        let trip = 3 + (gene mod 37) in
+        (match gene mod 5 with
+        | 0 -> Patterns.leaf b ~name ~size:(2 + (gene mod 7))
+        | 1 -> Patterns.plain_loop b ~name ~trip ~body_blocks:(1 + (gene mod 3)) ~body_size:3
+        | 2 ->
+          Patterns.diamond_loop b ~name ~trip
+            ~diamonds:
+              [ { Patterns.bias = float_of_int (gene mod 10) /. 10.0; side_size = 3 } ]
+        | 3 ->
+          let callees =
+            (* Call one earlier function if any exists. *)
+            if i = 0 then []
+            else [ Printf.sprintf "f%d" (gene mod i) ]
+          in
+          if callees = [] then Patterns.leaf b ~name ~size:4
+          else Patterns.loop_with_calls b ~name ~trip ~callees
+        | _ ->
+          Patterns.nested_loop b ~name ~outer_trip:(1 + (gene mod 6))
+            ~inner_trip:(1 + (gene mod 9))
+            ~body_size:3);
+        name)
+      genome
+  in
+  Patterns.driver b ~name:"main" funcs;
+  Builder.compile b ~name:"fuzz" ~entry:"main"
+
+let genome_gen = QCheck.(list_of_size (Gen.int_range 1 6) (int_bound 1000))
+
+let check_invariants policy_name result =
+  let stats = result.Simulator.stats in
+  let regions = regions_of result in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 regions in
+  let label msg = Printf.sprintf "[%s] %s" policy_name msg in
+  let ok = ref true in
+  let expect msg b =
+    if not b then begin
+      ok := false;
+      print_endline (label msg)
+    end
+  in
+  expect "entries = dispatches + transitions"
+    (sum (fun (r : Region.t) -> r.Region.entries)
+    = stats.Stats.dispatches + stats.Stats.region_transitions);
+  expect "exits = transitions + exits-to-interp"
+    (sum (fun (r : Region.t) -> r.Region.exits)
+    = stats.Stats.region_transitions + stats.Stats.cache_exits_to_interp);
+  expect "cached insts attributed"
+    (sum (fun (r : Region.t) -> r.Region.insts_executed) = stats.Stats.cached_insts);
+  expect "hit rate in range"
+    (Stats.hit_rate stats >= 0.0 && Stats.hit_rate stats <= 1.0);
+  List.iter
+    (fun (r : Region.t) ->
+      expect "entry is a node" (Region.mem_block r r.Region.entry);
+      expect "positive footprint" (r.Region.copied_insts > 0);
+      let e = Emitter.emit r in
+      expect "emitter agrees on instruction count"
+        (Array.length e.Emitter.body = r.Region.copied_insts);
+      expect "emitter agrees on bytes" (Emitter.total_bytes e = Region.cache_bytes r))
+    regions;
+  !ok
+
+let qcheck_all_policies_on_random_programs =
+  QCheck.Test.make ~name:"random programs satisfy all invariants under all policies" ~count:60
+    genome_gen
+    (fun genome ->
+      let image = image_of_genome genome in
+      let reference =
+        let result = run ~seed:5L ~max_steps:15_000 Policies.net image in
+        Stats.total_insts result.Simulator.stats
+      in
+      List.for_all
+        (fun (name, policy) ->
+          let result = run ~seed:5L ~max_steps:15_000 policy image in
+          check_invariants name result
+          && Stats.total_insts result.Simulator.stats = reference)
+        Policies.all)
+
+let qcheck_deterministic_replay =
+  QCheck.Test.make ~name:"random programs replay deterministically" ~count:40 genome_gen
+    (fun genome ->
+      let image = image_of_genome genome in
+      let snap () =
+        let result = run ~seed:13L ~max_steps:10_000 Policies.combined_lei image in
+        ( Stats.total_insts result.Simulator.stats,
+          result.Simulator.stats.Stats.region_transitions,
+          List.map (fun (r : Region.t) -> r.Region.entry) (regions_of result) )
+      in
+      snap () = snap ())
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_all_policies_on_random_programs;
+    QCheck_alcotest.to_alcotest qcheck_deterministic_replay;
+  ]

@@ -1,0 +1,125 @@
+module History_buffer = Regionsel_core.History_buffer
+open Fixtures
+
+let mk ?(capacity = 8) () = History_buffer.create ~capacity
+
+let insert t ?(follows_exit = false) src tgt =
+  History_buffer.insert t ~src ~tgt ~follows_exit
+
+let find_latest () =
+  let t = mk () in
+  ignore (insert t 10 20);
+  ignore (insert t 30 20);
+  match History_buffer.find t 20 with
+  | Some e ->
+    check_int "hash points at latest occurrence" 30 e.History_buffer.src;
+    check_int "sequence of latest" 2 e.History_buffer.seq
+  | None -> Alcotest.fail "expected to find target"
+
+let find_missing () =
+  let t = mk () in
+  ignore (insert t 10 20);
+  check_true "unknown target absent" (History_buffer.find t 99 = None)
+
+let eviction () =
+  let t = mk ~capacity:4 () in
+  ignore (insert t 1 100);
+  for i = 2 to 5 do
+    ignore (insert t i (200 + i))
+  done;
+  check_true "evicted entry no longer found" (History_buffer.find t 100 = None);
+  check_int "length capped at capacity" 4 (History_buffer.length t)
+
+let entries_after_ordering () =
+  let t = mk () in
+  let e1 = insert t 1 10 in
+  ignore (insert t 2 20);
+  ignore (insert t 3 30);
+  let after = History_buffer.entries_after t ~seq:e1.History_buffer.seq in
+  Alcotest.(check (list int)) "entries after in order" [ 20; 30 ]
+    (List.map (fun e -> e.History_buffer.tgt) after)
+
+let truncate_semantics () =
+  let t = mk () in
+  let e1 = insert t 1 10 in
+  ignore (insert t 2 20);
+  ignore (insert t 3 30);
+  History_buffer.truncate_after t ~seq:e1.History_buffer.seq;
+  check_true "later entries gone" (History_buffer.find t 20 = None);
+  check_true "earlier entry survives" (History_buffer.find t 10 <> None);
+  check_int "length reflects truncation" 1 (History_buffer.length t);
+  Alcotest.(check (list int)) "no entries after" []
+    (List.map
+       (fun e -> e.History_buffer.tgt)
+       (History_buffer.entries_after t ~seq:e1.History_buffer.seq))
+
+let reinsert_after_truncate () =
+  let t = mk () in
+  let e1 = insert t 1 10 in
+  ignore (insert t 2 20);
+  History_buffer.truncate_after t ~seq:e1.History_buffer.seq;
+  let e2 = insert t 5 50 in
+  check_int "sequence numbers restart after the cut" (e1.History_buffer.seq + 1)
+    e2.History_buffer.seq;
+  check_true "new entry found" (History_buffer.find t 50 <> None)
+
+let follows_exit_flag () =
+  let t = mk () in
+  ignore (insert t ~follows_exit:true 1 10);
+  match History_buffer.find t 10 with
+  | Some e -> check_true "flag preserved" e.History_buffer.follows_exit
+  | None -> Alcotest.fail "entry missing"
+
+let wraparound_find () =
+  let t = mk ~capacity:3 () in
+  for i = 1 to 10 do
+    ignore (insert t i (i mod 4))
+  done;
+  (* Only the last three entries (i = 8, 9, 10 with tgt 0, 1, 2) are live. *)
+  check_true "recent target found" (History_buffer.find t 1 <> None);
+  check_true "target overwritten in place still latest" (History_buffer.find t 2 <> None);
+  check_true "stale target gone" (History_buffer.find t 3 = None)
+
+let qcheck_window =
+  QCheck.Test.make ~name:"find only returns entries within the window" ~count:200
+    QCheck.(pair (int_range 1 16) (list_of_size (Gen.int_range 1 100) (int_range 0 20)))
+    (fun (capacity, tgts) ->
+      let t = History_buffer.create ~capacity in
+      let n = List.length tgts in
+      List.iteri (fun i tgt -> ignore (insert t i tgt)) tgts;
+      let last_seq = n in
+      List.for_all
+        (fun tgt ->
+          match History_buffer.find t tgt with
+          | None -> true
+          | Some e ->
+            e.History_buffer.tgt = tgt
+            && e.History_buffer.seq > last_seq - capacity
+            && e.History_buffer.seq <= last_seq)
+        tgts)
+
+let qcheck_entries_after_sorted =
+  QCheck.Test.make ~name:"entries_after is sorted by sequence" ~count:200
+    QCheck.(pair (int_range 1 16) (int_range 1 60))
+    (fun (capacity, n) ->
+      let t = History_buffer.create ~capacity in
+      for i = 1 to n do
+        ignore (insert t i (1000 + i))
+      done;
+      let entries = History_buffer.entries_after t ~seq:(n / 2) in
+      let seqs = List.map (fun e -> e.History_buffer.seq) entries in
+      List.sort compare seqs = seqs)
+
+let suite =
+  [
+    case "find latest" find_latest;
+    case "find missing" find_missing;
+    case "eviction" eviction;
+    case "entries_after ordering" entries_after_ordering;
+    case "truncate semantics" truncate_semantics;
+    case "reinsert after truncate" reinsert_after_truncate;
+    case "follows_exit flag" follows_exit_flag;
+    case "wraparound find" wraparound_find;
+    QCheck_alcotest.to_alcotest qcheck_window;
+    QCheck_alcotest.to_alcotest qcheck_entries_after_sorted;
+  ]

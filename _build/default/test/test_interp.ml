@@ -1,0 +1,140 @@
+open Regionsel_isa
+module Builder = Regionsel_workload.Builder
+module Behavior = Regionsel_workload.Behavior
+module Interp = Regionsel_engine.Interp
+open Fixtures
+
+let steps_until_halt ?(cap = 1_000_000) interp =
+  let rec go acc n =
+    if n >= cap then List.rev acc
+    else match Interp.step interp with None -> List.rev acc | Some s -> go (s :: acc) (n + 1)
+  in
+  go [] 0
+
+let straight_line () =
+  let b = Builder.create () in
+  Builder.func b "main";
+  Builder.block b ~size:3 Builder.Fallthrough;
+  Builder.block b ~size:2 Builder.Fallthrough;
+  Builder.block b ~size:1 Builder.Halt;
+  let image = Builder.compile b ~name:"straight" in
+  let interp = Interp.create image ~seed:1L in
+  let steps = steps_until_halt interp in
+  check_int "three blocks executed" 3 (List.length steps);
+  check_true "no taken branches" (List.for_all (fun s -> not s.Interp.taken) steps);
+  check_true "halted" (Interp.step interp = None)
+
+let loop_trip_count () =
+  let image = simple_loop ~trip:7 () in
+  let interp = Interp.create image ~seed:1L in
+  let steps = steps_until_halt interp in
+  (* pre + 7 head executions + halt block. *)
+  check_int "blocks executed" 9 (List.length steps)
+
+let call_return_balance () =
+  let image = figure2 ~iters:50 () in
+  let interp = Interp.create image ~seed:1L in
+  let calls = ref 0 and returns = ref 0 in
+  List.iter
+    (fun s ->
+      match s.Interp.block.Block.term with
+      | Terminator.Call _ | Terminator.Indirect_call -> incr calls
+      | Terminator.Return -> incr returns
+      | _ -> ())
+    (steps_until_halt interp);
+  check_int "calls equal returns" !calls !returns;
+  check_true "at least one call per iteration" (!calls >= 50);
+  check_int "stack empty at halt" 0 (Interp.stack_depth interp)
+
+let determinism () =
+  let run seed =
+    let interp = Interp.create (figure4 ~iters:200 ()) ~seed in
+    List.map (fun s -> s.Interp.block.Block.start) (steps_until_halt interp)
+  in
+  Alcotest.(check (list int)) "same seed same path" (run 3L) (run 3L);
+  check_true "different seeds usually differ" (run 3L <> run 4L)
+
+let return_with_empty_stack_halts () =
+  let b = Builder.create () in
+  Builder.func b "main";
+  Builder.block b ~size:2 Builder.Return;
+  let image = Builder.compile b ~name:"ret" in
+  let interp = Interp.create image ~seed:1L in
+  (match Interp.step interp with
+  | Some s ->
+    check_true "return taken" s.Interp.taken;
+    check_true "no next" (s.Interp.next = None)
+  | None -> Alcotest.fail "expected one step");
+  check_true "halted after" (Interp.step interp = None)
+
+let runaway_recursion_detected () =
+  let b = Builder.create () in
+  Builder.func b "main";
+  Builder.block b ~size:2 (Builder.Call "main");
+  Builder.block b ~size:1 Builder.Halt;
+  let image = Builder.compile b ~name:"recurse" in
+  let interp = Interp.create image ~seed:1L in
+  check_true "runaway stack raises"
+    (try
+       ignore (steps_until_halt interp);
+       false
+     with Interp.Runaway_stack _ -> true)
+
+let indirect_targets_followed () =
+  let b = Builder.create () in
+  Builder.func b "t1";
+  Builder.block b ~size:1 (Builder.Jump "main");
+  Builder.func b "t2";
+  Builder.block b ~size:1 (Builder.Jump "main");
+  Builder.func b "main";
+  Builder.block b ~size:2 (Builder.Indirect_jump (Builder.Round_robin [ "t1"; "t2" ]));
+  let image = Builder.compile b ~name:"ind" ~entry:"main" in
+  let interp = Interp.create image ~seed:1L in
+  let targets = ref [] in
+  for _ = 1 to 8 do
+    match Interp.step interp with
+    | Some s ->
+      if Terminator.is_indirect s.Interp.block.Block.term then
+        targets := Option.get s.Interp.next :: !targets
+    | None -> Alcotest.fail "program should not halt"
+  done;
+  ignore image;
+  let t1 = 0x1000 (* the first declared function sits at the base address *) in
+  check_true "alternates over both targets"
+    (List.exists (fun a -> a = t1) !targets && List.exists (fun a -> a <> t1) !targets)
+
+let taken_flags_match_terminators () =
+  let interp = Interp.create (figure2 ~iters:100 ()) ~seed:5L in
+  List.iter
+    (fun s ->
+      match s.Interp.block.Block.term with
+      | Terminator.Jump _ | Terminator.Call _ | Terminator.Return | Terminator.Indirect_jump
+      | Terminator.Indirect_call -> check_true "unconditional transfers are taken" s.Interp.taken
+      | Terminator.Fallthrough | Terminator.Halt ->
+        check_true "fallthrough never taken" (not s.Interp.taken)
+      | Terminator.Cond _ -> ())
+    (steps_until_halt interp)
+
+let next_is_block_start () =
+  let image = figure4 ~iters:300 () in
+  let p = image.Regionsel_workload.Image.program in
+  let interp = Interp.create image ~seed:9L in
+  List.iter
+    (fun s ->
+      match s.Interp.next with
+      | Some a -> check_true "next is a block start" (Program.is_block_start p a)
+      | None -> ())
+    (steps_until_halt interp)
+
+let suite =
+  [
+    case "straight line" straight_line;
+    case "loop trip count" loop_trip_count;
+    case "call/return balance" call_return_balance;
+    case "determinism" determinism;
+    case "return with empty stack halts" return_with_empty_stack_halts;
+    case "runaway recursion detected" runaway_recursion_detected;
+    case "indirect targets followed" indirect_targets_followed;
+    case "taken flags match terminators" taken_flags_match_terminators;
+    case "next is block start" next_is_block_start;
+  ]

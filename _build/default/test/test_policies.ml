@@ -1,0 +1,173 @@
+(* Scenario tests for the selection policies, encoding the paper's three
+   motivating examples: the interprocedural cycle of Figure 2, the nested
+   loops of Figure 3 and the unbiased branch of Figure 4. *)
+
+module Region = Regionsel_engine.Region
+module Stats = Regionsel_engine.Stats
+module Simulator = Regionsel_engine.Simulator
+module Policies = Regionsel_core.Policies
+open Fixtures
+
+let cyclic = List.filter (fun (r : Region.t) -> r.Region.spans_cycle)
+
+let hot (result : Simulator.result) =
+  (* Regions that executed a meaningful share of the run. *)
+  let total = Stats.total_insts result.Simulator.stats in
+  List.filter
+    (fun (r : Region.t) -> 10 * r.Region.insts_executed > total / 10)
+    (regions_of result)
+
+(* Figure 2: NET cannot span the interprocedural cycle. *)
+
+let net_splits_interprocedural_cycle () =
+  let result = run Policies.net (figure2 ()) in
+  let hot_regions = hot result in
+  check_true "NET needs at least two hot traces" (List.length hot_regions >= 2);
+  check_true "no hot NET trace spans the cycle" (cyclic hot_regions = [])
+
+let lei_spans_interprocedural_cycle () =
+  let result = run Policies.lei (figure2 ()) in
+  match cyclic (hot result) with
+  | [ r ] ->
+    check_true "the cyclic trace includes the callee"
+      (Region.mem_block r 0x1000 (* callee entry, at the base address *));
+    check_true "it includes the loop body" (r.Region.n_nodes >= 3)
+  | [] -> Alcotest.fail "LEI should span the interprocedural cycle"
+  | _ :: _ :: _ -> Alcotest.fail "expected exactly one hot cyclic trace"
+
+let lei_fewer_stubs_on_figure2 () =
+  let stubs policy =
+    List.fold_left (fun acc (r : Region.t) -> acc + r.Region.n_stubs) 0
+      (regions_of (run policy (figure2 ())))
+  in
+  check_true "LEI needs fewer exit stubs" (stubs Policies.lei < stubs Policies.net)
+
+let lei_fewer_transitions_on_figure2 () =
+  let transitions policy =
+    (run policy (figure2 ())).Simulator.stats.Stats.region_transitions
+  in
+  check_true "LEI transitions well below NET"
+    (transitions Policies.lei * 2 < transitions Policies.net)
+
+(* Figure 3: nested loops.  NET duplicates the inner loop in the outer
+   trace; LEI stops at the existing inner region. *)
+
+let inner_addr = 0x1005 (* entry(2) + a(3) *)
+
+let net_duplicates_inner_loop () =
+  let result = run Policies.net (figure3 ()) in
+  let containing =
+    List.filter (fun r -> Region.mem_block r inner_addr) (regions_of result)
+  in
+  check_true "inner block appears in several NET traces" (List.length containing >= 2)
+
+let lei_avoids_inner_duplication () =
+  let result = run Policies.lei (figure3 ()) in
+  let containing =
+    List.filter (fun r -> Region.mem_block r inner_addr) (regions_of result)
+  in
+  check_int "inner block selected exactly once" 1 (List.length containing)
+
+let lei_less_expansion_on_figure3 () =
+  let expansion policy =
+    List.fold_left (fun acc (r : Region.t) -> acc + r.Region.copied_insts) 0
+      (regions_of (run policy (figure3 ())))
+  in
+  check_true "LEI copies fewer instructions" (expansion Policies.lei < expansion Policies.net)
+
+(* Figure 4: the unbiased branch.  Trace combination merges both sides into
+   one region; plain NET duplicates the tail. *)
+
+let net_duplicates_tail_on_figure4 () =
+  let result = run Policies.net (figure4 ()) in
+  (* The biased branch's block D (0x100c) is duplicated across traces. *)
+  let containing = List.filter (fun r -> Region.mem_block r 0x100d) (regions_of result) in
+  check_true "tail duplicated by NET" (List.length containing >= 2)
+
+let combined_net_merges_figure4 () =
+  let result = run Policies.combined_net (figure4 ()) in
+  let merged =
+    List.filter
+      (fun (r : Region.t) ->
+        r.Region.kind = Region.Combined
+        && Region.mem_block r 0x1005 (* b *)
+        && Region.mem_block r 0x1009 (* c *)
+        && Region.mem_block r 0x100d (* d *))
+      (regions_of result)
+  in
+  check_true "one region holds both unbiased arms and the join" (merged <> []);
+  let r = List.hd merged in
+  check_true "the region also spans the loop" r.Region.spans_cycle
+
+let combined_net_fewer_transitions_on_figure4 () =
+  let transitions policy = (run policy (figure4 ())).Simulator.stats.Stats.region_transitions in
+  check_true "combination removes most transitions"
+    (transitions Policies.combined_net * 2 < transitions Policies.net)
+
+let combination_keeps_dominant_path_single () =
+  (* With a heavily biased branch there is a single dominant path, and the
+     combined region should not include the cold arm. *)
+  let image = figure4 ~p_first:0.01 ~p_second:0.99 () in
+  let result = run Policies.combined_net image in
+  let combined =
+    List.filter (fun (r : Region.t) -> r.Region.kind = Region.Combined) (regions_of result)
+  in
+  check_true "a combined region exists" (combined <> []);
+  let r = List.hd combined in
+  check_true "cold arm excluded" (not (Region.mem_block r 0x1009 (* c: the 1% arm *)))
+
+(* Registry *)
+
+let registry_names () =
+  let names = List.map fst Policies.all in
+  check_int "seven policies" 7 (List.length names);
+  check_int "no duplicate names" 7 (List.length (List.sort_uniq compare names));
+  check_true "paper subset" (List.length Policies.paper = 4);
+  List.iter (fun n -> check_true ("find " ^ n) (Policies.find n <> None)) names;
+  check_true "unknown name" (Policies.find "nope" = None)
+
+let all_policies_run_everywhere () =
+  List.iter
+    (fun (name, policy) ->
+      List.iter
+        (fun image ->
+          let result = run ~max_steps:30_000 policy image in
+          check_true (name ^ " executed something") (Stats.total_insts result.Simulator.stats > 0))
+        [ figure2 (); figure3 (); figure4 (); simple_loop () ])
+    Policies.all
+
+(* Related-work policies. *)
+
+let mojo_selects_exit_traces_sooner () =
+  let image = figure4 ~p_first:0.5 () in
+  let n_regions policy = List.length (regions_of (run ~max_steps:6_000 policy image)) in
+  check_true "mojo selects at least as many traces early"
+    (n_regions Policies.mojo >= n_regions Policies.net)
+
+let boa_follows_bias () =
+  let image = figure4 ~p_first:0.9 ~p_second:0.9 () in
+  let result = run Policies.boa image in
+  (* BOA's first trace from the loop head should follow the taken (90%)
+     directions: blocks C and F, not B and E. *)
+  let r = List.hd (regions_of result) in
+  check_true "follows majority at the unbiased split" (Region.mem_block r 0x1009);
+  check_true "skips the minority arm" (not (Region.mem_block r 0x1005))
+
+let suite =
+  [
+    case "figure2: NET splits the cycle" net_splits_interprocedural_cycle;
+    case "figure2: LEI spans the cycle" lei_spans_interprocedural_cycle;
+    case "figure2: LEI fewer stubs" lei_fewer_stubs_on_figure2;
+    case "figure2: LEI fewer transitions" lei_fewer_transitions_on_figure2;
+    case "figure3: NET duplicates inner loop" net_duplicates_inner_loop;
+    case "figure3: LEI avoids duplication" lei_avoids_inner_duplication;
+    case "figure3: LEI less expansion" lei_less_expansion_on_figure3;
+    case "figure4: NET duplicates tail" net_duplicates_tail_on_figure4;
+    case "figure4: combined NET merges arms" combined_net_merges_figure4;
+    case "figure4: combined NET fewer transitions" combined_net_fewer_transitions_on_figure4;
+    case "combination keeps dominant path single" combination_keeps_dominant_path_single;
+    case "registry names" registry_names;
+    case "all policies run everywhere" all_policies_run_everywhere;
+    case "mojo selects exit traces sooner" mojo_selects_exit_traces_sooner;
+    case "boa follows bias" boa_follows_bias;
+  ]

@@ -1,0 +1,141 @@
+module Splitmix = Regionsel_prng.Splitmix
+open Fixtures
+
+let stream g n = List.init n (fun _ -> Splitmix.next_int64 g)
+
+let determinism () =
+  let a = Splitmix.create ~seed:42L and b = Splitmix.create ~seed:42L in
+  Alcotest.(check (list int64)) "same seed, same stream" (stream a 32) (stream b 32)
+
+let seeds_differ () =
+  let a = Splitmix.create ~seed:1L and b = Splitmix.create ~seed:2L in
+  check_true "different seeds diverge" (stream a 8 <> stream b 8)
+
+let copy_independent () =
+  let a = Splitmix.create ~seed:5L in
+  let b = Splitmix.copy a in
+  let sa = stream a 16 in
+  let sb = stream b 16 in
+  Alcotest.(check (list int64)) "copy replays the same future" sa sb
+
+let split_diverges () =
+  let a = Splitmix.create ~seed:5L in
+  let b = Splitmix.split a in
+  check_true "split stream differs from parent" (stream a 8 <> stream b 8)
+
+let split_deterministic () =
+  let mk () =
+    let g = Splitmix.create ~seed:9L in
+    let h = Splitmix.split g in
+    stream h 8
+  in
+  Alcotest.(check (list int64)) "split is deterministic" (mk ()) (mk ())
+
+let int_bounds () =
+  let g = Splitmix.create ~seed:3L in
+  for _ = 1 to 1_000 do
+    let v = Splitmix.int g 17 in
+    check_true "int in bounds" (v >= 0 && v < 17)
+  done
+
+let int_one () =
+  let g = Splitmix.create ~seed:3L in
+  check_int "bound 1 always 0" 0 (Splitmix.int g 1)
+
+let float_range () =
+  let g = Splitmix.create ~seed:3L in
+  for _ = 1 to 1_000 do
+    let v = Splitmix.float g in
+    check_true "float in [0,1)" (v >= 0.0 && v < 1.0)
+  done
+
+let bernoulli_extremes () =
+  let g = Splitmix.create ~seed:3L in
+  for _ = 1 to 100 do
+    check_true "p=1 always true" (Splitmix.bernoulli g ~p:1.0);
+    check_true "p=0 always false" (not (Splitmix.bernoulli g ~p:0.0))
+  done
+
+let bernoulli_rate () =
+  let g = Splitmix.create ~seed:11L in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Splitmix.bernoulli g ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check_true "empirical rate near 0.3" (abs_float (rate -. 0.3) < 0.02)
+
+let categorical_range () =
+  let g = Splitmix.create ~seed:3L in
+  let weights = [| 1.0; 2.0; 3.0 |] in
+  for _ = 1 to 1_000 do
+    let i = Splitmix.categorical g ~weights in
+    check_true "index in range" (i >= 0 && i < 3)
+  done
+
+let categorical_rates () =
+  let g = Splitmix.create ~seed:13L in
+  let weights = [| 1.0; 3.0 |] in
+  let counts = [| 0; 0 |] in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let i = Splitmix.categorical g ~weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let rate1 = float_of_int counts.(1) /. float_of_int n in
+  check_true "weighted rate near 0.75" (abs_float (rate1 -. 0.75) < 0.02)
+
+let categorical_zero_weight () =
+  let g = Splitmix.create ~seed:3L in
+  let weights = [| 0.0; 1.0; 0.0 |] in
+  for _ = 1 to 200 do
+    check_int "zero-weight entries never drawn" 1 (Splitmix.categorical g ~weights)
+  done
+
+let bool_balanced () =
+  let g = Splitmix.create ~seed:17L in
+  let n = 20_000 in
+  let trues = ref 0 in
+  for _ = 1 to n do
+    if Splitmix.bool g then incr trues
+  done;
+  let rate = float_of_int !trues /. float_of_int n in
+  check_true "bool near fair" (abs_float (rate -. 0.5) < 0.02)
+
+let qcheck_int_bounds =
+  QCheck.Test.make ~name:"int g bound stays in [0, bound)" ~count:500
+    QCheck.(pair (int_bound 1_000_000) small_int)
+    (fun (seed, bound) ->
+      let bound = max 1 bound in
+      let g = Splitmix.create ~seed:(Int64.of_int seed) in
+      let v = Splitmix.int g bound in
+      v >= 0 && v < bound)
+
+let qcheck_bits30 =
+  QCheck.Test.make ~name:"bits30 stays below 2^30" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = Splitmix.create ~seed:(Int64.of_int seed) in
+      let v = Splitmix.bits30 g in
+      v >= 0 && v < 0x4000_0000)
+
+let suite =
+  [
+    case "determinism" determinism;
+    case "seeds differ" seeds_differ;
+    case "copy independent" copy_independent;
+    case "split diverges" split_diverges;
+    case "split deterministic" split_deterministic;
+    case "int bounds" int_bounds;
+    case "int bound 1" int_one;
+    case "float range" float_range;
+    case "bernoulli extremes" bernoulli_extremes;
+    case "bernoulli rate" bernoulli_rate;
+    case "categorical range" categorical_range;
+    case "categorical rates" categorical_rates;
+    case "categorical zero weight" categorical_zero_weight;
+    case "bool balanced" bool_balanced;
+    QCheck_alcotest.to_alcotest qcheck_int_bounds;
+    QCheck_alcotest.to_alcotest qcheck_bits30;
+  ]

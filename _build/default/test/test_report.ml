@@ -1,0 +1,49 @@
+module Table = Regionsel_report.Table
+module Barchart = Regionsel_report.Barchart
+open Fixtures
+
+let table_layout () =
+  let rendered =
+    Table.render ~header:[ "name"; "value" ] [ [ "a"; "1" ]; [ "long-name"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' rendered in
+  check_int "header + rule + two rows" 4 (List.length lines);
+  let widths = List.map String.length lines in
+  check_true "all lines same width" (List.sort_uniq compare widths |> List.length = 1);
+  check_true "contains the rule" (List.exists (fun l -> contains ~sub:"---" l) lines)
+
+let table_alignment () =
+  let rendered = Table.render ~header:[ "k"; "v" ] [ [ "a"; "1" ]; [ "b"; "10" ] ] in
+  check_true "numbers right-aligned" (contains ~sub:" 1\n" (rendered ^ "\n"))
+
+let table_ragged_rows () =
+  let rendered = Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ]; [ "y"; "z" ] ] in
+  check_true "ragged rows padded" (String.length rendered > 0)
+
+let table_formatters () =
+  Alcotest.(check string) "fmt_pct" "98.3%" (Table.fmt_pct 0.9831);
+  Alcotest.(check string) "fmt_ratio" "0.82x" (Table.fmt_ratio 0.82);
+  Alcotest.(check string) "fmt_float" "1.50" (Table.fmt_float 2 1.5)
+
+let bar_widths () =
+  Alcotest.(check string) "zero max gives empty bar" "" (Barchart.bar ~width:10 ~max:0.0 5.0);
+  let full = Barchart.bar ~width:4 ~max:1.0 1.0 in
+  let half = Barchart.bar ~width:4 ~max:1.0 0.5 in
+  check_true "full bar longer than half bar" (String.length full > String.length half);
+  Alcotest.(check string) "overflow clamped" full (Barchart.bar ~width:4 ~max:1.0 7.0)
+
+let chart_contains_labels () =
+  let rendered = Barchart.chart ~title:"t" [ "alpha", 1.0; "beta", 0.25 ] in
+  check_true "title present" (contains ~sub:"t" rendered);
+  check_true "labels present" (contains ~sub:"alpha" rendered && contains ~sub:"beta" rendered);
+  check_true "values printed" (contains ~sub:"0.250" rendered)
+
+let suite =
+  [
+    case "table layout" table_layout;
+    case "table alignment" table_alignment;
+    case "table ragged rows" table_ragged_rows;
+    case "table formatters" table_formatters;
+    case "bar widths" bar_widths;
+    case "chart contains labels" chart_contains_labels;
+  ]

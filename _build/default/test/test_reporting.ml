@@ -1,0 +1,68 @@
+(* Coverage for the reporting layer: per-region profiles, the metric
+   pretty-printer and the cover-set target parameter. *)
+
+module Region_profile = Regionsel_metrics.Region_profile
+module Run_metrics = Regionsel_metrics.Run_metrics
+module Cover = Regionsel_metrics.Cover
+module Region = Regionsel_engine.Region
+module Policies = Regionsel_core.Policies
+open Fixtures
+
+let profiles_ordered_by_share () =
+  let result = run Policies.net (figure4 ()) in
+  let profiles = Region_profile.of_result result in
+  check_true "profiles exist" (profiles <> []);
+  let shares = List.map (fun p -> p.Region_profile.exec_share) profiles in
+  check_true "sorted hottest first" (List.sort (fun a b -> compare b a) shares = shares);
+  check_true "shares within [0,1]" (List.for_all (fun s -> s >= 0.0 && s <= 1.0) shares);
+  check_true "total share below one" (List.fold_left ( +. ) 0.0 shares <= 1.0 +. 1e-9)
+
+let profile_routes_match_exits () =
+  let result = run Policies.net (figure4 ()) in
+  List.iter
+    (fun p ->
+      let total_routes =
+        List.fold_left (fun acc r -> acc + r.Region_profile.count) 0 p.Region_profile.routes
+      in
+      check_int "route counts sum to the region's exits" p.Region_profile.region.Region.exits
+        total_routes;
+      match p.Region_profile.routes with
+      | a :: b :: _ -> check_true "routes sorted by frequency" (a.Region_profile.count >= b.Region_profile.count)
+      | _ -> ())
+    (Region_profile.of_result result)
+
+let profile_pp_smoke () =
+  let result = run Policies.lei (figure2 ()) in
+  match Region_profile.of_result result with
+  | p :: _ ->
+    let rendered = Format.asprintf "%a" Region_profile.pp p in
+    check_true "mentions execution share" (contains ~sub:"of execution" rendered)
+  | [] -> Alcotest.fail "expected profiles"
+
+let run_metrics_pp_smoke () =
+  let m = Run_metrics.of_result (run Policies.net (figure2 ())) in
+  let rendered = Format.asprintf "%a" Run_metrics.pp m in
+  check_true "mentions hit rate" (contains ~sub:"hit_rate" rendered);
+  check_true "mentions cover" (contains ~sub:"cover90" rendered)
+
+let cover_target_parameter () =
+  let result = run Policies.net (figure4 ()) in
+  let cover x = (Run_metrics.of_result ~x result).Run_metrics.cover_90 in
+  check_true "tighter targets need at least as many regions" (cover 0.5 <= cover 0.95)
+
+let unachievable_cover_flagged () =
+  (* A tiny budget leaves most execution interpreted: 99% coverage is
+     unachievable from the cache. *)
+  let result = run ~max_steps:3_000 Policies.net (figure4 ()) in
+  let m = Run_metrics.of_result ~x:0.99 result in
+  check_true "flagged as unachievable" (not m.Run_metrics.cover_90_achievable)
+
+let suite =
+  [
+    case "profiles ordered by share" profiles_ordered_by_share;
+    case "profile routes match exits" profile_routes_match_exits;
+    case "profile pp smoke" profile_pp_smoke;
+    case "run metrics pp smoke" run_metrics_pp_smoke;
+    case "cover target parameter" cover_target_parameter;
+    case "unachievable cover flagged" unachievable_cover_flagged;
+  ]

@@ -1,0 +1,122 @@
+(* Integration tests of the full simulator loop, including the global
+   accounting invariants that tie regions, stats and the edge profile
+   together. *)
+
+module Simulator = Regionsel_engine.Simulator
+module Stats = Regionsel_engine.Stats
+module Region = Regionsel_engine.Region
+module Context = Regionsel_engine.Context
+module Counters = Regionsel_engine.Counters
+module Params = Regionsel_engine.Params
+module Edge_profile = Regionsel_engine.Edge_profile
+module Policies = Regionsel_core.Policies
+open Fixtures
+
+let sum f regions = List.fold_left (fun acc r -> acc + f r) 0 regions
+
+let accounting_invariants result =
+  let stats = result.Simulator.stats in
+  let regions = regions_of result in
+  let entries = sum (fun (r : Region.t) -> r.Region.entries) regions in
+  let exits = sum (fun (r : Region.t) -> r.Region.exits) regions in
+  let cached = sum (fun (r : Region.t) -> r.Region.insts_executed) regions in
+  check_int "entries = dispatches + transitions"
+    (stats.Stats.dispatches + stats.Stats.region_transitions)
+    entries;
+  check_int "exits = transitions + exits-to-interpreter"
+    (stats.Stats.region_transitions + stats.Stats.cache_exits_to_interp
+    + if result.Simulator.halted then 0 else 0)
+    exits;
+  check_int "cached instructions attributed to regions" stats.Stats.cached_insts cached;
+  check_int "installs match cache contents" stats.Stats.installs (List.length regions);
+  check_int "total = interpreted + cached" (Stats.total_insts stats)
+    (stats.Stats.interpreted_insts + stats.Stats.cached_insts)
+
+let invariants_hold_for_all_policies () =
+  List.iter
+    (fun (_, policy) ->
+      List.iter
+        (fun image -> accounting_invariants (run ~max_steps:60_000 policy image))
+        [ figure2 (); figure3 (); figure4 () ])
+    Policies.all
+
+let hot_loop_mostly_cached () =
+  let result = run Policies.net (simple_loop ~trip:50_000 ()) in
+  check_true "hit rate above 99%" (Stats.hit_rate result.Simulator.stats > 0.99)
+
+let budget_respected () =
+  let result = run ~max_steps:1_234 Policies.net (simple_loop ~trip:1_000_000 ()) in
+  check_int "stops at the step budget" 1_234 result.Simulator.stats.Stats.steps;
+  check_true "did not halt" (not result.Simulator.halted)
+
+let halting_program_halts () =
+  let result = run ~max_steps:1_000_000 Policies.net (simple_loop ~trip:100 ()) in
+  check_true "halted" result.Simulator.halted;
+  check_true "ran fewer steps than budget" (result.Simulator.stats.Stats.steps < 1_000_000)
+
+let determinism () =
+  let snap () =
+    let r = run ~seed:99L Policies.combined_lei (figure4 ()) in
+    ( r.Simulator.stats.Stats.steps,
+      r.Simulator.stats.Stats.cached_insts,
+      r.Simulator.stats.Stats.region_transitions,
+      List.map (fun (x : Region.t) -> x.Region.entry) (regions_of r) )
+  in
+  check_true "identical reruns" (snap () = snap ())
+
+let cycle_counting_on_simple_loop () =
+  let result = run Policies.net (simple_loop ~trip:50_000 ()) in
+  match regions_of result with
+  | [ r ] ->
+    check_true "trace spans the loop" r.Region.spans_cycle;
+    check_true "most iterations stay in the region" (r.Region.cycle_iters > 40_000)
+  | other -> Alcotest.failf "expected exactly one region, got %d" (List.length other)
+
+let no_selection_below_threshold () =
+  (* A loop that runs fewer iterations than the NET threshold never gets a
+     region. *)
+  let result = run Policies.net (simple_loop ~trip:40 ()) in
+  check_int "nothing selected" 0 (List.length (regions_of result));
+  check_int "nothing cached" 0 result.Simulator.stats.Stats.cached_insts
+
+let selection_at_threshold () =
+  let result = run Policies.net (simple_loop ~trip:60 ()) in
+  check_int "one region at threshold" 1 (List.length (regions_of result))
+
+let lower_threshold_selects_earlier () =
+  let params = { Params.default with Params.net_threshold = 10 } in
+  let result = run ~params Policies.net (simple_loop ~trip:40 ()) in
+  check_int "selected with lower threshold" 1 (List.length (regions_of result))
+
+let edge_profile_covers_execution () =
+  let result = run Policies.net (figure2 ()) in
+  let total_edges =
+    Edge_profile.fold (fun ~src:_ ~dst:_ count acc -> acc + count) result.Simulator.edges 0
+  in
+  (* Every step except the final halt records exactly one edge. *)
+  check_int "one edge per step" (result.Simulator.stats.Stats.steps - 1) total_edges
+
+let counters_recycled () =
+  let result = run Policies.net (simple_loop ~trip:50_000 ()) in
+  let counters = result.Simulator.ctx.Context.counters in
+  (* The loop-head counter is recycled at selection; the only counter that
+     can remain live is the one allocated for the loop's final exit target
+     when the program leaves the cache to halt. *)
+  check_true "at most the exit-target counter left" (Counters.live counters <= 1);
+  check_int "never more than one counter at a time" 1 (Counters.high_water counters);
+  check_int "two allocations in total" 2 (Counters.total_allocations counters)
+
+let suite =
+  [
+    case "accounting invariants (all policies)" invariants_hold_for_all_policies;
+    case "hot loop mostly cached" hot_loop_mostly_cached;
+    case "budget respected" budget_respected;
+    case "halting program halts" halting_program_halts;
+    case "determinism" determinism;
+    case "cycle counting on simple loop" cycle_counting_on_simple_loop;
+    case "no selection below threshold" no_selection_below_threshold;
+    case "selection at threshold" selection_at_threshold;
+    case "lower threshold selects earlier" lower_threshold_selects_earlier;
+    case "edge profile covers execution" edge_profile_covers_execution;
+    case "counters recycled" counters_recycled;
+  ]

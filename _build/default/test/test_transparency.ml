@@ -1,0 +1,104 @@
+(* The defining property of a dynamic optimization system: it must not
+   change what the program computes.  In simulator terms, for a fixed seed
+   and step budget, the executed instruction stream is identical no matter
+   which policy runs, which regions are selected, or how the cache is
+   bounded — only the interpreted/cached split may differ. *)
+
+module Simulator = Regionsel_engine.Simulator
+module Stats = Regionsel_engine.Stats
+module Params = Regionsel_engine.Params
+module Policy = Regionsel_engine.Policy
+module Policies = Regionsel_core.Policies
+module Suite = Regionsel_workload.Suite
+module Spec = Regionsel_workload.Spec
+open Fixtures
+
+(* A policy that never selects anything: pure interpretation. *)
+module Null_policy : Policy.S = struct
+  type t = unit
+
+  let name = "null"
+  let create _ = ()
+  let handle () _ = Policy.No_action
+end
+
+let null : (module Policy.S) = (module Null_policy)
+
+let fingerprint ?params image =
+  let result = run ?params ~seed:11L ~max_steps:50_000 null image in
+  ( result.Simulator.stats.Stats.steps,
+    Stats.total_insts result.Simulator.stats,
+    result.Simulator.stats.Stats.taken_branches )
+
+let fingerprint_of ?params policy image =
+  let result = run ?params ~seed:11L ~max_steps:50_000 policy image in
+  ( result.Simulator.stats.Stats.steps,
+    Stats.total_insts result.Simulator.stats,
+    result.Simulator.stats.Stats.taken_branches )
+
+let null_policy_never_caches () =
+  let result = run null (figure4 ()) in
+  check_int "nothing cached" 0 result.Simulator.stats.Stats.cached_insts;
+  check_int "nothing installed" 0 result.Simulator.stats.Stats.installs
+
+let policies_are_transparent_on_scenarios () =
+  List.iter
+    (fun image ->
+      let reference = fingerprint image in
+      List.iter
+        (fun (name, policy) ->
+          check_true
+            (Printf.sprintf "%s executes the same stream" name)
+            (fingerprint_of policy image = reference))
+        Policies.all)
+    [ figure2 (); figure3 (); figure4 (); simple_loop () ]
+
+let policies_are_transparent_on_suite () =
+  List.iter
+    (fun (s : Spec.t) ->
+      let image = Spec.image s in
+      let reference = fingerprint image in
+      List.iter
+        (fun (name, policy) ->
+          check_true
+            (Printf.sprintf "%s/%s executes the same stream" s.Spec.name name)
+            (fingerprint_of policy image = reference))
+        Policies.paper)
+    Suite.all
+
+let bounded_cache_is_transparent () =
+  let image = figure4 () in
+  let reference = fingerprint image in
+  List.iter
+    (fun eviction ->
+      let params =
+        { Params.default with Params.cache_capacity_bytes = Some 150; cache_eviction = eviction }
+      in
+      check_true "eviction does not perturb execution"
+        (fingerprint_of ~params Policies.net image = reference))
+    [ Params.Flush_all; Params.Evict_oldest ]
+
+let transparency_across_seeds () =
+  (* Different seeds produce different streams, but each seed's stream is
+     policy-invariant. *)
+  List.iter
+    (fun seed ->
+      let fp policy =
+        let result = run ~seed ~max_steps:40_000 policy (figure4 ()) in
+        Stats.total_insts result.Simulator.stats
+      in
+      let reference = fp null in
+      List.iter
+        (fun (name, policy) ->
+          check_true (Printf.sprintf "seed-stable under %s" name) (fp policy = reference))
+        Policies.paper)
+    [ 1L; 2L; 3L ]
+
+let suite =
+  [
+    case "null policy never caches" null_policy_never_caches;
+    case "policies are transparent (scenarios)" policies_are_transparent_on_scenarios;
+    case "policies are transparent (suite)" policies_are_transparent_on_suite;
+    case "bounded cache is transparent" bounded_cache_is_transparent;
+    case "transparency across seeds" transparency_across_seeds;
+  ]

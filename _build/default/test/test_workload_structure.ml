@@ -1,0 +1,173 @@
+(* Structural guards for the synthetic SPECint2000 stand-ins: each
+   benchmark's characteristic mechanism (the thing its paper outlier
+   depends on) is asserted directly against the compiled program, so
+   workload tuning cannot silently destroy it. *)
+
+open Regionsel_isa
+module Suite = Regionsel_workload.Suite
+module Spec = Regionsel_workload.Spec
+module Image = Regionsel_workload.Image
+open Fixtures
+
+let program name = (Spec.image (Option.get (Suite.find name))).Image.program
+
+let count_blocks p pred =
+  let n = ref 0 in
+  Program.iter_blocks (fun b -> if pred b then incr n) p;
+  !n
+
+let backward_call_targets p =
+  let acc = ref Addr.Set.empty in
+  Program.iter_blocks
+    (fun b ->
+      match b.Block.term with
+      | Terminator.Call tgt when Addr.is_backward ~src:(Block.last b) ~tgt ->
+        acc := Addr.Set.add tgt !acc
+      | _ -> ())
+    p;
+  !acc
+
+let mcf_cycle_exceeds_lei_buffer () =
+  (* The refresh-basis walk must take more taken branches per iteration
+     than the 500-entry history buffer: count its jump-chain blocks. *)
+  let p = program "mcf" in
+  let chain_jumps =
+    count_blocks p (fun b ->
+        match b.Block.term with
+        | Terminator.Jump tgt -> Addr.is_backward ~src:(Block.last b) ~tgt || b.Block.size = 1
+        | _ -> false)
+  in
+  check_true
+    (Printf.sprintf "mcf chain has %d single-instruction jumps (> 500 needed)" chain_jumps)
+    (chain_jumps > 500)
+
+let eon_constructors_have_many_callers () =
+  let p = program "eon" in
+  (* The three constructor leaves sit at the lowest addresses; count their
+     distinct call sites. *)
+  let ctor_calls =
+    count_blocks p (fun b ->
+        match b.Block.term with
+        | Terminator.Call tgt -> tgt < 0x1020
+        | _ -> false)
+  in
+  check_true
+    (Printf.sprintf "eon constructors called from %d sites (>= 24 needed)" ctor_calls)
+    (ctor_calls >= 24)
+
+let gcc_is_the_widest () =
+  let blocks name = Program.n_blocks (program name) in
+  List.iter
+    (fun other ->
+      check_true (Printf.sprintf "gcc (%d) wider than %s (%d)" (blocks "gcc") other (blocks other))
+        (blocks "gcc" > 2 * blocks other))
+    [ "gzip"; "crafty"; "twolf"; "parser" ]
+
+let perlbmk_has_wide_dispatch () =
+  let p = program "perlbmk" in
+  let image = Spec.image (Option.get (Suite.find "perlbmk")) in
+  let widest = ref 0 in
+  Program.iter_blocks
+    (fun b ->
+      match b.Block.term with
+      | Terminator.Indirect_jump -> (
+        match Image.indirect_spec image (Block.last b) with
+        | Regionsel_workload.Behavior.Weighted_targets ts ->
+          widest := max !widest (Array.length ts)
+        | Regionsel_workload.Behavior.Round_robin ts -> widest := max !widest (Array.length ts))
+      | _ -> ())
+    p;
+  check_true
+    (Printf.sprintf "perlbmk dispatch fans out to %d targets (>= 12 needed)" !widest)
+    (!widest >= 12)
+
+let twolf_has_unbiased_hot_branches () =
+  let image = Spec.image (Option.get (Suite.find "twolf")) in
+  let p = image.Image.program in
+  let unbiased = ref 0 in
+  Program.iter_blocks
+    (fun b ->
+      match b.Block.term with
+      | Terminator.Cond _ -> (
+        match Image.cond_spec image (Block.last b) with
+        | Regionsel_workload.Behavior.Bernoulli x when x = 0.5 -> incr unbiased
+        | _ -> ())
+      | _ -> ())
+    p;
+  check_true
+    (Printf.sprintf "twolf has %d unbiased conditionals (>= 3 needed)" !unbiased)
+    (!unbiased >= 3)
+
+let crafty_hot_loops_are_call_free () =
+  (* crafty's character: every direct call is the driver's (main sits at
+     the highest addresses); no kernel function calls another, so no hot
+     cycle is interprocedural. *)
+  let p = program "crafty" in
+  let entry = Program.entry p in
+  let calls_outside_main =
+    count_blocks p (fun b ->
+        match b.Block.term with
+        | Terminator.Call _ -> b.Block.start < entry
+        | _ -> false)
+  in
+  check_int "no calls outside the driver" 0 calls_outside_main
+
+let bzip2_sorts_call_helpers () =
+  let p = program "bzip2" in
+  check_true "bzip2 hot loops call comparison helpers"
+    (Addr.Set.cardinal (backward_call_targets p) >= 2)
+
+let every_benchmark_has_cold_pool () =
+  List.iter
+    (fun (s : Spec.t) ->
+      let image = Spec.image s in
+      let has_indirect_call =
+        count_blocks image.Image.program (fun b ->
+            Terminator.equal b.Block.term Terminator.Indirect_call)
+        > 0
+      in
+      check_true (s.Spec.name ^ " has a cold pool or indirect calls")
+        (has_indirect_call || s.Spec.name = "eon"))
+    Suite.all
+
+let gcc_uses_phase_behaviour () =
+  let image = Spec.image (Option.get (Suite.find "gcc")) in
+  let p = image.Image.program in
+  let phased = ref 0 in
+  Program.iter_blocks
+    (fun b ->
+      match b.Block.term with
+      | Terminator.Cond _ -> (
+        match Image.cond_spec image (Block.last b) with
+        | Regionsel_workload.Behavior.Phased _ -> incr phased
+        | _ -> ())
+      | _ -> ())
+    p;
+  check_true
+    (Printf.sprintf "gcc has %d phase-flipping branches (>= 10 needed)" !phased)
+    (!phased >= 10)
+
+let all_programs_halt_free_within_budget () =
+  (* The drivers loop forever: no benchmark may halt inside its default
+     budget, or the metrics would mix complete and partial runs. *)
+  List.iter
+    (fun (s : Spec.t) ->
+      let result =
+        run ~max_steps:50_000 Regionsel_core.Policies.net (Spec.image s)
+      in
+      check_true (s.Spec.name ^ " still running") (not result.Fixtures.Simulator.halted))
+    Suite.all
+
+let suite =
+  [
+    case "mcf cycle exceeds LEI buffer" mcf_cycle_exceeds_lei_buffer;
+    case "eon constructors have many callers" eon_constructors_have_many_callers;
+    case "gcc is the widest" gcc_is_the_widest;
+    case "perlbmk has wide dispatch" perlbmk_has_wide_dispatch;
+    case "twolf has unbiased hot branches" twolf_has_unbiased_hot_branches;
+    case "crafty hot loops are call-free" crafty_hot_loops_are_call_free;
+    case "bzip2 sorts call helpers" bzip2_sorts_call_helpers;
+    case "every benchmark has a cold pool" every_benchmark_has_cold_pool;
+    case "gcc uses phase behaviour" gcc_uses_phase_behaviour;
+    case "no benchmark halts within budget" all_programs_halt_free_within_budget;
+  ]

@@ -1,0 +1,84 @@
+module Suite = Regionsel_workload.Suite
+module Spec = Regionsel_workload.Spec
+module Image = Regionsel_workload.Image
+module Program = Regionsel_isa.Program
+module Stats = Regionsel_engine.Stats
+module Simulator = Regionsel_engine.Simulator
+module Run_metrics = Regionsel_metrics.Run_metrics
+module Policies = Regionsel_core.Policies
+open Fixtures
+
+let twelve_benchmarks () =
+  check_int "twelve SPECint2000 stand-ins" 12 (List.length Suite.all);
+  check_int "names unique" 12 (List.length (List.sort_uniq compare Suite.names));
+  List.iter
+    (fun name -> check_true ("find " ^ name) (Suite.find name <> None))
+    [ "gzip"; "vpr"; "gcc"; "mcf"; "crafty"; "parser"; "eon"; "perlbmk"; "gap"; "vortex";
+      "bzip2"; "twolf" ];
+  check_true "unknown benchmark" (Suite.find "specfp" = None)
+
+let images_compile_and_validate () =
+  List.iter
+    (fun (s : Spec.t) ->
+      let image = Spec.image s in
+      check_true (s.Spec.name ^ " has a non-trivial program")
+        (Program.n_blocks image.Image.program > 20);
+      check_true (s.Spec.name ^ " has a sensible budget") (s.Spec.default_steps >= 100_000))
+    Suite.all
+
+let builds_are_memoized () =
+  List.iter
+    (fun (s : Spec.t) -> check_true "same image object" (Spec.image s == Spec.image s))
+    Suite.all
+
+let short_runs_behave () =
+  (* Every benchmark x paper policy combination runs cleanly and reaches a
+     reasonable hit rate even at a reduced budget. *)
+  List.iter
+    (fun (s : Spec.t) ->
+      List.iter
+        (fun (pname, policy) ->
+          let result = run ~max_steps:60_000 policy (Spec.image s) in
+          let hit = Stats.hit_rate result.Simulator.stats in
+          check_true
+            (Printf.sprintf "%s/%s hit rate %.3f above 0.5" s.Spec.name pname hit)
+            (hit > 0.5);
+          check_true
+            (Printf.sprintf "%s/%s selected regions" s.Spec.name pname)
+            (regions_of result <> []))
+        Policies.paper)
+    Suite.all
+
+let gcc_has_widest_footprint () =
+  let program name = (Spec.image (Option.get (Suite.find name))).Image.program in
+  List.iter
+    (fun other ->
+      check_true ("gcc bigger than " ^ other)
+        (Program.n_blocks (program "gcc") > Program.n_blocks (program other)))
+    [ "gzip"; "crafty"; "twolf"; "eon" ]
+
+let paper_shape_lei_vs_net () =
+  (* The headline claims, checked on the full suite at reduced budgets:
+     LEI spans at least as many cycles as NET and needs a 90% cover set no
+     larger than NET's, on average. *)
+  let spans = ref 0.0 and covers = ref 0 and cover_net = ref 0 in
+  List.iter
+    (fun (s : Spec.t) ->
+      let m policy = Run_metrics.of_result (run ~max_steps:100_000 policy (Spec.image s)) in
+      let net = m Policies.net and lei = m Policies.lei in
+      spans := !spans +. lei.Run_metrics.spanned_cycle_ratio -. net.Run_metrics.spanned_cycle_ratio;
+      covers := !covers + lei.Run_metrics.cover_90;
+      cover_net := !cover_net + net.Run_metrics.cover_90)
+    Suite.all;
+  check_true "LEI spans more cycles on average" (!spans > 0.0);
+  check_true "LEI covers 90% with fewer traces in total" (!covers < !cover_net)
+
+let suite =
+  [
+    case "twelve benchmarks" twelve_benchmarks;
+    case "images compile and validate" images_compile_and_validate;
+    case "builds are memoized" builds_are_memoized;
+    case "short runs behave" short_runs_behave;
+    case "gcc has widest footprint" gcc_has_widest_footprint;
+    case "paper shape: LEI vs NET" paper_shape_lei_vs_net;
+  ]
