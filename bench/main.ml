@@ -4,9 +4,15 @@
    measured ones, runs the ablations called out in DESIGN.md, and measures
    per-branch selection overhead with Bechamel (the Section 3.1 claim).
 
-   Usage: main.exe [--quick] [--only SECTION ...]
+   Usage: main.exe [--quick] [--only SECTION ...] [--json FILE]
    Sections: fig7 fig8 fig9 fig10 fig11 fig12 hitrate fig16 fig17 fig18
-   fig19 summary related ablation-buffer ablation-tprof speed *)
+   fig19 summary related ablation-buffer ablation-tprof speed
+
+   The (benchmark x policy) matrix behind the figures is simulated up
+   front, fanned across domains (see Domain_pool); each run is
+   self-contained, so the memoized metrics are identical to a sequential
+   run.  [--json FILE] additionally dumps every table's average row plus a
+   steps-per-second throughput figure for cross-PR perf tracking. *)
 
 module Suite = Regionsel_workload.Suite
 module Spec = Regionsel_workload.Spec
@@ -15,6 +21,7 @@ module Params = Regionsel_engine.Params
 module Run_metrics = Regionsel_metrics.Run_metrics
 module Aggregate = Regionsel_metrics.Aggregate
 module Policies = Regionsel_core.Policies
+module Domain_pool = Regionsel_engine.Domain_pool
 module Table = Regionsel_report.Table
 module Barchart = Regionsel_report.Barchart
 
@@ -30,6 +37,19 @@ let only =
   collect 1 []
 
 let enabled section = only = [] || List.mem section only
+
+let json_path =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+(* Per-section average rows, collected for [--json]. *)
+let current_section = ref ""
+let json_tables : (string * (string * float) list) list ref = ref []
 
 let budget (spec : Spec.t) =
   if quick then spec.Spec.default_steps / 5 else spec.Spec.default_steps
@@ -72,6 +92,8 @@ let per_bench_table ~columns ~fmts ~cols =
   in
   let avg_row = "average" :: List.map2 (fun f v -> f v) fmts avg in
   Table.print ~header:("bench" :: columns) (formatted @ [ avg_row ]);
+  if json_path <> None then
+    json_tables := (!current_section, List.combine columns avg) :: !json_tables;
   avg
 
 let ratio_of field a b = Aggregate.ratio_int (field a) (field b)
@@ -711,6 +733,107 @@ let codec_speed () =
       | _ -> ())
     results
 
+(* ------------------------------------------------------------------ *)
+(* Harness driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulate the full (benchmark x policy) matrix across domains before any
+   section runs, so [metric] is a pure cache hit afterwards.  Images are
+   lazy and not thread-safe, so they are forced here on the main domain;
+   results come back in submission order, making the cache contents — and
+   everything printed from them — independent of domain scheduling. *)
+let prefill_matrix () =
+  let pairs =
+    List.concat_map
+      (fun (spec : Spec.t) -> List.map (fun (pname, _) -> spec, pname) Policies.all)
+      benches
+  in
+  let todo =
+    List.filter
+      (fun ((spec : Spec.t), pname) -> not (Hashtbl.mem cache (spec.Spec.name, pname)))
+      pairs
+  in
+  List.iter (fun ((spec : Spec.t), _) -> ignore (Spec.image spec)) todo;
+  let results =
+    Domain_pool.map
+      (fun ((spec : Spec.t), pname) ->
+        let policy = Option.get (Policies.find pname) in
+        Run_metrics.of_result
+          (Simulator.run ~seed:1L ~policy ~max_steps:(budget spec) (Spec.image spec)))
+      todo
+  in
+  List.iter2
+    (fun ((spec : Spec.t), pname) m -> Hashtbl.replace cache (spec.Spec.name, pname) m)
+    todo results
+
+(* End-to-end simulation throughput (block steps per second), measured on a
+   mid-sized workload with the cheapest policy so the figure tracks the hot
+   path rather than region formation. *)
+let measure_steps_per_sec () =
+  let image = Spec.image (Option.get (Suite.find "twolf")) in
+  let policy = Option.get (Policies.find "net") in
+  let steps = if quick then 100_000 else 400_000 in
+  let run () = ignore (Simulator.run ~seed:1L ~policy ~max_steps:steps image) in
+  run () (* warm-up *);
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    run ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  float_of_int steps /. !best
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v = if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let emit_json path =
+  let steps_per_sec = measure_steps_per_sec () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b
+    (Printf.sprintf "  \"steps_per_sec\": %s,\n" (json_float steps_per_sec));
+  Buffer.add_string b
+    (Printf.sprintf "  \"ns_per_block\": %s,\n" (json_float (1e9 /. steps_per_sec)));
+  Buffer.add_string b "  \"sections\": [\n";
+  let tables = List.rev !json_tables in
+  List.iteri
+    (fun i (section, avgs) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"section\": \"%s\", \"averages\": [" (json_escape section));
+      List.iteri
+        (fun j (col, v) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "{\"column\": \"%s\", \"value\": %s}" (json_escape col)
+               (json_float v)))
+        avgs;
+      Buffer.add_string b "]}";
+      Buffer.add_string b (if i < List.length tables - 1 then ",\n" else "\n"))
+    tables;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s (%.2fM steps/sec, %.1f ns/block)\n" path (steps_per_sec /. 1e6)
+    (1e9 /. steps_per_sec)
+
+(* Sections that never touch the memoized matrix; prefilling for them
+   would only add startup latency. *)
+let matrix_free = [ "speed"; "codec"; "seeds" ]
+
 let () =
   Printf.printf "regionsel benchmark harness: %d benchmarks x %d policies%s\n"
     (List.length bench_names) (List.length Policies.all)
@@ -726,4 +849,14 @@ let () =
       "methods", methods; "seeds", seeds; "speed", speed; "codec", codec_speed;
     ]
   in
-  List.iter (fun (name, f) -> if enabled name then f ()) sections
+  if
+    List.exists (fun (name, _) -> enabled name && not (List.mem name matrix_free)) sections
+  then prefill_matrix ();
+  List.iter
+    (fun (name, f) ->
+      if enabled name then begin
+        current_section := name;
+        f ()
+      end)
+    sections;
+  Option.iter emit_json json_path

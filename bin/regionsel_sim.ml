@@ -9,6 +9,7 @@ module Code_cache = Regionsel_engine.Code_cache
 module Region = Regionsel_engine.Region
 module Run_metrics = Regionsel_metrics.Run_metrics
 module Policies = Regionsel_core.Policies
+module Domain_pool = Regionsel_engine.Domain_pool
 module Table = Regionsel_report.Table
 
 open Cmdliner
@@ -48,6 +49,14 @@ let simulate spec policy steps seed =
   let image = Spec.image spec in
   let max_steps = Option.value ~default:spec.Spec.default_steps steps in
   Simulator.run ~seed ~policy ~max_steps image
+
+(* Fan independent (spec, x) simulation tasks across domains.  Every run
+   allocates its own state, but [Spec.image] is lazy and not thread-safe,
+   so force each image here on the calling domain first.  Results come
+   back in submission order, so output is identical to a sequential run. *)
+let parallel_map_specs f tasks =
+  List.iter (fun ((spec : Spec.t), _) -> ignore (Spec.image spec)) tasks;
+  Domain_pool.map (fun ((spec : Spec.t), x) -> f spec x) tasks
 
 let run_cmd =
   let run bench policy steps seed =
@@ -122,8 +131,8 @@ let matrix_cmd =
   let run bench steps seed =
     let spec = lookup_bench bench in
     let rows =
-      List.map
-        (fun (name, policy) ->
+      parallel_map_specs
+        (fun spec (name, policy) ->
           let m = Run_metrics.of_result (simulate spec policy steps seed) in
           [
             name;
@@ -139,7 +148,7 @@ let matrix_cmd =
             Table.fmt_pct m.Run_metrics.exit_dominated_fraction;
             Table.fmt_pct m.Run_metrics.icache_miss_rate;
           ])
-        Policies.all
+        (List.map (fun p -> spec, p) Policies.all)
     in
     Table.print
       ~header:
@@ -182,14 +191,24 @@ let domination_cmd =
 let suite_cmd =
   let run steps seed =
     let module Aggregate = Regionsel_metrics.Aggregate in
-    let rows = ref [] in
-    List.iter
-      (fun (spec : Spec.t) ->
-        let m p = Run_metrics.of_result (simulate spec (lookup_policy p) steps seed) in
-        let net = m "net" and lei = m "lei" in
-        let cnet = m "combined-net" and clei = m "combined-lei" in
-        let r f a b = Table.fmt_float 2 (Aggregate.ratio_int (f a) (f b)) in
-        rows :=
+    let policies = [ "net"; "lei"; "combined-net"; "combined-lei" ] in
+    let tasks =
+      List.concat_map
+        (fun (spec : Spec.t) -> List.map (fun p -> spec, p) policies)
+        Suite.all
+    in
+    let metrics =
+      parallel_map_specs
+        (fun spec p -> Run_metrics.of_result (simulate spec (lookup_policy p) steps seed))
+        tasks
+    in
+    let rows =
+      List.map2
+        (fun (spec : Spec.t) ms ->
+          let m p = List.assoc p (List.combine policies ms) in
+          let net = m "net" and lei = m "lei" in
+          let cnet = m "combined-net" and clei = m "combined-lei" in
+          let r f a b = Table.fmt_float 2 (Aggregate.ratio_int (f a) (f b)) in
           [
             spec.Spec.name;
             Table.fmt_pct net.Run_metrics.hit_rate;
@@ -206,16 +225,19 @@ let suite_cmd =
             r (fun m -> m.Run_metrics.cover_90) clei lei;
             Table.fmt_pct net.Run_metrics.exit_dominated_fraction;
             Table.fmt_pct lei.Run_metrics.exit_dominated_fraction;
-          ]
-          :: !rows)
-      Suite.all;
+          ])
+        Suite.all
+        (let n = List.length policies in
+         List.init (List.length Suite.all) (fun i ->
+             List.filteri (fun j _ -> j >= i * n && j < (i + 1) * n) metrics))
+    in
     Table.print
       ~header:
         [
           "bench"; "hitN"; "hitL"; "exp L/N"; "tr L/N"; "cov L/N"; "ctr L/N"; "cycL"; "cycN";
           "tr cN/N"; "tr cL/L"; "cov cN/N"; "cov cL/L"; "domN"; "domL";
         ]
-      (List.rev !rows)
+      rows
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Key LEI/NET and combination ratios across the whole suite")
@@ -296,12 +318,15 @@ let export_cmd =
       ]
     in
     print_endline (String.concat "," cols);
-    List.iter
-      (fun (spec : Spec.t) ->
-        List.iter
-          (fun (pname, policy) ->
-            let m = Run_metrics.of_result (simulate spec policy steps seed) in
-            let row =
+    let tasks =
+      List.concat_map
+        (fun (spec : Spec.t) -> List.map (fun p -> spec, p) Policies.all)
+        Suite.all
+    in
+    let rows =
+      parallel_map_specs
+        (fun spec (pname, policy) ->
+          let m = Run_metrics.of_result (simulate spec policy steps seed) in
               [
                 m.Run_metrics.benchmark; pname;
                 string_of_int m.Run_metrics.steps;
@@ -323,13 +348,12 @@ let export_cmd =
                 Printf.sprintf "%.6f" m.Run_metrics.exit_dominated_fraction;
                 string_of_int m.Run_metrics.exit_dominated_dup_insts;
                 Printf.sprintf "%.6f" m.Run_metrics.icache_miss_rate;
-                string_of_int m.Run_metrics.evictions;
-                string_of_int m.Run_metrics.regenerations;
-              ]
-            in
-            print_endline (String.concat "," row))
-          Policies.all)
-      Suite.all
+            string_of_int m.Run_metrics.evictions;
+            string_of_int m.Run_metrics.regenerations;
+          ])
+        tasks
+    in
+    List.iter (fun row -> print_endline (String.concat "," row)) rows
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Emit a CSV of every metric for every benchmark x policy pair")

@@ -37,17 +37,21 @@ module Eager_blocks : Policy.S = struct
     Region.spec_of_path ~kind:Region.Trace { Region.blocks = [ block ]; final_next }
 
   let handle t = function
-    | Policy.Interp_block { block; taken; next } -> (
-      match next with
-      | Some tgt when taken && not (Code_cache.mem t.ctx.Context.cache tgt) ->
+    | Policy.Interp_block ib ->
+      let tgt = ib.Policy.next in
+      if
+        ib.Policy.taken
+        && (not (Addr.is_none tgt))
+        && not (Code_cache.mem t.ctx.Context.cache tgt)
+      then begin
         let count = Counters.incr t.ctx.Context.counters tgt in
         if count >= t.threshold then begin
           Counters.release t.ctx.Context.counters tgt;
-          ignore block;
           Policy.Install [ single_block_region t tgt ]
         end
         else Policy.No_action
-      | Some _ | None -> Policy.No_action)
+      end
+      else Policy.No_action
     | Policy.Cache_exited _ -> Policy.No_action
 end
 

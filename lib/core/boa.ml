@@ -81,12 +81,14 @@ let bump t tgt =
   else Policy.No_action
 
 let handle t = function
-  | Policy.Interp_block { block; taken; next } -> (
+  | Policy.Interp_block ib ->
+    let block = ib.Policy.block and taken = ib.Policy.taken and tgt = ib.Policy.next in
     record_outcome t block taken;
-    match next with
-    | Some tgt
-      when taken
-           && (not (Code_cache.mem t.ctx.Context.cache tgt))
-           && Addr.is_backward ~src:(Block.last block) ~tgt -> bump t tgt
-    | Some _ | None -> Policy.No_action)
+    if
+      taken
+      && (not (Addr.is_none tgt))
+      && (not (Code_cache.mem t.ctx.Context.cache tgt))
+      && Addr.is_backward ~src:(Block.last block) ~tgt
+    then bump t tgt
+    else Policy.No_action
   | Policy.Cache_exited { tgt; _ } -> bump t tgt

@@ -19,9 +19,9 @@ let create (ctx : Context.t) =
 let t_start t = t.ctx.Context.params.Params.combined_lei_start
 let t_prof t = t.ctx.Context.params.Params.combine_t_prof
 
-let observe t ~tgt ~(old : History_buffer.entry) =
-  let path = Lei_former.form ~ctx:t.ctx ~buf:t.buf ~start:tgt ~after_seq:old.History_buffer.seq in
-  History_buffer.truncate_after t.buf ~seq:old.History_buffer.seq;
+let observe t ~tgt ~old_seq =
+  let path = Lei_former.form ~ctx:t.ctx ~buf:t.buf ~start:tgt ~after_seq:old_seq in
+  History_buffer.truncate_after t.buf ~seq:old_seq;
   match path with
   | None -> Policy.No_action
   | Some path ->
@@ -38,22 +38,23 @@ let observe t ~tgt ~(old : History_buffer.entry) =
 (* LEI's Figure 5 algorithm with the Figure 13 thresholds: counted cycle
    completions beyond [T_start] each record one observed cyclic trace. *)
 let on_taken_branch t ~src ~tgt ~is_exit =
-  let old = History_buffer.find t.buf tgt in
+  let old_seq = History_buffer.find_seq t.buf tgt in
+  let old_follows_exit =
+    old_seq > 0 && History_buffer.follows_exit_at t.buf ~seq:old_seq
+  in
   ignore (History_buffer.insert t.buf ~src ~tgt ~follows_exit:is_exit);
-  match old with
-  | None -> Policy.No_action
-  | Some old ->
-    if Addr.is_backward ~src ~tgt || old.History_buffer.follows_exit then begin
-      let c = Counters.incr t.ctx.Context.counters tgt in
-      if c > t_start t then observe t ~tgt ~old else Policy.No_action
-    end
-    else Policy.No_action
+  if old_seq = 0 then Policy.No_action
+  else if Addr.is_backward ~src ~tgt || old_follows_exit then begin
+    let c = Counters.incr t.ctx.Context.counters tgt in
+    if c > t_start t then observe t ~tgt ~old_seq else Policy.No_action
+  end
+  else Policy.No_action
 
 let handle t = function
-  | Policy.Interp_block { block; taken; next } -> (
-    match next with
-    | Some tgt when taken ->
+  | Policy.Interp_block ib ->
+    let tgt = ib.Policy.next in
+    if ib.Policy.taken && not (Addr.is_none tgt) then
       if Code_cache.mem t.ctx.Context.cache tgt then Policy.No_action
-      else on_taken_branch t ~src:(Block.last block) ~tgt ~is_exit:false
-    | Some _ | None -> Policy.No_action)
+      else on_taken_branch t ~src:(Block.last ib.Policy.block) ~tgt ~is_exit:false
+    else Policy.No_action
   | Policy.Cache_exited { src; tgt; _ } -> on_taken_branch t ~src ~tgt ~is_exit:true

@@ -75,16 +75,23 @@ let install_entries = function
       specs
 
 let handle t = function
-  | Policy.Interp_block { block; taken; next } ->
+  | Policy.Interp_block ib ->
+    let block = ib.Policy.block and taken = ib.Policy.taken and next = ib.Policy.next in
     resolve_pending t block;
-    let action = advance_observations t block taken next in
-    (match next with
-    | Some tgt
-      when taken
-           && (not (Code_cache.mem t.ctx.Context.cache tgt))
-           && (not (Addr.Set.mem tgt (install_entries action)))
-           && Addr.is_backward ~src:(Block.last block) ~tgt -> bump t tgt
-    | Some _ | None -> ());
+    (* The option is only materialized while observations are in flight;
+       the steady (no-former) state stays allocation-free. *)
+    let action =
+      if Addr.Table.length t.formers = 0 then Policy.No_action
+      else
+        advance_observations t block taken (if Addr.is_none next then None else Some next)
+    in
+    if
+      taken
+      && (not (Addr.is_none next))
+      && (not (Code_cache.mem t.ctx.Context.cache next))
+      && (not (Addr.Set.mem next (install_entries action)))
+      && Addr.is_backward ~src:(Block.last block) ~tgt:next
+    then bump t next;
     action
   | Policy.Cache_exited { tgt; _ } ->
     bump t tgt;

@@ -2,53 +2,84 @@ open Regionsel_isa
 
 type entry = { src : Addr.t; tgt : Addr.t; follows_exit : bool; seq : int }
 
+(* Storage is four parallel unboxed arrays indexed by [seq mod cap] instead
+   of an [entry option array]: an insert writes three ints and a bool in
+   place, with no [Some] box and no entry record on the hot path.  Slot [i]
+   holds the entry with sequence [seqs.(i)]; a slot is live iff its sequence
+   lies in the current window [(hi - cap, hi]] and matches, which also makes
+   stale slots left behind by {!truncate_after} unreachable (they are
+   overwritten exactly when their sequence number is re-issued). *)
 type t = {
-  slots : entry option array;
+  srcs : int array;
+  tgts : int array;
+  fexits : bool array;
+  seqs : int array; (* 0 = never written *)
   cap : int;
   mutable hi : int; (* highest live sequence number; 0 = empty *)
+  mutable live : int; (* number of live entries, maintained incrementally *)
   hash : int Addr.Table.t; (* target -> seq of most recent occurrence *)
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "History_buffer.create: capacity must be >= 1";
-  { slots = Array.make capacity None; cap = capacity; hi = 0; hash = Addr.Table.create 1024 }
+  {
+    srcs = Array.make capacity 0;
+    tgts = Array.make capacity 0;
+    fexits = Array.make capacity false;
+    seqs = Array.make capacity 0;
+    cap = capacity;
+    hi = 0;
+    live = 0;
+    hash = Addr.Table.create 1024;
+  }
 
 let capacity t = t.cap
+let length t = t.live
+
+let is_live t seq = seq >= 1 && seq > t.hi - t.cap && seq <= t.hi && t.seqs.(seq mod t.cap) = seq
 
 let get t seq =
-  if seq < 1 || seq > t.hi || seq <= t.hi - t.cap then None
+  if not (is_live t seq) then None
   else
-    match t.slots.(seq mod t.cap) with
-    | Some e when e.seq = seq -> Some e
-    | Some _ | None -> None
+    let i = seq mod t.cap in
+    Some { src = t.srcs.(i); tgt = t.tgts.(i); follows_exit = t.fexits.(i); seq }
+
+let find_seq t tgt =
+  match Addr.Table.find t.hash tgt with
+  | seq -> if is_live t seq && Addr.equal t.tgts.(seq mod t.cap) tgt then seq else 0
+  | exception Not_found -> 0
+
+let follows_exit_at t ~seq = is_live t seq && t.fexits.(seq mod t.cap)
 
 let find t tgt =
-  match Addr.Table.find_opt t.hash tgt with
-  | None -> None
-  | Some seq -> (
-    match get t seq with
-    | Some e when Addr.equal e.tgt tgt -> Some e
-    | Some _ | None -> None)
+  let seq = find_seq t tgt in
+  if seq = 0 then None else get t seq
 
 let insert t ~src ~tgt ~follows_exit =
   let seq = t.hi + 1 in
-  let e = { src; tgt; follows_exit; seq } in
-  t.slots.(seq mod t.cap) <- Some e;
+  let i = seq mod t.cap in
+  (* The slot being overwritten holds the entry falling out of the window
+     (if it was live); anything else there is already dead. *)
+  if not (is_live t t.seqs.(i)) then t.live <- t.live + 1;
+  t.srcs.(i) <- src;
+  t.tgts.(i) <- tgt;
+  t.fexits.(i) <- follows_exit;
+  t.seqs.(i) <- seq;
   t.hi <- seq;
   Addr.Table.replace t.hash tgt seq;
-  e
+  seq
 
 let entries_after t ~seq =
-  let rec collect s acc = if s > t.hi then List.rev acc else
-      collect (s + 1) (match get t s with Some e -> e :: acc | None -> acc)
+  let rec collect s acc =
+    if s > t.hi then List.rev acc
+    else collect (s + 1) (match get t s with Some e -> e :: acc | None -> acc)
   in
   collect (max 1 (seq + 1)) []
 
-let truncate_after t ~seq = if seq < t.hi then t.hi <- max 0 seq
-
-let length t =
-  let lo = max 1 (t.hi - t.cap + 1) in
-  let rec count s acc =
-    if s > t.hi then acc else count (s + 1) (if get t s <> None then acc + 1 else acc)
-  in
-  count lo 0
+let truncate_after t ~seq =
+  if seq < t.hi then begin
+    let cut = max 0 seq in
+    let rec dead s acc = if s > t.hi then acc else dead (s + 1) (if is_live t s then acc + 1 else acc) in
+    t.live <- t.live - dead (cut + 1) 0;
+    t.hi <- cut
+  end

@@ -12,7 +12,12 @@
     earlier occurrence "follows an exit from the code cache").
 
     Each entry has a monotonically increasing sequence number; sequence
-    numbers identify occurrences stably across wrap-around and truncation. *)
+    numbers identify occurrences stably across wrap-around and truncation.
+
+    Storage is parallel unboxed arrays, so the per-branch operations —
+    {!insert}, {!find_seq}, {!follows_exit_at}, {!length} — allocate
+    nothing; the {!entry}-returning accessors materialize records on demand
+    and are meant for the cold (trace-formation and testing) paths. *)
 
 open Regionsel_isa
 
@@ -26,15 +31,25 @@ val create : capacity:int -> t
 val capacity : t -> int
 
 val length : t -> int
-(** Entries currently held (at most [capacity]). *)
+(** Entries currently held (at most [capacity]).  O(1): a live counter is
+    maintained across insertion, eviction and truncation. *)
+
+val find_seq : t -> Addr.t -> int
+(** The sequence number of the most recent live occurrence of the address
+    as a branch target, or [0] if absent — the allocation-free core of the
+    paper's [HASH-LOOKUP(Buf.hash, tgt)]. *)
+
+val follows_exit_at : t -> seq:int -> bool
+(** The [follows_exit] flag of the live entry with the given sequence
+    number ([false] if the entry is dead). *)
 
 val find : t -> Addr.t -> entry option
-(** The most recent live occurrence of the address as a branch target —
-    the paper's [HASH-LOOKUP(Buf.hash, tgt)]. *)
+(** {!find_seq} materialized as an entry record. *)
 
-val insert : t -> src:Addr.t -> tgt:Addr.t -> follows_exit:bool -> entry
+val insert : t -> src:Addr.t -> tgt:Addr.t -> follows_exit:bool -> int
 (** Append a taken branch, evicting the oldest entry when full, and update
-    the hash index to this newest occurrence. *)
+    the hash index to this newest occurrence.  Returns the new entry's
+    sequence number. *)
 
 val entries_after : t -> seq:int -> entry list
 (** Live entries with sequence number strictly greater than [seq], oldest

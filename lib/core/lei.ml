@@ -18,32 +18,34 @@ let create (ctx : Context.t) =
    branch, so it runs the same algorithm; its buffer entry carries the
    [follows_exit] flag that line 9 tests on the {e previous} occurrence. *)
 let on_taken_branch t ~src ~tgt ~is_exit =
-  let old = History_buffer.find t.buf tgt in
+  (* Seq-based lookups keep the per-branch fast path allocation-free: the
+     previous occurrence's flag must be read before the insert, which may
+     overwrite its slot. *)
+  let old_seq = History_buffer.find_seq t.buf tgt in
+  let old_follows_exit =
+    old_seq > 0 && History_buffer.follows_exit_at t.buf ~seq:old_seq
+  in
   ignore (History_buffer.insert t.buf ~src ~tgt ~follows_exit:is_exit);
-  match old with
-  | None -> Policy.No_action
-  | Some old ->
-    if Addr.is_backward ~src ~tgt || old.History_buffer.follows_exit then begin
-      let c = Counters.incr t.ctx.Context.counters tgt in
-      if c >= t.ctx.Context.params.Params.lei_threshold then begin
-        let path =
-          Lei_former.form ~ctx:t.ctx ~buf:t.buf ~start:tgt ~after_seq:old.History_buffer.seq
-        in
-        History_buffer.truncate_after t.buf ~seq:old.History_buffer.seq;
-        Counters.release t.ctx.Context.counters tgt;
-        match path with
-        | Some path -> Policy.Install [ Region.spec_of_path ~kind:Region.Trace path ]
-        | None -> Policy.No_action
-      end
-      else Policy.No_action
+  if old_seq = 0 then Policy.No_action
+  else if Addr.is_backward ~src ~tgt || old_follows_exit then begin
+    let c = Counters.incr t.ctx.Context.counters tgt in
+    if c >= t.ctx.Context.params.Params.lei_threshold then begin
+      let path = Lei_former.form ~ctx:t.ctx ~buf:t.buf ~start:tgt ~after_seq:old_seq in
+      History_buffer.truncate_after t.buf ~seq:old_seq;
+      Counters.release t.ctx.Context.counters tgt;
+      match path with
+      | Some path -> Policy.Install [ Region.spec_of_path ~kind:Region.Trace path ]
+      | None -> Policy.No_action
     end
     else Policy.No_action
+  end
+  else Policy.No_action
 
 let handle t = function
-  | Policy.Interp_block { block; taken; next } -> (
-    match next with
-    | Some tgt when taken ->
+  | Policy.Interp_block ib ->
+    let tgt = ib.Policy.next in
+    if ib.Policy.taken && not (Addr.is_none tgt) then
       if Code_cache.mem t.ctx.Context.cache tgt then Policy.No_action
-      else on_taken_branch t ~src:(Block.last block) ~tgt ~is_exit:false
-    | Some _ | None -> Policy.No_action)
+      else on_taken_branch t ~src:(Block.last ib.Policy.block) ~tgt ~is_exit:false
+    else Policy.No_action
   | Policy.Cache_exited { src; tgt; _ } -> on_taken_branch t ~src ~tgt ~is_exit:true

@@ -99,9 +99,10 @@ let bump t entry =
     else Policy.No_action
 
 let handle t = function
-  | Policy.Interp_block { block; taken; next } -> (
-    match next with
-    | Some tgt when taken -> (
+  | Policy.Interp_block ib -> (
+    let block = ib.Policy.block and taken = ib.Policy.taken and tgt = ib.Policy.next in
+    if not (taken && not (Addr.is_none tgt)) then Policy.No_action
+    else
       match block.Block.term with
       | Terminator.Call _ | Terminator.Indirect_call ->
         (* A method invocation: count it against the callee. *)
@@ -115,7 +116,6 @@ let handle t = function
         else Policy.No_action
       | Terminator.Fallthrough | Terminator.Indirect_jump | Terminator.Return
       | Terminator.Halt -> Policy.No_action)
-    | Some _ | None -> Policy.No_action)
   | Policy.Cache_exited { tgt; _ } ->
     (* Exits land at callees or continuations; count invocations of the
        containing function. *)

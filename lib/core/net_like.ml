@@ -70,15 +70,23 @@ module Make (C : CONFIG) : Policy.S = struct
         specs
 
   let handle t = function
-    | Policy.Interp_block { block; taken; next } ->
-      let action = advance_recording t block taken next in
-      (match next with
-      | Some tgt
-        when taken
-             && (not (Code_cache.mem t.ctx.Context.cache tgt))
-             && (not (Addr.Set.mem tgt (install_entries action)))
-             && Addr.is_backward ~src:(Block.last block) ~tgt -> bump t tgt
-      | Some _ | None -> ());
+    | Policy.Interp_block ib ->
+      let block = ib.Policy.block and taken = ib.Policy.taken and next = ib.Policy.next in
+      (* The option is only materialized while a recording is in flight;
+         the steady (Idle) state stays allocation-free. *)
+      let action =
+        match t.recording with
+        | Idle -> Policy.No_action
+        | Pending _ | Active _ ->
+          advance_recording t block taken (if Addr.is_none next then None else Some next)
+      in
+      if
+        taken
+        && (not (Addr.is_none next))
+        && (not (Code_cache.mem t.ctx.Context.cache next))
+        && (not (Addr.Set.mem next (install_entries action)))
+        && Addr.is_backward ~src:(Block.last block) ~tgt:next
+      then bump t next;
       action
     | Policy.Cache_exited { tgt; _ } ->
       if not (Addr.Table.mem t.exit_targets tgt) then

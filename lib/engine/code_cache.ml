@@ -1,8 +1,8 @@
 open Regionsel_isa
 
 type t = {
-  by_entry : Region.t Addr.Table.t;
-  by_aux_entry : Region.t Addr.Table.t;
+  by_entry : Region.t Int_tbl.t;
+  by_aux_entry : Region.t Int_tbl.t;
   mutable live_order : Region.t list; (* newest first *)
   mutable retired : Region.t list; (* newest first *)
   mutable next_id : int;
@@ -12,7 +12,7 @@ type t = {
          reused, as in cache managers that only reclaim on flush. *)
   capacity_bytes : int option;
   eviction : Params.eviction;
-  evicted_entries : unit Addr.Table.t;
+  evicted_entries : unit Int_tbl.t;
   mutable evictions : int;
   mutable flushes : int;
   mutable regenerations : int;
@@ -20,8 +20,8 @@ type t = {
 
 let create ?capacity_bytes ?(eviction = Params.Flush_all) () =
   {
-    by_entry = Addr.Table.create 256;
-    by_aux_entry = Addr.Table.create 64;
+    by_entry = Int_tbl.create 256;
+    by_aux_entry = Int_tbl.create 64;
     live_order = [];
     retired = [];
     next_id = 0;
@@ -29,28 +29,34 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all) () =
     alloc_cursor = 0;
     capacity_bytes;
     eviction;
-    evicted_entries = Addr.Table.create 64;
+    evicted_entries = Int_tbl.create 64;
     evictions = 0;
     flushes = 0;
     regenerations = 0;
   }
 
 let find t a =
-  match Addr.Table.find_opt t.by_entry a with
+  match Int_tbl.find_opt t.by_entry a with
   | Some _ as hit -> hit
-  | None -> Addr.Table.find_opt t.by_aux_entry a
+  | None -> Int_tbl.find_opt t.by_aux_entry a
 
-let mem t a = Addr.Table.mem t.by_entry a || Addr.Table.mem t.by_aux_entry a
+(* Option-free [find] for the simulator's per-transition probe. *)
+let find_live t a =
+  match Int_tbl.find t.by_entry a with
+  | r -> r
+  | exception Not_found -> Int_tbl.find t.by_aux_entry a
+
+let mem t a = Int_tbl.mem t.by_entry a || Int_tbl.mem t.by_aux_entry a
 
 let retire t (region : Region.t) =
-  Addr.Table.remove t.by_entry region.Region.entry;
+  Int_tbl.remove t.by_entry region.Region.entry;
   Addr.Set.iter
     (fun a ->
-      match Addr.Table.find_opt t.by_aux_entry a with
-      | Some r when r == region -> Addr.Table.remove t.by_aux_entry a
+      match Int_tbl.find_opt t.by_aux_entry a with
+      | Some r when r == region -> Int_tbl.remove t.by_aux_entry a
       | Some _ | None -> ())
     region.Region.aux_entries;
-  Addr.Table.replace t.evicted_entries region.Region.entry ();
+  Int_tbl.replace t.evicted_entries region.Region.entry ();
   t.retired <- region :: t.retired;
   t.bytes_used <- t.bytes_used - Region.cache_bytes region;
   t.evictions <- t.evictions + 1
@@ -84,11 +90,11 @@ let install t (spec : Region.spec) =
   let region = Region.of_spec ~id:t.next_id ~selected_at:t.next_id spec in
   make_room t (Region.cache_bytes region);
   t.next_id <- t.next_id + 1;
-  if Addr.Table.mem t.evicted_entries spec.Region.entry then
+  if Int_tbl.mem t.evicted_entries spec.Region.entry then
     t.regenerations <- t.regenerations + 1;
-  Addr.Table.replace t.by_entry spec.Region.entry region;
+  Int_tbl.replace t.by_entry spec.Region.entry region;
   Addr.Set.iter
-    (fun a -> Addr.Table.replace t.by_aux_entry a region)
+    (fun a -> Int_tbl.replace t.by_aux_entry a region)
     region.Region.aux_entries;
   t.live_order <- region :: t.live_order;
   t.bytes_used <- t.bytes_used + Region.cache_bytes region;
@@ -101,7 +107,7 @@ let by_selection rs =
 
 let regions t = List.rev t.live_order
 let all_regions t = by_selection (t.retired @ t.live_order)
-let n_regions t = Addr.Table.length t.by_entry
+let n_regions t = Int_tbl.length t.by_entry
 let bytes_used t = t.bytes_used
 let evictions t = t.evictions
 let flushes t = t.flushes

@@ -20,6 +20,10 @@ val find : t -> Addr.t -> Region.t option
 (** The live region whose {e entry} is the given address, if any.  Regions
     are single-entry: an address inside a region's body is not a hit. *)
 
+val find_live : t -> Addr.t -> Region.t
+(** Option-free {!find} for the simulator's per-transition probe.
+    @raise Not_found when no live region has that entry. *)
+
 val mem : t -> Addr.t -> bool
 
 val install : t -> Region.spec -> Region.t

@@ -1,30 +1,28 @@
-open Regionsel_isa
-
 type t = {
-  table : int Addr.Table.t;
+  table : int Int_tbl.t;
   mutable high_water : int;
   mutable total_allocations : int;
 }
 
-let create () = { table = Addr.Table.create 256; high_water = 0; total_allocations = 0 }
+let create () = { table = Int_tbl.create 256; high_water = 0; total_allocations = 0 }
 
 let incr t a =
-  match Addr.Table.find_opt t.table a with
-  | Some c ->
+  match Int_tbl.find t.table a with
+  | c ->
     let c = c + 1 in
-    Addr.Table.replace t.table a c;
+    Int_tbl.replace t.table a c;
     c
-  | None ->
-    Addr.Table.replace t.table a 1;
+  | exception Not_found ->
+    Int_tbl.replace t.table a 1;
     t.total_allocations <- t.total_allocations + 1;
-    let live = Addr.Table.length t.table in
+    let live = Int_tbl.length t.table in
     if live > t.high_water then t.high_water <- live;
     1
 
-let peek t a = Option.value ~default:0 (Addr.Table.find_opt t.table a)
-let release t a = Addr.Table.remove t.table a
-let live t = Addr.Table.length t.table
+let peek t a = match Int_tbl.find t.table a with c -> c | exception Not_found -> 0
+let release t a = Int_tbl.remove t.table a
+let live t = Int_tbl.length t.table
 let high_water t = t.high_water
 let total_allocations t = t.total_allocations
 
-let live_entries t = Addr.Table.fold (fun a c acc -> (a, c) :: acc) t.table []
+let live_entries t = Int_tbl.fold (fun a c acc -> (a, c) :: acc) t.table []

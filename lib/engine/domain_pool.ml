@@ -1,0 +1,58 @@
+(* A minimal ordered parallel map over OCaml 5 domains.
+
+   Tasks are closures; results come back in submission order regardless of
+   which domain ran which task, so callers that fill caches or print tables
+   from the result list are deterministic by construction.  Each task must
+   be self-contained: it may share read-only data with the others but must
+   not mutate anything another task reads (the simulator allocates all
+   per-run state per call, so [fun () -> Simulator.run ...] qualifies). *)
+
+let default_n_domains () =
+  match Sys.getenv_opt "REGIONSEL_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> invalid_arg "REGIONSEL_DOMAINS must be a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
+(* Work-stealing by shared index: domains race on [next] and write results
+   into a slot array, so order is preserved without any per-task channel. *)
+let map ?n_domains f tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let n_domains =
+    match n_domains with Some d -> max 1 d | None -> default_n_domains ()
+  in
+  if n = 0 then []
+  else if n_domains = 1 || n = 1 then List.map f (Array.to_list tasks)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f tasks.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+            continue := false
+      done
+    in
+    let spawned =
+      List.init (min n_domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> failwith "Domain_pool.map: missing result")
+  end

@@ -1,0 +1,29 @@
+(** Ordered parallel map over OCaml 5 domains.
+
+    Simulation runs are embarrassingly parallel — every run allocates its
+    own interpreter, profiles, and code cache — so the benchmark × policy
+    matrix fans out across cores with no shared mutable state.  Results are
+    returned in submission order, which keeps downstream consumers (tables,
+    memoization caches, CSV export) byte-identical to a sequential run. *)
+
+val default_n_domains : unit -> int
+(** The [REGIONSEL_DOMAINS] environment variable if set (must be >= 1),
+    otherwise {!Domain.recommended_domain_count}.
+
+    @raise Invalid_argument if the variable is set but not a positive
+    integer. *)
+
+val map : ?n_domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~n_domains f tasks] applies [f] to every task, using up to
+    [n_domains] domains (the calling domain participates as a worker), and
+    returns the results in the order the tasks were given.
+
+    With [n_domains <= 1] — or a single task — everything runs inline on
+    the calling domain with no spawns, so single-core environments pay
+    nothing.  If any [f] raises, the first exception (in completion order)
+    is re-raised on the caller after all domains have joined, and no
+    further tasks are started.
+
+    [f] must not depend on unforced {!Stdlib.Lazy} values shared between
+    tasks: force them on the calling domain first (see
+    {!Regionsel_workload.Spec.image}). *)

@@ -1,22 +1,39 @@
 open Regionsel_isa
 
-type t = { edges : (Addr.t * Addr.t, int) Hashtbl.t; mutable pred_index : Addr.Set.t Addr.Table.t option }
+(* Edges are keyed by a single packed int, [src lsl 32 lor dst], into a
+   flat open-addressing table: recording an edge is one inline probe and
+   one array store — no tuple key, no option, no allocation, no C-call
+   hash.  Addresses are small non-negative ints, so the packing is
+   injective and never overflows OCaml's 63-bit ints.  The table's
+   iteration order is only ever folded into order-insensitive results
+   (sums, predecessor sets), as [Flat_tbl] requires. *)
 
-let create () = { edges = Hashtbl.create 4096; pred_index = None }
+type t = {
+  edges : Flat_tbl.t;
+  mutable pred_index : Addr.Set.t Addr.Table.t option;
+}
+
+let pack ~src ~dst = (src lsl 32) lor dst
+let unpack_src key = key lsr 32
+let unpack_dst key = key land 0xFFFF_FFFF
+
+let create () = { edges = Flat_tbl.create 4096; pred_index = None }
 
 let record t ~src ~dst =
-  t.pred_index <- None;
-  let key = src, dst in
-  match Hashtbl.find_opt t.edges key with
-  | Some c -> Hashtbl.replace t.edges key (c + 1)
-  | None -> Hashtbl.replace t.edges key 1
+  let n = Flat_tbl.length t.edges in
+  Flat_tbl.bump t.edges (pack ~src ~dst);
+  (* Only a previously unseen edge can change the predecessor sets. *)
+  if Flat_tbl.length t.edges <> n then t.pred_index <- None
 
-let count t ~src ~dst = Option.value ~default:0 (Hashtbl.find_opt t.edges (src, dst))
+let count t ~src ~dst =
+  let c = Flat_tbl.find t.edges (pack ~src ~dst) in
+  if c < 0 then 0 else c
 
 let build_pred_index t =
   let index = Addr.Table.create 1024 in
-  Hashtbl.iter
-    (fun (src, dst) _ ->
+  Flat_tbl.iter
+    (fun key _ ->
+      let src = unpack_src key and dst = unpack_dst key in
       let prev = Option.value ~default:Addr.Set.empty (Addr.Table.find_opt index dst) in
       Addr.Table.replace index dst (Addr.Set.add src prev))
     t.edges;
@@ -27,5 +44,9 @@ let preds t a =
   let index = match t.pred_index with Some i -> i | None -> build_pred_index t in
   Option.value ~default:Addr.Set.empty (Addr.Table.find_opt index a)
 
-let n_edges t = Hashtbl.length t.edges
-let fold f t init = Hashtbl.fold (fun (src, dst) c acc -> f ~src ~dst c acc) t.edges init
+let n_edges t = Flat_tbl.length t.edges
+
+let fold f t init =
+  Flat_tbl.fold
+    (fun key count acc -> f ~src:(unpack_src key) ~dst:(unpack_dst key) count acc)
+    t.edges init

@@ -10,7 +10,11 @@ open Regionsel_isa
 type t
 
 val create : unit -> t
+
 val record : t -> src:Addr.t -> dst:Addr.t -> unit
+(** Count one executed transfer.  Edges are stored under a packed int key
+    ([src lsl 32 lor dst]) with preallocated counter refs, so recording an
+    edge already seen allocates nothing. *)
 
 val count : t -> src:Addr.t -> dst:Addr.t -> int
 

@@ -19,15 +19,17 @@ let layout_order (region : Region.t) =
   let with_offsets =
     List.filter_map
       (fun (b : Block.t) ->
-        match Addr.Table.find_opt region.Region.block_offsets b.Block.start with
-        | Some off -> Some (off, b)
-        | None -> None)
+        let off = Flat_tbl.find region.Region.block_offsets b.Block.start in
+        if off >= 0 then Some (off, b) else None)
       (Region.nodes region)
   in
   List.map snd (List.sort compare with_offsets)
 
 let emit (region : Region.t) =
-  let offset_of a = Addr.Table.find_opt region.Region.block_offsets a in
+  let offset_of a =
+    let off = Flat_tbl.find region.Region.block_offsets a in
+    if off >= 0 then Some off else None
+  in
   let body = ref [] in
   let stubs = ref [] in
   let new_stub ~from ~exit_target =

@@ -1,5 +1,6 @@
 type t = {
   line_bytes : int;
+  line_shift : int; (* log2 line_bytes when it is a power of two, else -1 *)
   n_sets : int;
   ways : int;
   tags : int array; (* n_sets * ways, -1 = invalid *)
@@ -18,8 +19,15 @@ let create ?(size_bytes = 32 * 1024) ?(line_bytes = 64) ?(ways = 4) () =
   if n_lines mod ways <> 0 then invalid_arg "Icache.create: lines not divisible by ways";
   let n_sets = n_lines / ways in
   if not (is_power_of_two n_sets) then invalid_arg "Icache.create: set count must be a power of two";
+  let line_shift =
+    if is_power_of_two line_bytes then
+      let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+      log2 line_bytes 0
+    else -1
+  in
   {
     line_bytes;
+    line_shift;
     n_sets;
     ways;
     tags = Array.make (n_sets * ways) (-1);
@@ -29,33 +37,50 @@ let create ?(size_bytes = 32 * 1024) ?(line_bytes = 64) ?(ways = 4) () =
     misses = 0;
   }
 
+(* Closed top-level helpers: a local [let rec] capturing [t]/[base] would
+   allocate a closure on every access, which dominates the per-step cost. *)
+let rec find_way tags base tag ways i =
+  if i = ways then -1 else if Array.get tags (base + i) = tag then i else find_way tags base tag ways (i + 1)
+
+let rec lru_way stamps base ways best i =
+  if i = ways then best
+  else
+    let best = if Array.get stamps (base + i) < Array.get stamps (base + best) then i else best in
+    lru_way stamps base ways best (i + 1)
+
 let touch_line t line =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
   let set = line land (t.n_sets - 1) in
-  let tag = line lsr 0 in
   let base = set * t.ways in
-  let rec find i = if i = t.ways then None else if t.tags.(base + i) = tag then Some i else find (i + 1) in
-  match find 0 with
-  | Some i -> t.stamps.(base + i) <- t.clock
-  | None ->
+  let i = find_way t.tags base line t.ways 0 in
+  if i >= 0 then t.stamps.(base + i) <- t.clock
+  else begin
     t.misses <- t.misses + 1;
     (* Evict the least-recently-used way. *)
-    let victim = ref 0 in
-    for i = 1 to t.ways - 1 do
-      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
-    done;
-    t.tags.(base + !victim) <- tag;
-    t.stamps.(base + !victim) <- t.clock
+    let victim = lru_way t.stamps base t.ways 0 1 in
+    t.tags.(base + victim) <- line;
+    t.stamps.(base + victim) <- t.clock
+  end
 
 let access t ~addr ~bytes =
-  if bytes > 0 then begin
-    let first = addr / t.line_bytes in
-    let last = (addr + bytes - 1) / t.line_bytes in
-    for line = first to last do
-      touch_line t line
-    done
-  end
+  if bytes > 0 then
+    if t.line_shift >= 0 then begin
+      (* Power-of-two lines: shift instead of two integer divisions, which
+         are the single most expensive ALU ops on this per-step path. *)
+      let first = addr lsr t.line_shift in
+      let last = (addr + bytes - 1) lsr t.line_shift in
+      for line = first to last do
+        touch_line t line
+      done
+    end
+    else begin
+      let first = addr / t.line_bytes in
+      let last = (addr + bytes - 1) / t.line_bytes in
+      for line = first to last do
+        touch_line t line
+      done
+    end
 
 let accesses t = t.accesses
 let misses t = t.misses

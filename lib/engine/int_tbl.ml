@@ -1,0 +1,18 @@
+(* Hashtbl over immediate int keys (addresses, packed edges, region ids)
+   with an inline multiplicative hash.  The generic [Hashtbl.hash] is an
+   external C call running seeded mixing rounds; on tables probed once or
+   more per simulated block the call overhead dominates the probe itself.
+
+   Only tables whose iteration order is never observable may use this
+   module: [Addr.Table] keeps the generic hash because the order in which
+   policies iterate it feeds selection order and hence region ids. *)
+
+include Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  (* Fibonacci hashing: odd multiplier spreads entropy into the high bits,
+     the shift brings them down to where Hashtbl's bucket mask looks. *)
+  let hash x = (x * 0x9E3779B97F4A7C1) lsr 21
+end)

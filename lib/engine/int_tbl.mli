@@ -1,0 +1,6 @@
+(** Hash table over immediate int keys with an inline (non-C-call) hash,
+    for the simulator's per-step probes.  Use only where iteration order
+    is never observable — bucket order differs from [Addr.Table] and from
+    the polymorphic [Hashtbl]. *)
+
+include Hashtbl.S with type key = int

@@ -7,80 +7,128 @@ exception Runaway_stack of int
 
 let max_stack_depth = 100_000
 
+(* The shadow stack is a growable int array rather than a [Stack.t]: pushing
+   a return address writes one slot instead of allocating a list cell. *)
 type t = {
   image : Image.t;
-  mutable pc : Addr.t option;
-  stack : Addr.t Stack.t;
-  cond_states : Behavior.state Addr.Table.t;
-  indirect_states : Behavior.indirect_state Addr.Table.t;
+  mutable pc : Addr.t; (* Addr.none once halted *)
+  mutable stack : Addr.t array;
+  mutable stack_len : int;
+  cond_states : Behavior.state option array; (* keyed by dense block id *)
+  indirect_states : Behavior.indirect_state option array;
   prng : Splitmix.t;
 }
 
 let create image ~seed =
+  let n = Program.n_blocks image.Image.program in
   {
     image;
-    pc = Some (Program.entry image.Image.program);
-    stack = Stack.create ();
-    cond_states = Addr.Table.create 256;
-    indirect_states = Addr.Table.create 32;
+    pc = Program.entry image.Image.program;
+    stack = Array.make 64 0;
+    stack_len = 0;
+    cond_states = Array.make n None;
+    indirect_states = Array.make n None;
     prng = Splitmix.create ~seed;
   }
 
-type step = { block : Block.t; taken : bool; next : Addr.t option }
+type step = { mutable block : Block.t; mutable taken : bool; mutable next : Addr.t }
 
-let cond_state t site =
-  match Addr.Table.find_opt t.cond_states site with
+let make_step () =
+  {
+    block = Block.make ~start:0 ~size:1 ~term:Terminator.Halt;
+    taken = false;
+    next = Addr.none;
+  }
+
+(* Branch-behaviour states are keyed by the branch block's dense id, so the
+   per-branch lookup is an array read.  States are still created lazily in
+   first-execution order, which preserves the per-site PRNG streams (and
+   hence bit-for-bit behaviour) of the hashtable implementation. *)
+let cond_state t id site =
+  match t.cond_states.(id) with
   | Some s -> s
   | None ->
     let s = Behavior.make_state (Image.cond_spec t.image site) t.prng in
-    Addr.Table.replace t.cond_states site s;
+    t.cond_states.(id) <- Some s;
     s
 
-let indirect_state t site =
-  match Addr.Table.find_opt t.indirect_states site with
+let indirect_state t id site =
+  match t.indirect_states.(id) with
   | Some s -> s
   | None ->
     let s = Behavior.make_indirect (Image.indirect_spec t.image site) t.prng in
-    Addr.Table.replace t.indirect_states site s;
+    t.indirect_states.(id) <- Some s;
     s
 
 let push_return t addr =
-  if Stack.length t.stack >= max_stack_depth then raise (Runaway_stack max_stack_depth);
-  Stack.push addr t.stack
+  if t.stack_len >= max_stack_depth then raise (Runaway_stack max_stack_depth);
+  if t.stack_len = Array.length t.stack then begin
+    let bigger = Array.make (2 * Array.length t.stack) 0 in
+    Array.blit t.stack 0 bigger 0 t.stack_len;
+    t.stack <- bigger
+  end;
+  t.stack.(t.stack_len) <- addr;
+  t.stack_len <- t.stack_len + 1
+
+let step_into t (s : step) =
+  if Addr.is_none t.pc then false
+  else begin
+    let program = t.image.Image.program in
+    let id = Program.block_id program t.pc in
+    let block = Program.block_of_id program id in
+    let site = Block.last block in
+    (* Write the outcome straight into the caller's step record: returning
+       a (taken, next) pair here would allocate on every executed block. *)
+    (match block.Block.term with
+    | Terminator.Fallthrough ->
+      s.taken <- false;
+      s.next <- Block.fall_addr block
+    | Terminator.Jump tgt ->
+      s.taken <- true;
+      s.next <- tgt
+    | Terminator.Cond tgt ->
+      if Behavior.decide (cond_state t id site) then begin
+        s.taken <- true;
+        s.next <- tgt
+      end
+      else begin
+        s.taken <- false;
+        s.next <- Block.fall_addr block
+      end
+    | Terminator.Call tgt ->
+      push_return t (Block.fall_addr block);
+      s.taken <- true;
+      s.next <- tgt
+    | Terminator.Indirect_jump ->
+      s.taken <- true;
+      s.next <- Behavior.choose (indirect_state t id site)
+    | Terminator.Indirect_call ->
+      push_return t (Block.fall_addr block);
+      s.taken <- true;
+      s.next <- Behavior.choose (indirect_state t id site)
+    | Terminator.Return ->
+      s.taken <- true;
+      if t.stack_len = 0 then s.next <- Addr.none
+      else begin
+        t.stack_len <- t.stack_len - 1;
+        s.next <- t.stack.(t.stack_len)
+      end
+    | Terminator.Halt ->
+      s.taken <- false;
+      s.next <- Addr.none);
+    let next = s.next in
+    if (not (Addr.is_none next)) && not (Program.is_block_start program next) then
+      invalid_arg
+        (Printf.sprintf "Interp.step: transfer from %s to %s, which is not a block start"
+           (Addr.to_string site) (Addr.to_string next));
+    t.pc <- next;
+    s.block <- block;
+    true
+  end
 
 let step t =
-  match t.pc with
-  | None -> None
-  | Some pc ->
-    let block = Program.block_at_exn t.image.Image.program pc in
-    let site = Block.last block in
-    let taken, next =
-      match block.Block.term with
-      | Terminator.Fallthrough -> false, Some (Block.fall_addr block)
-      | Terminator.Jump tgt -> true, Some tgt
-      | Terminator.Cond tgt ->
-        if Behavior.decide (cond_state t site) then true, Some tgt
-        else false, Some (Block.fall_addr block)
-      | Terminator.Call tgt ->
-        push_return t (Block.fall_addr block);
-        true, Some tgt
-      | Terminator.Indirect_jump -> true, Some (Behavior.choose (indirect_state t site))
-      | Terminator.Indirect_call ->
-        push_return t (Block.fall_addr block);
-        true, Some (Behavior.choose (indirect_state t site))
-      | Terminator.Return ->
-        if Stack.is_empty t.stack then true, None else true, Some (Stack.pop t.stack)
-      | Terminator.Halt -> false, None
-    in
-    (match next with
-    | Some a ->
-      if not (Program.is_block_start t.image.Image.program a) then
-        invalid_arg
-          (Printf.sprintf "Interp.step: transfer from %s to %s, which is not a block start"
-             (Addr.to_string site) (Addr.to_string a))
-    | None -> ());
-    t.pc <- next;
-    Some { block; taken; next }
+  let s = make_step () in
+  if step_into t s then Some s else None
 
-let pc t = t.pc
-let stack_depth t = Stack.length t.stack
+let pc t = if Addr.is_none t.pc then None else Some t.pc
+let stack_depth t = t.stack_len

@@ -5,7 +5,13 @@
     image's behaviour specs, instantiated with a private PRNG stream per
     branch site so runs are deterministic per seed.  Calls and returns use a
     real shadow stack, so return addresses — and hence interprocedural
-    cycles — behave exactly as in native execution. *)
+    cycles — behave exactly as in native execution.
+
+    The stepping API is built for the simulator's hot loop: {!step_into}
+    fills a caller-owned mutable {!step} record and performs no allocation —
+    block lookup is a dense-id array read, branch state is an array read,
+    and the shadow stack is an int array.  {!step} is the boxed convenience
+    wrapper for cold callers that want to retain steps. *)
 
 open Regionsel_isa
 
@@ -14,14 +20,22 @@ type t
 val create : Regionsel_workload.Image.t -> seed:int64 -> t
 
 type step = {
-  block : Block.t;  (** The block just executed. *)
-  taken : bool;  (** Whether its terminator transferred control away. *)
-  next : Addr.t option;  (** The next block start; [None] after a halt. *)
+  mutable block : Block.t;  (** The block just executed. *)
+  mutable taken : bool;  (** Whether its terminator transferred control away. *)
+  mutable next : Addr.t;  (** The next block start; [Addr.none] after a halt. *)
 }
 
+val make_step : unit -> step
+(** A scratch step record to pass to {!step_into}. *)
+
+val step_into : t -> step -> bool
+(** Execute one block, writing the outcome into the given record.  [false]
+    once the program has halted (explicit [Halt] or return with an empty
+    stack), in which case the record is untouched.  Allocation-free. *)
+
 val step : t -> step option
-(** Execute one block. [None] once the program has halted (explicit [Halt]
-    or return with an empty stack). *)
+(** Execute one block.  [None] once the program has halted.  Each call
+    returns a fresh record, safe to retain. *)
 
 val pc : t -> Addr.t option
 (** The next block to execute. *)

@@ -1,7 +1,9 @@
 open Regionsel_isa
 
+type interp_block = { mutable block : Block.t; mutable taken : bool; mutable next : Addr.t }
+
 type event =
-  | Interp_block of { block : Block.t; taken : bool; next : Addr.t option }
+  | Interp_block of interp_block
   | Cache_exited of { from_entry : Addr.t; src : Addr.t; tgt : Addr.t }
 
 type action = No_action | Install of Region.spec list

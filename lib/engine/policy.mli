@@ -16,12 +16,20 @@
 
     A policy responds with at most one region to install.  The simulator
     installs it and, if the current transfer targets the new region's entry,
-    dispatches into it immediately — the paper's "jump newT". *)
+    dispatches into it immediately — the paper's "jump newT".
+
+    [Interp_block] fires once per interpreted block — the hottest edge in
+    the whole system — so its payload is a mutable record the simulator
+    preallocates and reuses, with [Addr.none] standing in for "no next
+    block".  Policies must read the fields during [handle] and must not
+    retain the record. *)
 
 open Regionsel_isa
 
+type interp_block = { mutable block : Block.t; mutable taken : bool; mutable next : Addr.t }
+
 type event =
-  | Interp_block of { block : Block.t; taken : bool; next : Addr.t option }
+  | Interp_block of interp_block
   | Cache_exited of { from_entry : Addr.t; src : Addr.t; tgt : Addr.t }
 
 type action = No_action | Install of Region.spec list

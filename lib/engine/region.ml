@@ -64,15 +64,17 @@ type t = {
   mutable cycle_iters : int;
   mutable exits : int;
   mutable insts_executed : int;
-  exit_log : (Addr.t * Addr.t, int) Hashtbl.t;
-  edge_index : (Addr.t * Addr.t, unit) Hashtbl.t;
+  exit_log : Flat_tbl.t; (* key [(from lsl 32) lor tgt] -> count, like edge_index *)
+  edge_index : Flat_tbl.t; (* (src lsl 32) lor dst -> 1 — no per-query tuple *)
   aux_entries : Addr.Set.t;
   mutable cache_base : int;
-  block_offsets : int Addr.Table.t;
+  block_offsets : Flat_tbl.t;
 }
 
+let pack_edge ~src ~dst = (src lsl 32) lor dst
+
 let count_stubs ~node_index ~edge_index nodes =
-  let internal src dst = Hashtbl.mem edge_index (src, dst) in
+  let internal src dst = Flat_tbl.mem edge_index (pack_edge ~src ~dst) in
   let stub_count b =
     let s = b.Block.start in
     match b.Block.term with
@@ -94,12 +96,12 @@ let of_spec ~id ~selected_at spec =
   List.iter (fun b -> Addr.Table.replace node_index b.Block.start b) spec.nodes;
   if not (Addr.Table.mem node_index spec.entry) then
     invalid_arg "Region.of_spec: entry is not a node";
-  let edge_index = Hashtbl.create (List.length spec.edges * 2) in
+  let edge_index = Flat_tbl.create (List.length spec.edges * 2) in
   List.iter
     (fun (src, dst) ->
       if not (Addr.Table.mem node_index src && Addr.Table.mem node_index dst) then
         invalid_arg "Region.of_spec: edge endpoint is not a node";
-      Hashtbl.replace edge_index (src, dst) ())
+      Flat_tbl.set edge_index (pack_edge ~src ~dst) 1)
     spec.edges;
   List.iter
     (fun a ->
@@ -110,7 +112,7 @@ let of_spec ~id ~selected_at spec =
   let n_stubs = count_stubs ~node_index ~edge_index spec.nodes in
   (* Lay the blocks out contiguously: the entry first, then the layout
      hint's order, then any remaining nodes in address order. *)
-  let block_offsets = Addr.Table.create (List.length spec.nodes * 2) in
+  let block_offsets = Flat_tbl.create (List.length spec.nodes * 2) in
   let hint_rank = Addr.Table.create 16 in
   List.iteri
     (fun i a -> if not (Addr.Table.mem hint_rank a) then Addr.Table.replace hint_rank a i)
@@ -131,8 +133,8 @@ let of_spec ~id ~selected_at spec =
   let cursor = ref 0 in
   List.iter
     (fun (b : Block.t) ->
-      if not (Addr.Table.mem block_offsets b.Block.start) then begin
-        Addr.Table.replace block_offsets b.Block.start !cursor;
+      if not (Flat_tbl.mem block_offsets b.Block.start) then begin
+        Flat_tbl.set block_offsets b.Block.start !cursor;
         cursor := !cursor + (b.Block.size * 4)
       end)
     sorted_nodes;
@@ -150,7 +152,7 @@ let of_spec ~id ~selected_at spec =
     cycle_iters = 0;
     exits = 0;
     insts_executed = 0;
-    exit_log = Hashtbl.create 8;
+    exit_log = Flat_tbl.create 8;
     edge_index;
     aux_entries = Addr.Set.of_list spec.aux_entries;
     cache_base = -1;
@@ -159,7 +161,7 @@ let of_spec ~id ~selected_at spec =
 
 let mem_block t a = Addr.Table.mem t.node_index a
 let find_block t a = Addr.Table.find_opt t.node_index a
-let has_edge t ~src ~dst = Hashtbl.mem t.edge_index (src, dst)
+let has_edge t ~src ~dst = Flat_tbl.mem t.edge_index (pack_edge ~src ~dst)
 
 let nodes t =
   let all = Addr.Table.fold (fun _ b acc -> b :: acc) t.node_index [] in
@@ -171,16 +173,18 @@ let record_exec t n = t.insts_executed <- t.insts_executed + n
 
 let record_exit t ~from ~tgt =
   t.exits <- t.exits + 1;
-  let key = from, tgt in
-  let prev = Option.value ~default:0 (Hashtbl.find_opt t.exit_log key) in
-  Hashtbl.replace t.exit_log key (prev + 1)
+  Flat_tbl.bump t.exit_log (pack_edge ~src:from ~dst:tgt)
+
+let exit_src key = key lsr 32
+let exit_tgt key = key land 0xFFFF_FFFF
 
 let exit_targets t =
-  Hashtbl.fold (fun (_, tgt) _ acc -> Addr.Set.add tgt acc) t.exit_log Addr.Set.empty
+  Flat_tbl.fold (fun key _ acc -> Addr.Set.add (exit_tgt key) acc) t.exit_log Addr.Set.empty
 
 let exited_to t ~tgt =
-  Hashtbl.fold
-    (fun (from, tgt') _ acc -> if Addr.equal tgt tgt' then Addr.Set.add from acc else acc)
+  Flat_tbl.fold
+    (fun key _ acc ->
+      if Addr.equal tgt (exit_tgt key) then Addr.Set.add (exit_src key) acc else acc)
     t.exit_log Addr.Set.empty
 
 let inst_bytes = 4
@@ -192,9 +196,15 @@ let set_cache_base t base = t.cache_base <- base
 let block_cache_addr t a =
   if t.cache_base < 0 then None
   else
-    match Addr.Table.find_opt t.block_offsets a with
-    | Some off -> Some (t.cache_base + off)
-    | None -> None
+    let off = Flat_tbl.find t.block_offsets a in
+    if off < 0 then None else Some (t.cache_base + off)
+
+(* Allocation-free variant for the simulator's per-step icache model. *)
+let block_cache_offset t a =
+  if t.cache_base < 0 then -1
+  else
+    let off = Flat_tbl.find t.block_offsets a in
+    if off < 0 then -1 else t.cache_base + off
 
 let pp ppf t =
   let kind =

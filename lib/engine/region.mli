@@ -73,14 +73,19 @@ type t = private {
   mutable cycle_iters : int;  (** Completed internal cycles back to entry. *)
   mutable exits : int;  (** Times control left the region. *)
   mutable insts_executed : int;
-  exit_log : (Addr.t * Addr.t, int) Hashtbl.t;
-      (** (exit block start, target) -> count. *)
-  edge_index : (Addr.t * Addr.t, unit) Hashtbl.t;
+  exit_log : Flat_tbl.t;
+      (** [(exit block start lsl 32) lor target] -> count.  Packed like
+          [edge_index] so the per-transition update is one inline probe;
+          unpack keys with {!exit_src} / {!exit_tgt}. *)
+  edge_index : Flat_tbl.t;
+      (** Internal edges keyed as [(src lsl 32) lor dst] (value 1), so the
+          per-step membership query is one inline probe instead of a tuple
+          allocation and a C-call hash. *)
   aux_entries : Addr.Set.t;
   mutable cache_base : int;
       (** Byte address of the region in the code cache; -1 until
           installed. *)
-  block_offsets : int Addr.Table.t;
+  block_offsets : Flat_tbl.t;
       (** Byte offset of each node's copy within the region. *)
 }
 
@@ -107,6 +112,10 @@ val record_exec : t -> int -> unit
 val record_exit : t -> from:Addr.t -> tgt:Addr.t -> unit
 (** Log a dynamic exit for the exit-domination analysis. *)
 
+val exit_src : int -> Addr.t
+val exit_tgt : int -> Addr.t
+(** Unpack an [exit_log] key into its exit-block start / target halves. *)
+
 val exit_targets : t -> Addr.Set.t
 (** All targets dynamically exited to. *)
 
@@ -130,5 +139,8 @@ val block_cache_addr : t -> Addr.t -> int option
 (** The byte address in the code cache at which the copy of the given
     block starts, once the region is installed ([None] for non-nodes or
     before installation). *)
+
+val block_cache_offset : t -> Addr.t -> int
+(** Allocation-free {!block_cache_addr}: [-1] instead of [None]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -11,7 +11,10 @@ type result = {
   halted : bool;
 }
 
-type mode = Interpreting | In_region of Region.t * Addr.t
+(* The execution mode is a pair of mutable cells rather than a variant
+   ref: staying inside a region — the common case — updates only the int
+   cell, where [ref (In_region (r, a))] would allocate a constructor on
+   every cached step. *)
 
 let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
   let ctx = Context.create ~params image.Image.program in
@@ -24,11 +27,18 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
     Icache.create ~size_bytes:params.Params.icache_size_bytes
       ~line_bytes:params.Params.icache_line_bytes ~ways:params.Params.icache_ways ()
   in
-  let mode = ref Interpreting in
+  let cur_region = ref None in (* None = interpreting *)
+  let cur_addr = ref Addr.none in
   let halted = ref false in
-  let links = Hashtbl.create 64 in
+  (* Hot-loop scratch: one step record and one policy event, reused for
+     every interpreted block so the per-step path allocates nothing. *)
+  let sbuf = Interp.make_step () in
+  let ib = { Policy.block = sbuf.Interp.block; taken = false; next = Addr.none } in
+  let interp_event = Policy.Interp_block ib in
+  let links : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let record_link ~(from : Region.t) ~(into : Region.t) =
-    let key = from.Region.id, into.Region.id in
+    (* Packed int key, as in [Region.edge_index]: no tuple per transition. *)
+    let key = (from.Region.id lsl 32) lor into.Region.id in
     if not (Hashtbl.mem links key) then begin
       Hashtbl.replace links key ();
       stats.Stats.links <- stats.Stats.links + 1
@@ -46,51 +56,53 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
   let interpret_step (s : Interp.step) =
     let block = s.Interp.block in
     stats.Stats.interpreted_insts <- stats.Stats.interpreted_insts + block.Block.size;
-    install_if_any
-      (Policy.handle policy
-         (Policy.Interp_block { block; taken = s.Interp.taken; next = s.Interp.next }));
-    match s.Interp.next with
-    | None -> halted := true
-    | Some a ->
-      if s.Interp.taken then begin
-        match Code_cache.find ctx.Context.cache a with
-        | Some region ->
-          stats.Stats.dispatches <- stats.Stats.dispatches + 1;
-          Region.record_entry region;
-          mode := In_region (region, a)
-        | None -> ()
-      end
+    ib.Policy.block <- block;
+    ib.Policy.taken <- s.Interp.taken;
+    ib.Policy.next <- s.Interp.next;
+    install_if_any (Policy.handle policy interp_event);
+    let a = s.Interp.next in
+    if Addr.is_none a then halted := true
+    else if s.Interp.taken then begin
+      match Code_cache.find_live ctx.Context.cache a with
+      | region ->
+        stats.Stats.dispatches <- stats.Stats.dispatches + 1;
+        Region.record_entry region;
+        cur_region := Some region;
+        cur_addr := a
+      | exception Not_found -> ()
+    end
   in
+  (* Invariant: [cur] is the start address of the block just executed,
+     [s.block] — the loop only enters region mode at a block start. *)
   let region_step region cur (s : Interp.step) =
     let block = s.Interp.block in
-    assert (Addr.equal block.Block.start cur);
     stats.Stats.cached_insts <- stats.Stats.cached_insts + block.Block.size;
     Region.record_exec region block.Block.size;
-    (match Region.block_cache_addr region cur with
-    | Some addr -> Icache.access icache ~addr ~bytes:(block.Block.size * Region.inst_bytes)
-    | None -> ());
-    match s.Interp.next with
-    | None -> halted := true
-    | Some a ->
+    let off = Region.block_cache_offset region cur in
+    if off >= 0 then Icache.access icache ~addr:off ~bytes:(block.Block.size * Region.inst_bytes);
+    let a = s.Interp.next in
+    if Addr.is_none a then halted := true
+    else begin
       if Region.has_edge region ~src:cur ~dst:a then begin
         if Addr.equal a region.Region.entry then Region.record_cycle region;
-        mode := In_region (region, a)
+        cur_addr := a
       end
       else begin
-        match Code_cache.find ctx.Context.cache a with
-        | Some other when other == region ->
+        match Code_cache.find_live ctx.Context.cache a with
+        | other when other == region ->
           (* A side exit linked back to this region's own entry: execution
              stays put, and the paper's executed-cycle metric counts it as a
              completed cycle, not an exit. *)
           Region.record_cycle region;
-          mode := In_region (region, a)
-        | Some other ->
+          cur_addr := a
+        | other ->
           Region.record_exit region ~from:cur ~tgt:a;
           stats.Stats.region_transitions <- stats.Stats.region_transitions + 1;
           record_link ~from:region ~into:other;
           Region.record_entry other;
-          mode := In_region (other, a)
-        | None ->
+          cur_region := Some other;
+          cur_addr := a
+        | exception Not_found ->
           Region.record_exit region ~from:cur ~tgt:a;
           stats.Stats.cache_exits_to_interp <- stats.Stats.cache_exits_to_interp + 1;
           install_if_any
@@ -99,29 +111,29 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
                   { from_entry = region.Region.entry; src = Block.last block; tgt = a }));
           (* The paper's "jump newT": if the policy just installed a region
              at the pending target, enter it without interpreting. *)
-          (match Code_cache.find ctx.Context.cache a with
-          | Some fresh ->
+          (match Code_cache.find_live ctx.Context.cache a with
+          | fresh ->
             stats.Stats.dispatches <- stats.Stats.dispatches + 1;
             Region.record_entry fresh;
-            mode := In_region (fresh, a)
-          | None -> mode := Interpreting)
+            cur_region := Some fresh;
+            cur_addr := a
+          | exception Not_found -> cur_region := None)
       end
+    end
   in
   let rec loop () =
     if stats.Stats.steps >= max_steps || !halted then ()
-    else
-      match Interp.step interp with
-      | None -> halted := true
-      | Some s ->
-        stats.Stats.steps <- stats.Stats.steps + 1;
-        if s.Interp.taken then stats.Stats.taken_branches <- stats.Stats.taken_branches + 1;
-        (match s.Interp.next with
-        | Some a -> Edge_profile.record edges ~src:s.Interp.block.Block.start ~dst:a
-        | None -> ());
-        (match !mode with
-        | Interpreting -> interpret_step s
-        | In_region (region, cur) -> region_step region cur s);
-        loop ()
+    else if not (Interp.step_into interp sbuf) then halted := true
+    else begin
+      stats.Stats.steps <- stats.Stats.steps + 1;
+      if sbuf.Interp.taken then stats.Stats.taken_branches <- stats.Stats.taken_branches + 1;
+      if not (Addr.is_none sbuf.Interp.next) then
+        Edge_profile.record edges ~src:sbuf.Interp.block.Block.start ~dst:sbuf.Interp.next;
+      (match !cur_region with
+      | None -> interpret_step sbuf
+      | Some region -> region_step region !cur_addr sbuf);
+      loop ()
+    end
   in
   loop ();
   { image; policy_name; ctx; stats; edges; icache; halted = !halted }

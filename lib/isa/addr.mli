@@ -12,6 +12,13 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+val none : t
+(** A sentinel that is not a valid address (valid addresses are [>= 0]).
+    Hot paths use it in place of an [option] to stay allocation-free. *)
+
+val is_none : t -> bool
+(** [is_none a] iff [a] is the {!none} sentinel (any negative value). *)
+
 val is_backward : src:t -> tgt:t -> bool
 (** [is_backward ~src ~tgt] is [tgt <= src]: the transfer moves control to a
     lower (or equal) address, the paper's criterion for a branch that may

@@ -29,6 +29,22 @@ val block_at_exn : t -> Addr.t -> Block.t
 val is_block_start : t -> Addr.t -> bool
 val n_blocks : t -> int
 
+val block_id : t -> Addr.t -> int
+(** The dense id of the block starting at the given address, or [-1] if no
+    block starts there.  Ids are assigned at validation time, are contiguous
+    in [0 .. n_blocks - 1], and increase with start address — an O(1) array
+    read, the hot-path replacement for hashtable lookups.  Downstream
+    modules may key per-block state on ids. *)
+
+val block_of_id : t -> int -> Block.t
+(** The block with the given dense id.  Ids come from {!block_id}; passing
+    anything outside [0 .. n_blocks - 1] is a programming error. *)
+
+val addr_limit : t -> int
+(** Exclusive upper bound on the addresses the program can ever transfer
+    to (one past the last block's fall-through address).  Useful for sizing
+    flat per-address tables. *)
+
 val n_insts : t -> int
 (** Total static instruction count, the denominator used when reporting code
     expansion as a fraction of program size. *)

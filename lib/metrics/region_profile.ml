@@ -17,8 +17,9 @@ type t = {
 
 let routes_of (r : Region.t) =
   let all =
-    Hashtbl.fold
-      (fun (from_block, target) count acc -> { from_block; target; count } :: acc)
+    Regionsel_engine.Flat_tbl.fold
+      (fun key count acc ->
+        { from_block = Region.exit_src key; target = Region.exit_tgt key; count } :: acc)
       r.Region.exit_log []
   in
   List.sort (fun a b -> compare b.count a.count) all

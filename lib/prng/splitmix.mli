@@ -32,6 +32,11 @@ val bits30 : t -> int
 val int : t -> int -> int
 (** [int g bound] is uniform in [[0, bound)]. Requires [bound > 0]. *)
 
+val bits53 : t -> int
+(** [bits53 g] is a uniform integer in [[0, 2^53)]: the integer [float]
+    is built from, exposed so callers can compare against a precomputed
+    integer threshold without boxing a float per draw. *)
+
 val float : t -> float
 (** [float g] is uniform in [[0, 1)]. *)
 

@@ -15,7 +15,10 @@ type indirect_spec =
 
 type state =
   | S_const of bool
-  | S_bernoulli of float * Splitmix.t
+  | S_bernoulli of { thr : int; prng : Splitmix.t }
+      (* [thr] = ceil (p * 2^53): [bits53 < thr] iff [float < p], exactly —
+         scaling by a power of two and the ceil are both exact on doubles —
+         so each decision is an int compare instead of a boxed float. *)
   | S_loop of { trip : int; mutable left : int }
   | S_pattern of { pattern : bool array; mutable pos : int }
   | S_phased of { phases : (int * state) array; mutable phase : int; mutable left : int }
@@ -26,7 +29,7 @@ let rec make_state spec prng =
   | Never_taken -> S_const false
   | Bernoulli p ->
     if p < 0.0 || p > 1.0 then invalid_arg "Behavior: Bernoulli probability out of range";
-    S_bernoulli (p, Splitmix.split prng)
+    S_bernoulli { thr = int_of_float (Float.ceil (p *. 9007199254740992.0)); prng = Splitmix.split prng }
   | Loop n ->
     if n < 1 then invalid_arg "Behavior: Loop trip count must be >= 1";
     S_loop { trip = n; left = n - 1 }
@@ -42,7 +45,7 @@ let rec make_state spec prng =
 
 let rec decide = function
   | S_const b -> b
-  | S_bernoulli (p, prng) -> Splitmix.bernoulli prng ~p
+  | S_bernoulli s -> Splitmix.bits53 s.prng < s.thr
   | S_loop s ->
     if s.left > 0 then begin
       s.left <- s.left - 1;

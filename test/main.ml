@@ -27,4 +27,6 @@ let () =
       "icache", Test_icache.suite;
       "emitter", Test_emitter.suite;
       "extensions", Test_extensions.suite;
+      "domain-pool", Test_domain_pool.suite;
+      "parity", Test_parity.suite;
     ]

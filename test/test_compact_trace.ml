@@ -19,7 +19,10 @@ let path_of_slice steps =
   match List.rev steps with
   | [] -> invalid_arg "empty slice"
   | last :: _ ->
-    { Region.blocks = List.map (fun s -> s.Interp.block) steps; final_next = last.Interp.next }
+    {
+      Region.blocks = List.map (fun s -> s.Interp.block) steps;
+      final_next = (if Addr.is_none last.Interp.next then None else Some last.Interp.next);
+    }
 
 let block_starts path = List.map (fun b -> b.Block.start) path.Region.blocks
 

@@ -1,0 +1,80 @@
+module Domain_pool = Regionsel_engine.Domain_pool
+open Fixtures
+
+exception Boom of int
+
+let ordering () =
+  let tasks = List.init 100 Fun.id in
+  let expected = List.map (fun i -> i * i) tasks in
+  Alcotest.(check (list int))
+    "results in submission order (4 domains)" expected
+    (Domain_pool.map ~n_domains:4 (fun i -> i * i) tasks);
+  Alcotest.(check (list int))
+    "results in submission order (more domains than tasks)" expected
+    (Domain_pool.map ~n_domains:64 (fun i -> i * i) tasks)
+
+let inline_fallback () =
+  (* n_domains = 1 must run inline on the calling domain: a task can then
+     safely touch domain-local state such as this closure's ref. *)
+  let self = Domain.self () in
+  let saw = ref [] in
+  let results =
+    Domain_pool.map ~n_domains:1
+      (fun i ->
+        check_true "runs on the calling domain" (Domain.self () = self);
+        saw := i :: !saw;
+        i + 1)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] results;
+  Alcotest.(check (list int)) "left to right" [ 3; 2; 1 ] !saw
+
+let empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Domain_pool.map ~n_domains:4 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Domain_pool.map ~n_domains:4 Fun.id [ 7 ])
+
+let exception_propagation () =
+  let raised =
+    try
+      ignore
+        (Domain_pool.map ~n_domains:4
+           (fun i -> if i = 13 then raise (Boom i) else i)
+           (List.init 40 Fun.id));
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "exception reaches the caller" (Some 13) raised;
+  (* Inline path too. *)
+  let raised =
+    try
+      ignore (Domain_pool.map ~n_domains:1 (fun i -> raise (Boom i)) [ 5 ]);
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "inline exception reaches the caller" (Some 5) raised
+
+let default_n_domains_env () =
+  (* The env override is read per call, so exercise both directions. *)
+  let with_env v f =
+    let old = Sys.getenv_opt "REGIONSEL_DOMAINS" in
+    Unix.putenv "REGIONSEL_DOMAINS" v;
+    (* No unsetenv in the stdlib: restore a benign "1" when it was unset. *)
+    Fun.protect f ~finally:(fun () ->
+        Unix.putenv "REGIONSEL_DOMAINS" (Option.value old ~default:"1"))
+  in
+  with_env "3" (fun () -> check_int "env respected" 3 (Domain_pool.default_n_domains ()));
+  with_env "junk" (fun () ->
+      check_true "bad env rejected"
+        (try
+           ignore (Domain_pool.default_n_domains ());
+           false
+         with Invalid_argument _ -> true))
+
+let suite =
+  [
+    case "ordering" ordering;
+    case "n_domains = 1 runs inline" inline_fallback;
+    case "empty and singleton" empty_and_singleton;
+    case "exception propagation" exception_propagation;
+    case "REGIONSEL_DOMAINS env" default_n_domains_env;
+  ]

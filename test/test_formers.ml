@@ -105,7 +105,7 @@ let lei_reconstructs_interprocedural_cycle () =
   ignore (History_buffer.insert buf ~src:0x100e ~tgt:0x1000 ~follows_exit:false);
   ignore (History_buffer.insert buf ~src:0x1005 ~tgt:0x100f ~follows_exit:false);
   ignore (History_buffer.insert buf ~src:0x1010 ~tgt:0x1008 ~follows_exit:false);
-  match Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old.History_buffer.seq with
+  match Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old with
   | Some path ->
     Alcotest.(check (list int)) "full interprocedural cycle reconstructed"
       [ 0x1008; 0x100b; 0x1000; 0x1004; 0x100f ]
@@ -126,7 +126,7 @@ let lei_stops_at_cached_entry () =
   let old = History_buffer.insert buf ~src:0x1010 ~tgt:0x1008 ~follows_exit:false in
   ignore (History_buffer.insert buf ~src:0x100e ~tgt:0x1000 ~follows_exit:false);
   ignore (History_buffer.insert buf ~src:0x1010 ~tgt:0x1008 ~follows_exit:false);
-  match Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old.History_buffer.seq with
+  match Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old with
   | Some path ->
     Alcotest.(check (list int)) "stops before the cached callee" [ 0x1008; 0x100b ]
       (starts path);
@@ -143,7 +143,7 @@ let lei_gap_tail_walk () =
      tail from A, stopping at the call (an unconditional transfer). *)
   let old = History_buffer.insert buf ~src:0x1020 ~tgt:0x1008 ~follows_exit:true in
   ignore (History_buffer.insert buf ~src:0x1020 ~tgt:0x1008 ~follows_exit:true);
-  match Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old.History_buffer.seq with
+  match Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old with
   | Some path ->
     Alcotest.(check (list int)) "tail walk across fall-throughs" [ 0x1008; 0x100b ]
       (starts path);
@@ -163,7 +163,7 @@ let lei_start_cached_yields_nothing () =
   let old = History_buffer.insert buf ~src:0x1010 ~tgt:0x1008 ~follows_exit:false in
   ignore (History_buffer.insert buf ~src:0x1010 ~tgt:0x1008 ~follows_exit:false);
   check_true "no trace when the start is already cached"
-    (Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old.History_buffer.seq = None)
+    (Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old = None)
 
 let lei_respects_size_cap () =
   let image = figure2 () in
@@ -173,7 +173,7 @@ let lei_respects_size_cap () =
   let old = History_buffer.insert buf ~src:0x1010 ~tgt:0x1008 ~follows_exit:false in
   ignore (History_buffer.insert buf ~src:0x100e ~tgt:0x1000 ~follows_exit:false);
   ignore (History_buffer.insert buf ~src:0x1010 ~tgt:0x1008 ~follows_exit:false);
-  match Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old.History_buffer.seq with
+  match Lei_former.form ~ctx ~buf ~start:0x1008 ~after_seq:old with
   | Some path -> check_true "capped" (Region.path_insts path <= 8)
   | None -> Alcotest.fail "expected a trace"
 

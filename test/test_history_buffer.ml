@@ -32,35 +32,34 @@ let eviction () =
 
 let entries_after_ordering () =
   let t = mk () in
-  let e1 = insert t 1 10 in
+  let s1 = insert t 1 10 in
   ignore (insert t 2 20);
   ignore (insert t 3 30);
-  let after = History_buffer.entries_after t ~seq:e1.History_buffer.seq in
+  let after = History_buffer.entries_after t ~seq:s1 in
   Alcotest.(check (list int)) "entries after in order" [ 20; 30 ]
     (List.map (fun e -> e.History_buffer.tgt) after)
 
 let truncate_semantics () =
   let t = mk () in
-  let e1 = insert t 1 10 in
+  let s1 = insert t 1 10 in
   ignore (insert t 2 20);
   ignore (insert t 3 30);
-  History_buffer.truncate_after t ~seq:e1.History_buffer.seq;
+  History_buffer.truncate_after t ~seq:s1;
   check_true "later entries gone" (History_buffer.find t 20 = None);
   check_true "earlier entry survives" (History_buffer.find t 10 <> None);
   check_int "length reflects truncation" 1 (History_buffer.length t);
   Alcotest.(check (list int)) "no entries after" []
     (List.map
        (fun e -> e.History_buffer.tgt)
-       (History_buffer.entries_after t ~seq:e1.History_buffer.seq))
+       (History_buffer.entries_after t ~seq:s1))
 
 let reinsert_after_truncate () =
   let t = mk () in
-  let e1 = insert t 1 10 in
+  let s1 = insert t 1 10 in
   ignore (insert t 2 20);
-  History_buffer.truncate_after t ~seq:e1.History_buffer.seq;
-  let e2 = insert t 5 50 in
-  check_int "sequence numbers restart after the cut" (e1.History_buffer.seq + 1)
-    e2.History_buffer.seq;
+  History_buffer.truncate_after t ~seq:s1;
+  let s2 = insert t 5 50 in
+  check_int "sequence numbers restart after the cut" (s1 + 1) s2;
   check_true "new entry found" (History_buffer.find t 50 <> None)
 
 let follows_exit_flag () =
@@ -79,6 +78,47 @@ let wraparound_find () =
   check_true "recent target found" (History_buffer.find t 1 <> None);
   check_true "target overwritten in place still latest" (History_buffer.find t 2 <> None);
   check_true "stale target gone" (History_buffer.find t 3 = None)
+
+(* Oracle for {!History_buffer.length}: count the live entries directly. *)
+let length_oracle t = List.length (History_buffer.entries_after t ~seq:0)
+
+let length_after_wraparound () =
+  let t = mk ~capacity:4 () in
+  for i = 1 to 11 do
+    ignore (insert t i (100 + i))
+  done;
+  check_int "length equals live entries after wraparound" (length_oracle t)
+    (History_buffer.length t);
+  check_int "full buffer holds capacity entries" 4 (History_buffer.length t)
+
+let length_after_truncate_and_refill () =
+  let t = mk ~capacity:4 () in
+  for i = 1 to 6 do
+    ignore (insert t i (200 + i))
+  done;
+  History_buffer.truncate_after t ~seq:4;
+  check_int "length equals live entries after truncation" (length_oracle t)
+    (History_buffer.length t);
+  check_int "two live entries remain" 2 (History_buffer.length t);
+  (* Refill past the stale slots the truncation left behind. *)
+  for i = 1 to 5 do
+    ignore (insert t (10 + i) (300 + i))
+  done;
+  check_int "length equals live entries after refill" (length_oracle t)
+    (History_buffer.length t);
+  check_int "buffer full again" 4 (History_buffer.length t)
+
+let qcheck_length_matches_live =
+  QCheck.Test.make ~name:"length agrees with live entries under insert/truncate" ~count:300
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 120) (int_range 0 60)))
+    (fun (capacity, ops) ->
+      let t = History_buffer.create ~capacity in
+      List.iter
+        (fun v ->
+          if v mod 7 = 0 then History_buffer.truncate_after t ~seq:(v / 2)
+          else ignore (insert t v (v * 13 mod 17)))
+        ops;
+      History_buffer.length t = length_oracle t)
 
 let qcheck_window =
   QCheck.Test.make ~name:"find only returns entries within the window" ~count:200
@@ -120,6 +160,9 @@ let suite =
     case "reinsert after truncate" reinsert_after_truncate;
     case "follows_exit flag" follows_exit_flag;
     case "wraparound find" wraparound_find;
+    case "length after wraparound" length_after_wraparound;
+    case "length after truncate and refill" length_after_truncate_and_refill;
+    QCheck_alcotest.to_alcotest qcheck_length_matches_live;
     QCheck_alcotest.to_alcotest qcheck_window;
     QCheck_alcotest.to_alcotest qcheck_entries_after_sorted;
   ]

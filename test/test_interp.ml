@@ -63,7 +63,7 @@ let return_with_empty_stack_halts () =
   (match Interp.step interp with
   | Some s ->
     check_true "return taken" s.Interp.taken;
-    check_true "no next" (s.Interp.next = None)
+    check_true "no next" (Addr.is_none s.Interp.next)
   | None -> Alcotest.fail "expected one step");
   check_true "halted after" (Interp.step interp = None)
 
@@ -95,7 +95,7 @@ let indirect_targets_followed () =
     match Interp.step interp with
     | Some s ->
       if Terminator.is_indirect s.Interp.block.Block.term then
-        targets := Option.get s.Interp.next :: !targets
+        targets := s.Interp.next :: !targets
     | None -> Alcotest.fail "program should not halt"
   done;
   ignore image;
@@ -121,9 +121,8 @@ let next_is_block_start () =
   let interp = Interp.create image ~seed:9L in
   List.iter
     (fun s ->
-      match s.Interp.next with
-      | Some a -> check_true "next is a block start" (Program.is_block_start p a)
-      | None -> ())
+      if not (Addr.is_none s.Interp.next) then
+        check_true "next is a block start" (Program.is_block_start p s.Interp.next))
     (steps_until_halt interp)
 
 let suite =

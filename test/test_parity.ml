@@ -1,0 +1,58 @@
+(* Differential test for the hot-path overhaul: the dense-id interpreter,
+   packed edge profile, and circular history buffer must not change a
+   single metric, and fanning runs across domains must not either.
+
+   [Run_metrics.t] is a flat record of ints, floats, bools, and strings,
+   so structural equality is exactly "every metric identical". *)
+
+module Spec = Regionsel_workload.Spec
+module Suite = Regionsel_workload.Suite
+module Simulator = Regionsel_engine.Simulator
+module Domain_pool = Regionsel_engine.Domain_pool
+module Run_metrics = Regionsel_metrics.Run_metrics
+module Policies = Regionsel_core.Policies
+open Fixtures
+
+(* Small budgets keep the full (workload x policy) sweep test-suite fast
+   while still exercising region formation, cache exits, and eviction. *)
+let budget (spec : Spec.t) = min spec.Spec.default_steps 30_000
+
+let run (spec : Spec.t) policy_name =
+  let policy = Option.get (Policies.find policy_name) in
+  Run_metrics.of_result
+    (Simulator.run ~seed:1L ~policy ~max_steps:(budget spec) (Spec.image spec))
+
+let tasks =
+  List.concat_map
+    (fun (spec : Spec.t) -> List.map (fun (p, _) -> spec, p) Policies.all)
+    Suite.all
+
+let check_pairwise ~what reference candidate =
+  List.iter2
+    (fun ((spec : Spec.t), pname) (r, c) ->
+      if r <> c then
+        Alcotest.failf "%s: metrics differ for %s under %s:\nreference: %a\ncandidate: %a"
+          what spec.Spec.name pname Run_metrics.pp r Run_metrics.pp c)
+    tasks
+    (List.combine reference candidate)
+
+(* The reference: every pair simulated twice sequentially must agree with
+   itself — a guard that the simulator is deterministic at all (otherwise
+   the parallel comparison below proves nothing). *)
+let sequential_deterministic () =
+  let a = List.map (fun (spec, p) -> run spec p) tasks in
+  let b = List.map (fun (spec, p) -> run spec p) tasks in
+  check_pairwise ~what:"sequential repeat" a b
+
+let sequential_vs_parallel () =
+  (* Images are lazy: force them on this domain before fanning out. *)
+  List.iter (fun ((spec : Spec.t), _) -> ignore (Spec.image spec)) tasks;
+  let reference = List.map (fun (spec, p) -> run spec p) tasks in
+  let pooled = Domain_pool.map ~n_domains:4 (fun (spec, p) -> run spec p) tasks in
+  check_pairwise ~what:"parallel (4 domains)" reference pooled
+
+let suite =
+  [
+    case "sequential runs are deterministic" sequential_deterministic;
+    case "pooled runs match sequential bit-for-bit" sequential_vs_parallel;
+  ]
