@@ -5,8 +5,9 @@
    per-branch selection overhead with Bechamel (the Section 3.1 claim).
 
    Usage: main.exe [--quick] [--only SECTION ...] [--json FILE]
+          [--fault-seed N]
    Sections: fig7 fig8 fig9 fig10 fig11 fig12 hitrate fig16 fig17 fig18
-   fig19 summary related ablation-buffer ablation-tprof speed
+   fig19 summary related ablation-buffer ablation-tprof faults speed
 
    The (benchmark x policy) matrix behind the figures is simulated up
    front, fanned across domains (see Domain_pool); each run is
@@ -18,6 +19,7 @@ module Suite = Regionsel_workload.Suite
 module Spec = Regionsel_workload.Spec
 module Simulator = Regionsel_engine.Simulator
 module Params = Regionsel_engine.Params
+module Faults = Regionsel_engine.Faults
 module Run_metrics = Regionsel_metrics.Run_metrics
 module Aggregate = Regionsel_metrics.Aggregate
 module Policies = Regionsel_core.Policies
@@ -43,6 +45,17 @@ let json_path =
     if i >= Array.length Sys.argv then None
     else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
       Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+(* Seed for the fault section, so CI can fuzz schedules without touching
+   the deterministic seed-1 matrix behind the figures. *)
+let fault_seed =
+  let rec find i =
+    if i >= Array.length Sys.argv then 1L
+    else if Sys.argv.(i) = "--fault-seed" && i + 1 < Array.length Sys.argv then
+      Int64.of_string Sys.argv.(i + 1)
     else find (i + 1)
   in
   find 1
@@ -630,6 +643,136 @@ let methods () =
      diamond-heavy programs), with control crossing regions at every call/return."
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: degradation and recovery                           *)
+(* ------------------------------------------------------------------ *)
+
+let fault_subset () = List.filter_map Suite.find [ "gzip"; "mcf"; "perlbmk"; "twolf" ]
+
+(* Per-burst recovery fractions from a run's fault log.  Cascades — a
+   burst plus the watchdog bailout it provokes — are coalesced into one
+   disruption; each disruption's post-burst peak share is compared against
+   its pre-burst peak (same computation as test_faults). *)
+let burst_recovery (log : Faults.log) =
+  let samples = Array.of_list log.Faults.samples in
+  let burst_steps =
+    List.filter_map
+      (fun (s, l) -> if l = "smc" || l = "shock" || l = "bailout" then Some s else None)
+      log.Faults.events
+  in
+  let gap = Params.default.Params.bailout_cooldown + Params.default.Params.watchdog_window in
+  let bursts =
+    List.fold_left
+      (fun groups s ->
+        match groups with
+        | (first, last) :: rest when s - last <= gap -> (first, s) :: rest
+        | _ -> (s, s) :: groups)
+      [] burst_steps
+    |> List.rev
+  in
+  let bursts_arr = Array.of_list bursts in
+  let fractions = ref [] in
+  Array.iteri
+    (fun i (first, last) ->
+      let next_burst =
+        if i + 1 < Array.length bursts_arr then fst bursts_arr.(i + 1) else max_int
+      in
+      let pre =
+        Array.fold_left
+          (fun acc (s, share) ->
+            if s < first && s >= first - (3 * Params.default.Params.watchdog_window) then
+              max acc share
+            else acc)
+          0.0 samples
+      in
+      let post =
+        Array.fold_left
+          (fun acc (s, share) -> if s > last && s <= next_burst then max acc share else acc)
+          0.0 samples
+      in
+      let has_tail = Array.exists (fun (s, _) -> s > last && s <= next_burst) samples in
+      if has_tail && pre > 0.0 then fractions := (post /. pre) :: !fractions)
+    bursts_arr;
+  List.rev !fractions
+
+let faults_section () =
+  header "Fault injection: degradation and recovery under the \"mixed\" profile";
+  Printf.printf
+    "fault seed %Ld; acceptance: after every flush/invalidation burst the windowed\n\
+     cached-instruction share climbs back to >= 80%% of its pre-burst peak\n"
+    fault_seed;
+  let profile = Option.get (Params.fault_profile "mixed") in
+  let params = { Params.default with Params.faults = Some profile } in
+  List.iter
+    (fun policy_name ->
+      current_section := "faults:" ^ policy_name;
+      let policy = Option.get (Policies.find policy_name) in
+      let specs = fault_subset () in
+      let runs =
+        List.map
+          (fun spec ->
+            ( spec,
+              Simulator.run ~params ~seed:fault_seed ~policy
+                ~max_steps:(min (budget spec) 400_000)
+                (Spec.image spec) ))
+          specs
+      in
+      Printf.printf "\n%s:\n" policy_name;
+      let per_bench =
+        List.map
+          (fun ((spec : Spec.t), result) ->
+            let m = Run_metrics.of_result result in
+            let fractions = burst_recovery (Option.get result.Simulator.fault_log) in
+            let worst = List.fold_left min 1.0 fractions in
+            let recovered = List.length (List.filter (fun f -> f >= 0.8) fractions) in
+            let total = List.length fractions in
+            spec, m, worst, recovered, total)
+          runs
+      in
+      Table.print
+        ~header:
+          [ "bench"; "hit"; "faults"; "inval"; "blhits"; "rejects"; "bailouts"; "worst rec";
+            "recovered" ]
+        (List.map
+           (fun ((spec : Spec.t), m, worst, recovered, total) ->
+             [
+               spec.Spec.name;
+               pct m.Run_metrics.hit_rate;
+               string_of_int m.Run_metrics.faults_injected;
+               string_of_int m.Run_metrics.invalidations;
+               string_of_int m.Run_metrics.blacklist_hits;
+               string_of_int m.Run_metrics.install_rejects;
+               string_of_int m.Run_metrics.bailouts;
+               pct worst;
+               Printf.sprintf "%d/%d" recovered total;
+             ])
+           per_bench);
+      let mean f = Aggregate.mean (List.map f per_bench) in
+      let avg_hit = mean (fun (_, m, _, _, _) -> m.Run_metrics.hit_rate) in
+      let avg_worst = mean (fun (_, _, w, _, _) -> w) in
+      let avg_recovered =
+        mean (fun (_, _, _, r, t) -> if t = 0 then 1.0 else float_of_int r /. float_of_int t)
+      in
+      let unrecovered =
+        List.concat_map
+          (fun ((spec : Spec.t), _, _, r, t) ->
+            if r < t then [ Printf.sprintf "%s (%d/%d)" spec.Spec.name r t ] else [])
+          per_bench
+      in
+      if unrecovered <> [] then
+        Printf.printf "NOT RECOVERED: %s\n" (String.concat ", " unrecovered);
+      if json_path <> None then
+        json_tables :=
+          ( !current_section,
+            [
+              "hit", avg_hit; "worst_recovery", avg_worst; "recovered_fraction", avg_recovered;
+              "bailouts", mean (fun (_, m, _, _, _) -> float_of_int m.Run_metrics.bailouts);
+              ( "install_rejects",
+                mean (fun (_, m, _, _, _) -> float_of_int m.Run_metrics.install_rejects) );
+            ] )
+          :: !json_tables)
+    [ "net"; "lei"; "combined-lei" ]
+
+(* ------------------------------------------------------------------ *)
 (* Selection overhead (Bechamel)                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -832,7 +975,7 @@ let emit_json path =
 
 (* Sections that never touch the memoized matrix; prefilling for them
    would only add startup latency. *)
-let matrix_free = [ "speed"; "codec"; "seeds" ]
+let matrix_free = [ "speed"; "codec"; "seeds"; "faults" ]
 
 let () =
   Printf.printf "regionsel benchmark harness: %d benchmarks x %d policies%s\n"
@@ -846,7 +989,8 @@ let () =
       "ablation-buffer", ablation_buffer; "ablation-tprof", ablation_tprof;
       "ablation-threshold", ablation_threshold; "ablation-cache", ablation_bounded_cache;
       "ablation-layout", ablation_layout;
-      "methods", methods; "seeds", seeds; "speed", speed; "codec", codec_speed;
+      "methods", methods; "seeds", seeds; "faults", faults_section; "speed", speed;
+      "codec", codec_speed;
     ]
   in
   if

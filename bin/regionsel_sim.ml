@@ -4,6 +4,7 @@
 module Spec = Regionsel_workload.Spec
 module Suite = Regionsel_workload.Suite
 module Simulator = Regionsel_engine.Simulator
+module Params = Regionsel_engine.Params
 module Context = Regionsel_engine.Context
 module Code_cache = Regionsel_engine.Code_cache
 module Region = Regionsel_engine.Region
@@ -30,6 +31,13 @@ let seed_arg =
   let doc = "PRNG seed for branch behaviour." in
   Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let faults_arg =
+  let doc =
+    "Enable deterministic fault injection with the named profile (mixed, smc, translation, \
+     pressure)."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PROFILE" ~doc)
+
 let lookup_bench name =
   match Suite.find name with
   | Some s -> s
@@ -45,10 +53,20 @@ let lookup_policy name =
       (String.concat ", " (List.map fst Policies.all));
     exit 2
 
-let simulate spec policy steps seed =
+let params_of_faults = function
+  | None -> Params.default
+  | Some name -> (
+    match Params.fault_profile name with
+    | Some profile -> { Params.default with Params.faults = Some profile }
+    | None ->
+      Printf.eprintf "unknown fault profile %s (known: %s)\n" name
+        (String.concat ", " (List.map fst Params.fault_profiles));
+      exit 2)
+
+let simulate ?(params = Params.default) spec policy steps seed =
   let image = Spec.image spec in
   let max_steps = Option.value ~default:spec.Spec.default_steps steps in
-  Simulator.run ~seed ~policy ~max_steps image
+  Simulator.run ~params ~seed ~policy ~max_steps image
 
 (* Fan independent (spec, x) simulation tasks across domains.  Every run
    allocates its own state, but [Spec.image] is lazy and not thread-safe,
@@ -59,13 +77,20 @@ let parallel_map_specs f tasks =
   Domain_pool.map (fun ((spec : Spec.t), x) -> f spec x) tasks
 
 let run_cmd =
-  let run bench policy steps seed =
-    let result = simulate (lookup_bench bench) (lookup_policy policy) steps seed in
-    Format.printf "%a@." Run_metrics.pp (Run_metrics.of_result result)
+  let run bench policy steps seed faults =
+    let params = params_of_faults faults in
+    let result = simulate ~params (lookup_bench bench) (lookup_policy policy) steps seed in
+    Format.printf "%a@." Run_metrics.pp (Run_metrics.of_result result);
+    match result.Simulator.fault_log with
+    | None -> ()
+    | Some log ->
+      let module Faults = Regionsel_engine.Faults in
+      Format.printf "fault events:@.";
+      List.iter (fun (s, l) -> Format.printf "  %8d %s@." s l) log.Faults.events
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one policy and print its metrics")
-    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg)
+    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg)
 
 let regions_cmd =
   let run bench policy steps seed limit =
@@ -128,12 +153,13 @@ let disas_cmd =
     Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ limit)
 
 let matrix_cmd =
-  let run bench steps seed =
+  let run bench steps seed faults =
+    let params = params_of_faults faults in
     let spec = lookup_bench bench in
     let rows =
       parallel_map_specs
         (fun spec (name, policy) ->
-          let m = Run_metrics.of_result (simulate spec policy steps seed) in
+          let m = Run_metrics.of_result (simulate ~params spec policy steps seed) in
           [
             name;
             string_of_int m.Run_metrics.n_regions;
@@ -160,7 +186,7 @@ let matrix_cmd =
   in
   Cmd.v
     (Cmd.info "matrix" ~doc:"Run one benchmark under every policy")
-    Term.(const run $ bench_arg $ steps_arg $ seed_arg)
+    Term.(const run $ bench_arg $ steps_arg $ seed_arg $ faults_arg)
 
 let domination_cmd =
   let run bench policy steps seed =

@@ -53,6 +53,9 @@ module Eager_blocks : Policy.S = struct
       end
       else Policy.No_action
     | Policy.Cache_exited _ -> Policy.No_action
+    | Policy.Region_invalidated { entry } ->
+      Counters.release t.ctx.Context.counters entry;
+      Policy.No_action
 end
 
 let eager : (module Policy.S) = (module Eager_blocks)

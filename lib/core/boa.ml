@@ -92,3 +92,7 @@ let handle t = function
     then bump t tgt
     else Policy.No_action
   | Policy.Cache_exited { tgt; _ } -> bump t tgt
+  | Policy.Region_invalidated { entry } ->
+    (* Entry counting restarts; accumulated branch biases stay valid. *)
+    Counters.release t.ctx.Context.counters entry;
+    Policy.No_action

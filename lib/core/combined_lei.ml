@@ -58,3 +58,10 @@ let handle t = function
       else on_taken_branch t ~src:(Block.last ib.Policy.block) ~tgt ~is_exit:false
     else Policy.No_action
   | Policy.Cache_exited { src; tgt; _ } -> on_taken_branch t ~src ~tgt ~is_exit:true
+  | Policy.Region_invalidated { entry } ->
+    (* Drop stored observations and the cycle counter for the retired
+       entry; the history buffer ages out on its own. *)
+    if Observation_store.count t.store entry > 0 then
+      ignore (Observation_store.take t.store entry);
+    Counters.release t.ctx.Context.counters entry;
+    Policy.No_action

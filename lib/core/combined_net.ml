@@ -96,3 +96,14 @@ let handle t = function
   | Policy.Cache_exited { tgt; _ } ->
     bump t tgt;
     Policy.No_action
+  | Policy.Region_invalidated { entry } ->
+    (* Drop every piece of observation state keyed by the retired entry:
+       counters, an armed or active former, and stored compact traces. *)
+    Addr.Table.remove t.formers entry;
+    (match t.pending with
+    | Some e when Addr.equal e entry -> t.pending <- None
+    | Some _ | None -> ());
+    if Observation_store.count t.store entry > 0 then
+      ignore (Observation_store.take t.store entry);
+    Counters.release t.ctx.Context.counters entry;
+    Policy.No_action

@@ -49,3 +49,7 @@ let handle t = function
       else on_taken_branch t ~src:(Block.last ib.Policy.block) ~tgt ~is_exit:false
     else Policy.No_action
   | Policy.Cache_exited { src; tgt; _ } -> on_taken_branch t ~src ~tgt ~is_exit:true
+  | Policy.Region_invalidated { entry } ->
+    (* Cycle counting restarts from scratch for the retired entry. *)
+    Counters.release t.ctx.Context.counters entry;
+    Policy.No_action

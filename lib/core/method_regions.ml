@@ -120,3 +120,7 @@ let handle t = function
     (* Exits land at callees or continuations; count invocations of the
        containing function. *)
     bump t (containing_function t tgt)
+  | Policy.Region_invalidated { entry } ->
+    (* Invocation counting restarts; learned function boundaries stay. *)
+    Counters.release t.ctx.Context.counters entry;
+    Policy.No_action

@@ -94,4 +94,12 @@ module Make (C : CONFIG) : Policy.S = struct
           Addr.Table.replace t.exit_targets tgt ();
       bump t tgt;
       Policy.No_action
+    | Policy.Region_invalidated { entry } ->
+      (* Profiling restarts from scratch for the retired entry. *)
+      Addr.Table.remove t.exit_targets entry;
+      Counters.release t.ctx.Context.counters entry;
+      (match t.recording with
+      | Pending e when Addr.equal e entry -> t.recording <- Idle
+      | Idle | Pending _ | Active _ -> ());
+      Policy.No_action
 end

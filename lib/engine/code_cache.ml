@@ -1,10 +1,22 @@
 open Regionsel_isa
 
+type reject = Duplicate_entry | Blacklisted | Translation_failed
+
+let reject_to_string = function
+  | Duplicate_entry -> "duplicate-entry"
+  | Blacklisted -> "blacklisted"
+  | Translation_failed -> "translation-failed"
+
+type blacklist_entry = { mutable fails : int; mutable until : int }
+
 type t = {
   by_entry : Region.t Int_tbl.t;
   by_aux_entry : Region.t Int_tbl.t;
-  mutable live_order : Region.t list; (* newest first *)
-  mutable retired : Region.t list; (* newest first *)
+  fifo : Region.t Queue.t;
+      (* Install order.  Retired regions are left in place as tombstones and
+         skipped lazily, so eviction pops each element at most once:
+         [make_room] under [Evict_oldest] is O(evicted) amortized. *)
+  mutable retired : Region.t list;
   mutable next_id : int;
   mutable bytes_used : int;
   mutable alloc_cursor : int;
@@ -13,16 +25,35 @@ type t = {
   capacity_bytes : int option;
   eviction : Params.eviction;
   evicted_entries : unit Int_tbl.t;
+  program : Program.t option;
+  dispatch : Region.t option array;
+      (* block_id -> live region claiming that block as entry or aux entry.
+         Present only when [create] was given the program; mirrors
+         by_entry/by_aux_entry exactly so the simulator's per-transition
+         probe is one array read instead of up to two hash probes. *)
+  blacklist : blacklist_entry Int_tbl.t;
+  blacklist_base_cooldown : int;
+  blacklist_max_shift : int;
+  mutable fail_installs_until : int;
+      (* While [now <= fail_installs_until] the translator is flaky and
+         every install fails. *)
+  mutable now : int;
   mutable evictions : int;
   mutable flushes : int;
   mutable regenerations : int;
+  mutable invalidations : int;
+  mutable blacklist_hits : int;
+  mutable duplicate_installs : int;
+  mutable translation_failures : int;
 }
 
-let create ?capacity_bytes ?(eviction = Params.Flush_all) () =
+let create ?capacity_bytes ?(eviction = Params.Flush_all)
+    ?(blacklist_base_cooldown = Params.default.Params.blacklist_base_cooldown)
+    ?(blacklist_max_shift = Params.default.Params.blacklist_max_shift) ?program () =
   {
     by_entry = Int_tbl.create 256;
     by_aux_entry = Int_tbl.create 64;
-    live_order = [];
+    fifo = Queue.create ();
     retired = [];
     next_id = 0;
     bytes_used = 0;
@@ -30,85 +61,238 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all) () =
     capacity_bytes;
     eviction;
     evicted_entries = Int_tbl.create 64;
+    program;
+    dispatch =
+      (match program with
+      | Some p -> Array.make (max 1 (Program.n_blocks p)) None
+      | None -> [||]);
+    blacklist = Int_tbl.create 16;
+    blacklist_base_cooldown;
+    blacklist_max_shift;
+    fail_installs_until = -1;
+    now = 0;
     evictions = 0;
     flushes = 0;
     regenerations = 0;
+    invalidations = 0;
+    blacklist_hits = 0;
+    duplicate_installs = 0;
+    translation_failures = 0;
   }
+
+let dispatch t id =
+  if id >= 0 && id < Array.length t.dispatch then Array.unsafe_get t.dispatch id else None
+
+let dispatch_set t a region =
+  match t.program with
+  | None -> ()
+  | Some p ->
+    let id = Program.block_id p a in
+    if id >= 0 then t.dispatch.(id) <- Some region
+
+let dispatch_clear t a region =
+  match t.program with
+  | None -> ()
+  | Some p ->
+    let id = Program.block_id p a in
+    if id >= 0 then begin
+      match t.dispatch.(id) with
+      | Some r when r == region -> t.dispatch.(id) <- None
+      | Some _ | None -> ()
+    end
 
 let find t a =
   match Int_tbl.find_opt t.by_entry a with
   | Some _ as hit -> hit
   | None -> Int_tbl.find_opt t.by_aux_entry a
 
-(* Option-free [find] for the simulator's per-transition probe. *)
+(* Option-free [find] for callers without a block id at hand. *)
 let find_live t a =
   match Int_tbl.find t.by_entry a with
   | r -> r
   | exception Not_found -> Int_tbl.find t.by_aux_entry a
 
-let mem t a = Int_tbl.mem t.by_entry a || Int_tbl.mem t.by_aux_entry a
+let mem t a =
+  match t.program with
+  | Some p ->
+    let id = Program.block_id p a in
+    id >= 0 && (match t.dispatch.(id) with Some _ -> true | None -> false)
+  | None -> Int_tbl.mem t.by_entry a || Int_tbl.mem t.by_aux_entry a
 
+let is_live t (region : Region.t) =
+  match Int_tbl.find_opt t.by_entry region.Region.entry with
+  | Some r -> r == region
+  | None -> false
+
+(* Unlink a region from every live index.  Counter policy is the caller's:
+   capacity eviction and flushes count as evictions, invalidation as
+   invalidations. *)
 let retire t (region : Region.t) =
   Int_tbl.remove t.by_entry region.Region.entry;
+  dispatch_clear t region.Region.entry region;
   Addr.Set.iter
     (fun a ->
-      match Int_tbl.find_opt t.by_aux_entry a with
+      (match Int_tbl.find_opt t.by_aux_entry a with
       | Some r when r == region -> Int_tbl.remove t.by_aux_entry a
-      | Some _ | None -> ())
+      | Some _ | None -> ());
+      dispatch_clear t a region)
     region.Region.aux_entries;
   Int_tbl.replace t.evicted_entries region.Region.entry ();
   t.retired <- region :: t.retired;
-  t.bytes_used <- t.bytes_used - Region.cache_bytes region;
-  t.evictions <- t.evictions + 1
+  t.bytes_used <- t.bytes_used - Region.cache_bytes region
+
+let rec evict_oldest t =
+  match Queue.take_opt t.fifo with
+  | None -> None
+  | Some r ->
+    if is_live t r then begin
+      retire t r;
+      t.evictions <- t.evictions + 1;
+      Some r
+    end
+    else evict_oldest t (* tombstone: already retired by another path *)
 
 let flush_all t =
-  List.iter (retire t) t.live_order;
-  t.live_order <- [];
-  t.flushes <- t.flushes + 1
+  let flushed = ref [] in
+  Queue.iter
+    (fun r ->
+      if is_live t r then begin
+        retire t r;
+        t.evictions <- t.evictions + 1;
+        flushed := r :: !flushed
+      end)
+    t.fifo;
+  Queue.clear t.fifo;
+  t.flushes <- t.flushes + 1;
+  List.rev !flushed
 
-let evict_oldest t =
-  match List.rev t.live_order with
-  | [] -> ()
-  | oldest :: _ ->
-    retire t oldest;
-    t.live_order <- List.filter (fun r -> not (r == oldest)) t.live_order
+let n_regions t = Int_tbl.length t.by_entry
 
 let rec make_room t needed =
   match t.capacity_bytes with
   | None -> ()
   | Some capacity ->
-    if t.bytes_used + needed > capacity && t.live_order <> [] then begin
-      (match t.eviction with Params.Flush_all -> flush_all t | Params.Evict_oldest -> evict_oldest t);
+    if t.bytes_used + needed > capacity && n_regions t > 0 then begin
+      (match t.eviction with
+      | Params.Flush_all -> ignore (flush_all t)
+      | Params.Evict_oldest -> ignore (evict_oldest t));
       make_room t needed
     end
 
+let set_now t step = if step > t.now then t.now <- step
+
+let record_failure t entry =
+  let b =
+    match Int_tbl.find_opt t.blacklist entry with
+    | Some b -> b
+    | None ->
+      let b = { fails = 0; until = 0 } in
+      Int_tbl.replace t.blacklist entry b;
+      b
+  in
+  b.fails <- b.fails + 1;
+  let shift = min (b.fails - 1) t.blacklist_max_shift in
+  b.until <- t.now + (t.blacklist_base_cooldown lsl shift)
+
+let blacklisted_until t entry =
+  match Int_tbl.find_opt t.blacklist entry with Some b -> b.until | None -> 0
+
+let n_blacklisted t =
+  Int_tbl.fold (fun _ b acc -> if b.until > t.now then acc + 1 else acc) t.blacklist 0
+
+let arm_translation_failures t ~window =
+  let until = t.now + window in
+  if until > t.fail_installs_until then t.fail_installs_until <- until
+
 let install t (spec : Region.spec) =
-  if mem t spec.Region.entry then
+  (* Blacklist before the translation window: an entry already in cooldown
+     must not record a fresh failure (and a doubled cooldown) for installs
+     it was never eligible to attempt. *)
+  match Int_tbl.find_opt t.blacklist spec.Region.entry with
+  | Some b when b.until > t.now ->
+    t.blacklist_hits <- t.blacklist_hits + 1;
+    Error Blacklisted
+  | Some _ | None ->
+    if t.now <= t.fail_installs_until then begin
+      t.translation_failures <- t.translation_failures + 1;
+      record_failure t spec.Region.entry;
+      Error Translation_failed
+    end
+    else
+      if mem t spec.Region.entry then begin
+        t.duplicate_installs <- t.duplicate_installs + 1;
+        Error Duplicate_entry
+      end
+      else begin
+        let region = Region.of_spec ~id:t.next_id ~selected_at:t.next_id spec in
+        make_room t (Region.cache_bytes region);
+        t.next_id <- t.next_id + 1;
+        if Int_tbl.mem t.evicted_entries spec.Region.entry then
+          t.regenerations <- t.regenerations + 1;
+        Int_tbl.replace t.by_entry spec.Region.entry region;
+        dispatch_set t spec.Region.entry region;
+        Addr.Set.iter
+          (fun a ->
+            Int_tbl.replace t.by_aux_entry a region;
+            dispatch_set t a region)
+          region.Region.aux_entries;
+        Queue.add region t.fifo;
+        t.bytes_used <- t.bytes_used + Region.cache_bytes region;
+        Region.set_cache_base region t.alloc_cursor;
+        t.alloc_cursor <- t.alloc_cursor + Region.cache_bytes region;
+        Ok region
+      end
+
+let install_exn t spec =
+  match install t spec with
+  | Ok region -> region
+  | Error reject ->
     invalid_arg
-      (Printf.sprintf "Code_cache.install: entry %s already cached"
-         (Addr.to_string spec.Region.entry));
-  let region = Region.of_spec ~id:t.next_id ~selected_at:t.next_id spec in
-  make_room t (Region.cache_bytes region);
-  t.next_id <- t.next_id + 1;
-  if Int_tbl.mem t.evicted_entries spec.Region.entry then
-    t.regenerations <- t.regenerations + 1;
-  Int_tbl.replace t.by_entry spec.Region.entry region;
-  Addr.Set.iter
-    (fun a -> Int_tbl.replace t.by_aux_entry a region)
-    region.Region.aux_entries;
-  t.live_order <- region :: t.live_order;
-  t.bytes_used <- t.bytes_used + Region.cache_bytes region;
-  Region.set_cache_base region t.alloc_cursor;
-  t.alloc_cursor <- t.alloc_cursor + Region.cache_bytes region;
-  region
+      (Printf.sprintf "Code_cache.install: entry %s rejected (%s)"
+         (Addr.to_string spec.Region.entry) (reject_to_string reject))
+
+let overlaps ~lo ~hi (region : Region.t) =
+  List.exists
+    (fun (b : Block.t) -> b.Block.start <= hi && Block.last b >= lo)
+    (Region.nodes region)
+
+let invalidate_range t ~lo ~hi =
+  let hit =
+    Queue.fold (fun acc r -> if is_live t r && overlaps ~lo ~hi r then r :: acc else acc) [] t.fifo
+  in
+  let hit = List.rev hit in
+  List.iter
+    (fun r ->
+      retire t r;
+      t.invalidations <- t.invalidations + 1;
+      record_failure t r.Region.entry)
+    hit;
+  hit
+
+let shock t ~bytes =
+  match t.eviction with
+  | Params.Flush_all -> if n_regions t > 0 then flush_all t else []
+  | Params.Evict_oldest ->
+    let before = t.bytes_used in
+    let retired = ref [] in
+    let continue = ref true in
+    while !continue && before - t.bytes_used < bytes && n_regions t > 0 do
+      match evict_oldest t with
+      | Some r -> retired := r :: !retired
+      | None -> continue := false
+    done;
+    List.rev !retired
 
 let by_selection rs =
   List.sort (fun (a : Region.t) b -> compare a.Region.selected_at b.Region.selected_at) rs
 
-let regions t = List.rev t.live_order
-let all_regions t = by_selection (t.retired @ t.live_order)
-let n_regions t = Int_tbl.length t.by_entry
+let regions t = Queue.fold (fun acc r -> if is_live t r then r :: acc else acc) [] t.fifo |> List.rev
+let all_regions t = by_selection (t.retired @ regions t)
 let bytes_used t = t.bytes_used
 let evictions t = t.evictions
 let flushes t = t.flushes
 let regenerations t = t.regenerations
+let invalidations t = t.invalidations
+let blacklist_hits t = t.blacklist_hits
+let duplicate_installs t = t.duplicate_installs
+let translation_failures t = t.translation_failures

@@ -7,30 +7,99 @@
     the oldest regions.  Evicted regions are retired — kept for metrics but
     no longer dispatchable — and re-selecting an entry that was previously
     evicted counts as a {e regeneration}, the cost the paper argues its
-    fewer-larger-regions algorithms reduce. *)
+    fewer-larger-regions algorithms reduce.
+
+    The cache is also the recovery substrate of the fault model (see
+    DESIGN.md "Fault model & recovery invariants"): regions can be
+    {e invalidated} when a code write dirties their span, installs can fail
+    (flaky translation), and entries that repeatedly fail are
+    {e blacklisted} with exponential backoff so they stop being re-selected
+    for a growing cooldown. *)
 
 open Regionsel_isa
 
 type t
 
-val create : ?capacity_bytes:int -> ?eviction:Params.eviction -> unit -> t
-(** [create ()] is unbounded; pass [capacity_bytes] to bound it. *)
+type reject =
+  | Duplicate_entry  (** A live region with the same entry exists. *)
+  | Blacklisted  (** The entry is in a blacklist cooldown. *)
+  | Translation_failed  (** An injected translation-failure window is open. *)
+
+val reject_to_string : reject -> string
+
+val create :
+  ?capacity_bytes:int ->
+  ?eviction:Params.eviction ->
+  ?blacklist_base_cooldown:int ->
+  ?blacklist_max_shift:int ->
+  ?program:Program.t ->
+  unit ->
+  t
+(** [create ()] is unbounded; pass [capacity_bytes] to bound it.  Pass
+    [program] to enable the flat dispatch array behind {!dispatch} (and the
+    O(1) fast path of {!mem}). *)
 
 val find : t -> Addr.t -> Region.t option
 (** The live region whose {e entry} is the given address, if any.  Regions
     are single-entry: an address inside a region's body is not a hit. *)
 
 val find_live : t -> Addr.t -> Region.t
-(** Option-free {!find} for the simulator's per-transition probe.
+(** Option-free {!find} for callers without a block id at hand.
     @raise Not_found when no live region has that entry. *)
+
+val dispatch : t -> int -> Region.t option
+(** [dispatch t block_id] is the live region claiming that block as its
+    entry (or an aux entry) — the simulator's per-transition probe: a
+    single flat-array read, no hash table.  Returns [None] for negative
+    ids ([Program.block_id] of a non-start address) and on caches created
+    without [~program]. *)
 
 val mem : t -> Addr.t -> bool
 
-val install : t -> Region.spec -> Region.t
+val is_live : t -> Region.t -> bool
+(** Whether this exact region (physical identity) is still dispatchable. *)
+
+val install : t -> Region.spec -> (Region.t, reject) result
 (** Install a region, assigning it the next id and selection sequence
     number, evicting under the configured policy if the cache would
-    overflow.
-    @raise Invalid_argument if a live region with the same entry exists. *)
+    overflow.  Total: a duplicate entry, a blacklisted entry, or an armed
+    translation-failure window yields [Error] instead of raising, so
+    invalidation/regeneration races surface as policy-visible outcomes. *)
+
+val install_exn : t -> Region.spec -> Region.t
+(** {!install}, raising on rejection — for tests and harnesses where
+    rejection is a bug.
+    @raise Invalid_argument on any [Error]. *)
+
+val invalidate_range : t -> lo:Addr.t -> hi:Addr.t -> Region.t list
+(** Retire every live region one of whose constituent blocks intersects
+    the address range [[lo, hi]] (a self-modifying-code write), including
+    their aux-entry index slots, and blacklist each retired entry.  Returns
+    the retired regions in selection order. *)
+
+val shock : t -> bytes:int -> Region.t list
+(** Apply cache pressure that must reclaim [bytes]: a whole flush under
+    [Flush_all], oldest-first eviction until freed under [Evict_oldest].
+    Returns the retired regions. *)
+
+val flush_all : t -> Region.t list
+(** Retire every live region and count one flush (the bailout watchdog's
+    hammer).  Returns the retired regions in selection order. *)
+
+val arm_translation_failures : t -> window:int -> unit
+(** Make every install within the next [window] steps (measured against
+    {!set_now}) fail with [Translation_failed].  A new window extends, but
+    never shortens, an open one. *)
+
+val set_now : t -> int -> unit
+(** Advance the cache's notion of the current step, which blacklist
+    cooldowns are measured against.  Monotonic: earlier steps are ignored. *)
+
+val blacklisted_until : t -> Addr.t -> int
+(** The step until which the entry is blacklisted (0 = never failed). *)
+
+val n_blacklisted : t -> int
+(** Entries currently inside a blacklist cooldown. *)
 
 val regions : t -> Region.t list
 (** Live regions, in selection order. *)
@@ -46,10 +115,22 @@ val bytes_used : t -> int
 (** Live footprint under the cost model. *)
 
 val evictions : t -> int
-(** Regions retired by capacity pressure. *)
+(** Regions retired by capacity pressure (including flushes and shocks). *)
 
 val flushes : t -> int
-(** Whole-cache flushes performed (Flush_all only). *)
+(** Whole-cache flushes performed. *)
 
 val regenerations : t -> int
-(** Installs whose entry had previously been evicted. *)
+(** Installs whose entry had previously been evicted or invalidated. *)
+
+val invalidations : t -> int
+(** Regions retired by {!invalidate_range}. *)
+
+val blacklist_hits : t -> int
+(** Installs rejected because their entry was in a blacklist cooldown. *)
+
+val duplicate_installs : t -> int
+(** Installs rejected as duplicates. *)
+
+val translation_failures : t -> int
+(** Installs failed by an armed translation-failure window. *)

@@ -14,7 +14,9 @@ let create ?(params = Params.default) program =
     params;
     cache =
       Code_cache.create ?capacity_bytes:params.Params.cache_capacity_bytes
-        ~eviction:params.Params.cache_eviction ();
+        ~eviction:params.Params.cache_eviction
+        ~blacklist_base_cooldown:params.Params.blacklist_base_cooldown
+        ~blacklist_max_shift:params.Params.blacklist_max_shift ~program ();
     counters = Counters.create ();
     gauges = Gauges.create ();
   }

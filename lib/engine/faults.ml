@@ -1,0 +1,69 @@
+open Regionsel_isa
+module Splitmix = Regionsel_prng.Splitmix
+
+type event =
+  | Smc_write of { lo : Addr.t; hi : Addr.t }
+  | Translation_failure of { window : int }
+  | Async_exit
+  | Cache_shock of { bytes : int }
+
+type t = {
+  steps : int array;  (* sorted ascending, ties kept in stream order *)
+  events : event array;
+  mutable cursor : int;
+}
+
+let label = function
+  | Smc_write _ -> "smc"
+  | Translation_failure _ -> "translation"
+  | Async_exit -> "async-exit"
+  | Cache_shock _ -> "shock"
+
+(* Streams are numbered so that simultaneous events apply in a fixed order
+   (SMC before translation before async-exit before shock). *)
+let create ~(profile : Params.fault_profile) ~seed ~program ~max_steps =
+  let rng = Splitmix.create ~seed in
+  let smc_rng = Splitmix.split rng in
+  let acc = ref [] in
+  let schedule ~stream ~period mk =
+    if period > 0 then begin
+      let step = ref (max profile.Params.first_fault_step 1) in
+      while !step < max_steps do
+        acc := (!step, stream, mk ()) :: !acc;
+        step := !step + period
+      done
+    end
+  in
+  schedule ~stream:0 ~period:profile.Params.smc_period (fun () ->
+      let n = Program.n_blocks program in
+      let span = max 1 profile.Params.smc_span_blocks in
+      let i = Splitmix.int smc_rng n in
+      let lo_block = Program.block_of_id program i in
+      let hi_block = Program.block_of_id program (min (n - 1) (i + span - 1)) in
+      Smc_write { lo = lo_block.Block.start; hi = Block.last hi_block });
+  schedule ~stream:1 ~period:profile.Params.translation_failure_period (fun () ->
+      Translation_failure { window = max 1 profile.Params.translation_failure_window });
+  schedule ~stream:2 ~period:profile.Params.async_exit_period (fun () -> Async_exit);
+  schedule ~stream:3 ~period:profile.Params.cache_shock_period (fun () ->
+      Cache_shock { bytes = max 1 profile.Params.cache_shock_bytes });
+  let all =
+    List.sort
+      (fun (s1, k1, _) (s2, k2, _) -> if s1 <> s2 then compare s1 s2 else compare k1 k2)
+      !acc
+  in
+  {
+    steps = Array.of_list (List.map (fun (s, _, _) -> s) all);
+    events = Array.of_list (List.map (fun (_, _, e) -> e) all);
+    cursor = 0;
+  }
+
+let next_step t = if t.cursor >= Array.length t.steps then max_int else t.steps.(t.cursor)
+
+let pop t =
+  let e = t.events.(t.cursor) in
+  t.cursor <- t.cursor + 1;
+  e
+
+let n_events t = Array.length t.steps
+
+type log = { events : (int * string) list; samples : (int * float) list }

@@ -1,0 +1,62 @@
+(** Deterministic fault injection.
+
+    A {!Params.fault_profile} plus the run seed expands into a fixed,
+    step-sorted schedule of fault events computed before the simulation
+    starts: the simulator only compares the current step against
+    {!next_step} on its hot path, and the same [(profile, seed, program,
+    max_steps)] always yields the same schedule — fault runs are as
+    reproducible as clean ones.
+
+    Four fault streams model the adverse events real Dynamo-lineage systems
+    recover from (self-modifying code, translation failure, asynchronous
+    signal exits, cache pressure).  Each stream fires periodically starting
+    at [first_fault_step]; the PRNG decides only event payloads (which
+    blocks an SMC write dirties), never timing. *)
+
+open Regionsel_isa
+
+type event =
+  | Smc_write of { lo : Addr.t; hi : Addr.t }
+      (** A write into the code range [[lo, hi]]: every live region with a
+          constituent block intersecting the range must be invalidated. *)
+  | Translation_failure of { window : int }
+      (** The translator goes flaky: every install within the next [window]
+          steps fails. *)
+  | Async_exit
+      (** A spurious asynchronous exit (signal delivery): if execution is in
+          region mode it is kicked back to the interpreter mid-region. *)
+  | Cache_shock of { bytes : int }
+      (** External cache pressure that must reclaim [bytes] of cache space
+          (a whole flush under [Flush_all]). *)
+
+type t
+
+val create :
+  profile:Params.fault_profile ->
+  seed:int64 ->
+  program:Program.t ->
+  max_steps:int ->
+  t
+(** Expand the profile into the full schedule for a run of [max_steps].
+    [seed] should be the simulator's run seed; payload draws use a split
+    stream per fault kind so streams do not perturb each other. *)
+
+val next_step : t -> int
+(** Step index of the next pending event ([max_int] when exhausted). *)
+
+val pop : t -> event
+(** Take the next pending event.  Only call when [next_step] matched. *)
+
+val n_events : t -> int
+(** Total events in the schedule. *)
+
+val label : event -> string
+(** Short stable tag for logs/JSON: ["smc" | "translation" | "async-exit"
+    | "shock"]. *)
+
+type log = {
+  events : (int * string) list;  (** (step, label) — includes "bailout". *)
+  samples : (int * float) list;
+      (** (step, windowed cached-instruction share) at each watchdog
+          window boundary: the degradation/recovery curve. *)
+}

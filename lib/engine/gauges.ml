@@ -1,6 +1,12 @@
-type t = { mutable observed_bytes : int; mutable high_water : int }
+type t = {
+  mutable observed_bytes : int;
+  mutable high_water : int;
+  mutable blacklisted : int;
+  mutable blacklisted_high_water : int;
+}
 
-let create () = { observed_bytes = 0; high_water = 0 }
+let create () =
+  { observed_bytes = 0; high_water = 0; blacklisted = 0; blacklisted_high_water = 0 }
 
 let add_observed_bytes t delta =
   t.observed_bytes <- t.observed_bytes + delta;
@@ -9,3 +15,10 @@ let add_observed_bytes t delta =
 
 let observed_bytes t = t.observed_bytes
 let observed_bytes_high_water t = t.high_water
+
+let set_blacklisted t n =
+  t.blacklisted <- n;
+  if n > t.blacklisted_high_water then t.blacklisted_high_water <- n
+
+let blacklisted t = t.blacklisted
+let blacklisted_high_water t = t.blacklisted_high_water

@@ -18,3 +18,11 @@ val observed_bytes : t -> int
 (** Currently stored observed-trace bytes. *)
 
 val observed_bytes_high_water : t -> int
+
+val set_blacklisted : t -> int -> unit
+(** Record the current number of blacklisted entries (the simulator updates
+    this after every fault delivery); the gauge keeps the high-water mark. *)
+
+val blacklisted : t -> int
+
+val blacklisted_high_water : t -> int

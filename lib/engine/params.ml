@@ -1,5 +1,70 @@
 type eviction = Flush_all | Evict_oldest
 
+type fault_profile = {
+  first_fault_step : int;
+  smc_period : int;
+  smc_span_blocks : int;
+  translation_failure_period : int;
+  translation_failure_window : int;
+  async_exit_period : int;
+  cache_shock_period : int;
+  cache_shock_bytes : int;
+}
+
+let no_faults =
+  {
+    first_fault_step = 0;
+    smc_period = 0;
+    smc_span_blocks = 0;
+    translation_failure_period = 0;
+    translation_failure_window = 0;
+    async_exit_period = 0;
+    cache_shock_period = 0;
+    cache_shock_bytes = 0;
+  }
+
+let fault_profiles =
+  [
+    (* Everything at once: the bench degradation/recovery curves use this. *)
+    ( "mixed",
+      {
+        first_fault_step = 20_000;
+        smc_period = 60_000;
+        smc_span_blocks = 4;
+        translation_failure_period = 45_000;
+        translation_failure_window = 2_000;
+        async_exit_period = 25_000;
+        cache_shock_period = 90_000;
+        cache_shock_bytes = 4_096;
+      } );
+    (* Self-modifying code only: periodic writes dirty a small block range. *)
+    ( "smc",
+      {
+        no_faults with
+        first_fault_step = 20_000;
+        smc_period = 40_000;
+        smc_span_blocks = 4;
+      } );
+    (* Flaky translator: every install in the armed window fails. *)
+    ( "translation",
+      {
+        no_faults with
+        first_fault_step = 20_000;
+        translation_failure_period = 30_000;
+        translation_failure_window = 2_000;
+      } );
+    (* Cache pressure: periodic shocks evict or flush resident regions. *)
+    ( "pressure",
+      {
+        no_faults with
+        first_fault_step = 20_000;
+        cache_shock_period = 50_000;
+        cache_shock_bytes = 4_096;
+      } );
+  ]
+
+let fault_profile name = List.assoc_opt name fault_profiles
+
 type t = {
   net_threshold : int;
   lei_threshold : int;
@@ -19,6 +84,12 @@ type t = {
   icache_size_bytes : int;
   icache_line_bytes : int;
   icache_ways : int;
+  faults : fault_profile option;
+  blacklist_base_cooldown : int;
+  blacklist_max_shift : int;
+  watchdog_window : int;
+  watchdog_min_share : float;
+  bailout_cooldown : int;
 }
 
 let default =
@@ -41,13 +112,19 @@ let default =
     icache_size_bytes = 256;
     icache_line_bytes = 16;
     icache_ways = 2;
+    faults = None;
+    blacklist_base_cooldown = 500;
+    blacklist_max_shift = 6;
+    watchdog_window = 2_000;
+    watchdog_min_share = 0.2;
+    bailout_cooldown = 4_000;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>net_threshold=%d@,lei_threshold=%d@,lei_buffer_size=%d@,combine_t_prof=%d@,\
      combine_t_min=%d@,combined_net_start=%d@,combined_lei_start=%d@,max_trace_insts=%d@,\
-     max_trace_blocks=%d@,mojo_exit_threshold=%d@,boa_threshold=%d@,cache=%s@]"
+     max_trace_blocks=%d@,mojo_exit_threshold=%d@,boa_threshold=%d@,cache=%s@,faults=%s@]"
     t.net_threshold t.lei_threshold t.lei_buffer_size t.combine_t_prof t.combine_t_min
     t.combined_net_start t.combined_lei_start t.max_trace_insts t.max_trace_blocks
     t.mojo_exit_threshold t.boa_threshold
@@ -56,3 +133,4 @@ let pp ppf t =
     | Some b ->
       Printf.sprintf "%dB/%s" b
         (match t.cache_eviction with Flush_all -> "flush" | Evict_oldest -> "fifo"))
+    (match t.faults with None -> "off" | Some _ -> "on")

@@ -11,6 +11,38 @@ type eviction =
   | Flush_all  (** Dynamo's policy: preemptively empty the whole cache. *)
   | Evict_oldest  (** FIFO: drop regions in selection order until it fits. *)
 
+type fault_profile = {
+  first_fault_step : int;
+      (** Warm-up: no fault stream fires before this step. *)
+  smc_period : int;
+      (** Steps between self-modifying-code writes (0 = stream off).  Each
+          write dirties a contiguous range of blocks, forcing every live
+          region spanning the range to be invalidated. *)
+  smc_span_blocks : int;  (** Blocks dirtied per SMC write. *)
+  translation_failure_period : int;
+      (** Steps between translation-failure windows (0 = off). *)
+  translation_failure_window : int;
+      (** Steps each failure window stays open: every install attempted
+          inside it fails. *)
+  async_exit_period : int;
+      (** Steps between spurious asynchronous exits from region mode
+          (signal delivery in a real system; 0 = off). *)
+  cache_shock_period : int;  (** Steps between cache-pressure shocks (0 = off). *)
+  cache_shock_bytes : int;
+      (** Bytes each shock must reclaim (a whole flush under [Flush_all]). *)
+}
+
+val no_faults : fault_profile
+(** All streams off: a schedule that injects nothing.  A run with
+    [faults = Some no_faults] must export metrics byte-identical to a run
+    with [faults = None]. *)
+
+val fault_profiles : (string * fault_profile) list
+(** Named profiles for the CLI / bench ("mixed", "smc", "translation",
+    "pressure"). *)
+
+val fault_profile : string -> fault_profile option
+
 type t = {
   net_threshold : int;  (** Execution count before NET selects a trace. *)
   lei_threshold : int;  (** LEI's [T_cyc]: counted cycle completions. *)
@@ -47,6 +79,23 @@ type t = {
           synthetic workloads' kilobyte-sized code caches, just as the
           workloads themselves are scaled-down SPEC stand-ins; a real
           32 KiB L1 would hold every toy region at once and show nothing. *)
+  faults : fault_profile option;
+      (** Deterministic fault schedule ([None] = clean run, the default —
+          the zero-fault hot path is unchanged). *)
+  blacklist_base_cooldown : int;
+      (** Steps an entry is blacklisted after its first translation failure
+          or invalidation; doubles per repeat failure. *)
+  blacklist_max_shift : int;
+      (** Cap on the exponential backoff: cooldown never exceeds
+          [base lsl max_shift]. *)
+  watchdog_window : int;
+      (** Sliding-window width (steps) over which the bailout watchdog
+          samples the cached-instruction share. *)
+  watchdog_min_share : float;
+      (** Bail out when the windowed share drops below this fraction of its
+          previous peak while faults are active. *)
+  bailout_cooldown : int;
+      (** Steps of pure interpretation after a watchdog bailout. *)
 }
 
 val default : t

@@ -5,6 +5,7 @@ type interp_block = { mutable block : Block.t; mutable taken : bool; mutable nex
 type event =
   | Interp_block of interp_block
   | Cache_exited of { from_entry : Addr.t; src : Addr.t; tgt : Addr.t }
+  | Region_invalidated of { entry : Addr.t }
 
 type action = No_action | Install of Region.spec list
 

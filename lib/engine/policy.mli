@@ -13,6 +13,14 @@
       whose target is {e not} cached (a linked stub — one leading to another
       region — performs no profiling in a real system, so no event is
       delivered for it).
+    - [Region_invalidated]: a region the policy had installed was retired
+      by a fault (self-modifying code, cache shock) or a watchdog bailout —
+      or an install the policy requested was rejected (translation failure,
+      blacklist cooldown, bailout), in which case [entry] is the entry of
+      the spec that never made it in.  The policy should drop any stale
+      observation state keyed by that entry — counters, pending formers,
+      stored traces — so re-selection starts from scratch.  Never delivered
+      on clean (zero-fault) runs.
 
     A policy responds with at most one region to install.  The simulator
     installs it and, if the current transfer targets the new region's entry,
@@ -31,6 +39,7 @@ type interp_block = { mutable block : Block.t; mutable taken : bool; mutable nex
 type event =
   | Interp_block of interp_block
   | Cache_exited of { from_entry : Addr.t; src : Addr.t; tgt : Addr.t }
+  | Region_invalidated of { entry : Addr.t }
 
 type action = No_action | Install of Region.spec list
 

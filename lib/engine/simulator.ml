@@ -9,6 +9,7 @@ type result = {
   edges : Edge_profile.t;
   icache : Icache.t;
   halted : bool;
+  fault_log : Faults.log option;
 }
 
 (* The execution mode is a pair of mutable cells rather than a variant
@@ -17,7 +18,9 @@ type result = {
    every cached step. *)
 
 let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
-  let ctx = Context.create ~params image.Image.program in
+  let program = image.Image.program in
+  let ctx = Context.create ~params program in
+  let cache = ctx.Context.cache in
   let policy_name = Policy.name policy in
   let policy = Policy.instantiate policy ctx in
   let interp = Interp.create image ~seed in
@@ -30,6 +33,21 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
   let cur_region = ref None in (* None = interpreting *)
   let cur_addr = ref Addr.none in
   let halted = ref false in
+  (* Fault machinery.  On clean runs ([faults = None]) all of this
+     collapses to two always-false int compares per step. *)
+  let faults =
+    match params.Params.faults with
+    | None -> None
+    | Some profile -> Some (Faults.create ~profile ~seed ~program ~max_steps)
+  in
+  let fault_next = ref (match faults with None -> max_int | Some f -> Faults.next_step f) in
+  let bail_until = ref (-1) in
+  let next_window = ref (match faults with None -> max_int | Some _ -> params.Params.watchdog_window) in
+  let peak_share = ref 0.0 in
+  let prev_cached = ref 0 in
+  let prev_interp = ref 0 in
+  let ev_log = ref [] in
+  let sample_log = ref [] in
   (* Hot-loop scratch: one step record and one policy event, reused for
      every interpreted block so the per-step path allocates nothing. *)
   let sbuf = Interp.make_step () in
@@ -44,14 +62,39 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
       stats.Stats.links <- stats.Stats.links + 1
     end
   in
-  let install_if_any = function
+  (* The simulator's per-transition probe: one flat-array read indexed by
+     block id (the ROADMAP's region-cache-dispatch item) instead of up to
+     two hash probes. *)
+  let probe a = Code_cache.dispatch cache (Program.block_id program a) in
+  (* A rejected install is reported back to the policy as an invalidation
+     of the would-be entry: the policy drops its profiling state for the
+     entry and can re-select it later — without this, a policy that
+     believes it installed a region never retries, and one translation
+     failure kills the entry for the rest of the run. *)
+  let rec install_if_any = function
     | Policy.No_action -> ()
     | Policy.Install specs ->
-      List.iter
-        (fun spec ->
-          stats.Stats.installs <- stats.Stats.installs + 1;
-          ignore (Code_cache.install ctx.Context.cache spec))
-        specs
+      if stats.Stats.steps <= !bail_until then begin
+        (* Bailed out: the system is interpreting through a cooldown and
+           suppresses region formation entirely. *)
+        stats.Stats.install_rejects <- stats.Stats.install_rejects + List.length specs;
+        List.iter (fun (spec : Region.spec) -> reject_spec spec) specs
+      end
+      else begin
+        Code_cache.set_now cache stats.Stats.steps;
+        List.iter
+          (fun (spec : Region.spec) ->
+            match Code_cache.install cache spec with
+            | Ok _ -> stats.Stats.installs <- stats.Stats.installs + 1
+            | Error _ ->
+              stats.Stats.install_rejects <- stats.Stats.install_rejects + 1;
+              reject_spec spec)
+          specs
+      end
+  and reject_spec (spec : Region.spec) =
+    Gauges.set_blacklisted ctx.Context.gauges (Code_cache.n_blacklisted cache);
+    install_if_any
+      (Policy.handle policy (Policy.Region_invalidated { entry = spec.Region.entry }))
   in
   let interpret_step (s : Interp.step) =
     let block = s.Interp.block in
@@ -62,14 +105,14 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
     install_if_any (Policy.handle policy interp_event);
     let a = s.Interp.next in
     if Addr.is_none a then halted := true
-    else if s.Interp.taken then begin
-      match Code_cache.find_live ctx.Context.cache a with
-      | region ->
+    else if s.Interp.taken && stats.Stats.steps > !bail_until then begin
+      match probe a with
+      | Some region ->
         stats.Stats.dispatches <- stats.Stats.dispatches + 1;
         Region.record_entry region;
         cur_region := Some region;
         cur_addr := a
-      | exception Not_found -> ()
+      | None -> ()
     end
   in
   (* Invariant: [cur] is the start address of the block just executed,
@@ -88,21 +131,21 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
         cur_addr := a
       end
       else begin
-        match Code_cache.find_live ctx.Context.cache a with
-        | other when other == region ->
+        match probe a with
+        | Some other when other == region ->
           (* A side exit linked back to this region's own entry: execution
              stays put, and the paper's executed-cycle metric counts it as a
              completed cycle, not an exit. *)
           Region.record_cycle region;
           cur_addr := a
-        | other ->
+        | Some other ->
           Region.record_exit region ~from:cur ~tgt:a;
           stats.Stats.region_transitions <- stats.Stats.region_transitions + 1;
           record_link ~from:region ~into:other;
           Region.record_entry other;
           cur_region := Some other;
           cur_addr := a
-        | exception Not_found ->
+        | None ->
           Region.record_exit region ~from:cur ~tgt:a;
           stats.Stats.cache_exits_to_interp <- stats.Stats.cache_exits_to_interp + 1;
           install_if_any
@@ -111,15 +154,73 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
                   { from_entry = region.Region.entry; src = Block.last block; tgt = a }));
           (* The paper's "jump newT": if the policy just installed a region
              at the pending target, enter it without interpreting. *)
-          (match Code_cache.find_live ctx.Context.cache a with
-          | fresh ->
+          (match probe a with
+          | Some fresh ->
             stats.Stats.dispatches <- stats.Stats.dispatches + 1;
             Region.record_entry fresh;
             cur_region := Some fresh;
             cur_addr := a
-          | exception Not_found -> cur_region := None)
+          | None -> cur_region := None)
       end
     end
+  in
+  (* Retired regions are reported to the policy so it drops stale
+     observation state; the region being executed loses its claim to the
+     program counter immediately. *)
+  let deliver_invalidations retired =
+    List.iter
+      (fun (r : Region.t) ->
+        (match !cur_region with
+        | Some cr when cr == r -> cur_region := None
+        | Some _ | None -> ());
+        install_if_any
+          (Policy.handle policy (Policy.Region_invalidated { entry = r.Region.entry })))
+      retired;
+    Gauges.set_blacklisted ctx.Context.gauges (Code_cache.n_blacklisted cache)
+  in
+  let apply_fault ev =
+    stats.Stats.faults_injected <- stats.Stats.faults_injected + 1;
+    ev_log := (stats.Stats.steps, Faults.label ev) :: !ev_log;
+    Code_cache.set_now cache stats.Stats.steps;
+    match ev with
+    | Faults.Smc_write { lo; hi } ->
+      deliver_invalidations (Code_cache.invalidate_range cache ~lo ~hi)
+    | Faults.Translation_failure { window } -> Code_cache.arm_translation_failures cache ~window
+    | Faults.Async_exit -> (
+      match !cur_region with
+      | Some _ ->
+        cur_region := None;
+        stats.Stats.async_exits <- stats.Stats.async_exits + 1
+      | None -> ())
+    | Faults.Cache_shock { bytes } -> deliver_invalidations (Code_cache.shock cache ~bytes)
+  in
+  (* The bailout watchdog (fault runs only): sample the cached-instruction
+     share over a sliding window; if it collapses relative to its peak
+     while regions are still resident, selection is thrashing — flush
+     everything and interpret through a cooldown. *)
+  let watchdog () =
+    let cached_d = stats.Stats.cached_insts - !prev_cached in
+    let interp_d = stats.Stats.interpreted_insts - !prev_interp in
+    prev_cached := stats.Stats.cached_insts;
+    prev_interp := stats.Stats.interpreted_insts;
+    let total = cached_d + interp_d in
+    let share = if total = 0 then 0.0 else float_of_int cached_d /. float_of_int total in
+    sample_log := (stats.Stats.steps, share) :: !sample_log;
+    if share > !peak_share then peak_share := share;
+    if
+      stats.Stats.faults_injected > 0
+      && !bail_until < stats.Stats.steps
+      && !peak_share >= 0.5
+      && share < params.Params.watchdog_min_share *. !peak_share
+    then begin
+      ev_log := (stats.Stats.steps, "bailout") :: !ev_log;
+      Code_cache.set_now cache stats.Stats.steps;
+      let retired = Code_cache.flush_all cache in
+      stats.Stats.bailouts <- stats.Stats.bailouts + 1;
+      bail_until := stats.Stats.steps + params.Params.bailout_cooldown;
+      deliver_invalidations retired
+    end;
+    next_window := stats.Stats.steps + params.Params.watchdog_window
   in
   let rec loop () =
     if stats.Stats.steps >= max_steps || !halted then ()
@@ -132,8 +233,25 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
       (match !cur_region with
       | None -> interpret_step sbuf
       | Some region -> region_step region !cur_addr sbuf);
+      if stats.Stats.steps <= !bail_until then
+        stats.Stats.recovery_steps <- stats.Stats.recovery_steps + 1;
+      if stats.Stats.steps >= !fault_next then begin
+        (match faults with
+        | Some f ->
+          while Faults.next_step f <= stats.Stats.steps do
+            apply_fault (Faults.pop f)
+          done;
+          fault_next := Faults.next_step f
+        | None -> ())
+      end;
+      if stats.Stats.steps >= !next_window then watchdog ();
       loop ()
     end
   in
   loop ();
-  { image; policy_name; ctx; stats; edges; icache; halted = !halted }
+  let fault_log =
+    match faults with
+    | None -> None
+    | Some _ -> Some { Faults.events = List.rev !ev_log; samples = List.rev !sample_log }
+  in
+  { image; policy_name; ctx; stats; edges; icache; halted = !halted; fault_log }

@@ -12,7 +12,17 @@
       the policy.
 
     When the policy installs a region whose entry is the pending transfer
-    target, control enters it immediately (the paper's "jump newT"). *)
+    target, control enters it immediately (the paper's "jump newT").
+
+    With [params.faults] set, a deterministic {!Faults} schedule is applied
+    at exact step indices: SMC writes invalidate spanning regions (the
+    policy sees {!Policy.Region_invalidated}), translation failures make
+    installs fail, async exits kick execution out of region mode, and cache
+    shocks evict.  A watchdog monitors the windowed cached-instruction
+    share and bails out to pure interpretation for a cooldown when
+    selection thrashes.  With [params.faults = None] (the default) none of
+    this machinery runs and all exported metrics are identical to earlier
+    versions of the engine. *)
 
 type result = {
   image : Regionsel_workload.Image.t;
@@ -24,6 +34,9 @@ type result = {
       (** Instruction-cache model fed by every fetch from the code cache:
           the locality instrument behind the paper's separation claims. *)
   halted : bool;  (** Whether the program ran to completion within budget. *)
+  fault_log : Faults.log option;
+      (** Fault runs only: the injected events plus the windowed
+          cached-share samples — the degradation/recovery curve. *)
 }
 
 val run :

@@ -8,6 +8,11 @@ type t = {
   mutable cache_exits_to_interp : int;
   mutable installs : int;
   mutable links : int;
+  mutable install_rejects : int;
+  mutable faults_injected : int;
+  mutable async_exits : int;
+  mutable bailouts : int;
+  mutable recovery_steps : int;
 }
 
 let create () =
@@ -21,6 +26,11 @@ let create () =
     cache_exits_to_interp = 0;
     installs = 0;
     links = 0;
+    install_rejects = 0;
+    faults_injected = 0;
+    async_exits = 0;
+    bailouts = 0;
+    recovery_steps = 0;
   }
 
 let total_insts t = t.interpreted_insts + t.cached_insts

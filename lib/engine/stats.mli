@@ -15,6 +15,16 @@ type t = {
       (** Distinct region-to-region links created (exit stubs patched to
           jump directly to another region) — the memory the paper's
           footnote 9 expects its algorithms to reduce. *)
+  mutable install_rejects : int;
+      (** Install attempts the cache rejected (duplicate, blacklisted or
+          translation-failed) or the bailout cooldown suppressed. *)
+  mutable faults_injected : int;  (** Fault events delivered to this run. *)
+  mutable async_exits : int;
+      (** Spurious asynchronous exits that actually kicked execution out of
+          region mode. *)
+  mutable bailouts : int;  (** Watchdog flush-and-interpret bailouts. *)
+  mutable recovery_steps : int;
+      (** Steps spent inside a bailout cooldown (pure interpretation). *)
 }
 
 val create : unit -> t

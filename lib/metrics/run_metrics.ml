@@ -39,6 +39,14 @@ type t = {
   evictions : int;
   cache_flushes : int;
   regenerations : int;
+  invalidations : int;
+  blacklist_hits : int;
+  install_rejects : int;
+  faults_injected : int;
+  async_exits : int;
+  bailouts : int;
+  recovery_steps : int;
+  blacklisted_high_water : int;
 }
 
 let inst_bytes = Region.inst_bytes
@@ -96,6 +104,15 @@ let of_result ?(x = 0.9) (result : Simulator.result) =
     evictions = Code_cache.evictions cache;
     cache_flushes = Code_cache.flushes cache;
     regenerations = Code_cache.regenerations cache;
+    invalidations = Code_cache.invalidations cache;
+    blacklist_hits = Code_cache.blacklist_hits cache;
+    install_rejects = result.Simulator.stats.Stats.install_rejects;
+    faults_injected = result.Simulator.stats.Stats.faults_injected;
+    async_exits = result.Simulator.stats.Stats.async_exits;
+    bailouts = result.Simulator.stats.Stats.bailouts;
+    recovery_steps = result.Simulator.stats.Stats.recovery_steps;
+    blacklisted_high_water =
+      Gauges.blacklisted_high_water result.Simulator.ctx.Context.gauges;
   }
 
 let pp ppf t =
@@ -110,4 +127,11 @@ let pp ppf t =
     t.spanned_cycle_ratio t.executed_cycle_ratio t.region_transitions t.dispatches t.cover_90
     (if t.cover_90_achievable then "" else "(unachievable)")
     t.counters_high_water t.observed_bytes_high_water t.est_cache_bytes t.exit_dominated_regions
-    t.exit_dominated_fraction t.exit_dominated_dup_insts t.exit_dominated_dup_fraction
+    t.exit_dominated_fraction t.exit_dominated_dup_insts t.exit_dominated_dup_fraction;
+  if t.faults_injected > 0 then
+    Format.fprintf ppf
+      "@\n\
+      \  faults=%d invalidations=%d blacklist_hits=%d rejects=%d async_exits=%d bailouts=%d \
+       recovery_steps=%d blacklisted_hw=%d"
+      t.faults_injected t.invalidations t.blacklist_hits t.install_rejects t.async_exits
+      t.bailouts t.recovery_steps t.blacklisted_high_water

@@ -37,6 +37,18 @@ type t = {
   evictions : int;  (** Bounded-cache ablation: regions retired. *)
   cache_flushes : int;
   regenerations : int;  (** Re-selections of previously evicted entries. *)
+  invalidations : int;
+      (** Fault runs: regions retired because an SMC write dirtied their
+          span. *)
+  blacklist_hits : int;  (** Installs rejected by a blacklist cooldown. *)
+  install_rejects : int;
+      (** All install attempts that did not result in a live region. *)
+  faults_injected : int;  (** Fault events delivered (0 on clean runs). *)
+  async_exits : int;  (** Spurious exits that left region mode. *)
+  bailouts : int;  (** Watchdog flush-and-interpret bailouts. *)
+  recovery_steps : int;  (** Steps spent in bailout cooldowns. *)
+  blacklisted_high_water : int;
+      (** Peak number of simultaneously blacklisted entries. *)
 }
 
 val inst_bytes : int

@@ -27,6 +27,8 @@ let () =
       "icache", Test_icache.suite;
       "emitter", Test_emitter.suite;
       "extensions", Test_extensions.suite;
+      "code-cache", Test_code_cache.suite;
+      "faults", Test_faults.suite;
       "domain-pool", Test_domain_pool.suite;
       "parity", Test_parity.suite;
     ]

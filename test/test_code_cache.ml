@@ -1,0 +1,246 @@
+(* Cache lifecycle tests: Flush_all vs Evict_oldest, regeneration counting,
+   aux-entry retirement, and the fault-recovery paths (invalidation,
+   blacklisting, translation failures, flat dispatch). *)
+
+open Regionsel_isa
+module Region = Regionsel_engine.Region
+module Code_cache = Regionsel_engine.Code_cache
+module Params = Regionsel_engine.Params
+open Fixtures
+
+let mk start size term = Block.make ~start ~size ~term
+
+let spec_at ?(size = 10) start =
+  Region.spec_of_path ~kind:Region.Trace
+    { Region.blocks = [ mk start size Terminator.Return ]; final_next = None }
+
+let region_cost = (10 * Region.inst_bytes) + Region.stub_bytes
+
+(* A cache whose blacklist never bites, for tests about other machinery. *)
+let plain_cache ?capacity_bytes ?eviction ?program () =
+  Code_cache.create ?capacity_bytes ?eviction ~blacklist_base_cooldown:0 ?program ()
+
+let entry_of (r : Region.t) = r.Region.entry
+
+(* Eviction policies *)
+
+let flush_all_returns_victims () =
+  let cache =
+    plain_cache ~capacity_bytes:(3 * region_cost) ~eviction:Params.Flush_all ()
+  in
+  for i = 0 to 2 do
+    ignore (Code_cache.install_exn cache (spec_at (i * 16)))
+  done;
+  ignore (Code_cache.install_exn cache (spec_at 100));
+  check_int "one flush" 1 (Code_cache.flushes cache);
+  check_int "three evictions" 3 (Code_cache.evictions cache);
+  check_int "only the newcomer lives" 1 (Code_cache.n_regions cache);
+  check_true "newcomer dispatchable" (Code_cache.find cache 100 <> None)
+
+let fifo_skips_tombstones () =
+  (* Invalidating the oldest region leaves a tombstone in the FIFO; the
+     next capacity eviction must skip it and take the oldest *live*
+     region, and the skipped tombstone costs no extra eviction. *)
+  let cache =
+    plain_cache ~capacity_bytes:(3 * region_cost) ~eviction:Params.Evict_oldest ()
+  in
+  for i = 0 to 2 do
+    ignore (Code_cache.install_exn cache (spec_at (i * 16)))
+  done;
+  (* Retire region 0 (blocks [0,9]) out of band via invalidation. *)
+  let retired = Code_cache.invalidate_range cache ~lo:0 ~hi:0 in
+  check_int "one invalidated" 1 (List.length retired);
+  check_int "two live" 2 (Code_cache.n_regions cache);
+  (* Two more installs fit without eviction (invalidation freed a slot)... *)
+  ignore (Code_cache.install_exn cache (spec_at 100));
+  check_int "no capacity eviction yet" 0 (Code_cache.evictions cache);
+  (* ...and the next overflow pops the tombstone, then evicts region 16. *)
+  ignore (Code_cache.install_exn cache (spec_at 200));
+  check_int "exactly one eviction" 1 (Code_cache.evictions cache);
+  check_true "oldest live region evicted" (Code_cache.find cache 16 = None);
+  check_true "younger region survives" (Code_cache.find cache 32 <> None)
+
+let fifo_shock_frees_requested_bytes () =
+  let cache = plain_cache ~eviction:Params.Evict_oldest () in
+  for i = 0 to 4 do
+    ignore (Code_cache.install_exn cache (spec_at (i * 16)))
+  done;
+  let retired = Code_cache.shock cache ~bytes:(2 * region_cost) in
+  check_int "exactly the two oldest retired" 2 (List.length retired);
+  Alcotest.(check (list int)) "oldest first" [ 0; 16 ] (List.map entry_of retired);
+  check_int "three live" 3 (Code_cache.n_regions cache)
+
+let flush_shock_empties_cache () =
+  let cache = plain_cache ~eviction:Params.Flush_all () in
+  for i = 0 to 2 do
+    ignore (Code_cache.install_exn cache (spec_at (i * 16)))
+  done;
+  let retired = Code_cache.shock cache ~bytes:1 in
+  check_int "everything retired" 3 (List.length retired);
+  check_int "cache empty" 0 (Code_cache.n_regions cache);
+  check_int "counted as a flush" 1 (Code_cache.flushes cache);
+  check_int "no-op shock on empty cache" 0 (List.length (Code_cache.shock cache ~bytes:1))
+
+(* Regeneration counting *)
+
+let regeneration_after_invalidation () =
+  let cache = plain_cache () in
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0);
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  check_int "re-selecting an invalidated entry is a regeneration" 1
+    (Code_cache.regenerations cache);
+  check_int "invalidation is not an eviction" 0 (Code_cache.evictions cache);
+  check_int "one invalidation" 1 (Code_cache.invalidations cache)
+
+(* Aux entries *)
+
+let aux_spec ~entry ~aux =
+  (* Two Return blocks; the second is an aux entry (a method-region
+     continuation). *)
+  {
+    Region.entry;
+    nodes = [ mk entry 4 Terminator.Return; mk aux 4 Terminator.Return ];
+    edges = [];
+    copied_insts = 8;
+    kind = Region.Method;
+    aux_entries = [ aux ];
+    layout_hint = [];
+  }
+
+let aux_entries_retired_with_region () =
+  let cache = plain_cache () in
+  ignore (Code_cache.install_exn cache (aux_spec ~entry:0 ~aux:16));
+  check_true "aux entry dispatchable" (Code_cache.find cache 16 <> None);
+  (* Dirty only the aux block: the whole region must go, including the
+     aux index slot. *)
+  let retired = Code_cache.invalidate_range cache ~lo:18 ~hi:18 in
+  check_int "region retired via aux block" 1 (List.length retired);
+  check_true "entry gone" (Code_cache.find cache 0 = None);
+  check_true "aux slot gone" (Code_cache.find cache 16 = None);
+  (* A later region claiming the same aux address is not clobbered by the
+     old region's retirement. *)
+  ignore (Code_cache.install_exn cache (aux_spec ~entry:32 ~aux:16));
+  check_true "new claimant resolves" (Code_cache.find cache 16 <> None)
+
+let invalidate_range_is_span_based () =
+  let cache = plain_cache () in
+  ignore (Code_cache.install_exn cache (spec_at 0)) (* blocks [0, 9] *);
+  ignore (Code_cache.install_exn cache (spec_at 32)) (* blocks [32, 41] *);
+  check_int "disjoint write hits nothing" 0
+    (List.length (Code_cache.invalidate_range cache ~lo:16 ~hi:20));
+  check_int "overlapping write hits one region" 1
+    (List.length (Code_cache.invalidate_range cache ~lo:8 ~hi:12));
+  check_true "other region untouched" (Code_cache.find cache 32 <> None)
+
+(* Blacklisting *)
+
+let blacklist_backoff_and_expiry () =
+  let cache = Code_cache.create ~blacklist_base_cooldown:100 ~blacklist_max_shift:2 () in
+  Code_cache.set_now cache 1_000;
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0) (* nothing live: no fail *);
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0);
+  check_int "first failure: base cooldown" 1_100 (Code_cache.blacklisted_until cache 0);
+  check_int "one entry blacklisted" 1 (Code_cache.n_blacklisted cache);
+  (* Re-selection during the cooldown is rejected and counted. *)
+  check_true "install rejected while blacklisted"
+    (Code_cache.install cache (spec_at 0) = Error Code_cache.Blacklisted);
+  check_int "blacklist hit counted" 1 (Code_cache.blacklist_hits cache);
+  (* After the cooldown the entry is admitted again... *)
+  Code_cache.set_now cache 1_200;
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  (* ...and a repeat failure doubles the cooldown, capped at base lsl 2. *)
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0);
+  check_int "second failure: doubled" (1_200 + 200) (Code_cache.blacklisted_until cache 0);
+  Code_cache.set_now cache 2_000;
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0);
+  Code_cache.set_now cache 3_000;
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0);
+  check_int "backoff capped" (3_000 + 400) (Code_cache.blacklisted_until cache 0)
+
+let translation_failures_fail_next_installs () =
+  let cache = Code_cache.create ~blacklist_base_cooldown:500 () in
+  Code_cache.arm_translation_failures cache ~window:50;
+  check_true "first armed install fails"
+    (Code_cache.install cache (spec_at 0) = Error Code_cache.Translation_failed);
+  check_true "second armed install fails"
+    (Code_cache.install cache (spec_at 16) = Error Code_cache.Translation_failed);
+  check_int "failures counted" 2 (Code_cache.translation_failures cache);
+  check_int "nothing installed" 0 (Code_cache.n_regions cache);
+  (* Past the window the translator works again, but the entries that
+     failed inside it are now blacklisted. *)
+  Code_cache.set_now cache 100;
+  check_true "failed entry blacklisted"
+    (Code_cache.install cache (spec_at 0) = Error Code_cache.Blacklisted);
+  (* A fresh entry installs fine. *)
+  ignore (Code_cache.install_exn cache (spec_at 32));
+  check_int "fresh entry installed" 1 (Code_cache.n_regions cache);
+  (* And the blacklisted one recovers once its cooldown passes. *)
+  Code_cache.set_now cache 600;
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  check_int "blacklisted entry recovered" 2 (Code_cache.n_regions cache)
+
+let duplicate_reported_not_raised () =
+  let cache = plain_cache () in
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  check_true "duplicate is a typed rejection"
+    (Code_cache.install cache (spec_at 0) = Error Code_cache.Duplicate_entry);
+  check_int "duplicate counted" 1 (Code_cache.duplicate_installs cache);
+  check_int "cache unchanged" 1 (Code_cache.n_regions cache)
+
+(* Flat dispatch array *)
+
+let dispatch_tracks_lifecycle () =
+  let program =
+    Program.of_blocks_exn ~entry:0
+      [ mk 0 10 Terminator.Return; mk 16 10 Terminator.Return ]
+  in
+  let cache = plain_cache ~program () in
+  let id_of a = Program.block_id program a in
+  check_true "empty cache dispatches nothing" (Code_cache.dispatch cache (id_of 0) = None);
+  let r = Code_cache.install_exn cache (spec_at 0) in
+  check_true "installed region dispatches" (Code_cache.dispatch cache (id_of 0) = Some r);
+  check_true "non-start address dispatches nothing" (Code_cache.dispatch cache (id_of 5) = None);
+  check_true "other block dispatches nothing" (Code_cache.dispatch cache (id_of 16) = None);
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0);
+  check_true "invalidated region no longer dispatches"
+    (Code_cache.dispatch cache (id_of 0) = None);
+  let r2 = Code_cache.install_exn cache (spec_at 16) in
+  ignore (Code_cache.flush_all cache);
+  check_true "flush clears dispatch" (Code_cache.dispatch cache (id_of 16) = None);
+  check_true "flush retired the region" (not (Code_cache.is_live cache r2))
+
+let dispatch_matches_find () =
+  (* The flat array and the hash index must agree on every block. *)
+  let blocks = List.init 8 (fun i -> mk (i * 16) 10 Terminator.Return) in
+  let program = Program.of_blocks_exn ~entry:0 blocks in
+  let cache = plain_cache ~program ~capacity_bytes:(3 * region_cost) ~eviction:Params.Evict_oldest () in
+  List.iteri
+    (fun i _ -> if i land 1 = 0 then ignore (Code_cache.install_exn cache (spec_at (i * 16))))
+    blocks;
+  ignore (Code_cache.invalidate_range cache ~lo:64 ~hi:70);
+  List.iteri
+    (fun i _ ->
+      let a = i * 16 in
+      check_true "dispatch = find"
+        (Code_cache.dispatch cache (Program.block_id program a) = Code_cache.find cache a))
+    blocks
+
+let suite =
+  [
+    case "flush_all returns victims" flush_all_returns_victims;
+    case "fifo skips tombstones" fifo_skips_tombstones;
+    case "fifo shock frees requested bytes" fifo_shock_frees_requested_bytes;
+    case "flush shock empties cache" flush_shock_empties_cache;
+    case "regeneration after invalidation" regeneration_after_invalidation;
+    case "aux entries retired with region" aux_entries_retired_with_region;
+    case "invalidate_range is span based" invalidate_range_is_span_based;
+    case "blacklist backoff and expiry" blacklist_backoff_and_expiry;
+    case "translation failures fail next installs" translation_failures_fail_next_installs;
+    case "duplicate reported not raised" duplicate_reported_not_raised;
+    case "dispatch tracks lifecycle" dispatch_tracks_lifecycle;
+    case "dispatch matches find" dispatch_matches_find;
+  ]

@@ -158,7 +158,7 @@ let region_exit_log () =
 let cache_basics () =
   let cache = Code_cache.create () in
   let spec = Region.spec_of_path ~kind:Region.Trace (trace_path ()) in
-  let r = Code_cache.install cache spec in
+  let r = Code_cache.install_exn cache spec in
   check_int "region id assigned" 0 r.Region.id;
   check_true "found by entry" (Code_cache.find cache 0 <> None);
   check_true "body addresses are not entries" (Code_cache.find cache 3 = None);
@@ -167,10 +167,13 @@ let cache_basics () =
 let cache_duplicate_rejected () =
   let cache = Code_cache.create () in
   let spec = Region.spec_of_path ~kind:Region.Trace (trace_path ()) in
-  ignore (Code_cache.install cache spec);
-  check_true "duplicate entry rejected"
+  ignore (Code_cache.install_exn cache spec);
+  check_true "duplicate entry reported as typed rejection"
+    (Code_cache.install cache spec = Error Code_cache.Duplicate_entry);
+  check_int "rejected install leaves one region" 1 (Code_cache.n_regions cache);
+  check_true "install_exn raises on rejection"
     (try
-       ignore (Code_cache.install cache spec);
+       ignore (Code_cache.install_exn cache spec);
        false
      with Invalid_argument _ -> true)
 
@@ -181,8 +184,8 @@ let cache_selection_order () =
   let spec2 =
     Region.spec_of_path ~kind:Region.Trace { Region.blocks = [ b ]; final_next = None }
   in
-  let r1 = Code_cache.install cache spec1 in
-  let r2 = Code_cache.install cache spec2 in
+  let r1 = Code_cache.install_exn cache spec1 in
+  let r2 = Code_cache.install_exn cache spec2 in
   check_true "selection order preserved"
     (List.map (fun (r : Region.t) -> r.Region.id) (Code_cache.regions cache) = [ 0; 1 ]);
   check_true "selected_at increases" (r1.Region.selected_at < r2.Region.selected_at)

@@ -59,8 +59,8 @@ let bad_geometry_rejected () =
 let layout_assigned_at_install () =
   let cache = Code_cache.create () in
   let spec b = Region.spec_of_path ~kind:Region.Trace { Region.blocks = [ b ]; final_next = None } in
-  let r1 = Code_cache.install cache (spec (mk 0 10 Terminator.Return)) in
-  let r2 = Code_cache.install cache (spec (mk 100 5 Terminator.Return)) in
+  let r1 = Code_cache.install_exn cache (spec (mk 0 10 Terminator.Return)) in
+  let r2 = Code_cache.install_exn cache (spec (mk 100 5 Terminator.Return)) in
   Alcotest.(check (option int)) "first region at base 0" (Some 0) (Region.block_cache_addr r1 0);
   Alcotest.(check (option int)) "second region after the first"
     (Some (Region.cache_bytes r1))
@@ -74,7 +74,7 @@ let layout_entry_first () =
   let high = mk 100 4 (Terminator.Jump 0) in
   let cache = Code_cache.create () in
   let r =
-    Code_cache.install cache
+    Code_cache.install_exn cache
       (Region.spec_of_path ~kind:Region.Trace
          { Region.blocks = [ high; low ]; final_next = Some 100 })
   in

@@ -17,10 +17,10 @@ open Fixtures
    while still exercising region formation, cache exits, and eviction. *)
 let budget (spec : Spec.t) = min spec.Spec.default_steps 30_000
 
-let run (spec : Spec.t) policy_name =
+let run ?params (spec : Spec.t) policy_name =
   let policy = Option.get (Policies.find policy_name) in
   Run_metrics.of_result
-    (Simulator.run ~seed:1L ~policy ~max_steps:(budget spec) (Spec.image spec))
+    (Simulator.run ?params ~seed:1L ~policy ~max_steps:(budget spec) (Spec.image spec))
 
 let tasks =
   List.concat_map
@@ -51,8 +51,22 @@ let sequential_vs_parallel () =
   let pooled = Domain_pool.map ~n_domains:4 (fun (spec, p) -> run spec p) tasks in
   check_pairwise ~what:"parallel (4 domains)" reference pooled
 
+(* The fault layer's zero-fault guarantee: enabling the machinery with an
+   empty schedule must leave every exported metric identical to a run with
+   the machinery disabled — the fault path costs the clean path nothing. *)
+let empty_fault_profile_is_identity () =
+  let params =
+    { Regionsel_engine.Params.default with
+      Regionsel_engine.Params.faults = Some Regionsel_engine.Params.no_faults
+    }
+  in
+  let reference = List.map (fun (spec, p) -> run spec p) tasks in
+  let with_empty_faults = List.map (fun (spec, p) -> run ~params spec p) tasks in
+  check_pairwise ~what:"empty fault profile" reference with_empty_faults
+
 let suite =
   [
     case "sequential runs are deterministic" sequential_deterministic;
     case "pooled runs match sequential bit-for-bit" sequential_vs_parallel;
+    case "empty fault profile leaves metrics identical" empty_fault_profile_is_identity;
   ]
