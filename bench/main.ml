@@ -909,14 +909,17 @@ let prefill_matrix () =
     (fun ((spec : Spec.t), pname) m -> Hashtbl.replace cache (spec.Spec.name, pname) m)
     todo results
 
-(* End-to-end simulation throughput (block steps per second), measured on a
-   mid-sized workload with the cheapest policy so the figure tracks the hot
-   path rather than region formation. *)
-let measure_steps_per_sec () =
-  let image = Spec.image (Option.get (Suite.find "twolf")) in
-  let policy = Option.get (Policies.find "net") in
+(* End-to-end simulation throughput (block steps per second).  The
+   headline figure uses a mid-sized workload with the cheapest policy so
+   it tracks the hot path rather than region formation; the "hot" figure
+   uses the most region-dominated workload (gzip: tight loops, ~99% of
+   instructions cached), where the compiled-automaton stepping and the
+   link cache matter most. *)
+let measure_throughput ?(params = Params.default) ~image_name ~policy_name () =
+  let image = Spec.image (Option.get (Suite.find image_name)) in
+  let policy = Option.get (Policies.find policy_name) in
   let steps = if quick then 100_000 else 400_000 in
-  let run () = ignore (Simulator.run ~seed:1L ~policy ~max_steps:steps image) in
+  let run () = ignore (Simulator.run ~params ~seed:1L ~policy ~max_steps:steps image) in
   run () (* warm-up *);
   let best = ref infinity in
   for _ = 1 to 3 do
@@ -926,6 +929,21 @@ let measure_steps_per_sec () =
     if dt < !best then best := dt
   done;
   float_of_int steps /. !best
+
+let measure_steps_per_sec () = measure_throughput ~image_name:"twolf" ~policy_name:"net" ()
+
+(* Link-cache counters from one region-dominated run, surfaced in the JSON
+   so regressions in fragment linking are visible alongside throughput. *)
+let measure_link_counters () =
+  let image = Spec.image (Option.get (Suite.find "twolf")) in
+  let policy = Option.get (Policies.find "net") in
+  let steps = if quick then 100_000 else 400_000 in
+  let m = Run_metrics.of_result (Simulator.run ~seed:1L ~policy ~max_steps:steps image) in
+  ( m.Run_metrics.links,
+    m.Run_metrics.link_hits,
+    m.Run_metrics.link_severs,
+    m.Run_metrics.links_high_water,
+    m.Run_metrics.node_steps )
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -943,6 +961,13 @@ let json_float v = if Float.is_finite v then Printf.sprintf "%.17g" v else "null
 
 let emit_json path =
   let steps_per_sec = measure_steps_per_sec () in
+  let steps_per_sec_hot = measure_throughput ~image_name:"gzip" ~policy_name:"net" () in
+  let steps_per_sec_hot_legacy =
+    measure_throughput
+      ~params:{ Params.default with Params.compiled_regions = false }
+      ~image_name:"gzip" ~policy_name:"net" ()
+  in
+  let links, link_hits, link_severs, links_hw, node_steps = measure_link_counters () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
@@ -950,6 +975,16 @@ let emit_json path =
     (Printf.sprintf "  \"steps_per_sec\": %s,\n" (json_float steps_per_sec));
   Buffer.add_string b
     (Printf.sprintf "  \"ns_per_block\": %s,\n" (json_float (1e9 /. steps_per_sec)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"steps_per_sec_hot\": %s,\n" (json_float steps_per_sec_hot));
+  Buffer.add_string b
+    (Printf.sprintf "  \"steps_per_sec_hot_legacy\": %s,\n"
+       (json_float steps_per_sec_hot_legacy));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"links\": %d,\n  \"link_hits\": %d,\n  \"link_severs\": %d,\n  \
+        \"links_high_water\": %d,\n  \"node_steps\": %d,\n"
+       links link_hits link_severs links_hw node_steps);
   Buffer.add_string b "  \"sections\": [\n";
   let tables = List.rev !json_tables in
   List.iteri
@@ -970,8 +1005,11 @@ let emit_json path =
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
-  Printf.printf "\nwrote %s (%.2fM steps/sec, %.1f ns/block)\n" path (steps_per_sec /. 1e6)
-    (1e9 /. steps_per_sec)
+  Printf.printf
+    "\nwrote %s (%.2fM steps/sec, %.1f ns/block; hot %.2fM vs legacy %.2fM = %.2fx)\n" path
+    (steps_per_sec /. 1e6) (1e9 /. steps_per_sec) (steps_per_sec_hot /. 1e6)
+    (steps_per_sec_hot_legacy /. 1e6)
+    (steps_per_sec_hot /. steps_per_sec_hot_legacy)
 
 (* Sections that never touch the memoized matrix; prefilling for them
    would only add startup latency. *)

@@ -31,6 +31,18 @@ type t = {
          Present only when [create] was given the program; mirrors
          by_entry/by_aux_entry exactly so the simulator's per-transition
          probe is one array read instead of up to two hash probes. *)
+  incoming_links : (Region.t * int) list Int_tbl.t;
+      (* target region id -> (source region, slot) pairs whose exit stub is
+         patched to jump to the target, so retiring a region severs every
+         link into it in O(links).  Entries are cleaned lazily: a recorded
+         pair whose slot no longer points at the target is ignored. *)
+  slot_links : Region.t list Int_tbl.t;
+      (* block id -> source regions holding a live link through that slot,
+         so an install that (re)claims the block id can sever links that
+         would otherwise disagree with the dispatch array. *)
+  mutable links_created : int;
+  mutable link_severs : int;
+  mutable live_links : int;
   blacklist : blacklist_entry Int_tbl.t;
   blacklist_base_cooldown : int;
   blacklist_max_shift : int;
@@ -66,6 +78,11 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all)
       (match program with
       | Some p -> Array.make (max 1 (Program.n_blocks p)) None
       | None -> [||]);
+    incoming_links = Int_tbl.create 64;
+    slot_links = Int_tbl.create 64;
+    links_created = 0;
+    link_severs = 0;
+    live_links = 0;
     blacklist = Int_tbl.create 16;
     blacklist_base_cooldown;
     blacklist_max_shift;
@@ -83,12 +100,35 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all)
 let dispatch t id =
   if id >= 0 && id < Array.length t.dispatch then Array.unsafe_get t.dispatch id else None
 
+(* Unpatch every live link routed through the given block id.  Called when
+   an install (re)claims the id: the existing links point at whatever was
+   dispatchable there before, and a link must always agree with the
+   dispatch array (the simulator consults the link slot *instead of*
+   dispatching). *)
+let sever_slot t id =
+  match Int_tbl.find_opt t.slot_links id with
+  | None -> ()
+  | Some sources ->
+    Int_tbl.remove t.slot_links id;
+    List.iter
+      (fun (src : Region.t) ->
+        match Region.link_target src id with
+        | Some _ ->
+          Region.set_link src ~slot:id None;
+          t.link_severs <- t.link_severs + 1;
+          t.live_links <- t.live_links - 1
+        | None -> ())
+      sources
+
 let dispatch_set t a region =
   match t.program with
   | None -> ()
   | Some p ->
     let id = Program.block_id p a in
-    if id >= 0 then t.dispatch.(id) <- Some region
+    if id >= 0 then begin
+      sever_slot t id;
+      t.dispatch.(id) <- Some region
+    end
 
 let dispatch_clear t a region =
   match t.program with
@@ -124,10 +164,32 @@ let is_live t (region : Region.t) =
   | Some r -> r == region
   | None -> false
 
+(* Sever every link into the retiring region — the link-cache invariant is
+   "no link may outlive its target region" — and drop its own outgoing
+   links (which die with it but are not counted as severs: nothing ever
+   consults a retired region's slots on the hot path, they are cleared so
+   retired regions cannot pin their former neighbours live). *)
+let sever_links_into t (region : Region.t) =
+  (match Int_tbl.find_opt t.incoming_links region.Region.id with
+  | None -> ()
+  | Some sources ->
+    Int_tbl.remove t.incoming_links region.Region.id;
+    List.iter
+      (fun ((src : Region.t), slot) ->
+        match Region.link_target src slot with
+        | Some r when r == region ->
+          Region.set_link src ~slot None;
+          t.link_severs <- t.link_severs + 1;
+          t.live_links <- t.live_links - 1
+        | Some _ | None -> ())
+      sources);
+  t.live_links <- t.live_links - Region.clear_links region
+
 (* Unlink a region from every live index.  Counter policy is the caller's:
    capacity eviction and flushes count as evictions, invalidation as
    invalidations. *)
 let retire t (region : Region.t) =
+  sever_links_into t region;
   Int_tbl.remove t.by_entry region.Region.entry;
   dispatch_clear t region.Region.entry region;
   Addr.Set.iter
@@ -140,6 +202,31 @@ let retire t (region : Region.t) =
   Int_tbl.replace t.evicted_entries region.Region.entry ();
   t.retired <- region :: t.retired;
   t.bytes_used <- t.bytes_used - Region.cache_bytes region
+
+(* Patch one exit link: [from]'s exit stub for the block [slot] jumps
+   straight to [target] from now on, skipping dispatch.  First link wins;
+   callers only attempt it right after a dispatch probe returned [target],
+   so the link and the dispatch array agree by construction. *)
+let add_link t ~(from : Region.t) ~slot ~(target : Region.t) =
+  if
+    slot >= 0
+    && slot < Region.n_link_slots from
+    && (match Region.link_target from slot with None -> true | Some _ -> false)
+  then begin
+    Region.set_link from ~slot (Some target);
+    let incoming =
+      match Int_tbl.find_opt t.incoming_links target.Region.id with
+      | Some l -> l
+      | None -> []
+    in
+    Int_tbl.replace t.incoming_links target.Region.id ((from, slot) :: incoming);
+    let through =
+      match Int_tbl.find_opt t.slot_links slot with Some l -> l | None -> []
+    in
+    Int_tbl.replace t.slot_links slot (from :: through);
+    t.links_created <- t.links_created + 1;
+    t.live_links <- t.live_links + 1
+  end
 
 let rec evict_oldest t =
   match Queue.take_opt t.fifo with
@@ -224,7 +311,7 @@ let install t (spec : Region.spec) =
         Error Duplicate_entry
       end
       else begin
-        let region = Region.of_spec ~id:t.next_id ~selected_at:t.next_id spec in
+        let region = Region.of_spec ~id:t.next_id ~selected_at:t.next_id ?program:t.program spec in
         make_room t (Region.cache_bytes region);
         t.next_id <- t.next_id + 1;
         if Int_tbl.mem t.evicted_entries spec.Region.entry then
@@ -296,3 +383,6 @@ let invalidations t = t.invalidations
 let blacklist_hits t = t.blacklist_hits
 let duplicate_installs t = t.duplicate_installs
 let translation_failures t = t.translation_failures
+let links_created t = t.links_created
+let link_severs t = t.link_severs
+let n_links t = t.live_links

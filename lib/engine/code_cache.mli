@@ -56,6 +56,26 @@ val dispatch : t -> int -> Region.t option
 
 val mem : t -> Addr.t -> bool
 
+val add_link : t -> from:Region.t -> slot:int -> target:Region.t -> unit
+(** Patch [from]'s exit stub for block id [slot] to jump straight to
+    [target] (fragment linking).  First link through a slot wins; only
+    call it immediately after {!dispatch} on [slot] returned [target], so
+    the link agrees with the dispatch array.  The cache registers the link
+    and severs it automatically — the invariant is {e no link may outlive
+    its target region} — when the target is retired by any path
+    ({!invalidate_range}, {!shock}, {!flush_all}, eviction) or when a new
+    install claims the slot's block id. *)
+
+val n_links : t -> int
+(** Links currently live (patched exit stubs). *)
+
+val links_created : t -> int
+(** Links ever patched in. *)
+
+val link_severs : t -> int
+(** Links unpatched because their target was retired or their slot's block
+    id was reclaimed by a new install. *)
+
 val is_live : t -> Region.t -> bool
 (** Whether this exact region (physical identity) is still dispatchable. *)
 

@@ -20,10 +20,8 @@ let unpack_dst key = key land 0xFFFF_FFFF
 let create () = { edges = Flat_tbl.create 4096; pred_index = None }
 
 let record t ~src ~dst =
-  let n = Flat_tbl.length t.edges in
-  Flat_tbl.bump t.edges (pack ~src ~dst);
   (* Only a previously unseen edge can change the predecessor sets. *)
-  if Flat_tbl.length t.edges <> n then t.pred_index <- None
+  if Flat_tbl.bump_fresh t.edges (pack ~src ~dst) then t.pred_index <- None
 
 let count t ~src ~dst =
   let c = Flat_tbl.find t.edges (pack ~src ~dst) in

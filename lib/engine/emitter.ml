@@ -15,19 +15,11 @@ type stub = { index : int; exit_target : Addr.t option; from : Addr.t }
 
 type t = { region : Region.t; body : inst array; stubs : stub array }
 
-let layout_order (region : Region.t) =
-  let with_offsets =
-    List.filter_map
-      (fun (b : Block.t) ->
-        let off = Flat_tbl.find region.Region.block_offsets b.Block.start in
-        if off >= 0 then Some (off, b) else None)
-      (Region.nodes region)
-  in
-  List.map snd (List.sort compare with_offsets)
+let layout_order (region : Region.t) = Region.layout_blocks region
 
 let emit (region : Region.t) =
   let offset_of a =
-    let off = Flat_tbl.find region.Region.block_offsets a in
+    let off = Region.block_offset region a in
     if off >= 0 then Some off else None
   in
   let body = ref [] in

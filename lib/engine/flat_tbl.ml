@@ -78,6 +78,25 @@ let bump t key =
     maybe_grow t
   end
 
+(* [bump] that also reports whether the key was newly inserted, fusing the
+   length-changed check callers would otherwise do with two extra reads
+   around the probe (Edge_profile invalidates its predecessor index only
+   on fresh edges — once per static edge, on a per-step path). *)
+let bump_fresh t key =
+  if key < 0 then invalid_arg "Flat_tbl.bump_fresh: negative key";
+  let i = probe t.keys t.mask key (slot t.mask key) in
+  if Array.unsafe_get t.keys i = key then begin
+    t.vals.(i) <- t.vals.(i) + 1;
+    false
+  end
+  else begin
+    t.keys.(i) <- key;
+    t.vals.(i) <- 1;
+    t.len <- t.len + 1;
+    maybe_grow t;
+    true
+  end
+
 let length t = t.len
 
 let fold f t acc =

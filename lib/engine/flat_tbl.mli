@@ -24,6 +24,11 @@ val bump : t -> int -> unit
 (** Add 1 to the key's count, inserting it at 1 — a single probe.
     @raise Invalid_argument on a negative key. *)
 
+val bump_fresh : t -> int -> bool
+(** {!bump} that returns [true] iff the key was newly inserted, in the
+    same single probe.
+    @raise Invalid_argument on a negative key. *)
+
 val length : t -> int
 
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a

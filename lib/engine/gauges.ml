@@ -3,10 +3,19 @@ type t = {
   mutable high_water : int;
   mutable blacklisted : int;
   mutable blacklisted_high_water : int;
+  mutable links : int;
+  mutable links_high_water : int;
 }
 
 let create () =
-  { observed_bytes = 0; high_water = 0; blacklisted = 0; blacklisted_high_water = 0 }
+  {
+    observed_bytes = 0;
+    high_water = 0;
+    blacklisted = 0;
+    blacklisted_high_water = 0;
+    links = 0;
+    links_high_water = 0;
+  }
 
 let add_observed_bytes t delta =
   t.observed_bytes <- t.observed_bytes + delta;
@@ -22,3 +31,10 @@ let set_blacklisted t n =
 
 let blacklisted t = t.blacklisted
 let blacklisted_high_water t = t.blacklisted_high_water
+
+let set_links t n =
+  t.links <- n;
+  if n > t.links_high_water then t.links_high_water <- n
+
+let links t = t.links
+let links_high_water t = t.links_high_water

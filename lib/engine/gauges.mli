@@ -26,3 +26,12 @@ val set_blacklisted : t -> int -> unit
 val blacklisted : t -> int
 
 val blacklisted_high_water : t -> int
+
+val set_links : t -> int -> unit
+(** Record the current number of live inter-region links (the simulator
+    updates this when links are patched in and after fault deliveries);
+    the gauge keeps the high-water mark. *)
+
+val links : t -> int
+
+val links_high_water : t -> int

@@ -90,6 +90,7 @@ type t = {
   watchdog_window : int;
   watchdog_min_share : float;
   bailout_cooldown : int;
+  compiled_regions : bool;
 }
 
 let default =
@@ -118,6 +119,7 @@ let default =
     watchdog_window = 2_000;
     watchdog_min_share = 0.2;
     bailout_cooldown = 4_000;
+    compiled_regions = true;
   }
 
 let pp ppf t =

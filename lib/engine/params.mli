@@ -96,6 +96,11 @@ type t = {
           previous peak while faults are active. *)
   bailout_cooldown : int;
       (** Steps of pure interpretation after a watchdog bailout. *)
+  compiled_regions : bool;
+      (** Execute cached code through the compiled region automaton and the
+          inter-region link cache (the default).  [false] keeps the legacy
+          address-keyed region stepping — same metrics, slower — as the
+          parity reference. *)
 }
 
 val default : t

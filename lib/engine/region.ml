@@ -50,12 +50,26 @@ let spec_of_path ~kind path =
     let copied_insts = List.fold_left (fun acc (b : Block.t) -> acc + b.Block.size) 0 nodes in
     { entry; nodes; edges; copied_insts; kind; aux_entries = []; layout_hint }
 
+(* The compiled automaton: nodes are numbered 0..n-1 in cache layout order
+   (the entry is always node 0), and every structure the hot loop touches
+   is a flat array indexed by node id.  The address-keyed API below is
+   reimplemented on top via [node_by_addr] for cold callers (metrics,
+   emitter, tests). *)
 type t = {
   id : int;
   entry : Addr.t;
   kind : kind;
-  node_index : Block.t Addr.Table.t;
   n_nodes : int;
+  node_blocks : Block.t array;  (* node id -> block, in layout order *)
+  node_offsets : int array;  (* node id -> byte offset within the region *)
+  node_is_entry : bool array;  (* node id -> dispatchable entry (entry or aux) *)
+  succ_bits : int array;  (* adjacency bitset: row [src * succ_stride], 32-bit words *)
+  succ_stride : int;
+  hot_succ_addr : int array;  (* node id -> first internal successor address, -1 if none *)
+  hot_succ_node : int array;  (* node id -> that successor's node id *)
+  node_by_addr : Flat_tbl.t;  (* block start address -> node id *)
+  node_of_block : int array;  (* Program block_id -> node id, -1 elsewhere; [||] without program *)
+  link_slots : t option array;  (* Program block_id -> linked exit target; [||] without program *)
   copied_insts : int;
   n_stubs : int;
   spans_cycle : bool;
@@ -64,16 +78,17 @@ type t = {
   mutable cycle_iters : int;
   mutable exits : int;
   mutable insts_executed : int;
-  exit_log : Flat_tbl.t; (* key [(from lsl 32) lor tgt] -> count, like edge_index *)
-  edge_index : Flat_tbl.t; (* (src lsl 32) lor dst -> 1 — no per-query tuple *)
+  exit_log : Flat_tbl.t; (* key [(from lsl 32) lor tgt] -> count *)
   aux_entries : Addr.Set.t;
   mutable cache_base : int;
-  block_offsets : Flat_tbl.t;
 }
 
 let pack_edge ~src ~dst = (src lsl 32) lor dst
 
-let count_stubs ~node_index ~edge_index nodes =
+let inst_bytes = 4
+let stub_bytes = 10
+
+let count_stubs ~edge_index nodes =
   let internal src dst = Flat_tbl.mem edge_index (pack_edge ~src ~dst) in
   let stub_count b =
     let s = b.Block.start in
@@ -88,31 +103,38 @@ let count_stubs ~node_index ~edge_index nodes =
       1
     | Terminator.Halt -> 0
   in
-  ignore node_index;
   List.fold_left (fun acc b -> acc + stub_count b) 0 nodes
 
-let of_spec ~id ~selected_at spec =
-  let node_index = Addr.Table.create (List.length spec.nodes * 2) in
-  List.iter (fun b -> Addr.Table.replace node_index b.Block.start b) spec.nodes;
-  if not (Addr.Table.mem node_index spec.entry) then
-    invalid_arg "Region.of_spec: entry is not a node";
+let of_spec ~id ~selected_at ?program spec =
+  (* Distinct nodes, first occurrence wins (LEI's cyclic paths may revisit). *)
+  let seen = Flat_tbl.create (List.length spec.nodes * 2) in
+  let nodes =
+    List.filter
+      (fun (b : Block.t) ->
+        if Flat_tbl.mem seen b.Block.start then false
+        else begin
+          Flat_tbl.set seen b.Block.start 0;
+          true
+        end)
+      spec.nodes
+  in
+  if not (Flat_tbl.mem seen spec.entry) then invalid_arg "Region.of_spec: entry is not a node";
   let edge_index = Flat_tbl.create (List.length spec.edges * 2) in
   List.iter
     (fun (src, dst) ->
-      if not (Addr.Table.mem node_index src && Addr.Table.mem node_index dst) then
+      if not (Flat_tbl.mem seen src && Flat_tbl.mem seen dst) then
         invalid_arg "Region.of_spec: edge endpoint is not a node";
       Flat_tbl.set edge_index (pack_edge ~src ~dst) 1)
     spec.edges;
   List.iter
     (fun a ->
-      if not (Addr.Table.mem node_index a) then
-        invalid_arg "Region.of_spec: aux entry is not a node")
+      if not (Flat_tbl.mem seen a) then invalid_arg "Region.of_spec: aux entry is not a node")
     spec.aux_entries;
   let spans_cycle = List.exists (fun (_, dst) -> Addr.equal dst spec.entry) spec.edges in
-  let n_stubs = count_stubs ~node_index ~edge_index spec.nodes in
+  let n_stubs = count_stubs ~edge_index nodes in
   (* Lay the blocks out contiguously: the entry first, then the layout
-     hint's order, then any remaining nodes in address order. *)
-  let block_offsets = Flat_tbl.create (List.length spec.nodes * 2) in
+     hint's order, then any remaining nodes in address order.  Layout order
+     IS the node numbering, so the entry is always node 0. *)
   let hint_rank = Addr.Table.create 16 in
   List.iteri
     (fun i a -> if not (Addr.Table.mem hint_rank a) then Addr.Table.replace hint_rank a i)
@@ -128,22 +150,69 @@ let of_spec ~id ~selected_at spec =
             | None -> (1, x.Block.start)
         in
         compare (rank a) (rank b))
-      spec.nodes
+      nodes
   in
+  let node_blocks = Array.of_list sorted_nodes in
+  let n = Array.length node_blocks in
+  let node_offsets = Array.make n 0 in
+  let node_by_addr = Flat_tbl.create (n * 2) in
   let cursor = ref 0 in
+  Array.iteri
+    (fun i (b : Block.t) ->
+      node_offsets.(i) <- !cursor;
+      cursor := !cursor + (b.Block.size * inst_bytes);
+      Flat_tbl.set node_by_addr b.Block.start i)
+    node_blocks;
+  let aux_entries = Addr.Set.of_list spec.aux_entries in
+  let node_is_entry =
+    Array.map
+      (fun (b : Block.t) ->
+        Addr.equal b.Block.start spec.entry || Addr.Set.mem b.Block.start aux_entries)
+      node_blocks
+  in
+  let succ_stride = (n + 31) lsr 5 in
+  let succ_bits = Array.make (max 1 (n * succ_stride)) 0 in
+  let hot_succ_addr = Array.make n (-1) in
+  let hot_succ_node = Array.make n (-1) in
   List.iter
-    (fun (b : Block.t) ->
-      if not (Flat_tbl.mem block_offsets b.Block.start) then begin
-        Flat_tbl.set block_offsets b.Block.start !cursor;
-        cursor := !cursor + (b.Block.size * 4)
+    (fun (src, dst) ->
+      let s = Flat_tbl.find node_by_addr src in
+      let d = Flat_tbl.find node_by_addr dst in
+      let w = (s * succ_stride) + (d lsr 5) in
+      succ_bits.(w) <- succ_bits.(w) lor (1 lsl (d land 31));
+      if hot_succ_addr.(s) < 0 then begin
+        hot_succ_addr.(s) <- dst;
+        hot_succ_node.(s) <- d
       end)
-    sorted_nodes;
+    spec.edges;
+  let node_of_block, link_slots =
+    match program with
+    | None -> ([||], [||])
+    | Some p ->
+      let nb = max 1 (Program.n_blocks p) in
+      let translate = Array.make nb (-1) in
+      Array.iteri
+        (fun i (b : Block.t) ->
+          let bid = Program.block_id p b.Block.start in
+          if bid >= 0 then translate.(bid) <- i)
+        node_blocks;
+      (translate, Array.make nb None)
+  in
   {
     id;
     entry = spec.entry;
     kind = spec.kind;
-    node_index;
-    n_nodes = Addr.Table.length node_index;
+    n_nodes = n;
+    node_blocks;
+    node_offsets;
+    node_is_entry;
+    succ_bits;
+    succ_stride;
+    hot_succ_addr;
+    hot_succ_node;
+    node_by_addr;
+    node_of_block;
+    link_slots;
     copied_insts = spec.copied_insts;
     n_stubs;
     spans_cycle;
@@ -153,19 +222,36 @@ let of_spec ~id ~selected_at spec =
     exits = 0;
     insts_executed = 0;
     exit_log = Flat_tbl.create 8;
-    edge_index;
-    aux_entries = Addr.Set.of_list spec.aux_entries;
+    aux_entries;
     cache_base = -1;
-    block_offsets;
   }
 
-let mem_block t a = Addr.Table.mem t.node_index a
-let find_block t a = Addr.Table.find_opt t.node_index a
-let has_edge t ~src ~dst = Flat_tbl.mem t.edge_index (pack_edge ~src ~dst)
+let node_id t a = if a < 0 then -1 else Flat_tbl.find t.node_by_addr a
+let node_block t i = t.node_blocks.(i)
+
+let has_edge_nodes t ~src ~dst =
+  Array.unsafe_get t.succ_bits ((src * t.succ_stride) + (dst lsr 5)) land (1 lsl (dst land 31))
+  <> 0
+
+let has_edge t ~src ~dst =
+  let s = node_id t src in
+  s >= 0
+  &&
+  let d = node_id t dst in
+  d >= 0 && has_edge_nodes t ~src:s ~dst:d
+
+let mem_block t a = node_id t a >= 0
+
+let find_block t a =
+  let i = node_id t a in
+  if i < 0 then None else Some t.node_blocks.(i)
 
 let nodes t =
-  let all = Addr.Table.fold (fun _ b acc -> b :: acc) t.node_index [] in
-  List.sort (fun a b -> Addr.compare a.Block.start b.Block.start) all
+  List.sort
+    (fun (a : Block.t) (b : Block.t) -> Addr.compare a.Block.start b.Block.start)
+    (Array.to_list t.node_blocks)
+
+let layout_blocks t = Array.to_list t.node_blocks
 
 let record_entry t = t.entries <- t.entries + 1
 let record_cycle t = t.cycle_iters <- t.cycle_iters + 1
@@ -187,24 +273,46 @@ let exited_to t ~tgt =
       if Addr.equal tgt (exit_tgt key) then Addr.Set.add (exit_src key) acc else acc)
     t.exit_log Addr.Set.empty
 
-let inst_bytes = 4
-let stub_bytes = 10
 let cache_bytes t = (t.copied_insts * inst_bytes) + (t.n_stubs * stub_bytes)
 
 let set_cache_base t base = t.cache_base <- base
 
+let block_offset t a =
+  let i = node_id t a in
+  if i < 0 then -1 else Array.unsafe_get t.node_offsets i
+
 let block_cache_addr t a =
   if t.cache_base < 0 then None
   else
-    let off = Flat_tbl.find t.block_offsets a in
+    let off = block_offset t a in
     if off < 0 then None else Some (t.cache_base + off)
 
 (* Allocation-free variant for the simulator's per-step icache model. *)
 let block_cache_offset t a =
   if t.cache_base < 0 then -1
   else
-    let off = Flat_tbl.find t.block_offsets a in
+    let off = block_offset t a in
     if off < 0 then -1 else t.cache_base + off
+
+let n_link_slots t = Array.length t.link_slots
+
+let link_target t slot =
+  let ls = t.link_slots in
+  if slot >= 0 && slot < Array.length ls then Array.unsafe_get ls slot else None
+
+let set_link t ~slot target = t.link_slots.(slot) <- target
+
+let clear_links t =
+  let ls = t.link_slots in
+  let cleared = ref 0 in
+  for i = 0 to Array.length ls - 1 do
+    match Array.unsafe_get ls i with
+    | Some _ ->
+      ls.(i) <- None;
+      incr cleared
+    | None -> ()
+  done;
+  !cleared
 
 let pp ppf t =
   let kind =

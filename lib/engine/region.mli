@@ -6,6 +6,13 @@
     possibly closed by a back edge to the entry; a combined region
     (Section 4) may contain splits and joins.
 
+    Installed regions are {e compiled}: the blocks are numbered 0..n-1 in
+    cache-layout order (the entry is node 0) and every structure the
+    simulator touches per cached step — successor sets, cache offsets, the
+    program-wide block-id translation and the inter-region link slots — is
+    a flat array indexed by small ints.  The address-keyed queries below
+    remain for cold callers (metrics, emitter, tests).
+
     A region also carries its run-time statistics (executions, completed
     cycles, exits) and its static cost model (copied instructions, exit
     stubs), which together feed every metric in the paper's evaluation. *)
@@ -63,8 +70,32 @@ type t = private {
   id : int;
   entry : Addr.t;
   kind : kind;
-  node_index : Block.t Addr.Table.t;
   n_nodes : int;
+  node_blocks : Block.t array;
+      (** Node id -> block.  Node ids are cache-layout order: the entry is
+          node 0, then the layout hint's order, then address order. *)
+  node_offsets : int array;
+      (** Node id -> byte offset of the block's copy within the region. *)
+  node_is_entry : bool array;
+      (** Node id -> whether the node is dispatchable (entry or aux entry). *)
+  succ_bits : int array;
+      (** Internal-edge adjacency bitset: bit [dst] of row
+          [src * succ_stride] (32-bit words), tested by {!has_edge_nodes}. *)
+  succ_stride : int;  (** Words per [succ_bits] row. *)
+  hot_succ_addr : int array;
+      (** Node id -> start address of the node's first internal successor
+          ([-1] if it has none): the compiled fall-through, so the common
+          stay-in-region step is a single compare. *)
+  hot_succ_node : int array;  (** Node id of that successor. *)
+  node_by_addr : Flat_tbl.t;  (** Block start address -> node id. *)
+  node_of_block : int array;
+      (** [Program.block_id] -> node id ([-1] for blocks outside the
+          region); [[||]] when built without [~program]. *)
+  link_slots : t option array;
+      (** [Program.block_id] -> region this region's exit to that block is
+          linked to (the patched exit stub); [[||]] without [~program].
+          Invariant, maintained by [Code_cache]: a link never outlives its
+          target region, and always agrees with the dispatch array. *)
   copied_insts : int;
   n_stubs : int;
   spans_cycle : bool;  (** Region contains an edge back to its entry. *)
@@ -74,36 +105,46 @@ type t = private {
   mutable exits : int;  (** Times control left the region. *)
   mutable insts_executed : int;
   exit_log : Flat_tbl.t;
-      (** [(exit block start lsl 32) lor target] -> count.  Packed like
-          [edge_index] so the per-transition update is one inline probe;
-          unpack keys with {!exit_src} / {!exit_tgt}. *)
-  edge_index : Flat_tbl.t;
-      (** Internal edges keyed as [(src lsl 32) lor dst] (value 1), so the
-          per-step membership query is one inline probe instead of a tuple
-          allocation and a C-call hash. *)
+      (** [(exit block start lsl 32) lor target] -> count.  Packed so the
+          per-transition update is one inline probe; unpack keys with
+          {!exit_src} / {!exit_tgt}. *)
   aux_entries : Addr.Set.t;
   mutable cache_base : int;
       (** Byte address of the region in the code cache; -1 until
           installed. *)
-  block_offsets : Flat_tbl.t;
-      (** Byte offset of each node's copy within the region. *)
 }
 
-val of_spec : id:int -> selected_at:int -> spec -> t
-(** Freeze a spec into an installed region, computing its exit-stub count:
-    one stub per static successor direction (taken and fall-through of
-    conditionals, targets of jumps and calls, the continuation of
-    fall-through blocks) not covered by an internal edge, and always one
-    stub per indirect branch or return (the mispredict path).
+val of_spec : id:int -> selected_at:int -> ?program:Program.t -> spec -> t
+(** Freeze a spec into an installed region, compiling the intra-region
+    automaton and computing its exit-stub count: one stub per static
+    successor direction (taken and fall-through of conditionals, targets of
+    jumps and calls, the continuation of fall-through blocks) not covered
+    by an internal edge, and always one stub per indirect branch or return
+    (the mispredict path).  Pass [program] to enable the dense
+    [node_of_block] translation and the [link_slots] used by the
+    simulator's compiled execution mode.
     @raise Invalid_argument if the spec is malformed (entry not a node, or
     an edge endpoint that is not a node). *)
+
+val node_id : t -> Addr.t -> int
+(** The node id of the block starting at the address, or [-1]. *)
+
+val node_block : t -> int -> Block.t
+(** The block at a node id (raises on out-of-range ids). *)
 
 val mem_block : t -> Addr.t -> bool
 val find_block : t -> Addr.t -> Block.t option
 val has_edge : t -> src:Addr.t -> dst:Addr.t -> bool
 
+val has_edge_nodes : t -> src:int -> dst:int -> bool
+(** {!has_edge} over node ids: two array reads, no hash probe.  Both ids
+    must be valid node ids of this region. *)
+
 val nodes : t -> Block.t list
 (** Distinct blocks, in increasing address order. *)
+
+val layout_blocks : t -> Block.t list
+(** Distinct blocks in cache-layout (node-id) order. *)
 
 val record_entry : t -> unit
 val record_cycle : t -> unit
@@ -135,6 +176,10 @@ val cache_bytes : t -> int
 val set_cache_base : t -> int -> unit
 (** Called by the code cache when the region is placed. *)
 
+val block_offset : t -> Addr.t -> int
+(** Byte offset of the block's copy within the region ([-1] for
+    non-nodes), independent of installation. *)
+
 val block_cache_addr : t -> Addr.t -> int option
 (** The byte address in the code cache at which the copy of the given
     block starts, once the region is installed ([None] for non-nodes or
@@ -142,5 +187,20 @@ val block_cache_addr : t -> Addr.t -> int option
 
 val block_cache_offset : t -> Addr.t -> int
 (** Allocation-free {!block_cache_addr}: [-1] instead of [None]. *)
+
+val n_link_slots : t -> int
+(** Length of [link_slots] (0 when built without [~program]). *)
+
+val link_target : t -> int -> t option
+(** The region this region's exit to the given block id is linked to
+    ([None] for unlinked slots and out-of-range ids). *)
+
+val set_link : t -> slot:int -> t option -> unit
+(** Patch (or unpatch) one exit link.  Callers other than [Code_cache]
+    must not use this: the cache owns the no-stale-links invariant. *)
+
+val clear_links : t -> int
+(** Unpatch every outgoing link, returning how many were live (used when
+    the region itself is retired). *)
 
 val pp : Format.formatter -> t -> unit

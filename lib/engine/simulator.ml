@@ -30,8 +30,10 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
     Icache.create ~size_bytes:params.Params.icache_size_bytes
       ~line_bytes:params.Params.icache_line_bytes ~ways:params.Params.icache_ways ()
   in
+  let compiled = params.Params.compiled_regions in
   let cur_region = ref None in (* None = interpreting *)
-  let cur_addr = ref Addr.none in
+  let cur_addr = ref Addr.none in (* legacy mode: current block address *)
+  let cur_node = ref 0 in (* compiled mode: current node id within !cur_region *)
   let halted = ref false in
   (* Fault machinery.  On clean runs ([faults = None]) all of this
      collapses to two always-false int compares per step. *)
@@ -53,12 +55,12 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
   let sbuf = Interp.make_step () in
   let ib = { Policy.block = sbuf.Interp.block; taken = false; next = Addr.none } in
   let interp_event = Policy.Interp_block ib in
-  let links : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let links = Flat_tbl.create 64 in
   let record_link ~(from : Region.t) ~(into : Region.t) =
-    (* Packed int key, as in [Region.edge_index]: no tuple per transition. *)
+    (* Packed int key, as in the region exit log: no tuple, no hash layer. *)
     let key = (from.Region.id lsl 32) lor into.Region.id in
-    if not (Hashtbl.mem links key) then begin
-      Hashtbl.replace links key ();
+    if not (Flat_tbl.mem links key) then begin
+      Flat_tbl.set links key 1;
       stats.Stats.links <- stats.Stats.links + 1
     end
   in
@@ -106,12 +108,16 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
     let a = s.Interp.next in
     if Addr.is_none a then halted := true
     else if s.Interp.taken && stats.Stats.steps > !bail_until then begin
-      match probe a with
+      let id = Program.block_id program a in
+      match Code_cache.dispatch cache id with
       | Some region ->
         stats.Stats.dispatches <- stats.Stats.dispatches + 1;
         Region.record_entry region;
         cur_region := Some region;
-        cur_addr := a
+        cur_addr := a;
+        (* A dispatch hit is at the region's entry or an aux entry, both
+           nodes of the region, so the translation is never -1. *)
+        cur_node := Array.unsafe_get region.Region.node_of_block id
       | None -> ()
     end
   in
@@ -164,6 +170,89 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
       end
     end
   in
+  (* Compiled-mode stepping: [!cur_node] is the node id (within [region])
+     of the block just executed, [s.block].  The common stay-in-region step
+     is one compare against the node's precompiled hot successor; the
+     general internal edge is a bitset word read; an exit consults the
+     region's patched link slot before the dispatch array.  Every metric
+     update matches [region_step] exactly — the parity suite runs both
+     modes over the full matrix and diffs the results. *)
+  let region_step_node (region : Region.t) (s : Interp.step) =
+    let block = s.Interp.block in
+    stats.Stats.cached_insts <- stats.Stats.cached_insts + block.Block.size;
+    stats.Stats.node_steps <- stats.Stats.node_steps + 1;
+    Region.record_exec region block.Block.size;
+    let node = !cur_node in
+    let base = region.Region.cache_base in
+    if base >= 0 then
+      Icache.access icache
+        ~addr:(base + Array.unsafe_get region.Region.node_offsets node)
+        ~bytes:(block.Block.size * Region.inst_bytes);
+    let a = s.Interp.next in
+    if Addr.is_none a then halted := true
+    else if a = Array.unsafe_get region.Region.hot_succ_addr node then begin
+      let nid = Array.unsafe_get region.Region.hot_succ_node node in
+      if nid = 0 then Region.record_cycle region;
+      cur_node := nid
+    end
+    else begin
+      let id = Program.block_id program a in
+      let nid =
+        let translate = region.Region.node_of_block in
+        if id >= 0 && id < Array.length translate then Array.unsafe_get translate id else -1
+      in
+      if nid >= 0 && Region.has_edge_nodes region ~src:node ~dst:nid then begin
+        if nid = 0 then Region.record_cycle region;
+        cur_node := nid
+      end
+      else begin
+        let cur = block.Block.start in
+        match Region.link_target region id with
+        | Some other ->
+          (* Linked exit stub: jump region-to-region without dispatching.
+             The (from, into) pair was recorded when the link was made. *)
+          stats.Stats.link_hits <- stats.Stats.link_hits + 1;
+          Region.record_exit region ~from:cur ~tgt:a;
+          stats.Stats.region_transitions <- stats.Stats.region_transitions + 1;
+          Region.record_entry other;
+          cur_region := Some other;
+          cur_node := Array.unsafe_get other.Region.node_of_block id
+        | None -> (
+          match Code_cache.dispatch cache id with
+          | Some other when other == region ->
+            (* A side exit linked back to this region's own entry: execution
+               stays put, and the paper's executed-cycle metric counts it as
+               a completed cycle, not an exit. *)
+            Region.record_cycle region;
+            cur_node := Array.unsafe_get region.Region.node_of_block id
+          | Some other ->
+            Region.record_exit region ~from:cur ~tgt:a;
+            stats.Stats.region_transitions <- stats.Stats.region_transitions + 1;
+            record_link ~from:region ~into:other;
+            Code_cache.add_link cache ~from:region ~slot:id ~target:other;
+            Gauges.set_links ctx.Context.gauges (Code_cache.n_links cache);
+            Region.record_entry other;
+            cur_region := Some other;
+            cur_node := Array.unsafe_get other.Region.node_of_block id
+          | None ->
+            Region.record_exit region ~from:cur ~tgt:a;
+            stats.Stats.cache_exits_to_interp <- stats.Stats.cache_exits_to_interp + 1;
+            install_if_any
+              (Policy.handle policy
+                 (Policy.Cache_exited
+                    { from_entry = region.Region.entry; src = Block.last block; tgt = a }));
+            (* The paper's "jump newT": if the policy just installed a region
+               at the pending target, enter it without interpreting. *)
+            (match Code_cache.dispatch cache id with
+            | Some fresh ->
+              stats.Stats.dispatches <- stats.Stats.dispatches + 1;
+              Region.record_entry fresh;
+              cur_region := Some fresh;
+              cur_node := Array.unsafe_get fresh.Region.node_of_block id
+            | None -> cur_region := None))
+      end
+    end
+  in
   (* Retired regions are reported to the policy so it drops stale
      observation state; the region being executed loses its claim to the
      program counter immediately. *)
@@ -176,7 +265,8 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
         install_if_any
           (Policy.handle policy (Policy.Region_invalidated { entry = r.Region.entry })))
       retired;
-    Gauges.set_blacklisted ctx.Context.gauges (Code_cache.n_blacklisted cache)
+    Gauges.set_blacklisted ctx.Context.gauges (Code_cache.n_blacklisted cache);
+    Gauges.set_links ctx.Context.gauges (Code_cache.n_links cache)
   in
   let apply_fault ev =
     stats.Stats.faults_injected <- stats.Stats.faults_injected + 1;
@@ -232,7 +322,9 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
         Edge_profile.record edges ~src:sbuf.Interp.block.Block.start ~dst:sbuf.Interp.next;
       (match !cur_region with
       | None -> interpret_step sbuf
-      | Some region -> region_step region !cur_addr sbuf);
+      | Some region ->
+        if compiled then region_step_node region sbuf
+        else region_step region !cur_addr sbuf);
       if stats.Stats.steps <= !bail_until then
         stats.Stats.recovery_steps <- stats.Stats.recovery_steps + 1;
       if stats.Stats.steps >= !fault_next then begin

@@ -8,6 +8,8 @@ type t = {
   mutable cache_exits_to_interp : int;
   mutable installs : int;
   mutable links : int;
+  mutable link_hits : int;
+  mutable node_steps : int;
   mutable install_rejects : int;
   mutable faults_injected : int;
   mutable async_exits : int;
@@ -26,6 +28,8 @@ let create () =
     cache_exits_to_interp = 0;
     installs = 0;
     links = 0;
+    link_hits = 0;
+    node_steps = 0;
     install_rejects = 0;
     faults_injected = 0;
     async_exits = 0;

@@ -15,6 +15,12 @@ type t = {
       (** Distinct region-to-region links created (exit stubs patched to
           jump directly to another region) — the memory the paper's
           footnote 9 expects its algorithms to reduce. *)
+  mutable link_hits : int;
+      (** Region transitions taken through a patched link slot rather than
+          the dispatch array (compiled mode only; 0 in legacy mode). *)
+  mutable node_steps : int;
+      (** Cached steps executed through the compiled region automaton
+          (compiled mode only; 0 in legacy mode). *)
   mutable install_rejects : int;
       (** Install attempts the cache rejected (duplicate, blacklisted or
           translation-failed) or the bailout cooldown suppressed. *)

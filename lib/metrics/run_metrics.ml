@@ -33,6 +33,10 @@ type t = {
   exit_dominated_dup_insts : int;
   exit_dominated_dup_fraction : float;
   links : int;
+  link_hits : int;
+  link_severs : int;
+  links_high_water : int;
+  node_steps : int;
   icache_accesses : int;
   icache_misses : int;
   icache_miss_rate : float;
@@ -98,6 +102,10 @@ let of_result ?(x = 0.9) (result : Simulator.result) =
     exit_dominated_dup_insts = dom.Exit_domination.dup_insts;
     exit_dominated_dup_fraction = dom.Exit_domination.dup_fraction;
     links = result.Simulator.stats.Stats.links;
+    link_hits = result.Simulator.stats.Stats.link_hits;
+    link_severs = Code_cache.link_severs cache;
+    links_high_water = Gauges.links_high_water result.Simulator.ctx.Context.gauges;
+    node_steps = result.Simulator.stats.Stats.node_steps;
     icache_accesses = Regionsel_engine.Icache.accesses result.Simulator.icache;
     icache_misses = Regionsel_engine.Icache.misses result.Simulator.icache;
     icache_miss_rate = Regionsel_engine.Icache.miss_rate result.Simulator.icache;
@@ -122,12 +130,15 @@ let pp ppf t =
     \  hit_rate=%.4f regions=%d expansion=%d stubs=%d avg_region=%.1f@,\
     \  spanned_cycle=%.3f executed_cycle=%.3f transitions=%d dispatches=%d@,\
     \  cover90=%d%s counters_hw=%d observed_hw=%dB cache=%dB@,\
-    \  exit_dom regions=%d (%.3f) dup_insts=%d (%.3f)@]" t.benchmark t.policy t.steps t.halted
-    t.total_insts t.hit_rate t.n_regions t.code_expansion t.n_stubs t.avg_region_insts
-    t.spanned_cycle_ratio t.executed_cycle_ratio t.region_transitions t.dispatches t.cover_90
+    \  exit_dom regions=%d (%.3f) dup_insts=%d (%.3f)@,\
+    \  links=%d link_hits=%d link_severs=%d links_hw=%d node_steps=%d@]" t.benchmark t.policy
+    t.steps t.halted t.total_insts t.hit_rate t.n_regions t.code_expansion t.n_stubs
+    t.avg_region_insts t.spanned_cycle_ratio t.executed_cycle_ratio t.region_transitions
+    t.dispatches t.cover_90
     (if t.cover_90_achievable then "" else "(unachievable)")
     t.counters_high_water t.observed_bytes_high_water t.est_cache_bytes t.exit_dominated_regions
-    t.exit_dominated_fraction t.exit_dominated_dup_insts t.exit_dominated_dup_fraction;
+    t.exit_dominated_fraction t.exit_dominated_dup_insts t.exit_dominated_dup_fraction t.links
+    t.link_hits t.link_severs t.links_high_water t.node_steps;
   if t.faults_injected > 0 then
     Format.fprintf ppf
       "@\n\

@@ -57,14 +57,17 @@ let rec decide = function
     end
   | S_pattern s ->
     let outcome = s.pattern.(s.pos) in
-    s.pos <- (s.pos + 1) mod Array.length s.pattern;
+    (* [pos] is always in range, so wrap-around is a compare, not a div. *)
+    let p = s.pos + 1 in
+    s.pos <- (if p = Array.length s.pattern then 0 else p);
     outcome
   | S_phased s ->
     let _, inner = s.phases.(s.phase) in
     let outcome = decide inner in
     s.left <- s.left - 1;
     if s.left = 0 then begin
-      s.phase <- (s.phase + 1) mod Array.length s.phases;
+      let p = s.phase + 1 in
+      s.phase <- (if p = Array.length s.phases then 0 else p);
       let len, _ = s.phases.(s.phase) in
       s.left <- len
     end;
@@ -89,7 +92,8 @@ let choose = function
   | I_weighted s -> s.targets.(Splitmix.categorical s.prng ~weights:s.weights)
   | I_round_robin s ->
     let tgt = s.targets.(s.pos) in
-    s.pos <- (s.pos + 1) mod Array.length s.targets;
+    let p = s.pos + 1 in
+    s.pos <- (if p = Array.length s.targets then 0 else p);
     tgt
 
 let rec pp_spec ppf = function

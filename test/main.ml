@@ -27,6 +27,7 @@ let () =
       "icache", Test_icache.suite;
       "emitter", Test_emitter.suite;
       "extensions", Test_extensions.suite;
+      "region", Test_region.suite;
       "code-cache", Test_code_cache.suite;
       "faults", Test_faults.suite;
       "domain-pool", Test_domain_pool.suite;

@@ -229,6 +229,98 @@ let dispatch_matches_find () =
         (Code_cache.dispatch cache (Program.block_id program a) = Code_cache.find cache a))
     blocks
 
+(* Inter-region links.  The invariant under test: no link may outlive its
+   target region, and a link always agrees with the dispatch array. *)
+
+let linked_pair () =
+  (* Two single-block regions with a link r0 -> r1 through block 16. *)
+  let program =
+    Program.of_blocks_exn ~entry:0
+      [ mk 0 10 Terminator.Return; mk 16 10 Terminator.Return; mk 32 10 Terminator.Return ]
+  in
+  let cache = plain_cache ~program ~eviction:Params.Evict_oldest () in
+  let r0 = Code_cache.install_exn cache (spec_at 0) in
+  let r1 = Code_cache.install_exn cache (spec_at 16) in
+  let slot = Program.block_id program 16 in
+  Code_cache.add_link cache ~from:r0 ~slot ~target:r1;
+  program, cache, r0, r1, slot
+
+let invalidation_severs_links () =
+  let program, cache, r0, r1, slot = linked_pair () in
+  check_int "one live link" 1 (Code_cache.n_links cache);
+  check_true "slot patched" (Region.link_target r0 slot = Some r1);
+  ignore (Code_cache.invalidate_range cache ~lo:16 ~hi:16);
+  check_true "link severed with its target" (Region.link_target r0 slot = None);
+  check_int "no live links" 0 (Code_cache.n_links cache);
+  check_int "sever counted" 1 (Code_cache.link_severs cache);
+  (* Reinstalling the target must not resurrect the old link: the source
+     re-links only after a fresh dispatch. *)
+  Code_cache.set_now cache 1_000_000;
+  ignore (Code_cache.install_exn cache (spec_at 16));
+  check_true "no resurrection on reinstall" (Region.link_target r0 slot = None);
+  ignore program
+
+let eviction_severs_links () =
+  (* r1 -> r0; evicting r0 (the FIFO-oldest) must unpatch r1's slot. *)
+  let program =
+    Program.of_blocks_exn ~entry:0 [ mk 0 10 Terminator.Return; mk 16 10 Terminator.Return ]
+  in
+  let cache =
+    plain_cache ~program ~capacity_bytes:(2 * region_cost) ~eviction:Params.Evict_oldest ()
+  in
+  let r0 = Code_cache.install_exn cache (spec_at 0) in
+  let r1 = Code_cache.install_exn cache (spec_at 16) in
+  let slot = Program.block_id program 0 in
+  Code_cache.add_link cache ~from:r1 ~slot ~target:r0;
+  ignore (Code_cache.install_exn cache (spec_at 32));
+  check_true "oldest region evicted" (Code_cache.find cache 0 = None);
+  check_true "link into the victim severed" (Region.link_target r1 slot = None);
+  check_int "no live links" 0 (Code_cache.n_links cache);
+  check_int "sever counted" 1 (Code_cache.link_severs cache)
+
+let flush_severs_all_links () =
+  (* Mutual links; a flush retires both regions and leaves nothing live. *)
+  let program =
+    Program.of_blocks_exn ~entry:0 [ mk 0 10 Terminator.Return; mk 16 10 Terminator.Return ]
+  in
+  let cache = plain_cache ~program () in
+  let r0 = Code_cache.install_exn cache (spec_at 0) in
+  let r1 = Code_cache.install_exn cache (spec_at 16) in
+  let s0 = Program.block_id program 0 and s1 = Program.block_id program 16 in
+  Code_cache.add_link cache ~from:r0 ~slot:s1 ~target:r1;
+  Code_cache.add_link cache ~from:r1 ~slot:s0 ~target:r0;
+  check_int "two live links" 2 (Code_cache.n_links cache);
+  check_int "two created" 2 (Code_cache.links_created cache);
+  ignore (Code_cache.flush_all cache);
+  check_int "no live links after flush" 0 (Code_cache.n_links cache);
+  check_true "both slots unpatched"
+    (Region.link_target r0 s1 = None && Region.link_target r1 s0 = None)
+
+let reclaimed_slot_severs_links () =
+  (* An install whose aux entry steals a dispatch slot must sever links
+     routed through it — they point at the old claimant, and a link must
+     agree with the dispatch array. *)
+  let program, cache, r0, r1, slot = linked_pair () in
+  ignore (Code_cache.install_exn cache (aux_spec ~entry:32 ~aux:16));
+  check_true "stale link severed on slot reclaim" (Region.link_target r0 slot = None);
+  check_int "no live links" 0 (Code_cache.n_links cache);
+  check_int "sever counted" 1 (Code_cache.link_severs cache);
+  check_true "old claimant no longer dispatched"
+    (Code_cache.dispatch cache slot <> Some r1);
+  ignore program
+
+let link_guards () =
+  let program, cache, r0, r1, slot = linked_pair () in
+  (* First link wins: re-linking an occupied slot is a no-op. *)
+  Code_cache.add_link cache ~from:r0 ~slot ~target:r0;
+  check_true "occupied slot unchanged" (Region.link_target r0 slot = Some r1);
+  check_int "no second creation" 1 (Code_cache.links_created cache);
+  (* Out-of-range slots are ignored. *)
+  Code_cache.add_link cache ~from:r0 ~slot:(-1) ~target:r1;
+  Code_cache.add_link cache ~from:r0 ~slot:9_999 ~target:r1;
+  check_int "still one live link" 1 (Code_cache.n_links cache);
+  ignore program
+
 let suite =
   [
     case "flush_all returns victims" flush_all_returns_victims;
@@ -243,4 +335,9 @@ let suite =
     case "duplicate reported not raised" duplicate_reported_not_raised;
     case "dispatch tracks lifecycle" dispatch_tracks_lifecycle;
     case "dispatch matches find" dispatch_matches_find;
+    case "invalidation severs links" invalidation_severs_links;
+    case "eviction severs links" eviction_severs_links;
+    case "flush severs all links" flush_severs_all_links;
+    case "reclaimed slot severs links" reclaimed_slot_severs_links;
+    case "link guards" link_guards;
   ]

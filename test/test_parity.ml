@@ -64,9 +64,45 @@ let empty_fault_profile_is_identity () =
   let with_empty_faults = List.map (fun (spec, p) -> run ~params spec p) tasks in
   check_pairwise ~what:"empty fault profile" reference with_empty_faults
 
+(* The compiled automaton and the link cache are pure execution-path
+   mechanics: every exported metric except the compiled-only link/node
+   counters (which are 0 in legacy mode by construction) must be
+   bit-identical between the two modes, across the whole matrix. *)
+let legacy_params ?(faults = None) () =
+  { Regionsel_engine.Params.default with
+    Regionsel_engine.Params.compiled_regions = false;
+    faults
+  }
+
+let strip_compiled_counters (m : Run_metrics.t) =
+  { m with Run_metrics.link_hits = 0; link_severs = 0; links_high_water = 0; node_steps = 0 }
+
+let compiled_matches_legacy () =
+  let compiled = List.map (fun (spec, p) -> strip_compiled_counters (run spec p)) tasks in
+  let legacy =
+    List.map (fun (spec, p) -> strip_compiled_counters (run ~params:(legacy_params ()) spec p)) tasks
+  in
+  check_pairwise ~what:"compiled vs legacy execution" legacy compiled
+
+(* Same comparison under fault injection: invalidation must sever links in
+   a way that is metric-invisible — a stale link surviving an SMC
+   invalidation would show up here as diverging hit rates or dispatches. *)
+let compiled_matches_legacy_under_faults () =
+  let faults = Regionsel_engine.Params.fault_profile "mixed" in
+  let params = { Regionsel_engine.Params.default with Regionsel_engine.Params.faults } in
+  let compiled = List.map (fun (spec, p) -> strip_compiled_counters (run ~params spec p)) tasks in
+  let legacy =
+    List.map
+      (fun (spec, p) -> strip_compiled_counters (run ~params:(legacy_params ~faults ()) spec p))
+      tasks
+  in
+  check_pairwise ~what:"compiled vs legacy under faults" legacy compiled
+
 let suite =
   [
     case "sequential runs are deterministic" sequential_deterministic;
     case "pooled runs match sequential bit-for-bit" sequential_vs_parallel;
     case "empty fault profile leaves metrics identical" empty_fault_profile_is_identity;
+    case "compiled matches legacy execution" compiled_matches_legacy;
+    case "compiled matches legacy under faults" compiled_matches_legacy_under_faults;
   ]
