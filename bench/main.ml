@@ -26,6 +26,9 @@ module Policies = Regionsel_core.Policies
 module Domain_pool = Regionsel_engine.Domain_pool
 module Table = Regionsel_report.Table
 module Barchart = Regionsel_report.Barchart
+module Stats = Regionsel_engine.Stats
+module Telemetry = Regionsel_telemetry.Telemetry
+module Trace_export = Regionsel_telemetry.Trace_export
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 
@@ -49,6 +52,23 @@ let json_path =
   in
   find 1
 
+(* With [--trace-out FILE] the throughput runs behind [--json] record
+   region-lifecycle telemetry, and the last traced run is exported as a
+   Chrome trace_event timeline (plus FILE.jsonl).  Tracing is pure
+   observation; the throughput gate in CI runs with it enabled to keep the
+   recording overhead inside the perf budget. *)
+let trace_out_path =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--trace-out" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+(* The most recent traced throughput run, exported on exit. *)
+let last_trace : (string * Telemetry.t) option ref = ref None
+
 (* Seed for the fault section, so CI can fuzz schedules without touching
    the deterministic seed-1 matrix behind the figures. *)
 let fault_seed =
@@ -63,6 +83,10 @@ let fault_seed =
 (* Per-section average rows, collected for [--json]. *)
 let current_section = ref ""
 let json_tables : (string * (string * float) list) list ref = ref []
+
+(* Per-disruption recovery fractions from the fault section, keyed by
+   (policy, bench) — the burst table behind the [--json] schema. *)
+let fault_bursts : (string * string * float list) list ref = ref []
 
 let budget (spec : Spec.t) =
   if quick then spec.Spec.default_steps / 5 else spec.Spec.default_steps
@@ -722,6 +746,7 @@ let faults_section () =
           (fun ((spec : Spec.t), result) ->
             let m = Run_metrics.of_result result in
             let fractions = burst_recovery (Option.get result.Simulator.fault_log) in
+            fault_bursts := (policy_name, spec.Spec.name, fractions) :: !fault_bursts;
             let worst = List.fold_left min 1.0 fractions in
             let recovered = List.length (List.filter (fun f -> f >= 0.8) fractions) in
             let total = List.length fractions in
@@ -770,7 +795,22 @@ let faults_section () =
                 mean (fun (_, m, _, _, _) -> float_of_int m.Run_metrics.install_rejects) );
             ] )
           :: !json_tables)
-    [ "net"; "lei"; "combined-lei" ]
+    [ "net"; "lei"; "combined-lei" ];
+  (* The per-disruption view: one row per (policy, bench), every burst's
+     post/pre recovery fraction in delivery order. *)
+  Printf.printf "\nfault-recovery bursts (post-burst peak / pre-burst peak, per disruption):\n";
+  Table.print
+    ~header:[ "policy"; "bench"; "bursts"; "worst"; "mean"; "fractions" ]
+    (List.rev_map
+       (fun (policy, bench, fractions) ->
+         let n = List.length fractions in
+         let worst = List.fold_left min 1.0 fractions in
+         let mean = if n = 0 then 1.0 else Aggregate.mean fractions in
+         [
+           policy; bench; string_of_int n; pct worst; pct mean;
+           String.concat " " (List.map (Table.fmt_float 2) fractions);
+         ])
+       !fault_bursts)
 
 (* ------------------------------------------------------------------ *)
 (* Selection overhead (Bechamel)                                       *)
@@ -919,7 +959,17 @@ let measure_throughput ?(params = Params.default) ~image_name ~policy_name () =
   let image = Spec.image (Option.get (Suite.find image_name)) in
   let policy = Option.get (Policies.find policy_name) in
   let steps = if quick then 100_000 else 400_000 in
-  let run () = ignore (Simulator.run ~params ~seed:1L ~policy ~max_steps:steps image) in
+  let run () =
+    match trace_out_path with
+    | None -> ignore (Simulator.run ~params ~seed:1L ~policy ~max_steps:steps image)
+    | Some _ ->
+      let t = Telemetry.create () in
+      let result =
+        Simulator.run ~params ~seed:1L ~telemetry:(Some t) ~policy ~max_steps:steps image
+      in
+      Telemetry.finish t ~step:result.Simulator.stats.Stats.steps;
+      last_trace := Some (image_name ^ "/" ^ policy_name, t)
+  in
   run () (* warm-up *);
   let best = ref infinity in
   for _ = 1 to 3 do
@@ -970,6 +1020,7 @@ let emit_json path =
   let links, link_hits, link_severs, links_hw, node_steps = measure_link_counters () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema_version\": 2,\n";
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string b
     (Printf.sprintf "  \"steps_per_sec\": %s,\n" (json_float steps_per_sec));
@@ -985,6 +1036,17 @@ let emit_json path =
        "  \"links\": %d,\n  \"link_hits\": %d,\n  \"link_severs\": %d,\n  \
         \"links_high_water\": %d,\n  \"node_steps\": %d,\n"
        links link_hits link_severs links_hw node_steps);
+  Buffer.add_string b "  \"fault_bursts\": [\n";
+  let bursts = List.rev !fault_bursts in
+  List.iteri
+    (fun i (policy, bench, fractions) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"policy\": \"%s\", \"bench\": \"%s\", \"fractions\": [%s]}"
+           (json_escape policy) (json_escape bench)
+           (String.concat ", " (List.map json_float fractions)));
+      Buffer.add_string b (if i < List.length bursts - 1 then ",\n" else "\n"))
+    bursts;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"sections\": [\n";
   let tables = List.rev !json_tables in
   List.iteri
@@ -1041,4 +1103,30 @@ let () =
         f ()
       end)
     sections;
-  Option.iter emit_json json_path
+  Option.iter emit_json json_path;
+  match trace_out_path with
+  | None -> ()
+  | Some path ->
+    (if !last_trace = None then begin
+       (* No throughput run happened (e.g. no [--json]): trace one
+          dedicated cell so [--trace-out] always produces a timeline. *)
+       let image = Spec.image (Option.get (Suite.find "twolf")) in
+       let policy = Option.get (Policies.find "net") in
+       let t = Telemetry.create () in
+       let result =
+         Simulator.run ~seed:1L ~telemetry:(Some t) ~policy
+           ~max_steps:(if quick then 100_000 else 400_000)
+           image
+       in
+       Telemetry.finish t ~step:result.Simulator.stats.Stats.steps;
+       last_trace := Some ("twolf/net", t)
+     end);
+    (match !last_trace with
+    | Some (name, t) ->
+      Trace_export.write_chrome t ~name ~path;
+      Trace_export.write_jsonl t ~path:(path ^ ".jsonl");
+      Printf.eprintf "trace: %s (%d events, %d spans) -> %s, %s\n%!" name
+        (Telemetry.n_emitted t)
+        (List.length (Telemetry.spans t))
+        path (path ^ ".jsonl")
+    | None -> ())

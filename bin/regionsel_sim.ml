@@ -12,6 +12,8 @@ module Run_metrics = Regionsel_metrics.Run_metrics
 module Policies = Regionsel_core.Policies
 module Domain_pool = Regionsel_engine.Domain_pool
 module Table = Regionsel_report.Table
+module Telemetry = Regionsel_telemetry.Telemetry
+module Trace_export = Regionsel_telemetry.Trace_export
 
 open Cmdliner
 
@@ -38,6 +40,14 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PROFILE" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Record region-lifecycle telemetry and write a Chrome trace_event JSON timeline to \
+     $(docv) (load it at ui.perfetto.dev) plus a raw event stream to $(docv).jsonl.  \
+     Tracing is pure observation: the printed metrics are identical with or without it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let lookup_bench name =
   match Suite.find name with
   | Some s -> s
@@ -63,10 +73,10 @@ let params_of_faults = function
         (String.concat ", " (List.map fst Params.fault_profiles));
       exit 2)
 
-let simulate ?(params = Params.default) spec policy steps seed =
+let simulate ?(params = Params.default) ?(telemetry = Telemetry.none) spec policy steps seed =
   let image = Spec.image spec in
   let max_steps = Option.value ~default:spec.Spec.default_steps steps in
-  Simulator.run ~params ~seed ~policy ~max_steps image
+  Simulator.run ~params ~seed ~telemetry ~policy ~max_steps image
 
 (* Fan independent (spec, x) simulation tasks across domains.  Every run
    allocates its own state, but [Spec.image] is lazy and not thread-safe,
@@ -77,9 +87,24 @@ let parallel_map_specs f tasks =
   Domain_pool.map (fun ((spec : Spec.t), x) -> f spec x) tasks
 
 let run_cmd =
-  let run bench policy steps seed faults =
+  let run bench policy steps seed faults trace_out =
     let params = params_of_faults faults in
-    let result = simulate ~params (lookup_bench bench) (lookup_policy policy) steps seed in
+    let telemetry =
+      match trace_out with None -> Telemetry.none | Some _ -> Some (Telemetry.create ())
+    in
+    let result =
+      simulate ~params ~telemetry (lookup_bench bench) (lookup_policy policy) steps seed
+    in
+    (* Trace notices go to stderr so stdout stays diffable against an
+       untraced run (the CI trace-smoke parity check relies on this). *)
+    (match telemetry, trace_out with
+    | Some t, Some path ->
+      Telemetry.finish t ~step:result.Simulator.stats.Regionsel_engine.Stats.steps;
+      Trace_export.write_chrome t ~name:(bench ^ "/" ^ policy) ~path;
+      Trace_export.write_jsonl t ~path:(path ^ ".jsonl");
+      Printf.eprintf "trace: %d events (%d dropped), %d spans -> %s, %s\n%!" (Telemetry.n_emitted t)
+        (Telemetry.n_dropped t) (List.length (Telemetry.spans t)) path (path ^ ".jsonl")
+    | _ -> ());
     Format.printf "%a@." Run_metrics.pp (Run_metrics.of_result result);
     match result.Simulator.fault_log with
     | None -> ()
@@ -90,7 +115,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one policy and print its metrics")
-    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg)
+    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg $ trace_out_arg)
 
 let regions_cmd =
   let run bench policy steps seed limit =

@@ -1,4 +1,5 @@
 open Regionsel_isa
+module Telemetry = Regionsel_telemetry.Telemetry
 
 type reject = Duplicate_entry | Blacklisted | Translation_failed
 
@@ -7,7 +8,15 @@ let reject_to_string = function
   | Blacklisted -> "blacklisted"
   | Translation_failed -> "translation-failed"
 
-type blacklist_entry = { mutable fails : int; mutable until : int }
+type blacklist_entry = {
+  mutable fails : int;
+  mutable until : int;
+  mutable expire_traced : bool;
+      (* Cooldowns expire passively (by step comparison), so expiry has no
+         natural code point; the first install probe that finds the
+         cooldown over emits one blacklist-expire telemetry event and sets
+         this flag.  Pure observation: never read by the blacklist logic. *)
+}
 
 type t = {
   by_entry : Region.t Int_tbl.t;
@@ -57,11 +66,16 @@ type t = {
   mutable blacklist_hits : int;
   mutable duplicate_installs : int;
   mutable translation_failures : int;
+  telemetry : Telemetry.sink;
+      (* Lifecycle-event sink (no-op by default).  Events are stamped with
+         [now], which the simulator advances via [set_now] before installs
+         and fault deliveries. *)
 }
 
 let create ?capacity_bytes ?(eviction = Params.Flush_all)
     ?(blacklist_base_cooldown = Params.default.Params.blacklist_base_cooldown)
-    ?(blacklist_max_shift = Params.default.Params.blacklist_max_shift) ?program () =
+    ?(blacklist_max_shift = Params.default.Params.blacklist_max_shift)
+    ?(telemetry = Telemetry.none) ?program () =
   {
     by_entry = Int_tbl.create 256;
     by_aux_entry = Int_tbl.create 64;
@@ -95,6 +109,7 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all)
     blacklist_hits = 0;
     duplicate_installs = 0;
     translation_failures = 0;
+    telemetry;
   }
 
 let dispatch t id =
@@ -113,10 +128,12 @@ let sever_slot t id =
     List.iter
       (fun (src : Region.t) ->
         match Region.link_target src id with
-        | Some _ ->
+        | Some (tgt : Region.t) ->
           Region.set_link src ~slot:id None;
           t.link_severs <- t.link_severs + 1;
-          t.live_links <- t.live_links - 1
+          t.live_links <- t.live_links - 1;
+          Telemetry.link_sever t.telemetry ~step:t.now ~from_id:src.Region.id
+            ~target_id:tgt.Region.id
         | None -> ())
       sources
 
@@ -180,7 +197,9 @@ let sever_links_into t (region : Region.t) =
         | Some r when r == region ->
           Region.set_link src ~slot None;
           t.link_severs <- t.link_severs + 1;
-          t.live_links <- t.live_links - 1
+          t.live_links <- t.live_links - 1;
+          Telemetry.link_sever t.telemetry ~step:t.now ~from_id:src.Region.id
+            ~target_id:region.Region.id
         | Some _ | None -> ())
       sources);
   t.live_links <- t.live_links - Region.clear_links region
@@ -225,7 +244,9 @@ let add_link t ~(from : Region.t) ~slot ~(target : Region.t) =
     in
     Int_tbl.replace t.slot_links slot (from :: through);
     t.links_created <- t.links_created + 1;
-    t.live_links <- t.live_links + 1
+    t.live_links <- t.live_links + 1;
+    Telemetry.link_patch t.telemetry ~step:t.now ~from_id:from.Region.id
+      ~target_id:target.Region.id
   end
 
 let rec evict_oldest t =
@@ -235,6 +256,7 @@ let rec evict_oldest t =
     if is_live t r then begin
       retire t r;
       t.evictions <- t.evictions + 1;
+      Telemetry.evict t.telemetry ~step:t.now ~id:r.Region.id ~flush:false;
       Some r
     end
     else evict_oldest t (* tombstone: already retired by another path *)
@@ -246,6 +268,7 @@ let flush_all t =
       if is_live t r then begin
         retire t r;
         t.evictions <- t.evictions + 1;
+        Telemetry.evict t.telemetry ~step:t.now ~id:r.Region.id ~flush:true;
         flushed := r :: !flushed
       end)
     t.fifo;
@@ -273,13 +296,16 @@ let record_failure t entry =
     match Int_tbl.find_opt t.blacklist entry with
     | Some b -> b
     | None ->
-      let b = { fails = 0; until = 0 } in
+      let b = { fails = 0; until = 0; expire_traced = false } in
       Int_tbl.replace t.blacklist entry b;
       b
   in
   b.fails <- b.fails + 1;
+  b.expire_traced <- false;
   let shift = min (b.fails - 1) t.blacklist_max_shift in
-  b.until <- t.now + (t.blacklist_base_cooldown lsl shift)
+  let cooldown = t.blacklist_base_cooldown lsl shift in
+  b.until <- t.now + cooldown;
+  Telemetry.blacklist_add t.telemetry ~step:t.now ~entry ~cooldown
 
 let blacklisted_until t entry =
   match Int_tbl.find_opt t.blacklist entry with Some b -> b.until | None -> 0
@@ -299,7 +325,12 @@ let install t (spec : Region.spec) =
   | Some b when b.until > t.now ->
     t.blacklist_hits <- t.blacklist_hits + 1;
     Error Blacklisted
-  | Some _ | None ->
+  | (Some _ | None) as stale ->
+    (match stale with
+    | Some b when b.until > 0 && not b.expire_traced ->
+      b.expire_traced <- true;
+      Telemetry.blacklist_expire t.telemetry ~step:t.now ~entry:spec.Region.entry
+    | Some _ | None -> ());
     if t.now <= t.fail_installs_until then begin
       t.translation_failures <- t.translation_failures + 1;
       record_failure t spec.Region.entry;
@@ -327,6 +358,8 @@ let install t (spec : Region.spec) =
         t.bytes_used <- t.bytes_used + Region.cache_bytes region;
         Region.set_cache_base region t.alloc_cursor;
         t.alloc_cursor <- t.alloc_cursor + Region.cache_bytes region;
+        Telemetry.install t.telemetry ~step:t.now ~id:region.Region.id
+          ~n_nodes:region.Region.n_nodes;
         Ok region
       end
 
@@ -352,6 +385,7 @@ let invalidate_range t ~lo ~hi =
     (fun r ->
       retire t r;
       t.invalidations <- t.invalidations + 1;
+      Telemetry.invalidate t.telemetry ~step:t.now ~id:r.Region.id;
       record_failure t r.Region.entry)
     hit;
   hit

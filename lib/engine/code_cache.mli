@@ -32,12 +32,17 @@ val create :
   ?eviction:Params.eviction ->
   ?blacklist_base_cooldown:int ->
   ?blacklist_max_shift:int ->
+  ?telemetry:Regionsel_telemetry.Telemetry.sink ->
   ?program:Program.t ->
   unit ->
   t
 (** [create ()] is unbounded; pass [capacity_bytes] to bound it.  Pass
     [program] to enable the flat dispatch array behind {!dispatch} (and the
-    O(1) fast path of {!mem}). *)
+    O(1) fast path of {!mem}).  Pass [telemetry] to emit lifecycle events
+    (install, evict/flush, invalidate, link patch/sever, blacklist
+    add/expire) stamped with the {!set_now} step; the default sink is a
+    no-op and the events are pure observation — no cache decision ever
+    depends on the sink. *)
 
 val find : t -> Addr.t -> Region.t option
 (** The live region whose {e entry} is the given address, if any.  Regions

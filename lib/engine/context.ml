@@ -1,4 +1,5 @@
 open Regionsel_isa
+module Telemetry = Regionsel_telemetry.Telemetry
 
 type t = {
   program : Program.t;
@@ -6,9 +7,10 @@ type t = {
   cache : Code_cache.t;
   counters : Counters.t;
   gauges : Gauges.t;
+  telemetry : Telemetry.sink;
 }
 
-let create ?(params = Params.default) program =
+let create ?(params = Params.default) ?(telemetry = Telemetry.none) program =
   {
     program;
     params;
@@ -16,7 +18,8 @@ let create ?(params = Params.default) program =
       Code_cache.create ?capacity_bytes:params.Params.cache_capacity_bytes
         ~eviction:params.Params.cache_eviction
         ~blacklist_base_cooldown:params.Params.blacklist_base_cooldown
-        ~blacklist_max_shift:params.Params.blacklist_max_shift ~program ();
+        ~blacklist_max_shift:params.Params.blacklist_max_shift ~telemetry ~program ();
     counters = Counters.create ();
     gauges = Gauges.create ();
+    telemetry;
   }

@@ -1,6 +1,7 @@
 (** The view of the system a region-selection policy operates on. *)
 
 open Regionsel_isa
+module Telemetry = Regionsel_telemetry.Telemetry
 
 type t = {
   program : Program.t;
@@ -8,6 +9,11 @@ type t = {
   cache : Code_cache.t;
   counters : Counters.t;
   gauges : Gauges.t;
+  telemetry : Telemetry.sink;
+      (** Lifecycle-event sink shared by the simulator, the code cache and
+          the policies.  [Telemetry.none] (the default) is a no-op: a run
+          without a recorder is bit-identical to one built before the
+          telemetry layer existed (guarded by the parity suite). *)
 }
 
-val create : ?params:Params.t -> Program.t -> t
+val create : ?params:Params.t -> ?telemetry:Telemetry.sink -> Program.t -> t

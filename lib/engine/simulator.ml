@@ -1,5 +1,6 @@
 open Regionsel_isa
 module Image = Regionsel_workload.Image
+module Telemetry = Regionsel_telemetry.Telemetry
 
 type result = {
   image : Image.t;
@@ -17,9 +18,10 @@ type result = {
    cell, where [ref (In_region (r, a))] would allocate a constructor on
    every cached step. *)
 
-let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
+let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ~policy
+    ~max_steps image =
   let program = image.Image.program in
-  let ctx = Context.create ~params program in
+  let ctx = Context.create ~params ~telemetry program in
   let cache = ctx.Context.cache in
   let policy_name = Policy.name policy in
   let policy = Policy.instantiate policy ctx in
@@ -44,10 +46,12 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
   in
   let fault_next = ref (match faults with None -> max_int | Some f -> Faults.next_step f) in
   let bail_until = ref (-1) in
+  let bail_exit_pending = ref false in
   let next_window = ref (match faults with None -> max_int | Some _ -> params.Params.watchdog_window) in
   let peak_share = ref 0.0 in
-  let prev_cached = ref 0 in
-  let prev_interp = ref 0 in
+  (* The watchdog works off frozen counter snapshots (Stats.snapshot /
+     Stats.diff) rather than reading live mutable fields mid-run. *)
+  let window_start = ref (Stats.snapshot stats) in
   let ev_log = ref [] in
   let sample_log = ref [] in
   (* Hot-loop scratch: one step record and one policy event, reused for
@@ -55,6 +59,15 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
   let sbuf = Interp.make_step () in
   let ib = { Policy.block = sbuf.Interp.block; taken = false; next = Addr.none } in
   let interp_event = Policy.Interp_block ib in
+  (* Selection events are policy decisions, stamped before the install is
+     attempted; the node-list walk only happens with a live sink. *)
+  let emit_select (spec : Region.spec) =
+    match telemetry with
+    | None -> ()
+    | Some _ ->
+      Telemetry.select telemetry ~step:stats.Stats.steps
+        ~n_blocks:(List.length spec.Region.nodes) ~n_insts:spec.Region.copied_insts
+  in
   let links = Flat_tbl.create 64 in
   let record_link ~(from : Region.t) ~(into : Region.t) =
     (* Packed int key, as in the region exit log: no tuple, no hash layer. *)
@@ -80,12 +93,17 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
         (* Bailed out: the system is interpreting through a cooldown and
            suppresses region formation entirely. *)
         stats.Stats.install_rejects <- stats.Stats.install_rejects + List.length specs;
-        List.iter (fun (spec : Region.spec) -> reject_spec spec) specs
+        List.iter
+          (fun (spec : Region.spec) ->
+            emit_select spec;
+            reject_spec spec)
+          specs
       end
       else begin
         Code_cache.set_now cache stats.Stats.steps;
         List.iter
           (fun (spec : Region.spec) ->
+            emit_select spec;
             match Code_cache.install cache spec with
             | Ok _ -> stats.Stats.installs <- stats.Stats.installs + 1
             | Error _ ->
@@ -112,6 +130,7 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
       match Code_cache.dispatch cache id with
       | Some region ->
         stats.Stats.dispatches <- stats.Stats.dispatches + 1;
+        Telemetry.dispatch telemetry ~step:stats.Stats.steps ~id:region.Region.id;
         Region.record_entry region;
         cur_region := Some region;
         cur_addr := a;
@@ -163,6 +182,7 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
           (match probe a with
           | Some fresh ->
             stats.Stats.dispatches <- stats.Stats.dispatches + 1;
+            Telemetry.dispatch telemetry ~step:stats.Stats.steps ~id:fresh.Region.id;
             Region.record_entry fresh;
             cur_region := Some fresh;
             cur_addr := a
@@ -246,6 +266,7 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
             (match Code_cache.dispatch cache id with
             | Some fresh ->
               stats.Stats.dispatches <- stats.Stats.dispatches + 1;
+              Telemetry.dispatch telemetry ~step:stats.Stats.steps ~id:fresh.Region.id;
               Region.record_entry fresh;
               cur_region := Some fresh;
               cur_node := Array.unsafe_get fresh.Region.node_of_block id
@@ -268,10 +289,17 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
     Gauges.set_blacklisted ctx.Context.gauges (Code_cache.n_blacklisted cache);
     Gauges.set_links ctx.Context.gauges (Code_cache.n_links cache)
   in
+  let fault_code = function
+    | Faults.Smc_write _ -> 0
+    | Faults.Translation_failure _ -> 1
+    | Faults.Async_exit -> 2
+    | Faults.Cache_shock _ -> 3
+  in
   let apply_fault ev =
     stats.Stats.faults_injected <- stats.Stats.faults_injected + 1;
     ev_log := (stats.Stats.steps, Faults.label ev) :: !ev_log;
     Code_cache.set_now cache stats.Stats.steps;
+    Telemetry.fault telemetry ~step:stats.Stats.steps ~code:(fault_code ev);
     match ev with
     | Faults.Smc_write { lo; hi } ->
       deliver_invalidations (Code_cache.invalidate_range cache ~lo ~hi)
@@ -289,10 +317,11 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
      while regions are still resident, selection is thrashing — flush
      everything and interpret through a cooldown. *)
   let watchdog () =
-    let cached_d = stats.Stats.cached_insts - !prev_cached in
-    let interp_d = stats.Stats.interpreted_insts - !prev_interp in
-    prev_cached := stats.Stats.cached_insts;
-    prev_interp := stats.Stats.interpreted_insts;
+    let now_snap = Stats.snapshot stats in
+    let d = Stats.diff ~earlier:!window_start ~later:now_snap in
+    window_start := now_snap;
+    let cached_d = d.Stats.Snapshot.cached_insts in
+    let interp_d = d.Stats.Snapshot.interpreted_insts in
     let total = cached_d + interp_d in
     let share = if total = 0 then 0.0 else float_of_int cached_d /. float_of_int total in
     sample_log := (stats.Stats.steps, share) :: !sample_log;
@@ -308,6 +337,8 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
       let retired = Code_cache.flush_all cache in
       stats.Stats.bailouts <- stats.Stats.bailouts + 1;
       bail_until := stats.Stats.steps + params.Params.bailout_cooldown;
+      bail_exit_pending := true;
+      Telemetry.bailout_enter telemetry ~step:stats.Stats.steps ~until:!bail_until;
       deliver_invalidations retired
     end;
     next_window := stats.Stats.steps + params.Params.watchdog_window
@@ -326,7 +357,11 @@ let run ?(params = Params.default) ?(seed = 1L) ~policy ~max_steps image =
         if compiled then region_step_node region sbuf
         else region_step region !cur_addr sbuf);
       if stats.Stats.steps <= !bail_until then
-        stats.Stats.recovery_steps <- stats.Stats.recovery_steps + 1;
+        stats.Stats.recovery_steps <- stats.Stats.recovery_steps + 1
+      else if !bail_exit_pending then begin
+        bail_exit_pending := false;
+        Telemetry.bailout_exit telemetry ~step:stats.Stats.steps
+      end;
       if stats.Stats.steps >= !fault_next then begin
         (match faults with
         | Some f ->

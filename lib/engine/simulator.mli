@@ -42,10 +42,16 @@ type result = {
 val run :
   ?params:Params.t ->
   ?seed:int64 ->
+  ?telemetry:Regionsel_telemetry.Telemetry.sink ->
   policy:(module Policy.S) ->
   max_steps:int ->
   Regionsel_workload.Image.t ->
   result
 (** [run ~policy ~max_steps image] simulates [image] under [policy] for at
     most [max_steps] executed blocks. The [seed] (default [1L]) drives all
-    branch behaviour. *)
+    branch behaviour.  Pass [telemetry] to record region-lifecycle events
+    (selection, install, dispatch, link patch/sever, eviction,
+    invalidation, fault delivery, bailout enter/exit, blacklist
+    add/expire) into its ring buffer; the default sink is a no-op and
+    recording is pure observation — enabling it changes no simulated
+    outcome (guarded by the parity suite). *)

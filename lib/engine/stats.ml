@@ -37,6 +37,69 @@ let create () =
     recovery_steps = 0;
   }
 
+module Snapshot = struct
+  type t = {
+    steps : int;
+    interpreted_insts : int;
+    cached_insts : int;
+    taken_branches : int;
+    region_transitions : int;
+    dispatches : int;
+    cache_exits_to_interp : int;
+    installs : int;
+    links : int;
+    link_hits : int;
+    node_steps : int;
+    install_rejects : int;
+    faults_injected : int;
+    async_exits : int;
+    bailouts : int;
+    recovery_steps : int;
+  }
+end
+
+let snapshot t =
+  {
+    Snapshot.steps = t.steps;
+    interpreted_insts = t.interpreted_insts;
+    cached_insts = t.cached_insts;
+    taken_branches = t.taken_branches;
+    region_transitions = t.region_transitions;
+    dispatches = t.dispatches;
+    cache_exits_to_interp = t.cache_exits_to_interp;
+    installs = t.installs;
+    links = t.links;
+    link_hits = t.link_hits;
+    node_steps = t.node_steps;
+    install_rejects = t.install_rejects;
+    faults_injected = t.faults_injected;
+    async_exits = t.async_exits;
+    bailouts = t.bailouts;
+    recovery_steps = t.recovery_steps;
+  }
+
+let diff ~earlier ~later =
+  {
+    Snapshot.steps = later.Snapshot.steps - earlier.Snapshot.steps;
+    interpreted_insts = later.Snapshot.interpreted_insts - earlier.Snapshot.interpreted_insts;
+    cached_insts = later.Snapshot.cached_insts - earlier.Snapshot.cached_insts;
+    taken_branches = later.Snapshot.taken_branches - earlier.Snapshot.taken_branches;
+    region_transitions =
+      later.Snapshot.region_transitions - earlier.Snapshot.region_transitions;
+    dispatches = later.Snapshot.dispatches - earlier.Snapshot.dispatches;
+    cache_exits_to_interp =
+      later.Snapshot.cache_exits_to_interp - earlier.Snapshot.cache_exits_to_interp;
+    installs = later.Snapshot.installs - earlier.Snapshot.installs;
+    links = later.Snapshot.links - earlier.Snapshot.links;
+    link_hits = later.Snapshot.link_hits - earlier.Snapshot.link_hits;
+    node_steps = later.Snapshot.node_steps - earlier.Snapshot.node_steps;
+    install_rejects = later.Snapshot.install_rejects - earlier.Snapshot.install_rejects;
+    faults_injected = later.Snapshot.faults_injected - earlier.Snapshot.faults_injected;
+    async_exits = later.Snapshot.async_exits - earlier.Snapshot.async_exits;
+    bailouts = later.Snapshot.bailouts - earlier.Snapshot.bailouts;
+    recovery_steps = later.Snapshot.recovery_steps - earlier.Snapshot.recovery_steps;
+  }
+
 let total_insts t = t.interpreted_insts + t.cached_insts
 
 let hit_rate t =

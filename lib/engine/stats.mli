@@ -35,6 +35,36 @@ type t = {
 
 val create : unit -> t
 
+(** An immutable copy of the counters at one instant, so windowed readers
+    (the bailout watchdog, telemetry samplers) work off a frozen image
+    instead of live mutable fields that may advance under them. *)
+module Snapshot : sig
+  type t = {
+    steps : int;
+    interpreted_insts : int;
+    cached_insts : int;
+    taken_branches : int;
+    region_transitions : int;
+    dispatches : int;
+    cache_exits_to_interp : int;
+    installs : int;
+    links : int;
+    link_hits : int;
+    node_steps : int;
+    install_rejects : int;
+    faults_injected : int;
+    async_exits : int;
+    bailouts : int;
+    recovery_steps : int;
+  }
+end
+
+val snapshot : t -> Snapshot.t
+(** Freeze the current counter values. *)
+
+val diff : earlier:Snapshot.t -> later:Snapshot.t -> Snapshot.t
+(** Field-wise [later - earlier]: the activity inside one window. *)
+
 val total_insts : t -> int
 
 val hit_rate : t -> float

@@ -1,0 +1,143 @@
+(* Everything here is cold post-run code: plain Buffer/Printf JSON
+   emission, no dependencies. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let hist_json h =
+  let buckets =
+    Telemetry.Hist.buckets h
+    |> List.map (fun (lo, hi, count) ->
+           (* Bucket 0's lower bound is min_int; clamp for JSON sanity. *)
+           Printf.sprintf {|{"lo": %d, "hi": %d, "count": %d}|} (max lo 0) hi count)
+    |> String.concat ", "
+  in
+  Printf.sprintf {|{"count": %d, "sum": %d, "max": %d, "buckets": [%s]}|}
+    (Telemetry.Hist.count h) (Telemetry.Hist.sum h) (Telemetry.Hist.max_value h) buckets
+
+let histograms_json t =
+  Printf.sprintf
+    {|{"residency": %s, "time_to_first_link": %s, "trace_length": %s, "blacklist_cooldown": %s}|}
+    (hist_json (Telemetry.residency t))
+    (hist_json (Telemetry.time_to_first_link t))
+    (hist_json (Telemetry.trace_length t))
+    (hist_json (Telemetry.blacklist_cooldown t))
+
+(* Pack spans onto tracks: spans are in install order, so a greedy scan
+   assigning each span the first track whose previous span already ended
+   yields the minimal track count for interval graphs. *)
+let assign_tracks spans =
+  let tails = ref [] in (* (track id, step at which the track frees up) *)
+  let n_tracks = ref 0 in
+  List.map
+    (fun (s : Telemetry.span) ->
+      let tid =
+        match
+          List.find_opt (fun (_, free_at) -> free_at <= s.Telemetry.installed_at) !tails
+        with
+        | Some (tid, _) ->
+          tails :=
+            List.map
+              (fun (t, f) -> if t = tid then (t, s.Telemetry.retired_at) else (t, f))
+              !tails;
+          tid
+        | None ->
+          let tid = !n_tracks in
+          incr n_tracks;
+          tails := !tails @ [ (tid, s.Telemetry.retired_at) ];
+          tid
+      in
+      (s, tid))
+    spans
+
+let instant_name (e : Telemetry.event) =
+  match e.Telemetry.kind with
+  | Telemetry.Fault -> Some ("fault:" ^ Telemetry.fault_label e.Telemetry.a)
+  | Telemetry.Bailout_enter -> Some "bailout-enter"
+  | Telemetry.Bailout_exit -> Some "bailout-exit"
+  | Telemetry.Blacklist_add -> Some (Printf.sprintf "blacklist-add:0x%x" e.Telemetry.a)
+  | Telemetry.Blacklist_expire -> Some (Printf.sprintf "blacklist-expire:0x%x" e.Telemetry.a)
+  | _ -> None
+
+let write_chrome ?(name = "regionsel") t ~path =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       {|  {"name": "process_name", "ph": "M", "pid": 0, "tid": 0, "args": {"name": "%s"}}|}
+       (json_escape name));
+  List.iter
+    (fun ((s : Telemetry.span), tid) ->
+      Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           {|  {"name": "region %d (%d blocks)", "cat": "region", "ph": "X", "ts": %d, "dur": %d, "pid": 0, "tid": %d, "args": {"region": %d, "n_nodes": %d, "cause": "%s"}}|}
+           s.Telemetry.id s.Telemetry.n_nodes s.Telemetry.installed_at
+           (s.Telemetry.retired_at - s.Telemetry.installed_at)
+           (tid + 1) s.Telemetry.id s.Telemetry.n_nodes
+           (Telemetry.cause_label s.Telemetry.cause)))
+    (assign_tracks (Telemetry.spans t));
+  List.iter
+    (fun (e : Telemetry.event) ->
+      match instant_name e with
+      | None -> ()
+      | Some n ->
+        Buffer.add_string b ",\n";
+        Buffer.add_string b
+          (Printf.sprintf
+             {|  {"name": "%s", "cat": "event", "ph": "i", "ts": %d, "pid": 0, "tid": 0, "s": "g"}|}
+             (json_escape n) e.Telemetry.step))
+    (Telemetry.events t);
+  Buffer.add_string b "\n]}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let event_json (e : Telemetry.event) =
+  let payload =
+    match e.Telemetry.kind with
+    | Telemetry.Install ->
+      Printf.sprintf {|"region": %d, "n_nodes": %d|} e.Telemetry.a e.Telemetry.b
+    | Telemetry.Evict ->
+      Printf.sprintf {|"region": %d, "flush": %b|} e.Telemetry.a (e.Telemetry.b = 1)
+    | Telemetry.Invalidate | Telemetry.Dispatch ->
+      Printf.sprintf {|"region": %d|} e.Telemetry.a
+    | Telemetry.Link_patch | Telemetry.Link_sever ->
+      Printf.sprintf {|"from": %d, "target": %d|} e.Telemetry.a e.Telemetry.b
+    | Telemetry.Bailout_enter -> Printf.sprintf {|"until": %d|} e.Telemetry.a
+    | Telemetry.Bailout_exit -> {|"until": null|}
+    | Telemetry.Fault ->
+      Printf.sprintf {|"fault": "%s"|} (Telemetry.fault_label e.Telemetry.a)
+    | Telemetry.Blacklist_add ->
+      Printf.sprintf {|"entry": %d, "cooldown": %d|} e.Telemetry.a e.Telemetry.b
+    | Telemetry.Blacklist_expire -> Printf.sprintf {|"entry": %d|} e.Telemetry.a
+    | Telemetry.Select ->
+      Printf.sprintf {|"n_blocks": %d, "n_insts": %d|} e.Telemetry.a e.Telemetry.b
+  in
+  Printf.sprintf {|{"step": %d, "event": "%s", %s}|} e.Telemetry.step
+    (Telemetry.label e.Telemetry.kind) payload
+
+let write_jsonl t ~path =
+  let oc = open_out path in
+  List.iter
+    (fun e ->
+      output_string oc (event_json e);
+      output_char oc '\n')
+    (Telemetry.events t);
+  output_string oc
+    (Printf.sprintf
+       {|{"summary": {"spans": %d, "installs": %d, "events_emitted": %d, "events_dropped": %d, "histograms": %s}}|}
+       (List.length (Telemetry.spans t))
+       (Telemetry.n_installs t) (Telemetry.n_emitted t) (Telemetry.n_dropped t)
+       (histograms_json t));
+  output_char oc '\n';
+  close_out oc

@@ -32,4 +32,7 @@ let () =
       "faults", Test_faults.suite;
       "domain-pool", Test_domain_pool.suite;
       "parity", Test_parity.suite;
+      "stats", Test_stats.suite;
+      "gauges-counters", Test_gauges_counters.suite;
+      "telemetry", Test_telemetry.suite;
     ]

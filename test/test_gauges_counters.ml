@@ -1,0 +1,109 @@
+(* High-water semantics of the shared gauges and the recyclable
+   profiling-counter pool. *)
+
+module Gauges = Regionsel_engine.Gauges
+module Counters = Regionsel_engine.Counters
+open Fixtures
+
+let observed_bytes_high_water () =
+  let g = Gauges.create () in
+  Alcotest.(check int) "starts empty" 0 (Gauges.observed_bytes g);
+  Gauges.add_observed_bytes g 100;
+  Gauges.add_observed_bytes g 50;
+  Alcotest.(check int) "accumulates" 150 (Gauges.observed_bytes g);
+  Alcotest.(check int) "high water follows" 150 (Gauges.observed_bytes_high_water g);
+  (* Releases shrink the current total but never the high-water mark. *)
+  Gauges.add_observed_bytes g (-120);
+  Alcotest.(check int) "negative add subtracts" 30 (Gauges.observed_bytes g);
+  Alcotest.(check int) "high water retained" 150 (Gauges.observed_bytes_high_water g);
+  Gauges.add_observed_bytes g 40;
+  Alcotest.(check int) "regrows" 70 (Gauges.observed_bytes g);
+  Alcotest.(check int) "high water still the peak" 150 (Gauges.observed_bytes_high_water g);
+  Gauges.add_observed_bytes g 200;
+  Alcotest.(check int) "new peak recorded" 270 (Gauges.observed_bytes_high_water g)
+
+let set_gauges_interleaved () =
+  let g = Gauges.create () in
+  (* The two set-style gauges keep independent high-water marks. *)
+  Gauges.set_blacklisted g 3;
+  Gauges.set_links g 10;
+  Gauges.set_blacklisted g 7;
+  Gauges.set_links g 2;
+  Gauges.set_blacklisted g 1;
+  Alcotest.(check int) "blacklisted current" 1 (Gauges.blacklisted g);
+  Alcotest.(check int) "blacklisted peak" 7 (Gauges.blacklisted_high_water g);
+  Alcotest.(check int) "links current" 2 (Gauges.links g);
+  Alcotest.(check int) "links peak" 10 (Gauges.links_high_water g);
+  (* A set gauge dropping to zero keeps its peak too. *)
+  Gauges.set_links g 0;
+  Alcotest.(check int) "links drop to zero" 0 (Gauges.links g);
+  Alcotest.(check int) "links peak survives zero" 10 (Gauges.links_high_water g);
+  (* And the observed-bytes gauge is unaffected by either. *)
+  Alcotest.(check int) "observed untouched" 0 (Gauges.observed_bytes_high_water g)
+
+let counter_pool_recycles () =
+  let c = Counters.create () in
+  let a1 = 100 and a2 = 200 and a3 = 300 in
+  Alcotest.(check int) "first incr" 1 (Counters.incr c a1);
+  Alcotest.(check int) "second incr" 2 (Counters.incr c a1);
+  Alcotest.(check int) "peek live" 2 (Counters.peek c a1);
+  Alcotest.(check int) "one live" 1 (Counters.live c);
+  ignore (Counters.incr c a2);
+  Alcotest.(check int) "two live" 2 (Counters.live c);
+  Alcotest.(check int) "high water tracks live" 2 (Counters.high_water c);
+  (* Release recycles: live falls, high water doesn't. *)
+  Counters.release c a1;
+  Alcotest.(check int) "released not live" 1 (Counters.live c);
+  Alcotest.(check int) "released peek is 0" 0 (Counters.peek c a1);
+  Alcotest.(check int) "high water retained" 2 (Counters.high_water c);
+  (* Releasing an address with no live counter is a no-op. *)
+  Counters.release c a3;
+  Alcotest.(check int) "no-op release" 1 (Counters.live c);
+  (* Re-allocation after release restarts the count and is a fresh
+     allocation. *)
+  Alcotest.(check int) "re-incr restarts" 1 (Counters.incr c a1);
+  Alcotest.(check int) "allocations counted" 3 (Counters.total_allocations c);
+  Alcotest.(check int) "live back to two" 2 (Counters.live c);
+  Alcotest.(check int) "high water unchanged" 2 (Counters.high_water c)
+
+let counter_pool_high_water_is_peak () =
+  let c = Counters.create () in
+  let addr i = 1000 + i in
+  for i = 1 to 5 do
+    ignore (Counters.incr c (addr i))
+  done;
+  for i = 1 to 5 do
+    Counters.release c (addr i)
+  done;
+  Alcotest.(check int) "all recycled" 0 (Counters.live c);
+  Alcotest.(check int) "peak was 5" 5 (Counters.high_water c);
+  (* Interleaved allocate/release never exceeding 2 live leaves the
+     earlier peak in place. *)
+  for i = 6 to 12 do
+    ignore (Counters.incr c (addr i));
+    ignore (Counters.incr c (addr (i + 100)));
+    Counters.release c (addr i);
+    Counters.release c (addr (i + 100))
+  done;
+  Alcotest.(check int) "peak still 5" 5 (Counters.high_water c);
+  Alcotest.(check int) "allocations all counted" 19 (Counters.total_allocations c)
+
+let live_entries_match () =
+  let c = Counters.create () in
+  let a1 = 7 and a2 = 8 in
+  ignore (Counters.incr c a1);
+  ignore (Counters.incr c a1);
+  ignore (Counters.incr c a2);
+  let entries = List.sort compare (Counters.live_entries c) in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  Alcotest.(check bool) "counts match" true
+    (entries = List.sort compare [ a1, 2; a2, 1 ])
+
+let suite =
+  [
+    case "observed-bytes high water" observed_bytes_high_water;
+    case "set gauges interleaved" set_gauges_interleaved;
+    case "counter pool recycles" counter_pool_recycles;
+    case "counter pool high water is peak" counter_pool_high_water_is_peak;
+    case "live entries match" live_entries_match;
+  ]

@@ -1,0 +1,103 @@
+(* Stats snapshots: immutable copies and field-wise windows, the substrate
+   the bailout watchdog and windowed telemetry read instead of live
+   mutable counters. *)
+
+module Stats = Regionsel_engine.Stats
+open Fixtures
+
+(* Touch every one of the 16 counters with a distinct prime so a copied or
+   swapped field shows up as a wrong delta. *)
+let bump (s : Stats.t) k =
+  s.Stats.steps <- s.Stats.steps + (2 * k);
+  s.Stats.interpreted_insts <- s.Stats.interpreted_insts + (3 * k);
+  s.Stats.cached_insts <- s.Stats.cached_insts + (5 * k);
+  s.Stats.taken_branches <- s.Stats.taken_branches + (7 * k);
+  s.Stats.region_transitions <- s.Stats.region_transitions + (11 * k);
+  s.Stats.dispatches <- s.Stats.dispatches + (13 * k);
+  s.Stats.cache_exits_to_interp <- s.Stats.cache_exits_to_interp + (17 * k);
+  s.Stats.installs <- s.Stats.installs + (19 * k);
+  s.Stats.links <- s.Stats.links + (23 * k);
+  s.Stats.link_hits <- s.Stats.link_hits + (29 * k);
+  s.Stats.node_steps <- s.Stats.node_steps + (31 * k);
+  s.Stats.install_rejects <- s.Stats.install_rejects + (37 * k);
+  s.Stats.faults_injected <- s.Stats.faults_injected + (41 * k);
+  s.Stats.async_exits <- s.Stats.async_exits + (43 * k);
+  s.Stats.bailouts <- s.Stats.bailouts + (47 * k);
+  s.Stats.recovery_steps <- s.Stats.recovery_steps + (53 * k)
+
+let snapshot_is_frozen () =
+  let s = Stats.create () in
+  bump s 1;
+  let snap = Stats.snapshot s in
+  bump s 10;
+  (* The copy must not move with the live record. *)
+  Alcotest.(check int) "steps frozen" 2 snap.Stats.Snapshot.steps;
+  Alcotest.(check int) "cached frozen" 5 snap.Stats.Snapshot.cached_insts;
+  Alcotest.(check int) "recovery frozen" 53 snap.Stats.Snapshot.recovery_steps;
+  Alcotest.(check int) "live record moved" 22 s.Stats.steps
+
+let snapshot_copies_every_field () =
+  let s = Stats.create () in
+  bump s 1;
+  let snap = Stats.snapshot s in
+  Alcotest.(check int) "steps" s.Stats.steps snap.Stats.Snapshot.steps;
+  Alcotest.(check int) "interpreted" s.Stats.interpreted_insts
+    snap.Stats.Snapshot.interpreted_insts;
+  Alcotest.(check int) "cached" s.Stats.cached_insts snap.Stats.Snapshot.cached_insts;
+  Alcotest.(check int) "branches" s.Stats.taken_branches snap.Stats.Snapshot.taken_branches;
+  Alcotest.(check int) "transitions" s.Stats.region_transitions
+    snap.Stats.Snapshot.region_transitions;
+  Alcotest.(check int) "dispatches" s.Stats.dispatches snap.Stats.Snapshot.dispatches;
+  Alcotest.(check int) "exits" s.Stats.cache_exits_to_interp
+    snap.Stats.Snapshot.cache_exits_to_interp;
+  Alcotest.(check int) "installs" s.Stats.installs snap.Stats.Snapshot.installs;
+  Alcotest.(check int) "links" s.Stats.links snap.Stats.Snapshot.links;
+  Alcotest.(check int) "link hits" s.Stats.link_hits snap.Stats.Snapshot.link_hits;
+  Alcotest.(check int) "node steps" s.Stats.node_steps snap.Stats.Snapshot.node_steps;
+  Alcotest.(check int) "rejects" s.Stats.install_rejects snap.Stats.Snapshot.install_rejects;
+  Alcotest.(check int) "faults" s.Stats.faults_injected snap.Stats.Snapshot.faults_injected;
+  Alcotest.(check int) "async exits" s.Stats.async_exits snap.Stats.Snapshot.async_exits;
+  Alcotest.(check int) "bailouts" s.Stats.bailouts snap.Stats.Snapshot.bailouts;
+  Alcotest.(check int) "recovery" s.Stats.recovery_steps snap.Stats.Snapshot.recovery_steps
+
+let diff_is_field_wise () =
+  let s = Stats.create () in
+  bump s 3;
+  let earlier = Stats.snapshot s in
+  bump s 4;
+  let later = Stats.snapshot s in
+  let d = Stats.diff ~earlier ~later in
+  (* Each delta is prime * 4: the window's activity only. *)
+  Alcotest.(check int) "steps" (2 * 4) d.Stats.Snapshot.steps;
+  Alcotest.(check int) "interpreted" (3 * 4) d.Stats.Snapshot.interpreted_insts;
+  Alcotest.(check int) "cached" (5 * 4) d.Stats.Snapshot.cached_insts;
+  Alcotest.(check int) "branches" (7 * 4) d.Stats.Snapshot.taken_branches;
+  Alcotest.(check int) "transitions" (11 * 4) d.Stats.Snapshot.region_transitions;
+  Alcotest.(check int) "dispatches" (13 * 4) d.Stats.Snapshot.dispatches;
+  Alcotest.(check int) "exits" (17 * 4) d.Stats.Snapshot.cache_exits_to_interp;
+  Alcotest.(check int) "installs" (19 * 4) d.Stats.Snapshot.installs;
+  Alcotest.(check int) "links" (23 * 4) d.Stats.Snapshot.links;
+  Alcotest.(check int) "link hits" (29 * 4) d.Stats.Snapshot.link_hits;
+  Alcotest.(check int) "node steps" (31 * 4) d.Stats.Snapshot.node_steps;
+  Alcotest.(check int) "rejects" (37 * 4) d.Stats.Snapshot.install_rejects;
+  Alcotest.(check int) "faults" (41 * 4) d.Stats.Snapshot.faults_injected;
+  Alcotest.(check int) "async exits" (43 * 4) d.Stats.Snapshot.async_exits;
+  Alcotest.(check int) "bailouts" (47 * 4) d.Stats.Snapshot.bailouts;
+  Alcotest.(check int) "recovery" (53 * 4) d.Stats.Snapshot.recovery_steps
+
+let diff_of_equal_snapshots_is_zero () =
+  let s = Stats.create () in
+  bump s 5;
+  let snap = Stats.snapshot s in
+  let d = Stats.diff ~earlier:snap ~later:snap in
+  Alcotest.(check int) "steps zero" 0 d.Stats.Snapshot.steps;
+  Alcotest.(check int) "cached zero" 0 d.Stats.Snapshot.cached_insts;
+  Alcotest.(check int) "recovery zero" 0 d.Stats.Snapshot.recovery_steps
+
+let suite =
+  [
+    case "snapshot is frozen" snapshot_is_frozen;
+    case "snapshot copies every field" snapshot_copies_every_field;
+    case "diff is field-wise" diff_is_field_wise;
+    case "diff of equal snapshots is zero" diff_of_equal_snapshots_is_zero;
+  ]
