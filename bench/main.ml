@@ -17,7 +17,6 @@
 
 module Suite = Regionsel_workload.Suite
 module Spec = Regionsel_workload.Spec
-module Simulator = Regionsel_engine.Simulator
 module Params = Regionsel_engine.Params
 module Faults = Regionsel_engine.Faults
 module Run_metrics = Regionsel_metrics.Run_metrics
@@ -31,6 +30,23 @@ module Telemetry = Regionsel_telemetry.Telemetry
 module Trace_export = Regionsel_telemetry.Trace_export
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
+
+(* With [--check] every simulation in the harness routes through the
+   invariant sanitizer (shadow-interpreter oracle + per-mutation cache
+   audits).  Pure observation: every table and JSON figure is identical,
+   only slower — so the perf gate runs without it. *)
+let check = Array.exists (( = ) "--check") Sys.argv
+
+module Simulator = struct
+  include Regionsel_engine.Simulator
+
+  let run ?params ?seed ?telemetry ~policy ~max_steps image =
+    if check then
+      Regionsel_check.Check.checked_run ?params ?seed
+        ?telemetry:(Option.join telemetry) ~policy ~max_steps image
+    else
+      Regionsel_engine.Simulator.run ?params ?seed ?telemetry ~policy ~max_steps image
+end
 
 let only =
   let rec collect i acc =
@@ -1036,17 +1052,22 @@ let emit_json path =
        "  \"links\": %d,\n  \"link_hits\": %d,\n  \"link_severs\": %d,\n  \
         \"links_high_water\": %d,\n  \"node_steps\": %d,\n"
        links link_hits link_severs links_hw node_steps);
-  Buffer.add_string b "  \"fault_bursts\": [\n";
+  (* The key is part of the schema even when the fault section didn't run
+     (e.g. [--only speed]): an explicit empty array, never a missing key. *)
   let bursts = List.rev !fault_bursts in
-  List.iteri
-    (fun i (policy, bench, fractions) ->
-      Buffer.add_string b
-        (Printf.sprintf "    {\"policy\": \"%s\", \"bench\": \"%s\", \"fractions\": [%s]}"
-           (json_escape policy) (json_escape bench)
-           (String.concat ", " (List.map json_float fractions)));
-      Buffer.add_string b (if i < List.length bursts - 1 then ",\n" else "\n"))
-    bursts;
-  Buffer.add_string b "  ],\n";
+  if bursts = [] then Buffer.add_string b "  \"fault_bursts\": [],\n"
+  else begin
+    Buffer.add_string b "  \"fault_bursts\": [\n";
+    List.iteri
+      (fun i (policy, bench, fractions) ->
+        Buffer.add_string b
+          (Printf.sprintf "    {\"policy\": \"%s\", \"bench\": \"%s\", \"fractions\": [%s]}"
+             (json_escape policy) (json_escape bench)
+             (String.concat ", " (List.map json_float fractions)));
+        Buffer.add_string b (if i < List.length bursts - 1 then ",\n" else "\n"))
+      bursts;
+    Buffer.add_string b "  ],\n"
+  end;
   Buffer.add_string b "  \"sections\": [\n";
   let tables = List.rev !json_tables in
   List.iteri

@@ -1,0 +1,127 @@
+(* Differential fuzz driver: random workloads x policies x fault schedules
+   x dispatch modes, every run under the invariant sanitizer with a
+   shadow-interpreter oracle and a compiled-vs-legacy metric cross-check.
+   The first failure is greedily shrunk to a minimal case and reported as
+   a replayable command line. *)
+
+module Check = Regionsel_check.Check
+module Fuzz = Regionsel_check.Fuzz
+
+let usage =
+  "regionsel_fuzz [--seeds A-B | --seed N] [--steps N] [--shrink] [--out FILE]\n\
+   regionsel_fuzz --seed N --genome G1,G2,... [--policy P] [--fault F] [--legacy] \
+   [--steps N]\n\
+   regionsel_fuzz --self-test-break"
+
+let parse_seeds s =
+  match String.index_opt s '-' with
+  | None -> (int_of_string s, int_of_string s)
+  | Some i ->
+    ( int_of_string (String.sub s 0 i),
+      int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let parse_genome s =
+  String.split_on_char ',' s |> List.filter (fun g -> g <> "") |> List.map int_of_string
+
+let report_failure ~shrink ~out (c, f) =
+  Printf.printf "FAIL %s\n  %s\n%!" (Fuzz.cli_line c) (Fuzz.failure_to_string f);
+  let c, f = if shrink then Fuzz.shrink c f else (c, f) in
+  if shrink then
+    Printf.printf "shrunk to: %s\n  %s\n%!" (Fuzz.cli_line c) (Fuzz.failure_to_string f);
+  match out with
+  | "" -> ()
+  | path ->
+    let oc = open_out path in
+    Printf.fprintf oc "%s\n# %s\n" (Fuzz.cli_line c) (Fuzz.failure_to_string f);
+    close_out oc;
+    Printf.printf "reproducer written to %s\n%!" path
+
+let () =
+  let seeds = ref "1-5" in
+  let steps = ref 4000 in
+  let shrink = ref false in
+  let self_test = ref false in
+  let out = ref "" in
+  let genome = ref "" in
+  let policy = ref "net" in
+  let fault = ref "" in
+  let legacy = ref false in
+  let spec =
+    [
+      ("--seeds", Arg.Set_string seeds, "A-B  seed range to fuzz (default 1-5)");
+      ("--seed", Arg.Set_string seeds, "N  fuzz (or replay) a single seed");
+      ("--steps", Arg.Set_int steps, "N  step budget per case (default 4000)");
+      ("--shrink", Arg.Set shrink, " greedily shrink the first failure before reporting");
+      ("--out", Arg.Set_string out, "FILE  write the reproducer command line to FILE");
+      ( "--genome",
+        Arg.Set_string genome,
+        "G1,G2,...  replay one explicit case instead of fuzzing" );
+      ("--policy", Arg.Set_string policy, "NAME  policy for --genome replay (default net)");
+      ( "--fault",
+        Arg.Set_string fault,
+        "NAME  fault profile for --genome replay (default none)" );
+      ( "--legacy",
+        Arg.Set legacy,
+        " use legacy (non-compiled) region stepping for --genome replay" );
+      ( "--self-test-break",
+        Arg.Set self_test,
+        " (test only) inject a cache corruption and verify the sanitizer catches and \
+         shrinks it" );
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !self_test then begin
+    match Fuzz.self_test () with
+    | Error msg ->
+      Printf.eprintf "self-test FAILED: %s\n%!" msg;
+      exit 1
+    | Ok budget ->
+      Printf.printf "self-test: injected corruption caught; minimal reproducing budget \
+                     is %d steps\n%!"
+        budget;
+      if budget <= 20 then exit 0
+      else begin
+        Printf.eprintf "self-test FAILED: reproducer budget %d exceeds 20 steps\n%!" budget;
+        exit 1
+      end
+  end;
+  let lo, hi = parse_seeds !seeds in
+  if !genome <> "" then begin
+    (* Explicit replay of one case (the shrinker's output format). *)
+    let c =
+      {
+        Fuzz.seed = lo;
+        genome = parse_genome !genome;
+        policy = !policy;
+        fault = (if !fault = "" then None else Some !fault);
+        compiled = not !legacy;
+        max_steps = !steps;
+      }
+    in
+    match Fuzz.run_case c with
+    | None ->
+      Printf.printf "ok: %s\n%!" (Fuzz.cli_line c);
+      exit 0
+    | Some f ->
+      report_failure ~shrink:!shrink ~out:!out (c, f);
+      exit 1
+  end;
+  let failed = ref false in
+  let total = ref 0 in
+  let seed = ref lo in
+  while (not !failed) && !seed <= hi do
+    (match Fuzz.run_seed ~max_steps:!steps !seed with
+    | None, n ->
+      total := !total + n;
+      Printf.printf "seed %d: %d cases ok\n%!" !seed n
+    | Some (c, f), n ->
+      total := !total + n;
+      failed := true;
+      report_failure ~shrink:!shrink ~out:!out (c, f));
+    incr seed
+  done;
+  if !failed then exit 1
+  else begin
+    Printf.printf "all %d cases ok (seeds %d-%d)\n%!" !total lo hi;
+    exit 0
+  end

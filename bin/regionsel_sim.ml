@@ -14,6 +14,7 @@ module Domain_pool = Regionsel_engine.Domain_pool
 module Table = Regionsel_report.Table
 module Telemetry = Regionsel_telemetry.Telemetry
 module Trace_export = Regionsel_telemetry.Trace_export
+module Check = Regionsel_check.Check
 
 open Cmdliner
 
@@ -39,6 +40,15 @@ let faults_arg =
      pressure)."
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PROFILE" ~doc)
+
+let check_arg =
+  let doc =
+    "Run under the invariant sanitizer: audit the cache/link/telemetry invariants on \
+     every cache mutation and shadow-step a second interpreter as a differential \
+     oracle.  Pure observation — the printed metrics are identical with or without it; \
+     a violation aborts with a diagnostic and exit code 3."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
 
 let trace_out_arg =
   let doc =
@@ -73,10 +83,20 @@ let params_of_faults = function
         (String.concat ", " (List.map fst Params.fault_profiles));
       exit 2)
 
-let simulate ?(params = Params.default) ?(telemetry = Telemetry.none) spec policy steps seed =
+let simulate ?(check = false) ?(params = Params.default) ?(telemetry = Telemetry.none)
+    spec policy steps seed =
   let image = Spec.image spec in
   let max_steps = Option.value ~default:spec.Spec.default_steps steps in
-  Simulator.run ~params ~seed ~telemetry ~policy ~max_steps image
+  if check then
+    Check.checked_run ~params:{ params with Params.validate = true } ?telemetry ~seed
+      ~policy ~max_steps image
+  else Simulator.run ~params ~seed ~telemetry ~policy ~max_steps image
+
+let with_check_reporting f =
+  try f ()
+  with Check.Check_violation v ->
+    Printf.eprintf "%s\n%!" (Check.violation_to_string v);
+    exit 3
 
 (* Fan independent (spec, x) simulation tasks across domains.  Every run
    allocates its own state, but [Spec.image] is lazy and not thread-safe,
@@ -87,13 +107,15 @@ let parallel_map_specs f tasks =
   Domain_pool.map (fun ((spec : Spec.t), x) -> f spec x) tasks
 
 let run_cmd =
-  let run bench policy steps seed faults trace_out =
+  let run bench policy steps seed faults trace_out check =
+    with_check_reporting @@ fun () ->
     let params = params_of_faults faults in
     let telemetry =
       match trace_out with None -> Telemetry.none | Some _ -> Some (Telemetry.create ())
     in
     let result =
-      simulate ~params ~telemetry (lookup_bench bench) (lookup_policy policy) steps seed
+      simulate ~check ~params ~telemetry (lookup_bench bench) (lookup_policy policy)
+        steps seed
     in
     (* Trace notices go to stderr so stdout stays diffable against an
        untraced run (the CI trace-smoke parity check relies on this). *)
@@ -115,7 +137,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under one policy and print its metrics")
-    Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg $ trace_out_arg)
+    Term.(
+      const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg
+      $ trace_out_arg $ check_arg)
 
 let regions_cmd =
   let run bench policy steps seed limit =
@@ -178,13 +202,14 @@ let disas_cmd =
     Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ limit)
 
 let matrix_cmd =
-  let run bench steps seed faults =
+  let run bench steps seed faults check =
+    with_check_reporting @@ fun () ->
     let params = params_of_faults faults in
     let spec = lookup_bench bench in
     let rows =
       parallel_map_specs
         (fun spec (name, policy) ->
-          let m = Run_metrics.of_result (simulate ~params spec policy steps seed) in
+          let m = Run_metrics.of_result (simulate ~check ~params spec policy steps seed) in
           [
             name;
             string_of_int m.Run_metrics.n_regions;
@@ -211,7 +236,7 @@ let matrix_cmd =
   in
   Cmd.v
     (Cmd.info "matrix" ~doc:"Run one benchmark under every policy")
-    Term.(const run $ bench_arg $ steps_arg $ seed_arg $ faults_arg)
+    Term.(const run $ bench_arg $ steps_arg $ seed_arg $ faults_arg $ check_arg)
 
 let domination_cmd =
   let run bench policy steps seed =

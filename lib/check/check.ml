@@ -1,0 +1,223 @@
+open Regionsel_isa
+module Image = Regionsel_workload.Image
+module Telemetry = Regionsel_telemetry.Telemetry
+module Code_cache = Regionsel_engine.Code_cache
+module Context = Regionsel_engine.Context
+module Interp = Regionsel_engine.Interp
+module Params = Regionsel_engine.Params
+module Region = Regionsel_engine.Region
+module Simulator = Regionsel_engine.Simulator
+module Stats = Regionsel_engine.Stats
+
+type violation = { step : int; rule : string; detail : string }
+
+exception Check_violation of violation
+
+let violation_to_string { step; rule; detail } =
+  Printf.sprintf "invariant %S violated at step %d: %s" rule step detail
+
+let () =
+  Printexc.register_printer (function
+    | Check_violation v -> Some (violation_to_string v)
+    | _ -> None)
+
+let fail ~step ~rule fmt =
+  Printf.ksprintf (fun detail -> raise (Check_violation { step; rule; detail })) fmt
+
+let audit_cache ?telemetry ~program cache ~step =
+  (* Dispatch array -> indices: every slot holds a live region that claims
+     the slot's block. *)
+  for id = 0 to Program.n_blocks program - 1 do
+    match Code_cache.dispatch cache id with
+    | None -> ()
+    | Some r ->
+      if not (Code_cache.is_live cache r) then
+        fail ~step ~rule:"dispatch-live" "dispatch slot %d holds retired region #%d" id
+          r.Region.id;
+      let a = (Program.block_of_id program id).Block.start in
+      if not (Addr.equal a r.Region.entry || Addr.Set.mem a r.Region.aux_entries) then
+        fail ~step ~rule:"dispatch-claim"
+          "dispatch slot %d (%s) held by region #%d, whose entry is %s and which claims \
+           no aux entry there"
+          id (Addr.to_string a) r.Region.id
+          (Addr.to_string r.Region.entry)
+  done;
+  (* Indices -> dispatch array: every binding routes its address back to
+     the same physical region, so [find] and [dispatch] cannot disagree. *)
+  let expect_dispatch ~what a (r : Region.t) =
+    let id = Program.block_id program a in
+    if id < 0 then
+      fail ~step ~rule:"index-block" "%s index holds %s, which is not a block start" what
+        (Addr.to_string a);
+    match Code_cache.dispatch cache id with
+    | Some r' when r' == r -> ()
+    | Some r' ->
+      fail ~step ~rule:"index-dispatch"
+        "%s index routes %s to region #%d but dispatch slot %d holds region #%d" what
+        (Addr.to_string a) r.Region.id id r'.Region.id
+    | None ->
+      fail ~step ~rule:"index-dispatch"
+        "%s index routes %s to region #%d but its dispatch slot is empty" what
+        (Addr.to_string a) r.Region.id
+  in
+  let n_live = ref 0 in
+  let live_bytes = ref 0 in
+  Code_cache.iter_entries cache (fun a r ->
+      incr n_live;
+      live_bytes := !live_bytes + Region.cache_bytes r;
+      if not (Addr.equal a r.Region.entry) then
+        fail ~step ~rule:"entry-key" "entry index binds %s to region #%d whose entry is %s"
+          (Addr.to_string a) r.Region.id
+          (Addr.to_string r.Region.entry);
+      expect_dispatch ~what:"entry" a r);
+  if !n_live <> Code_cache.n_regions cache then
+    fail ~step ~rule:"live-count" "entry index holds %d regions but n_regions reports %d"
+      !n_live (Code_cache.n_regions cache);
+  Code_cache.iter_aux_entries cache (fun a r ->
+      if not (Code_cache.is_live cache r) then
+        fail ~step ~rule:"aux-live" "aux index binds %s to retired region #%d"
+          (Addr.to_string a) r.Region.id;
+      if not (Addr.Set.mem a r.Region.aux_entries) then
+        fail ~step ~rule:"aux-key"
+          "aux index binds %s to region #%d, which does not claim it as an aux entry"
+          (Addr.to_string a) r.Region.id;
+      expect_dispatch ~what:"aux" a r);
+  (* Link slots: no link outlives its target, and a link always agrees
+     with the dispatch array (a linked jump lands exactly where a dispatch
+     would have). *)
+  Code_cache.iter_entries cache (fun _ r ->
+      for slot = 0 to Region.n_link_slots r - 1 do
+        match Region.link_target r slot with
+        | None -> ()
+        | Some tgt ->
+          if not (Code_cache.is_live cache tgt) then
+            fail ~step ~rule:"link-live" "region #%d slot %d links to retired region #%d"
+              r.Region.id slot tgt.Region.id;
+          (match Code_cache.dispatch cache slot with
+          | Some d when d == tgt -> ()
+          | Some d ->
+            fail ~step ~rule:"link-dispatch"
+              "region #%d slot %d links to region #%d but the slot dispatches to #%d"
+              r.Region.id slot tgt.Region.id d.Region.id
+          | None ->
+            fail ~step ~rule:"link-dispatch"
+              "region #%d slot %d links to region #%d but the slot dispatches nowhere"
+              r.Region.id slot tgt.Region.id)
+      done);
+  (* FIFO tombstone accounting (the compaction bound). *)
+  let fifo_len = Code_cache.fifo_length cache in
+  let tombstones = Code_cache.fifo_tombstones cache in
+  if fifo_len - tombstones <> !n_live then
+    fail ~step ~rule:"fifo-accounting"
+      "FIFO holds %d entries with %d tombstones but %d regions are live" fifo_len
+      tombstones !n_live;
+  if tombstones > max 8 !n_live then
+    fail ~step ~rule:"fifo-tombstones" "%d tombstones against %d live regions (bound %d)"
+      tombstones !n_live (max 8 !n_live);
+  (* Byte ledger. *)
+  if Code_cache.bytes_used cache <> !live_bytes then
+    fail ~step ~rule:"bytes-accounting"
+      "cache reports %d bytes used but the live regions sum to %d"
+      (Code_cache.bytes_used cache) !live_bytes;
+  (* Step clock. *)
+  if Code_cache.clock_regressions cache <> 0 then
+    fail ~step ~rule:"clock-monotone" "set_now was handed a stale step %d time(s)"
+      (Code_cache.clock_regressions cache);
+  (* Telemetry span ledger: open spans are exactly the live regions. *)
+  match telemetry with
+  | None -> ()
+  | Some t ->
+    Code_cache.iter_entries cache (fun _ r ->
+        if not (Telemetry.span_open t ~id:r.Region.id) then
+          fail ~step ~rule:"span-open" "live region #%d has no open telemetry span"
+            r.Region.id);
+    let open_spans = Telemetry.n_open_spans t in
+    if open_spans <> !n_live then
+      fail ~step ~rule:"span-ledger"
+        "telemetry has %d open spans but the cache holds %d live regions" open_spans
+        !n_live
+
+let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every = 64)
+    ?break_at ~policy ~max_steps image =
+  let params = { params with Params.validate = true } in
+  let t = match telemetry with Some t -> t | None -> Telemetry.create () in
+  let program = image.Image.program in
+  let shadow = Interp.create image ~seed in
+  let sh = Interp.make_step () in
+  let cache_ref = ref None in
+  let audit ~step =
+    match !cache_ref with
+    | None -> ()
+    | Some cache -> audit_cache ~telemetry:t ~program cache ~step
+  in
+  let broken = ref false in
+  let observer =
+    {
+      Simulator.on_context =
+        (fun ctx ->
+          let cache = ctx.Context.cache in
+          cache_ref := Some cache;
+          Code_cache.set_auditor cache (fun _op -> audit ~step:(Code_cache.now cache)));
+      on_step =
+        (fun ~step ~block ~taken ~next ~believed ->
+          (* Self-test corruption: desynchronize the indices once a live
+             region exists, then let the audit below convict it. *)
+          (match break_at with
+          | Some at when (not !broken) && step >= at -> (
+            match !cache_ref with
+            | Some cache ->
+              if Code_cache.unsafe_corrupt_for_tests cache then broken := true
+            | None -> ())
+          | Some _ | None -> ());
+          (* Differential oracle: the shadow interpreter is the ground
+             truth for what the program executes. *)
+          if not (Interp.step_into shadow sh) then
+            fail ~step ~rule:"oracle-halt"
+              "the run executed %s but the shadow interpreter has halted"
+              (Addr.to_string block.Block.start);
+          if not (Block.equal sh.Interp.block block) then
+            fail ~step ~rule:"oracle-block"
+              "the run executed block %s but the shadow interpreter executed %s"
+              (Addr.to_string block.Block.start)
+              (Addr.to_string sh.Interp.block.Block.start);
+          if sh.Interp.taken <> taken then
+            fail ~step ~rule:"oracle-branch"
+              "block %s: the run saw taken=%b but the shadow interpreter saw %b"
+              (Addr.to_string block.Block.start)
+              taken sh.Interp.taken;
+          if not (Addr.equal sh.Interp.next next) then
+            fail ~step ~rule:"oracle-target"
+              "block %s: the run continues at %s but the shadow interpreter at %s"
+              (Addr.to_string block.Block.start)
+              (Addr.to_string next)
+              (Addr.to_string sh.Interp.next);
+          (* Region mode must believe it executed the block the
+             interpreter actually executed. *)
+          if (not (Addr.is_none believed)) && not (Addr.equal believed block.Block.start)
+          then
+            fail ~step ~rule:"region-position"
+              "region mode believes it executed %s but the interpreter executed %s"
+              (Addr.to_string believed)
+              (Addr.to_string block.Block.start);
+          if audit_every > 0 && step mod audit_every = 0 then audit ~step);
+    }
+  in
+  let result =
+    Simulator.run ~params ~seed ~telemetry:(Some t) ~observer ~policy ~max_steps image
+  in
+  let final = result.Simulator.stats.Stats.steps in
+  audit ~step:final;
+  Telemetry.finish t ~step:final;
+  List.iter
+    (fun (s : Telemetry.span) ->
+      if s.Telemetry.retired_at < s.Telemetry.installed_at then
+        fail ~step:final ~rule:"span-duration"
+          "region #%d's span runs backwards: installed at %d, retired at %d"
+          s.Telemetry.id s.Telemetry.installed_at s.Telemetry.retired_at)
+    (Telemetry.spans t);
+  let closed = List.length (Telemetry.spans t) in
+  if closed <> Telemetry.n_installs t then
+    fail ~step:final ~rule:"span-count"
+      "telemetry recorded %d installs but closed %d spans" (Telemetry.n_installs t)
+      closed;
+  result

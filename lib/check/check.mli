@@ -1,0 +1,99 @@
+(** Runtime invariant sanitizer for the region pipeline.
+
+    Two layers, both pure observation (a checked run computes the same
+    metrics as an unchecked one, it just refuses to finish silently when
+    the structures disagree):
+
+    - {!audit_cache} walks the code cache and cross-checks every redundant
+      structure against every other: the flat dispatch array against the
+      entry/aux-entry hash indices, the per-region link slots against the
+      dispatch array and target liveness, the FIFO tombstone accounting,
+      the byte ledger, the telemetry span ledger, and the step clock.
+      These are the DESIGN.md "Checked invariants" (see that section for
+      the rule-by-rule rationale).
+
+    - {!checked_run} wraps [Simulator.run] with a differential oracle: a
+      second, pure interpreter shadow-steps the run and every executed
+      (block, branch outcome, target) triple must match — region dispatch,
+      compiled automata, fragment links and fault recovery may change
+      {e where} metrics are attributed, never {e what} the program
+      executes.  It also installs {!audit_cache} behind the cache's
+      auditor hook so every mutating cache operation is audited at the
+      step it happens.
+
+    Violations raise {!Check_violation} with the failing rule's name, the
+    step, and a human-readable explanation — the fuzz driver
+    ([regionsel_fuzz]) turns the first one into a shrunk reproducer. *)
+
+type violation = {
+  step : int;  (** Simulation step at which the rule failed. *)
+  rule : string;  (** Stable rule name, e.g. ["dispatch-live"]. *)
+  detail : string;  (** Human-readable explanation. *)
+}
+
+exception Check_violation of violation
+
+val violation_to_string : violation -> string
+
+val audit_cache :
+  ?telemetry:Regionsel_telemetry.Telemetry.t ->
+  program:Regionsel_isa.Program.t ->
+  Regionsel_engine.Code_cache.t ->
+  step:int ->
+  unit
+(** Audit every cache invariant, raising {!Check_violation} (stamped with
+    [step]) on the first failure.  Rules, in checking order:
+
+    - ["dispatch-live"]: every dispatch slot holds a live region.
+    - ["dispatch-claim"]: that region claims the slot's block as its entry
+      or one of its aux entries.
+    - ["live-count"]: the entry index holds exactly [n_regions] regions.
+    - ["entry-key"]: each entry-index key is its region's entry address.
+    - ["aux-key"]: each aux-index key is in its region's aux-entry set.
+    - ["aux-live"]: each aux-index region is live.
+    - ["index-block"] / ["index-dispatch"]: each index binding routes
+      through a block-start address whose dispatch slot holds that exact
+      region — [find] and [dispatch] can never disagree.
+    - ["link-live"] / ["link-dispatch"]: a patched link slot targets a live
+      region and agrees with the dispatch array ({e no link outlives its
+      target}).
+    - ["fifo-accounting"]: [fifo_length - fifo_tombstones = n_regions].
+    - ["fifo-tombstones"]: tombstones never exceed [max 8 n_regions].
+    - ["bytes-accounting"]: [bytes_used] equals the summed
+      [Region.cache_bytes] of the live regions.
+    - ["clock-monotone"]: [Code_cache.set_now] was never handed a stale
+      step.
+    - ["span-open"] / ["span-ledger"] (with [telemetry]): the open
+      telemetry spans are exactly the live regions. *)
+
+val checked_run :
+  ?params:Regionsel_engine.Params.t ->
+  ?seed:int64 ->
+  ?telemetry:Regionsel_telemetry.Telemetry.t ->
+  ?audit_every:int ->
+  ?break_at:int ->
+  policy:(module Regionsel_engine.Policy.S) ->
+  max_steps:int ->
+  Regionsel_workload.Image.t ->
+  Regionsel_engine.Simulator.result
+(** [Simulator.run] under the sanitizer ([params.validate] is forced on).
+    A shadow interpreter with the same image and seed is stepped in
+    lockstep; any divergence in executed block, branch outcome or target
+    raises (rules ["oracle-halt"], ["oracle-block"], ["oracle-branch"],
+    ["oracle-target"]).  Region mode's believed position is checked
+    against the interpreter's ground truth every step
+    (["region-position"]).  {!audit_cache} runs after every mutating cache
+    operation, every [audit_every] steps (default 64; [0] disables the
+    periodic sweep), and once after the run; the final sweep also checks
+    that every telemetry span closed with [retired_at >= installed_at]
+    (["span-duration"]) and that installs and closed spans agree
+    (["span-count"]).
+
+    [telemetry] supplies the recorder to audit against (a fresh one is
+    created otherwise); it is threaded into the run as its sink, so a
+    caller exporting traces audits the very recorder it exports.
+
+    [break_at] is the fuzz driver's self-test hook: from that step on, the
+    first live region is deliberately desynchronized from the entry index
+    ([Code_cache.unsafe_corrupt_for_tests]) — a healthy sanitizer must
+    then raise.  Never set it outside tests. *)

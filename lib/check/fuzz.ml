@@ -1,0 +1,221 @@
+module Builder = Regionsel_workload.Builder
+module Patterns = Regionsel_workload.Patterns
+module Code_cache = Regionsel_engine.Code_cache
+module Context = Regionsel_engine.Context
+module Params = Regionsel_engine.Params
+module Region = Regionsel_engine.Region
+module Simulator = Regionsel_engine.Simulator
+module Stats = Regionsel_engine.Stats
+module Policies = Regionsel_core.Policies
+module Splitmix = Regionsel_prng.Splitmix
+
+type case = {
+  seed : int;
+  genome : int list;
+  policy : string;
+  fault : string option;
+  compiled : bool;
+  max_steps : int;
+}
+
+type failure = Violation of Check.violation | Mode_divergence of string
+
+let failure_to_string = function
+  | Violation v -> Check.violation_to_string v
+  | Mode_divergence detail -> "compiled/legacy divergence: " ^ detail
+
+(* Same derivation as the qcheck fuzz suite: each gene adds one function
+   of a shape picked by the gene value, always valid by construction. *)
+let image_of_genome genome =
+  let genome = if genome = [] then [ 1 ] else genome in
+  let b = Builder.create () in
+  let funcs =
+    List.mapi
+      (fun i gene ->
+        let name = Printf.sprintf "f%d" i in
+        let trip = 3 + (gene mod 37) in
+        (match gene mod 5 with
+        | 0 -> Patterns.leaf b ~name ~size:(2 + (gene mod 7))
+        | 1 -> Patterns.plain_loop b ~name ~trip ~body_blocks:(1 + (gene mod 3)) ~body_size:3
+        | 2 ->
+          Patterns.diamond_loop b ~name ~trip
+            ~diamonds:
+              [ { Patterns.bias = float_of_int (gene mod 10) /. 10.0; side_size = 3 } ]
+        | 3 ->
+          let callees = if i = 0 then [] else [ Printf.sprintf "f%d" (gene mod i) ] in
+          if callees = [] then Patterns.leaf b ~name ~size:4
+          else Patterns.loop_with_calls b ~name ~trip ~callees
+        | _ ->
+          Patterns.nested_loop b ~name ~outer_trip:(1 + (gene mod 6))
+            ~inner_trip:(1 + (gene mod 9))
+            ~body_size:3);
+        name)
+      genome
+  in
+  Patterns.driver b ~name:"main" funcs;
+  Builder.compile b ~name:"fuzz" ~entry:"main"
+
+let policy_exn name =
+  match Policies.find name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Fuzz: unknown policy %S" name)
+
+let fault_exn name =
+  match Params.fault_profile name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Fuzz: unknown fault profile %S" name)
+
+let params_of c =
+  {
+    Params.default with
+    Params.faults = Option.map fault_exn c.fault;
+    compiled_regions = c.compiled;
+    validate = true;
+  }
+
+let cli_line c =
+  Printf.sprintf "regionsel_fuzz --seed %d --genome %s --policy %s%s%s --steps %d" c.seed
+    (String.concat "," (List.map string_of_int c.genome))
+    c.policy
+    (match c.fault with None -> "" | Some f -> " --fault " ^ f)
+    (if c.compiled then "" else " --legacy")
+    c.max_steps
+
+(* One checked run; [Some result] on a clean pass, the violation
+   otherwise. *)
+let checked ?break_at ~audit_every c ~compiled =
+  let image = image_of_genome c.genome in
+  let params = { (params_of c) with Params.compiled_regions = compiled } in
+  match
+    Check.checked_run ?break_at ~audit_every ~params ~seed:(Int64.of_int c.seed)
+      ~policy:(policy_exn c.policy) ~max_steps:c.max_steps image
+  with
+  | result -> Ok result
+  | exception Check.Check_violation v -> Error v
+
+let run_case ?break_at ?(audit_every = 1) c =
+  match checked ?break_at ~audit_every c ~compiled:c.compiled with
+  | Ok _ -> None
+  | Error v -> Some (Violation v)
+
+(* The metrics both dispatch modes must agree on (what the parity suite
+   pins globally, re-checked here per fuzz case). *)
+let signature (r : Simulator.result) =
+  let s = r.Simulator.stats in
+  ( Stats.total_insts s,
+    s.Stats.interpreted_insts,
+    s.Stats.cached_insts,
+    s.Stats.dispatches,
+    s.Stats.region_transitions,
+    s.Stats.cache_exits_to_interp,
+    s.Stats.installs,
+    List.map
+      (fun (rg : Region.t) -> rg.Region.entry)
+      (Code_cache.all_regions r.Simulator.ctx.Context.cache) )
+
+let run_case_cross ?(audit_every = 1) c =
+  match checked ~audit_every c ~compiled:true with
+  | Error v -> Some (Violation v)
+  | Ok compiled_result -> (
+    match checked ~audit_every c ~compiled:false with
+    | Error v -> Some (Violation v)
+    | Ok legacy_result ->
+      let sc = signature compiled_result and sl = signature legacy_result in
+      if sc = sl then None
+      else
+        let t7 (a, b, c', d, e, f, g, _) = (a, b, c', d, e, f, g) in
+        let a, b, c', d, e, f, g = t7 sc and a', b', cc, d', e', f', g' = t7 sl in
+        Some
+          (Mode_divergence
+             (Printf.sprintf
+                "compiled (insts %d, interp %d, cached %d, dispatches %d, transitions \
+                 %d, exits %d, installs %d) vs legacy (insts %d, interp %d, cached %d, \
+                 dispatches %d, transitions %d, exits %d, installs %d)"
+                a b c' d e f g a' b' cc d' e' f' g')))
+
+let genome_of_seed seed =
+  let g = Splitmix.create ~seed:(Int64.of_int (seed + 0x9e3779)) in
+  let n = 1 + Splitmix.int g 6 in
+  List.init n (fun _ -> Splitmix.int g 1000)
+
+let fault_profiles_under_test = None :: List.map (fun (n, _) -> Some n) Params.fault_profiles
+
+let run_seed ?(max_steps = 4000) seed =
+  let genome = genome_of_seed seed in
+  let cases =
+    List.concat_map
+      (fun (policy, _) ->
+        List.map
+          (fun fault -> { seed; genome; policy; fault; compiled = true; max_steps })
+          fault_profiles_under_test)
+      Policies.all
+  in
+  let rec sweep n = function
+    | [] -> (None, n)
+    | c :: rest -> (
+      match run_case_cross c with
+      | None -> sweep (n + 1) rest
+      | Some f -> (Some (c, f), n + 1))
+  in
+  sweep 0 cases
+
+let shrink c0 f0 =
+  let best = ref (c0, f0) in
+  let try_improve cand =
+    match run_case_cross cand with
+    | Some f ->
+      best := (cand, f);
+      true
+    | None -> false
+  in
+  let drop i l = List.filteri (fun j _ -> j <> i) l in
+  let halve i l = List.mapi (fun j g -> if j = i then g / 2 else g) l in
+  let rec loop () =
+    let c, f = !best in
+    let candidates =
+      (* Clamp the budget to the failing step: a violation raised during
+         step [k] reproduces with any budget >= k. *)
+      (match f with
+      | Violation v when v.Check.step < c.max_steps && v.Check.step >= 1 ->
+        [ { c with max_steps = v.Check.step } ]
+      | Violation _ | Mode_divergence _ -> [])
+      @ (match c.fault with Some _ -> [ { c with fault = None } ] | None -> [])
+      @ (if List.length c.genome > 1 then
+           List.mapi (fun i _ -> { c with genome = drop i c.genome }) c.genome
+         else [])
+      @ List.concat
+          (List.mapi
+             (fun i g -> if g > 0 then [ { c with genome = halve i c.genome } ] else [])
+             c.genome)
+      @ (if c.max_steps > 2 then [ { c with max_steps = c.max_steps / 2 } ] else [])
+    in
+    if List.exists try_improve candidates then loop ()
+  in
+  loop ();
+  !best
+
+let self_test () =
+  let image = image_of_genome [ 1 ] in
+  (* A threshold of 2 gets the first region installed within a handful of
+     steps, so the shrunk reproducer lands well under the 20-step bound. *)
+  let params = { Params.default with Params.net_threshold = 2; validate = true } in
+  let policy = policy_exn "net" in
+  let run max_steps =
+    match
+      Check.checked_run ~break_at:1 ~audit_every:1 ~params ~seed:1L ~policy ~max_steps
+        image
+    with
+    | (_ : Simulator.result) -> None
+    | exception Check.Check_violation v -> Some v
+  in
+  match run 2000 with
+  | None -> Error "injected corruption was not caught by the sanitizer"
+  | Some v ->
+    let rec minimize budget v =
+      if v.Check.step >= 1 && v.Check.step < budget then
+        match run v.Check.step with
+        | Some v' -> minimize v.Check.step v'
+        | None -> budget
+      else budget
+    in
+    Ok (minimize 2000 v)

@@ -1,0 +1,72 @@
+(** Property-based fuzz harness over the sanitizer.
+
+    A {!case} is a fully deterministic point in the test matrix: a compact
+    genome (expanded into a workload program exactly as the qcheck fuzz
+    suite expands it), a policy, an optional fault profile, a dispatch
+    mode and a step budget.  {!run_case} executes it under
+    [Check.checked_run] with a per-step audit; {!run_case_cross} runs both
+    dispatch modes and additionally requires their mode-invariant metrics
+    to agree (the differential compiled-vs-legacy oracle).  {!run_seed}
+    sweeps one seed's genome across every policy × fault profile.
+
+    The first failure {!shrink}s greedily — drop the fault profile, drop
+    genes, halve gene values, clamp the budget to the failing step — to a
+    minimal case whose {!cli_line} replays it from the command line. *)
+
+type case = {
+  seed : int;  (** Simulation seed (branch behaviour). *)
+  genome : int list;  (** Workload genome; see {!image_of_genome}. *)
+  policy : string;  (** A [Regionsel_core.Policies] name. *)
+  fault : string option;  (** A [Params.fault_profile] name, if any. *)
+  compiled : bool;  (** Dispatch mode for {!run_case}. *)
+  max_steps : int;
+}
+
+type failure =
+  | Violation of Check.violation  (** The sanitizer raised. *)
+  | Mode_divergence of string
+      (** Compiled and legacy stepping disagreed on a mode-invariant
+          metric ({!run_case_cross} only). *)
+
+val failure_to_string : failure -> string
+
+val image_of_genome : int list -> Regionsel_workload.Image.t
+(** Expand a genome into a compiled workload image: each gene adds one
+    function whose shape (leaf, plain/diamond/nested loop, call loop) and
+    parameters derive from the gene value, plus a driver loop over all of
+    them.  An empty genome is treated as [[1]]. *)
+
+val cli_line : case -> string
+(** A [regionsel_fuzz] invocation replaying exactly this case. *)
+
+val run_case : ?break_at:int -> ?audit_every:int -> case -> failure option
+(** Run one case in its own dispatch mode under the sanitizer
+    ([audit_every] defaults to 1: a full cache audit every step).
+    [break_at] threads through to [Check.checked_run] (self-test only). *)
+
+val run_case_cross : ?audit_every:int -> case -> failure option
+(** Run the case under both dispatch modes ([compiled] is ignored) and
+    compare their mode-invariant signatures: executed instructions
+    (interpreted and cached), dispatches, region transitions, exits to the
+    interpreter, installs, and the install-ordered region entry list. *)
+
+val run_seed : ?max_steps:int -> int -> (case * failure) option * int
+(** Derive a genome from the seed and sweep it across every policy and
+    every fault profile (including none) with {!run_case_cross}.  Returns
+    the first failing case, if any, and the number of cases run
+    ([max_steps] defaults to 4000 per case). *)
+
+val shrink : case -> failure -> case * failure
+(** Greedily minimize a failing case (re-validating with
+    {!run_case_cross} after every candidate edit) until no single edit —
+    dropping the fault, dropping a gene, halving a gene, clamping or
+    halving the budget — still fails.  Returns the minimal case and its
+    failure. *)
+
+val self_test : unit -> (int, string) result
+(** Prove the sanitizer catches real corruption: run a tiny hot loop with
+    a low selection threshold and [break_at = 1], so the first installed
+    region is silently dropped from the entry index, then shrink the step
+    budget of the resulting violation.  [Ok budget] is the minimal budget
+    that still reproduces (the acceptance bound is 20); [Error] means the
+    corruption went uncaught — the sanitizer is broken. *)

@@ -21,10 +21,16 @@ type blacklist_entry = {
 type t = {
   by_entry : Region.t Int_tbl.t;
   by_aux_entry : Region.t Int_tbl.t;
-  fifo : Region.t Queue.t;
+  mutable fifo : Region.t Queue.t;
       (* Install order.  Retired regions are left in place as tombstones and
          skipped lazily, so eviction pops each element at most once:
-         [make_room] under [Evict_oldest] is O(evicted) amortized. *)
+         [make_room] under [Evict_oldest] is O(evicted) amortized.
+         Invalidation retires without popping, so [fifo_tombstones] counts
+         the dead elements and the queue is compacted (live entries only,
+         order preserved) once tombstones outnumber live regions —
+         otherwise an unbounded cache under an SMC/shock-heavy schedule
+         accumulates every region it ever retired. *)
+  mutable fifo_tombstones : int;
   mutable retired : Region.t list;
   mutable next_id : int;
   mutable bytes_used : int;
@@ -59,6 +65,11 @@ type t = {
       (* While [now <= fail_installs_until] the translator is flaky and
          every install fails. *)
   mutable now : int;
+  mutable clock_regressions : int;
+      (* Times [set_now] was handed a step earlier than [now] (clamped, not
+         applied).  The simulator's stamps are monotone by construction, so
+         a nonzero count means a caller replayed a stale step — surfaced as
+         a sanitizer rule under [--check]. *)
   mutable evictions : int;
   mutable flushes : int;
   mutable regenerations : int;
@@ -70,6 +81,11 @@ type t = {
       (* Lifecycle-event sink (no-op by default).  Events are stamped with
          [now], which the simulator advances via [set_now] before installs
          and fault deliveries. *)
+  mutable auditor : (string -> unit) option;
+      (* Sanitizer hook: called with the operation name after every
+         mutating operation (install, evict, flush, invalidate, shock,
+         add_link) and on a clock regression.  [None] (the default) costs
+         one compare per mutation; no cache decision ever depends on it. *)
 }
 
 let create ?capacity_bytes ?(eviction = Params.Flush_all)
@@ -80,6 +96,7 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all)
     by_entry = Int_tbl.create 256;
     by_aux_entry = Int_tbl.create 64;
     fifo = Queue.create ();
+    fifo_tombstones = 0;
     retired = [];
     next_id = 0;
     bytes_used = 0;
@@ -102,6 +119,7 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all)
     blacklist_max_shift;
     fail_installs_until = -1;
     now = 0;
+    clock_regressions = 0;
     evictions = 0;
     flushes = 0;
     regenerations = 0;
@@ -110,7 +128,13 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all)
     duplicate_installs = 0;
     translation_failures = 0;
     telemetry;
+    auditor = None;
   }
+
+let set_auditor t f = t.auditor <- Some f
+let clear_auditor t = t.auditor <- None
+
+let audited t op = match t.auditor with None -> () | Some f -> f op
 
 let dispatch t id =
   if id >= 0 && id < Array.length t.dispatch then Array.unsafe_get t.dispatch id else None
@@ -246,7 +270,8 @@ let add_link t ~(from : Region.t) ~slot ~(target : Region.t) =
     t.links_created <- t.links_created + 1;
     t.live_links <- t.live_links + 1;
     Telemetry.link_patch t.telemetry ~step:t.now ~from_id:from.Region.id
-      ~target_id:target.Region.id
+      ~target_id:target.Region.id;
+    audited t "add-link"
   end
 
 let rec evict_oldest t =
@@ -257,9 +282,14 @@ let rec evict_oldest t =
       retire t r;
       t.evictions <- t.evictions + 1;
       Telemetry.evict t.telemetry ~step:t.now ~id:r.Region.id ~flush:false;
+      audited t "evict";
       Some r
     end
-    else evict_oldest t (* tombstone: already retired by another path *)
+    else begin
+      (* Tombstone: already retired by another path. *)
+      t.fifo_tombstones <- t.fifo_tombstones - 1;
+      evict_oldest t
+    end
 
 let flush_all t =
   let flushed = ref [] in
@@ -273,7 +303,9 @@ let flush_all t =
       end)
     t.fifo;
   Queue.clear t.fifo;
+  t.fifo_tombstones <- 0;
   t.flushes <- t.flushes + 1;
+  audited t "flush";
   List.rev !flushed
 
 let n_regions t = Int_tbl.length t.by_entry
@@ -289,7 +321,16 @@ let rec make_room t needed =
       make_room t needed
     end
 
-let set_now t step = if step > t.now then t.now <- step
+let set_now t step =
+  if step > t.now then t.now <- step
+  else if step < t.now then begin
+    (* A stale stamp (e.g. a replayed snapshot from the bailout-watchdog
+       resume path) is clamped, never applied: blacklist cooldowns and
+       telemetry stamps must not move backwards.  The regression is counted
+       so the sanitizer can flag the caller. *)
+    t.clock_regressions <- t.clock_regressions + 1;
+    audited t "set-now"
+  end
 
 let record_failure t entry =
   let b =
@@ -351,8 +392,16 @@ let install t (spec : Region.spec) =
         dispatch_set t spec.Region.entry region;
         Addr.Set.iter
           (fun a ->
-            Int_tbl.replace t.by_aux_entry a region;
-            dispatch_set t a region)
+            (* An aux entry must not steal an address another live region
+               already claims: overwriting its index slot would leave that
+               region live-but-undispatchable (and, once this region
+               retires, a permanently dead dispatch slot).  The colliding
+               aux entry simply is not dispatchable — the owning region
+               still executes through it via its internal edges. *)
+            if not (mem t a) then begin
+              Int_tbl.replace t.by_aux_entry a region;
+              dispatch_set t a region
+            end)
           region.Region.aux_entries;
         Queue.add region t.fifo;
         t.bytes_used <- t.bytes_used + Region.cache_bytes region;
@@ -360,6 +409,7 @@ let install t (spec : Region.spec) =
         t.alloc_cursor <- t.alloc_cursor + Region.cache_bytes region;
         Telemetry.install t.telemetry ~step:t.now ~id:region.Region.id
           ~n_nodes:region.Region.n_nodes;
+        audited t "install";
         Ok region
       end
 
@@ -376,6 +426,22 @@ let overlaps ~lo ~hi (region : Region.t) =
     (fun (b : Block.t) -> b.Block.start <= hi && Block.last b >= lo)
     (Region.nodes region)
 
+(* Invalidation (and blacklist-path retirement) leaves its victims in the
+   FIFO as tombstones.  Under a bounded cache eviction pops them off
+   eventually, but an unbounded cache never evicts, so a long SMC-heavy run
+   would grow the queue without bound.  Rebuild the queue live-only (order
+   preserved) once tombstones outnumber live regions; the floor keeps tiny
+   caches from compacting on every invalidation. *)
+let compact_floor = 8
+
+let maybe_compact t =
+  if t.fifo_tombstones > compact_floor && t.fifo_tombstones > n_regions t then begin
+    let live = Queue.create () in
+    Queue.iter (fun r -> if is_live t r then Queue.add r live) t.fifo;
+    t.fifo <- live;
+    t.fifo_tombstones <- 0
+  end
+
 let invalidate_range t ~lo ~hi =
   let hit =
     Queue.fold (fun acc r -> if is_live t r && overlaps ~lo ~hi r then r :: acc else acc) [] t.fifo
@@ -384,10 +450,13 @@ let invalidate_range t ~lo ~hi =
   List.iter
     (fun r ->
       retire t r;
+      t.fifo_tombstones <- t.fifo_tombstones + 1;
       t.invalidations <- t.invalidations + 1;
       Telemetry.invalidate t.telemetry ~step:t.now ~id:r.Region.id;
       record_failure t r.Region.entry)
     hit;
+  maybe_compact t;
+  if hit <> [] then audited t "invalidate";
   hit
 
 let shock t ~bytes =
@@ -410,6 +479,25 @@ let by_selection rs =
 let regions t = Queue.fold (fun acc r -> if is_live t r then r :: acc else acc) [] t.fifo |> List.rev
 let all_regions t = by_selection (t.retired @ regions t)
 let bytes_used t = t.bytes_used
+let now t = t.now
+let clock_regressions t = t.clock_regressions
+let fifo_length t = Queue.length t.fifo
+let fifo_tombstones t = t.fifo_tombstones
+let iter_entries t f = Int_tbl.iter f t.by_entry
+let iter_aux_entries t f = Int_tbl.iter f t.by_aux_entry
+
+(* Deliberately break the dispatch ↔ index agreement: drop one live region
+   from [by_entry] while leaving its dispatch slot and FIFO element in
+   place.  Exists only so the sanitizer's self-test (regionsel_fuzz
+   --self-test-break) has a real corruption to catch; never called by the
+   engine. *)
+let unsafe_corrupt_for_tests t =
+  match Queue.fold (fun acc r -> if acc = None && is_live t r then Some r else acc) None t.fifo with
+  | None -> false
+  | Some r ->
+    Int_tbl.remove t.by_entry r.Region.entry;
+    true
+
 let evictions t = t.evictions
 let flushes t = t.flushes
 let regenerations t = t.regenerations

@@ -118,7 +118,17 @@ val arm_translation_failures : t -> window:int -> unit
 
 val set_now : t -> int -> unit
 (** Advance the cache's notion of the current step, which blacklist
-    cooldowns are measured against.  Monotonic: earlier steps are ignored. *)
+    cooldowns are measured against.  Monotonic: an earlier step is clamped
+    (never applied) and counted in {!clock_regressions} so the sanitizer
+    can flag the non-monotone caller. *)
+
+val now : t -> int
+(** The current step as last advanced by {!set_now}. *)
+
+val clock_regressions : t -> int
+(** Times {!set_now} was handed a step earlier than the current one.  The
+    simulator's stamps are monotone by construction, so this is 0 on every
+    healthy run — a sanitizer rule under [--check]. *)
 
 val blacklisted_until : t -> Addr.t -> int
 (** The step until which the entry is blacklisted (0 = never failed). *)
@@ -159,3 +169,40 @@ val duplicate_installs : t -> int
 
 val translation_failures : t -> int
 (** Installs failed by an armed translation-failure window. *)
+
+(** {1 Sanitizer hooks}
+
+    Introspection used by [Regionsel_check.Check] to audit the DESIGN.md
+    invariants from outside the module.  Pure observation: none of these
+    mutate the cache (except {!unsafe_corrupt_for_tests}, which exists to
+    prove the sanitizer catches real corruption). *)
+
+val set_auditor : t -> (string -> unit) -> unit
+(** Install a callback invoked with the operation name after every mutating
+    operation ("install", "evict", "flush", "invalidate", "add-link") and
+    on a {!set_now} clock regression ("set-now").  The callback must not
+    mutate the cache.  With no auditor installed (the default) each call
+    site costs one compare. *)
+
+val clear_auditor : t -> unit
+
+val fifo_length : t -> int
+(** Elements in the install-order FIFO, live regions plus tombstones. *)
+
+val fifo_tombstones : t -> int
+(** Retired regions still occupying FIFO slots.  Bounded: the queue is
+    compacted once tombstones outnumber live regions (above a small floor),
+    so [fifo_length t - fifo_tombstones t = n_regions t] always, and
+    tombstones never exceed [max 8 (n_regions t)] between operations. *)
+
+val iter_entries : t -> (Addr.t -> Region.t -> unit) -> unit
+(** Iterate the live entry index (order unspecified). *)
+
+val iter_aux_entries : t -> (Addr.t -> Region.t -> unit) -> unit
+(** Iterate the live aux-entry index (order unspecified). *)
+
+val unsafe_corrupt_for_tests : t -> bool
+(** Deliberately desynchronize the indices (drop one live region from the
+    entry index, leaving its dispatch slot in place) so tests can prove the
+    sanitizer fires.  [false] if the cache had no live region to corrupt.
+    Never call this outside a test or the fuzz driver's self-test mode. *)

@@ -91,6 +91,7 @@ type t = {
   watchdog_min_share : float;
   bailout_cooldown : int;
   compiled_regions : bool;
+  validate : bool;
 }
 
 let default =
@@ -120,6 +121,7 @@ let default =
     watchdog_min_share = 0.2;
     bailout_cooldown = 4_000;
     compiled_regions = true;
+    validate = false;
   }
 
 let pp ppf t =

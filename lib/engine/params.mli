@@ -101,6 +101,14 @@ type t = {
           inter-region link cache (the default).  [false] keeps the legacy
           address-keyed region stepping — same metrics, slower — as the
           parity reference. *)
+  validate : bool;
+      (** Run under the sanitizer (see [Regionsel_check.Check]): audit the
+          DESIGN.md cache/link/telemetry invariants on every cache mutation
+          and shadow-step the pure interpreter as a differential oracle.
+          Off by default — a [validate = false] run is bit-identical to one
+          built before the checker existed; the flag itself changes nothing
+          in the engine, it only records that the run is meant to go through
+          [Check.checked_run] (the [--check] CLI flag sets both). *)
 }
 
 val default : t

@@ -13,15 +13,36 @@ type result = {
   fault_log : Faults.log option;
 }
 
+type observer = {
+  on_context : Context.t -> unit;
+      (** Called once, right after the run's [Context] (and hence its code
+          cache) is created — the sanitizer installs its cache auditor
+          here. *)
+  on_step :
+    step:int ->
+    block:Block.t ->
+    taken:bool ->
+    next:Addr.t ->
+    believed:Addr.t ->
+    unit;
+      (** Called after every interpreter step, before the mode handlers run:
+          [block]/[taken]/[next] are the interpreter's ground truth for the
+          step, [believed] is the start address region mode believes it just
+          executed ([Addr.none] while interpreting).  The loop invariant is
+          [believed = block.start] whenever in region mode — the sanitizer's
+          divergence rule. *)
+}
+
 (* The execution mode is a pair of mutable cells rather than a variant
    ref: staying inside a region — the common case — updates only the int
    cell, where [ref (In_region (r, a))] would allocate a constructor on
    every cached step. *)
 
-let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ~policy
-    ~max_steps image =
+let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?observer
+    ~policy ~max_steps image =
   let program = image.Image.program in
   let ctx = Context.create ~params ~telemetry program in
+  (match observer with None -> () | Some o -> o.on_context ctx);
   let cache = ctx.Context.cache in
   let policy_name = Policy.name policy in
   let policy = Policy.instantiate policy ctx in
@@ -351,6 +372,19 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ~p
       if sbuf.Interp.taken then stats.Stats.taken_branches <- stats.Stats.taken_branches + 1;
       if not (Addr.is_none sbuf.Interp.next) then
         Edge_profile.record edges ~src:sbuf.Interp.block.Block.start ~dst:sbuf.Interp.next;
+      (match observer with
+      | None -> ()
+      | Some o ->
+        let believed =
+          match !cur_region with
+          | None -> Addr.none
+          | Some r ->
+            if compiled then
+              (Array.unsafe_get r.Region.node_blocks !cur_node).Block.start
+            else !cur_addr
+        in
+        o.on_step ~step:stats.Stats.steps ~block:sbuf.Interp.block
+          ~taken:sbuf.Interp.taken ~next:sbuf.Interp.next ~believed);
       (match !cur_region with
       | None -> interpret_step sbuf
       | Some region ->

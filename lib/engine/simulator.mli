@@ -39,10 +39,34 @@ type result = {
           cached-share samples — the degradation/recovery curve. *)
 }
 
+type observer = {
+  on_context : Context.t -> unit;
+      (** Called once, right after the run's [Context] (and hence its code
+          cache) is created — the sanitizer installs its cache auditor
+          here. *)
+  on_step :
+    step:int ->
+    block:Regionsel_isa.Block.t ->
+    taken:bool ->
+    next:Regionsel_isa.Addr.t ->
+    believed:Regionsel_isa.Addr.t ->
+    unit;
+      (** Called after every interpreter step, before the mode handlers run:
+          [block]/[taken]/[next] are the interpreter's ground truth for the
+          step, [believed] is the start address region mode believes it just
+          executed ([Addr.none] while interpreting).  The loop invariant —
+          the sanitizer's divergence rule — is [believed = block.start]
+          whenever in region mode. *)
+}
+(** Sanitizer hook ([Regionsel_check.Check]): a per-run observer with no
+    effect on the simulation.  With [observer = None] (the default) the
+    loop pays one compare per step; metrics are identical either way. *)
+
 val run :
   ?params:Params.t ->
   ?seed:int64 ->
   ?telemetry:Regionsel_telemetry.Telemetry.sink ->
+  ?observer:observer ->
   policy:(module Policy.S) ->
   max_steps:int ->
   Regionsel_workload.Image.t ->

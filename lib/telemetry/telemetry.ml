@@ -302,6 +302,19 @@ let spans t =
     t.spans_rev
 
 let n_installs t = t.installs
+
+let span_open t ~id = id >= 0 && id < Array.length t.open_at && t.open_at.(id) >= 0
+
+let iter_open_spans t f =
+  for id = 0 to Array.length t.open_at - 1 do
+    if t.open_at.(id) >= 0 then f ~id ~installed_at:t.open_at.(id)
+  done
+
+let n_open_spans t =
+  let n = ref 0 in
+  iter_open_spans t (fun ~id:_ ~installed_at:_ -> incr n);
+  !n
+
 let residency t = t.hist_residency
 let time_to_first_link t = t.hist_first_link
 let trace_length t = t.hist_trace_length

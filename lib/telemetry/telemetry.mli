@@ -118,6 +118,17 @@ val spans : t -> span list
 val n_installs : t -> int
 (** Install events ever recorded (ring overwrite cannot lose them). *)
 
+val span_open : t -> id:int -> bool
+(** Whether region [id] currently has an open span (installed, not yet
+    retired).  Sanitizer rule: before {!finish}, the open spans are exactly
+    the cache's live regions. *)
+
+val iter_open_spans : t -> (id:int -> installed_at:int -> unit) -> unit
+(** Iterate the ledger's open spans, increasing region id. *)
+
+val n_open_spans : t -> int
+(** Open spans (regions installed and not yet retired). *)
+
 (** {1 Histograms} *)
 
 module Hist : sig

@@ -1,0 +1,106 @@
+(* The invariant sanitizer and its differential fuzz oracle: checked runs
+   are pure observation (identical metrics), injected corruption is caught
+   and shrinks to a tiny reproducer, and the fuzz matrix is clean. *)
+
+module Check = Regionsel_check.Check
+module Fuzz = Regionsel_check.Fuzz
+module Simulator = Regionsel_engine.Simulator
+module Stats = Regionsel_engine.Stats
+module Params = Regionsel_engine.Params
+module Policies = Regionsel_core.Policies
+open Fixtures
+
+(* Acceptance: the sanitizer's self-test — a deliberate index
+   desynchronization behind the hidden [break_at] hook — is caught, and
+   greedy shrinking lands the reproducing step budget at or under 20. *)
+let self_test_catches_and_shrinks () =
+  match Fuzz.self_test () with
+  | Error msg -> Alcotest.fail msg
+  | Ok budget ->
+    check_true
+      (Printf.sprintf "shrunk budget %d within the 20-step bound" budget)
+      (budget <= 20)
+
+(* A checked run is pure observation: same seed, same params, identical
+   metrics to the plain simulator — the checker only adds the option of
+   raising. *)
+let checked_run_preserves_metrics () =
+  let image = Fuzz.image_of_genome [ 5; 17; 23 ] in
+  let params = { Params.default with Params.faults = Params.fault_profile "mixed" } in
+  let snap (r : Simulator.result) =
+    let s = r.Simulator.stats in
+    ( Stats.total_insts s,
+      s.Stats.dispatches,
+      s.Stats.region_transitions,
+      s.Stats.installs,
+      s.Stats.faults_injected )
+  in
+  let plain =
+    Simulator.run ~params ~seed:9L ~policy:Policies.combined_lei ~max_steps:8_000 image
+  in
+  let checked =
+    Check.checked_run ~params ~seed:9L ~audit_every:1 ~policy:Policies.combined_lei
+      ~max_steps:8_000 image
+  in
+  check_true "checked metrics identical" (snap plain = snap checked)
+
+(* The audit must also hold along the eviction path, which the fuzz matrix
+   (unbounded caches) does not exercise. *)
+let checked_run_survives_bounded_cache () =
+  let image = Fuzz.image_of_genome [ 101; 202; 303 ] in
+  List.iter
+    (fun eviction ->
+      let params =
+        {
+          Params.default with
+          Params.faults = Params.fault_profile "pressure";
+          cache_capacity_bytes = Some 600;
+          cache_eviction = eviction;
+        }
+      in
+      ignore
+        (Check.checked_run ~params ~audit_every:1 ~policy:Policies.combined_net
+           ~max_steps:8_000 image))
+    [ Params.Evict_oldest; Params.Flush_all ]
+
+(* Two fuzz seeds swept across every policy x fault profile x dispatch
+   mode stay violation-free (the CI job runs more seeds with a bigger
+   budget). *)
+let fuzz_matrix_clean () =
+  List.iter
+    (fun seed ->
+      match Fuzz.run_seed ~max_steps:1_500 seed with
+      | Some (c, f), _ ->
+        Alcotest.failf "seed %d: %s fails: %s" seed (Fuzz.cli_line c)
+          (Fuzz.failure_to_string f)
+      | None, n -> check_true "cases ran" (n > 0))
+    [ 1; 2 ]
+
+(* [audit_cache] directly: a healthy post-run cache passes, and dropping
+   one live region from the entry index (leaving its dispatch slot in
+   place) is convicted by the dispatch-liveness rule. *)
+let audit_convicts_desynced_index () =
+  let module Code_cache = Regionsel_engine.Code_cache in
+  let module Context = Regionsel_engine.Context in
+  let module Image = Regionsel_workload.Image in
+  let image = Fuzz.image_of_genome [ 1; 6 ] in
+  let result = run ~max_steps:8_000 Policies.net image in
+  let cache = result.Simulator.ctx.Context.cache in
+  let program = image.Image.program in
+  Check.audit_cache ~program cache ~step:0;
+  check_true "a live region existed to corrupt"
+    (Code_cache.unsafe_corrupt_for_tests cache);
+  match Check.audit_cache ~program cache ~step:42 with
+  | () -> Alcotest.fail "audit passed a desynchronized cache"
+  | exception Check.Check_violation v ->
+    check_int "violation carries the audit step" 42 v.Check.step;
+    check_true "convicted by the dispatch-liveness rule" (v.Check.rule = "dispatch-live")
+
+let suite =
+  [
+    case "self-test break caught and shrunk" self_test_catches_and_shrinks;
+    case "checked run preserves metrics" checked_run_preserves_metrics;
+    case "checked run survives bounded cache" checked_run_survives_bounded_cache;
+    case "fuzz matrix clean" fuzz_matrix_clean;
+    case "audit convicts desynced index" audit_convicts_desynced_index;
+  ]

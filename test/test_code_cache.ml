@@ -296,18 +296,83 @@ let flush_severs_all_links () =
   check_true "both slots unpatched"
     (Region.link_target r0 s1 = None && Region.link_target r1 s0 = None)
 
-let reclaimed_slot_severs_links () =
-  (* An install whose aux entry steals a dispatch slot must sever links
-     routed through it — they point at the old claimant, and a link must
-     agree with the dispatch array. *)
+let colliding_aux_entry_does_not_steal_slot () =
+  (* Pinned by the sanitizer PR: an install whose aux entry collides with a
+     live region's entry must NOT steal its dispatch slot.  The old steal
+     semantics left the claimant live-but-undispatchable — [find] and
+     [dispatch] disagreed, a later install of the same entry silently
+     overwrote the zombie's index slot, and its bytes leaked from the
+     accounting forever.  First claimant wins; links stay valid. *)
   let program, cache, r0, r1, slot = linked_pair () in
-  ignore (Code_cache.install_exn cache (aux_spec ~entry:32 ~aux:16));
-  check_true "stale link severed on slot reclaim" (Region.link_target r0 slot = None);
-  check_int "no live links" 0 (Code_cache.n_links cache);
-  check_int "sever counted" 1 (Code_cache.link_severs cache);
-  check_true "old claimant no longer dispatched"
-    (Code_cache.dispatch cache slot <> Some r1);
-  ignore program
+  let r2 = Code_cache.install_exn cache (aux_spec ~entry:32 ~aux:16) in
+  check_true "existing link survives" (Region.link_target r0 slot = Some r1);
+  check_int "one live link" 1 (Code_cache.n_links cache);
+  check_true "claimant keeps its dispatch slot"
+    (Code_cache.dispatch cache slot = Some r1);
+  check_true "find and dispatch agree" (Code_cache.find cache 16 = Some r1);
+  check_true "newcomer dispatchable at its own entry"
+    (Code_cache.dispatch cache (Program.block_id program 32) = Some r2);
+  (* Retiring the newcomer must not clobber the claimant's slot. *)
+  ignore (Code_cache.invalidate_range cache ~lo:32 ~hi:32);
+  check_true "claimant still dispatchable after newcomer retires"
+    (Code_cache.dispatch cache slot = Some r1);
+  check_true "claimant still live" (Code_cache.is_live cache r1)
+
+let fifo_tombstones_bounded () =
+  (* Regression (sanitizer PR): on an unbounded cache, regions retired by
+     invalidation used to linger in the FIFO forever — nothing ever popped
+     them.  Under a shock-heavy install/invalidate schedule the queue must
+     stay bounded by the live population (plus the compaction floor). *)
+  let cache = plain_cache () in
+  let peak = ref 0 in
+  for round = 0 to 199 do
+    let base = round * 64 in
+    for i = 0 to 3 do
+      ignore (Code_cache.install_exn cache (spec_at (base + (i * 16))))
+    done;
+    (* Dirty the whole round's range: all four regions retire in place. *)
+    ignore (Code_cache.invalidate_range cache ~lo:base ~hi:(base + 63));
+    peak := max !peak (Code_cache.fifo_length cache)
+  done;
+  check_int "no live regions left" 0 (Code_cache.n_regions cache);
+  check_int "800 invalidations" 800 (Code_cache.invalidations cache);
+  check_true
+    (Printf.sprintf "peak queue length bounded (saw %d)" !peak)
+    (!peak <= 16);
+  check_true "tombstone count consistent with queue"
+    (Code_cache.fifo_length cache - Code_cache.fifo_tombstones cache
+    = Code_cache.n_regions cache)
+
+let set_now_clamps_stale_stamps () =
+  (* Hardening (sanitizer PR): a non-monotone stamp is clamped, never
+     applied, and counted so the sanitizer can flag the caller. *)
+  let cache = plain_cache () in
+  Code_cache.set_now cache 100;
+  check_int "clock advanced" 100 (Code_cache.now cache);
+  Code_cache.set_now cache 40;
+  check_int "stale stamp clamped" 100 (Code_cache.now cache);
+  check_int "regression counted" 1 (Code_cache.clock_regressions cache);
+  Code_cache.set_now cache 100;
+  check_int "equal stamp is not a regression" 1 (Code_cache.clock_regressions cache);
+  Code_cache.set_now cache 250;
+  check_int "clock advances again" 250 (Code_cache.now cache)
+
+let auditor_fires_on_mutations () =
+  let cache = plain_cache () in
+  let ops = ref [] in
+  Code_cache.set_auditor cache (fun op -> ops := op :: !ops);
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0);
+  Code_cache.set_now cache 10;
+  Code_cache.set_now cache 5;
+  ignore (Code_cache.flush_all cache);
+  Alcotest.(check (list string))
+    "mutations audited in order"
+    [ "install"; "invalidate"; "set-now"; "flush" ]
+    (List.rev !ops);
+  Code_cache.clear_auditor cache;
+  ignore (Code_cache.install_exn cache (spec_at 16));
+  check_int "cleared auditor is silent" 4 (List.length !ops)
 
 let link_guards () =
   let program, cache, r0, r1, slot = linked_pair () in
@@ -338,6 +403,9 @@ let suite =
     case "invalidation severs links" invalidation_severs_links;
     case "eviction severs links" eviction_severs_links;
     case "flush severs all links" flush_severs_all_links;
-    case "reclaimed slot severs links" reclaimed_slot_severs_links;
+    case "colliding aux entry does not steal slot" colliding_aux_entry_does_not_steal_slot;
+    case "fifo tombstones bounded" fifo_tombstones_bounded;
+    case "set_now clamps stale stamps" set_now_clamps_stale_stamps;
+    case "auditor fires on mutations" auditor_fires_on_mutations;
     case "link guards" link_guards;
   ]

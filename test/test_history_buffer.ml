@@ -150,6 +150,75 @@ let qcheck_entries_after_sorted =
       let seqs = List.map (fun e -> e.History_buffer.seq) entries in
       List.sort compare seqs = seqs)
 
+(* Model-based audit of sequence re-issue after truncation.  [insert]
+   overwrites ring slots in place and [truncate_after] abandons them where
+   they lie, so after a truncation a re-issued sequence number lands in a
+   slot whose stale contents the hash index may still point at.  The audit
+   outcome — [find_seq] re-checks both the live window and the stored
+   target, so a stale hash binding surfaces as a miss, never as a wrong
+   entry — is pinned by replaying random insert/truncate streams against a
+   naive reference model and requiring [find], [length] and
+   [entries_after] to agree with it after every operation. *)
+let qcheck_model_audit =
+  QCheck.Test.make
+    ~name:"find/length/entries_after agree with a naive model across truncation"
+    ~count:400
+    QCheck.(pair (int_range 1 6) (list_of_size (Gen.int_range 1 160) (int_range 0 1000)))
+    (fun (capacity, ops) ->
+      let t = History_buffer.create ~capacity in
+      let live = ref [] in
+      let hash = Hashtbl.create 16 in
+      let hi = ref 0 in
+      let ok = ref true in
+      let targets = List.init 13 Fun.id in
+      let agree () =
+        ok := !ok && History_buffer.length t = List.length !live;
+        List.iter
+          (fun tgt ->
+            let expected =
+              match Hashtbl.find_opt hash tgt with
+              | None -> None
+              | Some s ->
+                List.find_opt
+                  (fun e -> e.History_buffer.seq = s && e.History_buffer.tgt = tgt)
+                  !live
+            in
+            ok := !ok && History_buffer.find t tgt = expected)
+          targets
+      in
+      List.iter
+        (fun v ->
+          if v mod 13 = 0 then begin
+            let seq = v mod (max 1 (!hi + 2)) in
+            History_buffer.truncate_after t ~seq;
+            if seq < !hi then begin
+              hi := max 0 seq;
+              live := List.filter (fun e -> e.History_buffer.seq <= !hi) !live
+            end
+          end
+          else begin
+            let src = v mod 7 and tgt = v mod 13 and follows_exit = v mod 2 = 0 in
+            let seq = History_buffer.insert t ~src ~tgt ~follows_exit in
+            incr hi;
+            ok := !ok && seq = !hi;
+            Hashtbl.replace hash tgt !hi;
+            live :=
+              { History_buffer.src; tgt; follows_exit; seq = !hi }
+              :: List.filter (fun e -> e.History_buffer.seq > !hi - capacity) !live
+          end;
+          agree ())
+        ops;
+      List.iter
+        (fun seq ->
+          let expected =
+            List.sort
+              (fun a b -> compare a.History_buffer.seq b.History_buffer.seq)
+              (List.filter (fun e -> e.History_buffer.seq > seq) !live)
+          in
+          ok := !ok && History_buffer.entries_after t ~seq = expected)
+        [ 0; !hi / 2; !hi ];
+      !ok)
+
 let suite =
   [
     case "find latest" find_latest;
@@ -165,4 +234,5 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_length_matches_live;
     QCheck_alcotest.to_alcotest qcheck_window;
     QCheck_alcotest.to_alcotest qcheck_entries_after_sorted;
+    QCheck_alcotest.to_alcotest qcheck_model_audit;
   ]

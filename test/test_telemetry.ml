@@ -227,6 +227,49 @@ let ledger_handles_id_reuse () =
     Alcotest.(check bool) "second cause evicted" true (b.Telemetry.cause = Telemetry.Evicted)
   | _ -> Alcotest.fail "expected exactly two spans"
 
+(* Span durations can never run backwards, even when a caller hands the
+   cache stale step stamps: [Code_cache.set_now] clamps (and counts) a
+   regressing clock, so every lifecycle event is stamped at or after the
+   install it follows. *)
+let span_durations_never_negative () =
+  let module Code_cache = Regionsel_engine.Code_cache in
+  let module Region = Regionsel_engine.Region in
+  let open Regionsel_isa in
+  let spec start =
+    Region.spec_of_path ~kind:Region.Trace
+      {
+        Region.blocks = [ Block.make ~start ~size:10 ~term:Terminator.Return ];
+        final_next = None;
+      }
+  in
+  let t = Telemetry.create () in
+  let cache = Code_cache.create ~telemetry:(Some t) () in
+  Code_cache.set_now cache 100;
+  ignore (Code_cache.install_exn cache (spec 0));
+  (* A stale stamp must clamp, not rewind the clock under the open span. *)
+  Code_cache.set_now cache 40;
+  check_int "stale stamp clamped" 100 (Code_cache.now cache);
+  ignore (Code_cache.invalidate_range cache ~lo:0 ~hi:0);
+  Code_cache.set_now cache 10;
+  ignore (Code_cache.install_exn cache (spec 64));
+  Telemetry.finish t ~step:(Code_cache.now cache);
+  check_int "both spans reconstructed" 2 (List.length (Telemetry.spans t));
+  List.iter
+    (fun (s : Telemetry.span) ->
+      check_true
+        (Printf.sprintf "span #%d duration non-negative (%d..%d)" s.Telemetry.id
+           s.Telemetry.installed_at s.Telemetry.retired_at)
+        (s.Telemetry.retired_at >= s.Telemetry.installed_at))
+    (Telemetry.spans t);
+  (* The end-to-end version: a fault-heavy traced run never produces a
+     backwards span either. *)
+  let t, _ = run_traced ~policy:"combined-lei" () in
+  List.iter
+    (fun (s : Telemetry.span) ->
+      check_true "traced-run span non-negative"
+        (s.Telemetry.retired_at >= s.Telemetry.installed_at))
+    (Telemetry.spans t)
+
 let suite =
   [
     case "span count equals installs" spans_cover_every_install;
@@ -241,4 +284,5 @@ let suite =
     case "event stream coherent" event_stream_is_coherent;
     case "exporters write valid files" exporters_write_valid_files;
     case "ledger handles id reuse" ledger_handles_id_reuse;
+    case "span durations never negative" span_durations_never_negative;
   ]
