@@ -899,13 +899,13 @@ let codec_speed () =
   let image = Spec.image (Option.get (Suite.find "gzip")) in
   (* A fixed long executed path to encode/decode. *)
   let interp = Regionsel_engine.Interp.create image ~seed:3L in
-  let steps = ref [] in
+  let sbuf = Regionsel_engine.Interp.make_step () in
+  let blocks = ref [] in
   for _ = 1 to 200 do
-    match Regionsel_engine.Interp.step interp with
-    | Some s -> steps := s :: !steps
-    | None -> ()
+    if Regionsel_engine.Interp.step_into interp sbuf then
+      blocks := Regionsel_engine.Interp.block interp sbuf :: !blocks
   done;
-  let blocks = List.rev_map (fun s -> s.Regionsel_engine.Interp.block) !steps in
+  let blocks = List.rev !blocks in
   let path = { Regionsel_engine.Region.blocks; final_next = None } in
   let module Compact_trace = Regionsel_core.Compact_trace in
   let encoded = Compact_trace.encode path in
@@ -999,17 +999,42 @@ let measure_throughput ?(params = Params.default) ~image_name ~policy_name () =
 let measure_steps_per_sec () = measure_throughput ~image_name:"twolf" ~policy_name:"net" ()
 
 (* Link-cache counters from one region-dominated run, surfaced in the JSON
-   so regressions in fragment linking are visible alongside throughput. *)
+   so regressions in fragment linking are visible alongside throughput —
+   plus the edge profiler's ring-drain count from the same run (a sudden
+   jump would mean edges are falling out of the batching window). *)
 let measure_link_counters () =
   let image = Spec.image (Option.get (Suite.find "twolf")) in
   let policy = Option.get (Policies.find "net") in
   let steps = if quick then 100_000 else 400_000 in
-  let m = Run_metrics.of_result (Simulator.run ~seed:1L ~policy ~max_steps:steps image) in
+  let result = Simulator.run ~seed:1L ~policy ~max_steps:steps image in
+  let m = Run_metrics.of_result result in
   ( m.Run_metrics.links,
     m.Run_metrics.link_hits,
     m.Run_metrics.link_severs,
     m.Run_metrics.links_high_water,
-    m.Run_metrics.node_steps )
+    m.Run_metrics.node_steps,
+    Regionsel_engine.Edge_profile.flushes result.Simulator.edges )
+
+(* Steady-state allocation of the headline loop, in minor-heap words per
+   executed block: two runs differing only in length cancel the per-run
+   setup costs (the interpreter's op table, policy state, region installs
+   during warm-up), leaving the marginal per-step slope.  ~0.0 is the
+   contract — the step loop itself allocates nothing; the tolerance gated
+   in CI only absorbs rare growth events (table doublings, late
+   installs). *)
+let measure_minor_words_per_step () =
+  let image = Spec.image (Option.get (Suite.find "twolf")) in
+  let policy = Option.get (Policies.find "net") in
+  let n = if quick then 100_000 else 400_000 in
+  let alloc steps =
+    let mw0 = Gc.minor_words () in
+    ignore (Simulator.run ~seed:1L ~policy ~max_steps:steps image);
+    Gc.minor_words () -. mw0
+  in
+  ignore (alloc 1_000) (* force lazy image state out of the measurement *);
+  let a1 = alloc n in
+  let a2 = alloc (2 * n) in
+  (a2 -. a1) /. float_of_int n
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -1033,11 +1058,19 @@ let emit_json path =
       ~params:{ Params.default with Params.compiled_regions = false }
       ~image_name:"gzip" ~policy_name:"net" ()
   in
-  let links, link_hits, link_severs, links_hw, node_steps = measure_link_counters () in
+  let links, link_hits, link_severs, links_hw, node_steps, profiler_flushes =
+    measure_link_counters ()
+  in
+  let minor_words_per_step = measure_minor_words_per_step () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema_version\": 2,\n";
+  Buffer.add_string b "  \"schema_version\": 3,\n";
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  (* The interpreter mode the measured runs used; "legacy" only if someone
+     re-benches with Params.threaded_dispatch = false. *)
+  Buffer.add_string b
+    (Printf.sprintf "  \"dispatch_mode\": \"%s\",\n"
+       (if Params.default.Params.threaded_dispatch then "threaded" else "legacy"));
   Buffer.add_string b
     (Printf.sprintf "  \"steps_per_sec\": %s,\n" (json_float steps_per_sec));
   Buffer.add_string b
@@ -1048,10 +1081,12 @@ let emit_json path =
     (Printf.sprintf "  \"steps_per_sec_hot_legacy\": %s,\n"
        (json_float steps_per_sec_hot_legacy));
   Buffer.add_string b
+    (Printf.sprintf "  \"minor_words_per_step\": %s,\n" (json_float minor_words_per_step));
+  Buffer.add_string b
     (Printf.sprintf
        "  \"links\": %d,\n  \"link_hits\": %d,\n  \"link_severs\": %d,\n  \
-        \"links_high_water\": %d,\n  \"node_steps\": %d,\n"
-       links link_hits link_severs links_hw node_steps);
+        \"links_high_water\": %d,\n  \"node_steps\": %d,\n  \"profiler_flushes\": %d,\n"
+       links link_hits link_severs links_hw node_steps profiler_flushes);
   (* The key is part of the schema even when the fault section didn't run
      (e.g. [--only speed]): an explicit empty array, never a missing key. *)
   let bursts = List.rev !fault_bursts in
@@ -1089,10 +1124,12 @@ let emit_json path =
   output_string oc (Buffer.contents b);
   close_out oc;
   Printf.printf
-    "\nwrote %s (%.2fM steps/sec, %.1f ns/block; hot %.2fM vs legacy %.2fM = %.2fx)\n" path
-    (steps_per_sec /. 1e6) (1e9 /. steps_per_sec) (steps_per_sec_hot /. 1e6)
+    "\nwrote %s (%.2fM steps/sec, %.1f ns/block; hot %.2fM vs legacy %.2fM = %.2fx; %.4f \
+     minor words/step)\n"
+    path (steps_per_sec /. 1e6) (1e9 /. steps_per_sec) (steps_per_sec_hot /. 1e6)
     (steps_per_sec_hot_legacy /. 1e6)
     (steps_per_sec_hot /. steps_per_sec_hot_legacy)
+    minor_words_per_step
 
 (* Sections that never touch the memoized matrix; prefilling for them
    would only add startup latency. *)

@@ -10,7 +10,7 @@ module Fuzz = Regionsel_check.Fuzz
 let usage =
   "regionsel_fuzz [--seeds A-B | --seed N] [--steps N] [--shrink] [--out FILE]\n\
    regionsel_fuzz --seed N --genome G1,G2,... [--policy P] [--fault F] [--legacy] \
-   [--steps N]\n\
+   [--legacy-dispatch] [--steps N]\n\
    regionsel_fuzz --self-test-break"
 
 let parse_seeds s =
@@ -46,6 +46,7 @@ let () =
   let policy = ref "net" in
   let fault = ref "" in
   let legacy = ref false in
+  let legacy_dispatch = ref false in
   let spec =
     [
       ("--seeds", Arg.Set_string seeds, "A-B  seed range to fuzz (default 1-5)");
@@ -63,6 +64,10 @@ let () =
       ( "--legacy",
         Arg.Set legacy,
         " use legacy (non-compiled) region stepping for --genome replay" );
+      ( "--legacy-dispatch",
+        Arg.Set legacy_dispatch,
+        " use the legacy terminator-match interpreter (not the threaded closure table) \
+         for --genome replay" );
       ( "--self-test-break",
         Arg.Set self_test,
         " (test only) inject a cache corruption and verify the sanitizer catches and \
@@ -95,6 +100,7 @@ let () =
         policy = !policy;
         fault = (if !fault = "" then None else Some !fault);
         compiled = not !legacy;
+        threaded = not !legacy_dispatch;
         max_steps = !steps;
       }
     in

@@ -142,7 +142,9 @@ let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every
   let params = { params with Params.validate = true } in
   let t = match telemetry with Some t -> t | None -> Telemetry.create () in
   let program = image.Image.program in
-  let shadow = Interp.create image ~seed in
+  (* The shadow runs the *other* dispatch mode: every checked run is then
+     also a live threaded-vs-legacy differential, step by step. *)
+  let shadow = Interp.create ~threaded:(not params.Params.threaded_dispatch) image ~seed in
   let sh = Interp.make_step () in
   let cache_ref = ref None in
   let audit ~step =
@@ -175,11 +177,11 @@ let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every
             fail ~step ~rule:"oracle-halt"
               "the run executed %s but the shadow interpreter has halted"
               (Addr.to_string block.Block.start);
-          if not (Block.equal sh.Interp.block block) then
+          if not (Block.equal (Interp.block shadow sh) block) then
             fail ~step ~rule:"oracle-block"
               "the run executed block %s but the shadow interpreter executed %s"
               (Addr.to_string block.Block.start)
-              (Addr.to_string sh.Interp.block.Block.start);
+              (Addr.to_string (Interp.block shadow sh).Block.start);
           if sh.Interp.taken <> taken then
             fail ~step ~rule:"oracle-branch"
               "block %s: the run saw taken=%b but the shadow interpreter saw %b"

@@ -15,6 +15,7 @@ type case = {
   policy : string;
   fault : string option;
   compiled : bool;
+  threaded : bool;  (* interpreter dispatch mode: threaded closures vs legacy match *)
   max_steps : int;
 }
 
@@ -70,15 +71,17 @@ let params_of c =
     Params.default with
     Params.faults = Option.map fault_exn c.fault;
     compiled_regions = c.compiled;
+    threaded_dispatch = c.threaded;
     validate = true;
   }
 
 let cli_line c =
-  Printf.sprintf "regionsel_fuzz --seed %d --genome %s --policy %s%s%s --steps %d" c.seed
+  Printf.sprintf "regionsel_fuzz --seed %d --genome %s --policy %s%s%s%s --steps %d" c.seed
     (String.concat "," (List.map string_of_int c.genome))
     c.policy
     (match c.fault with None -> "" | Some f -> " --fault " ^ f)
     (if c.compiled then "" else " --legacy")
+    (if c.threaded then "" else " --legacy-dispatch")
     c.max_steps
 
 (* One checked run; [Some result] on a clean pass, the violation
@@ -145,8 +148,15 @@ let run_seed ?(max_steps = 4000) seed =
   let cases =
     List.concat_map
       (fun (policy, _) ->
-        List.map
-          (fun fault -> { seed; genome; policy; fault; compiled = true; max_steps })
+        List.concat_map
+          (fun fault ->
+            (* Both interpreter dispatch modes drive the sweep; the checked
+               run's shadow always takes the opposite mode, so each case is
+               a threaded-vs-legacy step differential in both directions. *)
+            List.map
+              (fun threaded ->
+                { seed; genome; policy; fault; compiled = true; threaded; max_steps })
+              [ true; false ])
           fault_profiles_under_test)
       Policies.all
   in
@@ -180,6 +190,7 @@ let shrink c0 f0 =
         [ { c with max_steps = v.Check.step } ]
       | Violation _ | Mode_divergence _ -> [])
       @ (match c.fault with Some _ -> [ { c with fault = None } ] | None -> [])
+      @ (if c.threaded then [] else [ { c with threaded = true } ])
       @ (if List.length c.genome > 1 then
            List.mapi (fun i _ -> { c with genome = drop i c.genome }) c.genome
          else [])

@@ -5,9 +5,10 @@
     suite expands it), a policy, an optional fault profile, a dispatch
     mode and a step budget.  {!run_case} executes it under
     [Check.checked_run] with a per-step audit; {!run_case_cross} runs both
-    dispatch modes and additionally requires their mode-invariant metrics
-    to agree (the differential compiled-vs-legacy oracle).  {!run_seed}
-    sweeps one seed's genome across every policy × fault profile.
+    region execution modes and additionally requires their mode-invariant
+    metrics to agree (the differential compiled-vs-legacy oracle).
+    {!run_seed} sweeps one seed's genome across every policy × fault
+    profile × interpreter dispatch mode.
 
     The first failure {!shrink}s greedily — drop the fault profile, drop
     genes, halve gene values, clamp the budget to the failing step — to a
@@ -18,7 +19,12 @@ type case = {
   genome : int list;  (** Workload genome; see {!image_of_genome}. *)
   policy : string;  (** A [Regionsel_core.Policies] name. *)
   fault : string option;  (** A [Params.fault_profile] name, if any. *)
-  compiled : bool;  (** Dispatch mode for {!run_case}. *)
+  compiled : bool;  (** Region execution mode for {!run_case}. *)
+  threaded : bool;
+      (** Interpreter dispatch mode: threaded closure table ([true]) or the
+          legacy terminator match.  The checked run's shadow interpreter
+          always takes the opposite mode, so either setting doubles as a
+          live threaded-vs-legacy differential. *)
   max_steps : int;
 }
 

@@ -3,7 +3,14 @@
     Records every dynamic transfer between blocks (interpreted or cached).
     Exit domination (Section 4.1) needs it to decide whether a region
     entrance has any executed predecessor other than its dominator's exit
-    block. *)
+    block.
+
+    Recording is batched: occurrences accumulate in a small fixed ring of
+    packed [(edge_key, count)] slots and are flushed into the backing flat
+    table on slot conflict, on explicit {!flush} (the simulator drains at
+    region exits and watchdog windows), and automatically before any read —
+    so every observer sees counts identical to an unbatched per-step
+    profile. *)
 
 open Regionsel_isa
 
@@ -12,9 +19,15 @@ type t
 val create : unit -> t
 
 val record : t -> src:Addr.t -> dst:Addr.t -> unit
-(** Count one executed transfer.  Edges are stored under a packed int key
-    ([src lsl 32 lor dst]) with preallocated counter refs, so recording an
-    edge already seen allocates nothing. *)
+(** Count one executed transfer.  One multiply-hash and one or two array
+    stores on the hot path; no allocation ever. *)
+
+val flush : t -> unit
+(** Drain the ring into the backing table.  A no-op when the ring is
+    empty; otherwise counts one flush. *)
+
+val flushes : t -> int
+(** Number of ring drains so far (conflict spills are not counted). *)
 
 val count : t -> src:Addr.t -> dst:Addr.t -> int
 

@@ -97,6 +97,23 @@ let bump_fresh t key =
     true
   end
 
+(* [bump_fresh] generalized to an arbitrary positive increment: the edge
+   profiler's flush path lands a whole batched count in one probe. *)
+let add_fresh t key n =
+  if key < 0 then invalid_arg "Flat_tbl.add_fresh: negative key";
+  let i = probe t.keys t.mask key (slot t.mask key) in
+  if Array.unsafe_get t.keys i = key then begin
+    t.vals.(i) <- t.vals.(i) + n;
+    false
+  end
+  else begin
+    t.keys.(i) <- key;
+    t.vals.(i) <- n;
+    t.len <- t.len + 1;
+    maybe_grow t;
+    true
+  end
+
 let length t = t.len
 
 let fold f t acc =

@@ -29,6 +29,11 @@ val bump_fresh : t -> int -> bool
     same single probe.
     @raise Invalid_argument on a negative key. *)
 
+val add_fresh : t -> int -> int -> bool
+(** [add_fresh t key n] adds [n] to the key's count, inserting it at [n];
+    [true] iff the key was newly inserted.  One probe.
+    @raise Invalid_argument on a negative key. *)
+
 val length : t -> int
 
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a

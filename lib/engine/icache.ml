@@ -53,14 +53,35 @@ let touch_line t line =
   t.clock <- t.clock + 1;
   let set = line land (t.n_sets - 1) in
   let base = set * t.ways in
-  let i = find_way t.tags base line t.ways 0 in
-  if i >= 0 then t.stamps.(base + i) <- t.clock
+  if t.ways = 2 then begin
+    (* The default geometry, on the per-step path: both ways checked
+       inline, no way-scan calls.  [base + 1] is in bounds because [set <
+       n_sets] and the arrays hold [n_sets * ways] slots.  Tie-breaking
+       matches [lru_way]: way 1 is the victim only when strictly older. *)
+    let tags = t.tags and stamps = t.stamps in
+    if Array.unsafe_get tags base = line then Array.unsafe_set stamps base t.clock
+    else if Array.unsafe_get tags (base + 1) = line then
+      Array.unsafe_set stamps (base + 1) t.clock
+    else begin
+      t.misses <- t.misses + 1;
+      let victim =
+        if Array.unsafe_get stamps (base + 1) < Array.unsafe_get stamps base then base + 1
+        else base
+      in
+      Array.unsafe_set tags victim line;
+      Array.unsafe_set stamps victim t.clock
+    end
+  end
   else begin
-    t.misses <- t.misses + 1;
-    (* Evict the least-recently-used way. *)
-    let victim = lru_way t.stamps base t.ways 0 1 in
-    t.tags.(base + victim) <- line;
-    t.stamps.(base + victim) <- t.clock
+    let i = find_way t.tags base line t.ways 0 in
+    if i >= 0 then t.stamps.(base + i) <- t.clock
+    else begin
+      t.misses <- t.misses + 1;
+      (* Evict the least-recently-used way. *)
+      let victim = lru_way t.stamps base t.ways 0 1 in
+      t.tags.(base + victim) <- line;
+      t.stamps.(base + victim) <- t.clock
+    end
   end
 
 let access t ~addr ~bytes =

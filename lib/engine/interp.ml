@@ -7,43 +7,33 @@ exception Runaway_stack of int
 
 let max_stack_depth = 100_000
 
+(* The step record is all-immediate — three untagged ints — so filling it
+   is three plain stores with no write barrier.  Callers that need the
+   executed [Block.t] translate the dense id through the program's block
+   array themselves (one array read). *)
+type step = { mutable block_id : int; mutable taken : bool; mutable next : Addr.t }
+
+let make_step () = { block_id = -1; taken = false; next = Addr.none }
+
 (* The shadow stack is a growable int array rather than a [Stack.t]: pushing
    a return address writes one slot instead of allocating a list cell. *)
 type t = {
   image : Image.t;
+  program : Program.t;
   mutable pc : Addr.t; (* Addr.none once halted *)
   mutable stack : Addr.t array;
   mutable stack_len : int;
   cond_states : Behavior.state option array; (* keyed by dense block id *)
   indirect_states : Behavior.indirect_state option array;
   prng : Splitmix.t;
+  threaded : bool;
+  mutable ops : (step -> unit) array; (* threaded mode: dense block id -> terminator op *)
 }
-
-let create image ~seed =
-  let n = Program.n_blocks image.Image.program in
-  {
-    image;
-    pc = Program.entry image.Image.program;
-    stack = Array.make 64 0;
-    stack_len = 0;
-    cond_states = Array.make n None;
-    indirect_states = Array.make n None;
-    prng = Splitmix.create ~seed;
-  }
-
-type step = { mutable block : Block.t; mutable taken : bool; mutable next : Addr.t }
-
-let make_step () =
-  {
-    block = Block.make ~start:0 ~size:1 ~term:Terminator.Halt;
-    taken = false;
-    next = Addr.none;
-  }
 
 (* Branch-behaviour states are keyed by the branch block's dense id, so the
    per-branch lookup is an array read.  States are still created lazily in
-   first-execution order, which preserves the per-site PRNG streams (and
-   hence bit-for-bit behaviour) of the hashtable implementation. *)
+   first-execution order — in both dispatch modes — which preserves the
+   per-site PRNG streams (and hence bit-for-bit behaviour) across modes. *)
 let cond_state t id site =
   match t.cond_states.(id) with
   | Some s -> s
@@ -70,65 +60,158 @@ let push_return t addr =
   t.stack.(t.stack_len) <- addr;
   t.stack_len <- t.stack_len + 1
 
-let step_into t (s : step) =
-  if Addr.is_none t.pc then false
+let pop_return t (s : step) =
+  s.taken <- true;
+  if t.stack_len = 0 then s.next <- Addr.none
   else begin
-    let program = t.image.Image.program in
-    let id = Program.block_id program t.pc in
-    let block = Program.block_of_id program id in
-    let site = Block.last block in
-    (* Write the outcome straight into the caller's step record: returning
-       a (taken, next) pair here would allocate on every executed block. *)
-    (match block.Block.term with
-    | Terminator.Fallthrough ->
+    t.stack_len <- t.stack_len - 1;
+    s.next <- Array.unsafe_get t.stack t.stack_len
+  end
+
+let bad_transfer site next =
+  invalid_arg
+    (Printf.sprintf "Interp.step: transfer from %s to %s, which is not a block start"
+       (Addr.to_string site) (Addr.to_string next))
+
+(* Threaded-code dispatch: each block's terminator is compiled once, at
+   interpreter creation, into a closure indexed by the block's dense id —
+   the same flat-array shape [Region.of_spec] gives compiled automata.  A
+   step is then an array load and one indirect call; the closure has the
+   fall-through and target addresses pre-resolved as captured ints, so the
+   per-variant [match], the [Block.last] site recomputation, and the
+   per-step target validation all disappear from the hot path.
+
+   Dropping the validation is sound for statically-addressed terminators:
+   [Program.validate] is the only constructor of [Program.t] and proves
+   every Jump/Cond/Call target and every fall-through address is a block
+   start — and return addresses are pushed Call fall-throughs, so they are
+   covered too.  Only the two indirect terminators take targets from
+   behaviour specs, which the program proof does not reach; their ops keep
+   the per-step check. *)
+let compile_op t (block : Block.t) id =
+  let fall = Block.fall_addr block in
+  let site = Block.last block in
+  match block.Block.term with
+  | Terminator.Fallthrough ->
+    fun s ->
       s.taken <- false;
-      s.next <- Block.fall_addr block
-    | Terminator.Jump tgt ->
+      s.next <- fall
+  | Terminator.Jump tgt ->
+    fun s ->
       s.taken <- true;
       s.next <- tgt
-    | Terminator.Cond tgt ->
+  | Terminator.Cond tgt ->
+    fun s ->
       if Behavior.decide (cond_state t id site) then begin
         s.taken <- true;
         s.next <- tgt
       end
       else begin
         s.taken <- false;
-        s.next <- Block.fall_addr block
+        s.next <- fall
       end
-    | Terminator.Call tgt ->
-      push_return t (Block.fall_addr block);
+  | Terminator.Call tgt ->
+    fun s ->
+      push_return t fall;
       s.taken <- true;
       s.next <- tgt
-    | Terminator.Indirect_jump ->
+  | Terminator.Indirect_jump ->
+    fun s ->
+      let next = Behavior.choose (indirect_state t id site) in
+      if not (Program.is_block_start t.program next) then bad_transfer site next;
       s.taken <- true;
-      s.next <- Behavior.choose (indirect_state t id site)
-    | Terminator.Indirect_call ->
-      push_return t (Block.fall_addr block);
+      s.next <- next
+  | Terminator.Indirect_call ->
+    fun s ->
+      let next = Behavior.choose (indirect_state t id site) in
+      if not (Program.is_block_start t.program next) then bad_transfer site next;
+      push_return t fall;
       s.taken <- true;
-      s.next <- Behavior.choose (indirect_state t id site)
-    | Terminator.Return ->
-      s.taken <- true;
-      if t.stack_len = 0 then s.next <- Addr.none
-      else begin
-        t.stack_len <- t.stack_len - 1;
-        s.next <- t.stack.(t.stack_len)
-      end
-    | Terminator.Halt ->
+      s.next <- next
+  | Terminator.Return -> fun s -> pop_return t s
+  | Terminator.Halt ->
+    fun s ->
       s.taken <- false;
-      s.next <- Addr.none);
-    let next = s.next in
-    if (not (Addr.is_none next)) && not (Program.is_block_start program next) then
-      invalid_arg
-        (Printf.sprintf "Interp.step: transfer from %s to %s, which is not a block start"
-           (Addr.to_string site) (Addr.to_string next));
-    t.pc <- next;
-    s.block <- block;
+      s.next <- Addr.none
+
+let create ?(threaded = true) image ~seed =
+  let program = image.Image.program in
+  let n = Program.n_blocks program in
+  let t =
+    {
+      image;
+      program;
+      pc = Program.entry program;
+      stack = Array.make 64 0;
+      stack_len = 0;
+      cond_states = Array.make n None;
+      indirect_states = Array.make n None;
+      prng = Splitmix.create ~seed;
+      threaded;
+      ops = [||];
+    }
+  in
+  if threaded then
+    t.ops <- Array.init n (fun id -> compile_op t (Program.block_of_id program id) id);
+  t
+
+(* The legacy dispatch path: a [match] over terminator variants with the
+   fall-through, site, and validation recomputed per step.  Kept (behind
+   [create ~threaded:false]) as the differential reference for the
+   threaded path — the parity suite and the fuzz oracle run both modes
+   over the same workloads and require bit-identical streams. *)
+let step_legacy t (s : step) id =
+  let program = t.program in
+  let block = Program.block_of_id program id in
+  let site = Block.last block in
+  (match block.Block.term with
+  | Terminator.Fallthrough ->
+    s.taken <- false;
+    s.next <- Block.fall_addr block
+  | Terminator.Jump tgt ->
+    s.taken <- true;
+    s.next <- tgt
+  | Terminator.Cond tgt ->
+    if Behavior.decide (cond_state t id site) then begin
+      s.taken <- true;
+      s.next <- tgt
+    end
+    else begin
+      s.taken <- false;
+      s.next <- Block.fall_addr block
+    end
+  | Terminator.Call tgt ->
+    push_return t (Block.fall_addr block);
+    s.taken <- true;
+    s.next <- tgt
+  | Terminator.Indirect_jump ->
+    s.taken <- true;
+    s.next <- Behavior.choose (indirect_state t id site)
+  | Terminator.Indirect_call ->
+    push_return t (Block.fall_addr block);
+    s.taken <- true;
+    s.next <- Behavior.choose (indirect_state t id site)
+  | Terminator.Return -> pop_return t s
+  | Terminator.Halt ->
+    s.taken <- false;
+    s.next <- Addr.none);
+  let next = s.next in
+  if (not (Addr.is_none next)) && not (Program.is_block_start program next) then
+    bad_transfer site next
+
+let[@inline] step_into t (s : step) =
+  let pc = t.pc in
+  if Addr.is_none pc then false
+  else begin
+    (* [pc] is always a validated block start, so the id is in range. *)
+    let id = Program.block_id t.program pc in
+    s.block_id <- id;
+    if t.threaded then (Array.unsafe_get t.ops id) s else step_legacy t s id;
+    t.pc <- s.next;
     true
   end
 
-let step t =
-  let s = make_step () in
-  if step_into t s then Some s else None
-
+let block t (s : step) = Program.block_of_id t.program s.block_id
+let threaded t = t.threaded
 let pc t = if Addr.is_none t.pc then None else Some t.pc
 let stack_depth t = t.stack_len

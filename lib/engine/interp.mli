@@ -7,20 +7,31 @@
     real shadow stack, so return addresses — and hence interprocedural
     cycles — behave exactly as in native execution.
 
+    Dispatch is threaded-code by default: {!create} precompiles every
+    block's terminator into a closure indexed by the block's dense id, so a
+    step is an array load and one call — no terminator [match], no
+    per-step target validation for statically-checked transfers (the
+    program constructor already proved them).  [create ~threaded:false]
+    keeps the legacy match-based dispatch as a differential reference; the
+    two modes are bit-identical (same PRNG streams, same step sequence),
+    which the parity suite and the fuzz oracle verify.
+
     The stepping API is built for the simulator's hot loop: {!step_into}
-    fills a caller-owned mutable {!step} record and performs no allocation —
-    block lookup is a dense-id array read, branch state is an array read,
-    and the shadow stack is an int array.  {!step} is the boxed convenience
-    wrapper for cold callers that want to retain steps. *)
+    fills a caller-owned mutable {!step} record and performs no allocation.
+    The record holds only immediates (the executed block's dense id, the
+    taken flag, the next address); use {!block} — or
+    [Program.block_of_id] directly — to recover the [Block.t]. *)
 
 open Regionsel_isa
 
 type t
 
-val create : Regionsel_workload.Image.t -> seed:int64 -> t
+val create : ?threaded:bool -> Regionsel_workload.Image.t -> seed:int64 -> t
+(** [threaded] (default [true]) selects threaded-code dispatch; [false]
+    selects the legacy match-based path.  Both produce identical steps. *)
 
 type step = {
-  mutable block : Block.t;  (** The block just executed. *)
+  mutable block_id : int;  (** Dense id of the block just executed. *)
   mutable taken : bool;  (** Whether its terminator transferred control away. *)
   mutable next : Addr.t;  (** The next block start; [Addr.none] after a halt. *)
 }
@@ -33,9 +44,10 @@ val step_into : t -> step -> bool
     once the program has halted (explicit [Halt] or return with an empty
     stack), in which case the record is untouched.  Allocation-free. *)
 
-val step : t -> step option
-(** Execute one block.  [None] once the program has halted.  Each call
-    returns a fresh record, safe to retain. *)
+val block : t -> step -> Block.t
+(** The block a filled step record refers to. *)
+
+val threaded : t -> bool
 
 val pc : t -> Addr.t option
 (** The next block to execute. *)

@@ -91,6 +91,7 @@ type t = {
   watchdog_min_share : float;
   bailout_cooldown : int;
   compiled_regions : bool;
+  threaded_dispatch : bool;
   validate : bool;
 }
 
@@ -121,6 +122,7 @@ let default =
     watchdog_min_share = 0.2;
     bailout_cooldown = 4_000;
     compiled_regions = true;
+    threaded_dispatch = true;
     validate = false;
   }
 

@@ -226,6 +226,39 @@ let of_spec ~id ~selected_at ?program spec =
     cache_base = -1;
   }
 
+(* A sentinel for "no region": the simulator's current-region cell is a
+   plain [t ref] compared by physical equality, so staying in or leaving
+   region mode never allocates an option constructor.  Never executed —
+   nothing reads its (empty) fields. *)
+let dummy =
+  {
+    id = -1;
+    entry = Addr.none;
+    kind = Trace;
+    n_nodes = 0;
+    node_blocks = [||];
+    node_offsets = [||];
+    node_is_entry = [||];
+    succ_bits = [||];
+    succ_stride = 0;
+    hot_succ_addr = [||];
+    hot_succ_node = [||];
+    node_by_addr = Flat_tbl.create 1;
+    node_of_block = [||];
+    link_slots = [||];
+    copied_insts = 0;
+    n_stubs = 0;
+    spans_cycle = false;
+    selected_at = 0;
+    entries = 0;
+    cycle_iters = 0;
+    exits = 0;
+    insts_executed = 0;
+    exit_log = Flat_tbl.create 1;
+    aux_entries = Addr.Set.empty;
+    cache_base = -1;
+  }
+
 let node_id t a = if a < 0 then -1 else Flat_tbl.find t.node_by_addr a
 let node_block t i = t.node_blocks.(i)
 

@@ -126,6 +126,12 @@ val of_spec : id:int -> selected_at:int -> ?program:Program.t -> spec -> t
     @raise Invalid_argument if the spec is malformed (entry not a node, or
     an edge endpoint that is not a node). *)
 
+val dummy : t
+(** A zero-node sentinel for "no region", compared by physical equality.
+    The simulator's current-region cell holds it while interpreting, so
+    mode changes are plain stores instead of option allocations.  Never
+    execute it — its arrays are empty. *)
+
 val node_id : t -> Addr.t -> int
 (** The node id of the block starting at the address, or [-1]. *)
 

@@ -33,10 +33,13 @@ type observer = {
           divergence rule. *)
 }
 
-(* The execution mode is a pair of mutable cells rather than a variant
-   ref: staying inside a region — the common case — updates only the int
-   cell, where [ref (In_region (r, a))] would allocate a constructor on
-   every cached step. *)
+(* The execution mode is a [Region.t ref] holding [Region.dummy] while
+   interpreting, plus an int cell for the position within the region
+   ([cur_node] compiled / [cur_addr] legacy).  Physical equality against
+   the sentinel replaces an option match, and — the point — entering or
+   crossing regions is a plain store: with [Region.t option ref] every one
+   of the ~100k region-to-region transitions of a cache-friendly run
+   allocated a [Some], the last allocation on the steady-state path. *)
 
 let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?observer
     ~policy ~max_steps image =
@@ -46,7 +49,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
   let cache = ctx.Context.cache in
   let policy_name = Policy.name policy in
   let policy = Policy.instantiate policy ctx in
-  let interp = Interp.create image ~seed in
+  let interp = Interp.create ~threaded:params.Params.threaded_dispatch image ~seed in
   let stats = Stats.create () in
   let edges = Edge_profile.create () in
   let icache =
@@ -54,12 +57,12 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
       ~line_bytes:params.Params.icache_line_bytes ~ways:params.Params.icache_ways ()
   in
   let compiled = params.Params.compiled_regions in
-  let cur_region = ref None in (* None = interpreting *)
+  let cur_region = ref Region.dummy in (* dummy = interpreting *)
   let cur_addr = ref Addr.none in (* legacy mode: current block address *)
   let cur_node = ref 0 in (* compiled mode: current node id within !cur_region *)
   let halted = ref false in
   (* Fault machinery.  On clean runs ([faults = None]) all of this
-     collapses to two always-false int compares per step. *)
+     collapses to one always-false branch per step. *)
   let faults =
     match params.Params.faults with
     | None -> None
@@ -78,7 +81,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
   (* Hot-loop scratch: one step record and one policy event, reused for
      every interpreted block so the per-step path allocates nothing. *)
   let sbuf = Interp.make_step () in
-  let ib = { Policy.block = sbuf.Interp.block; taken = false; next = Addr.none } in
+  let ib = { Policy.block = Program.block_of_id program 0; taken = false; next = Addr.none } in
   let interp_event = Policy.Interp_block ib in
   (* Selection events are policy decisions, stamped before the install is
      attempted; the node-list walk only happens with a live sink. *)
@@ -137,8 +140,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
     install_if_any
       (Policy.handle policy (Policy.Region_invalidated { entry = spec.Region.entry }))
   in
-  let interpret_step (s : Interp.step) =
-    let block = s.Interp.block in
+  let interpret_step (block : Block.t) (s : Interp.step) =
     stats.Stats.interpreted_insts <- stats.Stats.interpreted_insts + block.Block.size;
     ib.Policy.block <- block;
     ib.Policy.taken <- s.Interp.taken;
@@ -153,7 +155,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
         stats.Stats.dispatches <- stats.Stats.dispatches + 1;
         Telemetry.dispatch telemetry ~step:stats.Stats.steps ~id:region.Region.id;
         Region.record_entry region;
-        cur_region := Some region;
+        cur_region := region;
         cur_addr := a;
         (* A dispatch hit is at the region's entry or an aux entry, both
            nodes of the region, so the translation is never -1. *)
@@ -162,9 +164,8 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
     end
   in
   (* Invariant: [cur] is the start address of the block just executed,
-     [s.block] — the loop only enters region mode at a block start. *)
-  let region_step region cur (s : Interp.step) =
-    let block = s.Interp.block in
+     [block] — the loop only enters region mode at a block start. *)
+  let region_step region cur (block : Block.t) (s : Interp.step) =
     stats.Stats.cached_insts <- stats.Stats.cached_insts + block.Block.size;
     Region.record_exec region block.Block.size;
     let off = Region.block_cache_offset region cur in
@@ -189,11 +190,15 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
           stats.Stats.region_transitions <- stats.Stats.region_transitions + 1;
           record_link ~from:region ~into:other;
           Region.record_entry other;
-          cur_region := Some other;
+          cur_region := other;
           cur_addr := a
         | None ->
           Region.record_exit region ~from:cur ~tgt:a;
           stats.Stats.cache_exits_to_interp <- stats.Stats.cache_exits_to_interp + 1;
+          (* Leaving cached execution is an edge-profile drain point: any
+             observer that runs while the system interprets sees counts as
+             exact as the unbatched profile's. *)
+          Edge_profile.flush edges;
           install_if_any
             (Policy.handle policy
                (Policy.Cache_exited
@@ -205,21 +210,20 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
             stats.Stats.dispatches <- stats.Stats.dispatches + 1;
             Telemetry.dispatch telemetry ~step:stats.Stats.steps ~id:fresh.Region.id;
             Region.record_entry fresh;
-            cur_region := Some fresh;
+            cur_region := fresh;
             cur_addr := a
-          | None -> cur_region := None)
+          | None -> cur_region := Region.dummy)
       end
     end
   in
   (* Compiled-mode stepping: [!cur_node] is the node id (within [region])
-     of the block just executed, [s.block].  The common stay-in-region step
+     of the block just executed, [block].  The common stay-in-region step
      is one compare against the node's precompiled hot successor; the
      general internal edge is a bitset word read; an exit consults the
      region's patched link slot before the dispatch array.  Every metric
      update matches [region_step] exactly — the parity suite runs both
      modes over the full matrix and diffs the results. *)
-  let region_step_node (region : Region.t) (s : Interp.step) =
-    let block = s.Interp.block in
+  let region_step_node (region : Region.t) (block : Block.t) (s : Interp.step) =
     stats.Stats.cached_insts <- stats.Stats.cached_insts + block.Block.size;
     stats.Stats.node_steps <- stats.Stats.node_steps + 1;
     Region.record_exec region block.Block.size;
@@ -256,7 +260,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
           Region.record_exit region ~from:cur ~tgt:a;
           stats.Stats.region_transitions <- stats.Stats.region_transitions + 1;
           Region.record_entry other;
-          cur_region := Some other;
+          cur_region := other;
           cur_node := Array.unsafe_get other.Region.node_of_block id
         | None -> (
           match Code_cache.dispatch cache id with
@@ -273,11 +277,13 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
             Code_cache.add_link cache ~from:region ~slot:id ~target:other;
             Gauges.set_links ctx.Context.gauges (Code_cache.n_links cache);
             Region.record_entry other;
-            cur_region := Some other;
+            cur_region := other;
             cur_node := Array.unsafe_get other.Region.node_of_block id
           | None ->
             Region.record_exit region ~from:cur ~tgt:a;
             stats.Stats.cache_exits_to_interp <- stats.Stats.cache_exits_to_interp + 1;
+            (* Edge-profile drain point, as in [region_step]. *)
+            Edge_profile.flush edges;
             install_if_any
               (Policy.handle policy
                  (Policy.Cache_exited
@@ -289,9 +295,9 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
               stats.Stats.dispatches <- stats.Stats.dispatches + 1;
               Telemetry.dispatch telemetry ~step:stats.Stats.steps ~id:fresh.Region.id;
               Region.record_entry fresh;
-              cur_region := Some fresh;
+              cur_region := fresh;
               cur_node := Array.unsafe_get fresh.Region.node_of_block id
-            | None -> cur_region := None))
+            | None -> cur_region := Region.dummy))
       end
     end
   in
@@ -301,9 +307,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
   let deliver_invalidations retired =
     List.iter
       (fun (r : Region.t) ->
-        (match !cur_region with
-        | Some cr when cr == r -> cur_region := None
-        | Some _ | None -> ());
+        if !cur_region == r then cur_region := Region.dummy;
         install_if_any
           (Policy.handle policy (Policy.Region_invalidated { entry = r.Region.entry })))
       retired;
@@ -325,12 +329,11 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
     | Faults.Smc_write { lo; hi } ->
       deliver_invalidations (Code_cache.invalidate_range cache ~lo ~hi)
     | Faults.Translation_failure { window } -> Code_cache.arm_translation_failures cache ~window
-    | Faults.Async_exit -> (
-      match !cur_region with
-      | Some _ ->
-        cur_region := None;
+    | Faults.Async_exit ->
+      if !cur_region != Region.dummy then begin
+        cur_region := Region.dummy;
         stats.Stats.async_exits <- stats.Stats.async_exits + 1
-      | None -> ())
+      end
     | Faults.Cache_shock { bytes } -> deliver_invalidations (Code_cache.shock cache ~bytes)
   in
   (* The bailout watchdog (fault runs only): sample the cached-instruction
@@ -338,6 +341,9 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
      while regions are still resident, selection is thrashing — flush
      everything and interpret through a cooldown. *)
   let watchdog () =
+    (* Window boundaries are observation points: drain the edge ring so the
+       snapshot-aligned state of the profile is exact. *)
+    Edge_profile.flush edges;
     let now_snap = Stats.snapshot stats in
     let d = Stats.diff ~earlier:!window_start ~later:now_snap in
     window_start := now_snap;
@@ -364,52 +370,58 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
     end;
     next_window := stats.Stats.steps + params.Params.watchdog_window
   in
+  (* Bailouts, fault arrival, and watchdog windows all require a fault
+     profile, so a clean run folds their four per-step compares into this
+     one hoisted, always-false branch. *)
+  let has_events = faults <> None in
   let rec loop () =
     if stats.Stats.steps >= max_steps || !halted then ()
     else if not (Interp.step_into interp sbuf) then halted := true
     else begin
       stats.Stats.steps <- stats.Stats.steps + 1;
       if sbuf.Interp.taken then stats.Stats.taken_branches <- stats.Stats.taken_branches + 1;
-      if not (Addr.is_none sbuf.Interp.next) then
-        Edge_profile.record edges ~src:sbuf.Interp.block.Block.start ~dst:sbuf.Interp.next;
+      let block = Program.block_of_id program sbuf.Interp.block_id in
+      let next = sbuf.Interp.next in
+      if not (Addr.is_none next) then
+        Edge_profile.record edges ~src:block.Block.start ~dst:next;
       (match observer with
       | None -> ()
       | Some o ->
+        let r = !cur_region in
         let believed =
-          match !cur_region with
-          | None -> Addr.none
-          | Some r ->
-            if compiled then
-              (Array.unsafe_get r.Region.node_blocks !cur_node).Block.start
-            else !cur_addr
+          if r == Region.dummy then Addr.none
+          else if compiled then (Array.unsafe_get r.Region.node_blocks !cur_node).Block.start
+          else !cur_addr
         in
-        o.on_step ~step:stats.Stats.steps ~block:sbuf.Interp.block
-          ~taken:sbuf.Interp.taken ~next:sbuf.Interp.next ~believed);
-      (match !cur_region with
-      | None -> interpret_step sbuf
-      | Some region ->
-        if compiled then region_step_node region sbuf
-        else region_step region !cur_addr sbuf);
-      if stats.Stats.steps <= !bail_until then
-        stats.Stats.recovery_steps <- stats.Stats.recovery_steps + 1
-      else if !bail_exit_pending then begin
-        bail_exit_pending := false;
-        Telemetry.bailout_exit telemetry ~step:stats.Stats.steps
+        o.on_step ~step:stats.Stats.steps ~block ~taken:sbuf.Interp.taken ~next ~believed);
+      (let r = !cur_region in
+       if r == Region.dummy then interpret_step block sbuf
+       else if compiled then region_step_node r block sbuf
+       else region_step r !cur_addr block sbuf);
+      if has_events then begin
+        if stats.Stats.steps <= !bail_until then
+          stats.Stats.recovery_steps <- stats.Stats.recovery_steps + 1
+        else if !bail_exit_pending then begin
+          bail_exit_pending := false;
+          Telemetry.bailout_exit telemetry ~step:stats.Stats.steps
+        end;
+        if stats.Stats.steps >= !fault_next then begin
+          (match faults with
+          | Some f ->
+            while Faults.next_step f <= stats.Stats.steps do
+              apply_fault (Faults.pop f)
+            done;
+            fault_next := Faults.next_step f
+          | None -> ())
+        end;
+        if stats.Stats.steps >= !next_window then watchdog ()
       end;
-      if stats.Stats.steps >= !fault_next then begin
-        (match faults with
-        | Some f ->
-          while Faults.next_step f <= stats.Stats.steps do
-            apply_fault (Faults.pop f)
-          done;
-          fault_next := Faults.next_step f
-        | None -> ())
-      end;
-      if stats.Stats.steps >= !next_window then watchdog ();
       loop ()
     end
   in
   loop ();
+  (* End of run is the final observation point. *)
+  Edge_profile.flush edges;
   let fault_log =
     match faults with
     | None -> None

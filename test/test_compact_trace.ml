@@ -6,22 +6,24 @@ module Image = Regionsel_workload.Image
 open Fixtures
 
 (* Slice real executions into paths: any contiguous run of interpreted
-   blocks is a valid trace, which is exactly what the observers record. *)
+   blocks is a valid trace, which is exactly what the observers record.
+   Each observed step is snapshotted out of the reused step record. *)
 let executed_steps image ~seed ~n =
   let interp = Interp.create image ~seed in
+  let s = Interp.make_step () in
   let rec go acc k =
-    if k = 0 then List.rev acc
-    else match Interp.step interp with None -> List.rev acc | Some s -> go (s :: acc) (k - 1)
+    if k = 0 || not (Interp.step_into interp s) then List.rev acc
+    else go ((Interp.block interp s, s.Interp.next) :: acc) (k - 1)
   in
   go [] n
 
 let path_of_slice steps =
   match List.rev steps with
   | [] -> invalid_arg "empty slice"
-  | last :: _ ->
+  | (_, last_next) :: _ ->
     {
-      Region.blocks = List.map (fun s -> s.Interp.block) steps;
-      final_next = (if Addr.is_none last.Interp.next then None else Some last.Interp.next);
+      Region.blocks = List.map fst steps;
+      final_next = (if Addr.is_none last_next then None else Some last_next);
     }
 
 let block_starts path = List.map (fun b -> b.Block.start) path.Region.blocks

@@ -4,10 +4,22 @@ module Behavior = Regionsel_workload.Behavior
 module Interp = Regionsel_engine.Interp
 open Fixtures
 
+(* [Interp.step] is gone (it allocated a record per executed block); tests
+   that want to retain steps snapshot the reused record themselves. *)
+type obs = { block : Block.t; taken : bool; next : Addr.t }
+
+let halted interp =
+  let s = Interp.make_step () in
+  not (Interp.step_into interp s)
+
 let steps_until_halt ?(cap = 1_000_000) interp =
+  let s = Interp.make_step () in
   let rec go acc n =
-    if n >= cap then List.rev acc
-    else match Interp.step interp with None -> List.rev acc | Some s -> go (s :: acc) (n + 1)
+    if n >= cap || not (Interp.step_into interp s) then List.rev acc
+    else
+      go
+        ({ block = Interp.block interp s; taken = s.Interp.taken; next = s.Interp.next } :: acc)
+        (n + 1)
   in
   go [] 0
 
@@ -21,8 +33,8 @@ let straight_line () =
   let interp = Interp.create image ~seed:1L in
   let steps = steps_until_halt interp in
   check_int "three blocks executed" 3 (List.length steps);
-  check_true "no taken branches" (List.for_all (fun s -> not s.Interp.taken) steps);
-  check_true "halted" (Interp.step interp = None)
+  check_true "no taken branches" (List.for_all (fun s -> not s.taken) steps);
+  check_true "halted" (halted interp)
 
 let loop_trip_count () =
   let image = simple_loop ~trip:7 () in
@@ -37,7 +49,7 @@ let call_return_balance () =
   let calls = ref 0 and returns = ref 0 in
   List.iter
     (fun s ->
-      match s.Interp.block.Block.term with
+      match s.block.Block.term with
       | Terminator.Call _ | Terminator.Indirect_call -> incr calls
       | Terminator.Return -> incr returns
       | _ -> ())
@@ -49,10 +61,31 @@ let call_return_balance () =
 let determinism () =
   let run seed =
     let interp = Interp.create (figure4 ~iters:200 ()) ~seed in
-    List.map (fun s -> s.Interp.block.Block.start) (steps_until_halt interp)
+    List.map (fun s -> s.block.Block.start) (steps_until_halt interp)
   in
   Alcotest.(check (list int)) "same seed same path" (run 3L) (run 3L);
   check_true "different seeds usually differ" (run 3L <> run 4L)
+
+(* The tentpole guarantee of the threaded-code dispatch: the compiled
+   closure table and the legacy terminator [match] produce the same step
+   stream, bit for bit — same blocks, same taken flags, same targets, and
+   hence the same per-site PRNG draws. *)
+let threaded_matches_legacy () =
+  List.iter
+    (fun (name, image) ->
+      let stream threaded =
+        let interp = Interp.create ~threaded image ~seed:7L in
+        List.map (fun s -> (s.block.Block.start, s.taken, s.next)) (steps_until_halt interp)
+      in
+      Alcotest.(check (list (triple int bool int)))
+        (name ^ ": threaded stream equals legacy stream")
+        (stream false) (stream true))
+    [
+      "figure2", figure2 ~iters:100 ();
+      "figure3", figure3 ();
+      "figure4", figure4 ~iters:300 ();
+      "simple_loop", simple_loop ~trip:9 ();
+    ]
 
 let return_with_empty_stack_halts () =
   let b = Builder.create () in
@@ -60,12 +93,12 @@ let return_with_empty_stack_halts () =
   Builder.block b ~size:2 Builder.Return;
   let image = Builder.compile b ~name:"ret" in
   let interp = Interp.create image ~seed:1L in
-  (match Interp.step interp with
-  | Some s ->
-    check_true "return taken" s.Interp.taken;
-    check_true "no next" (Addr.is_none s.Interp.next)
-  | None -> Alcotest.fail "expected one step");
-  check_true "halted after" (Interp.step interp = None)
+  (match steps_until_halt interp with
+  | [ s ] ->
+    check_true "return taken" s.taken;
+    check_true "no next" (Addr.is_none s.next)
+  | steps -> Alcotest.failf "expected one step, got %d" (List.length steps));
+  check_true "halted after" (halted interp)
 
 let runaway_recursion_detected () =
   let b = Builder.create () in
@@ -90,13 +123,12 @@ let indirect_targets_followed () =
   Builder.block b ~size:2 (Builder.Indirect_jump (Builder.Round_robin [ "t1"; "t2" ]));
   let image = Builder.compile b ~name:"ind" ~entry:"main" in
   let interp = Interp.create image ~seed:1L in
+  let s = Interp.make_step () in
   let targets = ref [] in
   for _ = 1 to 8 do
-    match Interp.step interp with
-    | Some s ->
-      if Terminator.is_indirect s.Interp.block.Block.term then
-        targets := s.Interp.next :: !targets
-    | None -> Alcotest.fail "program should not halt"
+    if not (Interp.step_into interp s) then Alcotest.fail "program should not halt";
+    if Terminator.is_indirect (Interp.block interp s).Block.term then
+      targets := s.Interp.next :: !targets
   done;
   ignore image;
   let t1 = 0x1000 (* the first declared function sits at the base address *) in
@@ -107,11 +139,11 @@ let taken_flags_match_terminators () =
   let interp = Interp.create (figure2 ~iters:100 ()) ~seed:5L in
   List.iter
     (fun s ->
-      match s.Interp.block.Block.term with
+      match s.block.Block.term with
       | Terminator.Jump _ | Terminator.Call _ | Terminator.Return | Terminator.Indirect_jump
-      | Terminator.Indirect_call -> check_true "unconditional transfers are taken" s.Interp.taken
+      | Terminator.Indirect_call -> check_true "unconditional transfers are taken" s.taken
       | Terminator.Fallthrough | Terminator.Halt ->
-        check_true "fallthrough never taken" (not s.Interp.taken)
+        check_true "fallthrough never taken" (not s.taken)
       | Terminator.Cond _ -> ())
     (steps_until_halt interp)
 
@@ -121,8 +153,8 @@ let next_is_block_start () =
   let interp = Interp.create image ~seed:9L in
   List.iter
     (fun s ->
-      if not (Addr.is_none s.Interp.next) then
-        check_true "next is a block start" (Program.is_block_start p s.Interp.next))
+      if not (Addr.is_none s.next) then
+        check_true "next is a block start" (Program.is_block_start p s.next))
     (steps_until_halt interp)
 
 let suite =
@@ -131,6 +163,7 @@ let suite =
     case "loop trip count" loop_trip_count;
     case "call/return balance" call_return_balance;
     case "determinism" determinism;
+    case "threaded dispatch matches legacy" threaded_matches_legacy;
     case "return with empty stack halts" return_with_empty_stack_halts;
     case "runaway recursion detected" runaway_recursion_detected;
     case "indirect targets followed" indirect_targets_followed;

@@ -9,8 +9,11 @@ module Spec = Regionsel_workload.Spec
 module Suite = Regionsel_workload.Suite
 module Simulator = Regionsel_engine.Simulator
 module Domain_pool = Regionsel_engine.Domain_pool
+module Edge_profile = Regionsel_engine.Edge_profile
 module Run_metrics = Regionsel_metrics.Run_metrics
 module Policies = Regionsel_core.Policies
+module Addr = Regionsel_isa.Addr
+module Block = Regionsel_isa.Block
 open Fixtures
 
 (* Small budgets keep the full (workload x policy) sweep test-suite fast
@@ -98,6 +101,119 @@ let compiled_matches_legacy_under_faults () =
   in
   check_pairwise ~what:"compiled vs legacy under faults" legacy compiled
 
+(* Interpreter dispatch is pure mechanics: the threaded closure table and
+   the legacy terminator match must agree on every exported metric with
+   nothing stripped — unlike region modes, dispatch mode is invisible even
+   to the link/node counters. *)
+let legacy_dispatch_params ?(faults = None) () =
+  { Regionsel_engine.Params.default with
+    Regionsel_engine.Params.threaded_dispatch = false;
+    faults
+  }
+
+let threaded_matches_legacy_dispatch () =
+  let threaded = List.map (fun (spec, p) -> run spec p) tasks in
+  let legacy =
+    List.map (fun (spec, p) -> run ~params:(legacy_dispatch_params ()) spec p) tasks
+  in
+  check_pairwise ~what:"threaded vs legacy dispatch" legacy threaded
+
+let threaded_matches_legacy_dispatch_under_faults () =
+  let faults = Regionsel_engine.Params.fault_profile "mixed" in
+  let params = { Regionsel_engine.Params.default with Regionsel_engine.Params.faults } in
+  let threaded = List.map (fun (spec, p) -> run ~params spec p) tasks in
+  let legacy =
+    List.map
+      (fun (spec, p) -> run ~params:(legacy_dispatch_params ~faults ()) spec p)
+      tasks
+  in
+  check_pairwise ~what:"threaded vs legacy dispatch under faults" legacy threaded
+
+(* The batched edge profile must be observationally exact.  Part one: a
+   real fault run (watchdog windows = Stats.snapshot boundaries, each
+   preceded by a ring drain) whose final profile must equal a per-step
+   reference rebuilt by the observer — same edges, same counts, nothing
+   lost or double-counted across all the mid-run flushes. *)
+let batched_profile_matches_per_step () =
+  let spec = List.hd Suite.all in
+  let policy = Option.get (Policies.find "net") in
+  let faults = Regionsel_engine.Params.fault_profile "mixed" in
+  let params = { Regionsel_engine.Params.default with Regionsel_engine.Params.faults } in
+  let reference : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let stream = ref [] in
+  let observer =
+    {
+      Simulator.on_context = (fun _ -> ());
+      on_step =
+        (fun ~step:_ ~block ~taken:_ ~next ~believed:_ ->
+          if not (Addr.is_none next) then begin
+            let key = (block.Block.start, next) in
+            Hashtbl.replace reference key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt reference key));
+            stream := key :: !stream
+          end);
+    }
+  in
+  let result =
+    Simulator.run ~params ~seed:1L ~observer ~policy ~max_steps:(budget spec)
+      (Spec.image spec)
+  in
+  let edges = result.Simulator.edges in
+  check_true "the run actually drained the ring at least once"
+    (Edge_profile.flushes edges >= 1);
+  let n =
+    Edge_profile.fold
+      (fun ~src ~dst n acc ->
+        (match Hashtbl.find_opt reference (src, dst) with
+        | Some r when r = n -> ()
+        | Some r ->
+          Alcotest.failf "edge %s->%s: profile says %d, per-step reference says %d"
+            (Addr.to_string src) (Addr.to_string dst) n r
+        | None ->
+          Alcotest.failf "edge %s->%s: in the profile but never observed"
+            (Addr.to_string src) (Addr.to_string dst));
+        acc + 1)
+      edges 0
+  in
+  check_int "profile holds exactly the observed edge set" (Hashtbl.length reference) n;
+  !stream
+
+(* Part two: replay that same step stream into fresh profiles, forcing a
+   flush-and-read at every [k]th step for several boundary spacings.  Every
+   boundary must see counts identical to the per-step reference — exactness
+   at *every* observation point, not just the end of the run. *)
+let batched_profile_exact_at_every_boundary () =
+  let stream = List.rev (batched_profile_matches_per_step ()) in
+  List.iter
+    (fun k ->
+      let e = Edge_profile.create () in
+      let reference : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+      List.iteri
+        (fun i ((src, dst) as key) ->
+          Edge_profile.record e ~src ~dst;
+          Hashtbl.replace reference key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt reference key));
+          if (i + 1) mod k = 0 then begin
+            Edge_profile.flush e;
+            if Edge_profile.count e ~src ~dst <> Hashtbl.find reference key then
+              Alcotest.failf
+                "boundary spacing %d, step %d: edge %s->%s flushed to %d but the \
+                 per-step count is %d"
+                k (i + 1) (Addr.to_string src) (Addr.to_string dst)
+                (Edge_profile.count e ~src ~dst)
+                (Hashtbl.find reference key)
+          end)
+        stream;
+      Hashtbl.iter
+        (fun (src, dst) r ->
+          if Edge_profile.count e ~src ~dst <> r then
+            Alcotest.failf "boundary spacing %d: edge %s->%s ends at %d, expected %d" k
+              (Addr.to_string src) (Addr.to_string dst)
+              (Edge_profile.count e ~src ~dst)
+              r)
+        reference)
+    [ 1; 7; 64; 1000 ]
+
 let suite =
   [
     case "sequential runs are deterministic" sequential_deterministic;
@@ -105,4 +221,9 @@ let suite =
     case "empty fault profile leaves metrics identical" empty_fault_profile_is_identity;
     case "compiled matches legacy execution" compiled_matches_legacy;
     case "compiled matches legacy under faults" compiled_matches_legacy_under_faults;
+    case "threaded dispatch matches legacy dispatch" threaded_matches_legacy_dispatch;
+    case "threaded dispatch matches legacy dispatch under faults"
+      threaded_matches_legacy_dispatch_under_faults;
+    case "batched edge profile is exact at every boundary"
+      batched_profile_exact_at_every_boundary;
   ]
