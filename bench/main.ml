@@ -8,6 +8,7 @@
           [--fault-seed N]
    Sections: fig7 fig8 fig9 fig10 fig11 fig12 hitrate fig16 fig17 fig18
    fig19 summary related ablation-buffer ablation-tprof faults speed
+   codec restore
 
    The (benchmark x policy) matrix behind the figures is simulated up
    front, fanned across domains (see Domain_pool); each run is
@@ -933,6 +934,119 @@ let codec_speed () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Warm-start vs cold-start (checkpoint/restore)                       *)
+(* ------------------------------------------------------------------ *)
+
+module Persist = Regionsel_persist.Persist
+
+(* How much faster a run reaches steady state when its warm state (code
+   cache, profiles, policy structures) is restored from a snapshot rather
+   than rebuilt from scratch.  For each cell, [cold] is the smallest
+   number of steps after which a from-scratch segment's cached-instruction
+   share reaches 95% of the cell's steady-state share; [warm] is the same
+   threshold for a segment that first restores an end-of-run snapshot.
+   Both search the same deterministic share curve, so the ratio is exactly
+   the re-warm work a crash-restart saves. *)
+let restore_cells = [ "gzip", "net"; "mcf", "net"; "twolf", "lei" ]
+
+let restore_snapshot ~spec ~policy_name =
+  let policy = Option.get (Policies.find policy_name) in
+  let snap = ref None in
+  ignore
+    (Regionsel_engine.Simulator.run ~seed:1L ~policy ~max_steps:(budget spec)
+       ~checkpoint:
+         ( max_int,
+           fun internals ->
+             snap := Some (Persist.encode ~seed:1L ~policy:policy_name internals) )
+       (Spec.image spec));
+  Option.get !snap
+
+(* Cached-instruction share of one [n]-step segment: from scratch, or
+   continuing from [snapshot] (where the counter diff isolates the new
+   segment from the restored run's history). *)
+let segment_share ?snapshot ~spec ~policy_name n =
+  let policy = Option.get (Policies.find policy_name) in
+  let base = ref None in
+  let restore =
+    Option.map
+      (fun bytes (internals : Regionsel_engine.Simulator.internals) ->
+        ignore (Persist.decode_into bytes ~seed:1L ~policy:policy_name internals);
+        base :=
+          Some (Stats.snapshot internals.Regionsel_engine.Simulator.int_stats))
+      snapshot
+  in
+  let max_steps = (match snapshot with None -> 0 | Some _ -> budget spec) + n in
+  let result =
+    Regionsel_engine.Simulator.run ~seed:1L ~policy ?restore ~max_steps (Spec.image spec)
+  in
+  let later = Stats.snapshot result.Regionsel_engine.Simulator.stats in
+  let d =
+    match !base with None -> later | Some earlier -> Stats.diff ~earlier ~later
+  in
+  let total = d.Stats.Snapshot.cached_insts + d.Stats.Snapshot.interpreted_insts in
+  if total = 0 then 0.0
+  else float_of_int d.Stats.Snapshot.cached_insts /. float_of_int total
+
+(* Smallest segment length whose share reaches [target], by bisection on
+   the (monotone up to warm-up noise) share curve; [None] if even the full
+   budget never gets there. *)
+let steps_to_share ?snapshot ~spec ~policy_name ~target () =
+  let n_max = budget spec in
+  if segment_share ?snapshot ~spec ~policy_name n_max < target then None
+  else begin
+    let lo = ref 1 and hi = ref n_max in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if segment_share ?snapshot ~spec ~policy_name mid >= target then hi := mid
+      else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+let restore_section () =
+  header "Warm vs cold start: steps to 95% of steady-state cached share";
+  let rows =
+    List.map
+      (fun (bench, policy_name) ->
+        let spec = Option.get (Suite.find bench) in
+        let steady = segment_share ~spec ~policy_name (budget spec) in
+        let target = 0.95 *. steady in
+        let snapshot = restore_snapshot ~spec ~policy_name in
+        let cold =
+          Option.value ~default:(budget spec)
+            (steps_to_share ~spec ~policy_name ~target ())
+        in
+        let warm =
+          Option.value ~default:(budget spec)
+            (steps_to_share ~snapshot ~spec ~policy_name ~target ())
+        in
+        (bench ^ "/" ^ policy_name, steady, cold, warm))
+      restore_cells
+  in
+  Table.print
+    ~header:[ "bench/policy"; "steady share"; "cold steps"; "warm steps"; "warm/cold" ]
+    (List.map
+       (fun (cell, steady, cold, warm) ->
+         [
+           cell; pct steady; string_of_int cold; string_of_int warm;
+           f2 (float_of_int warm /. float_of_int cold);
+         ])
+       rows);
+  if json_path <> None then begin
+    let mean f = Aggregate.mean (List.map f rows) in
+    json_tables :=
+      ( !current_section,
+        [
+          "steady_share", mean (fun (_, s, _, _) -> s);
+          "cold_steps_to_95", mean (fun (_, _, c, _) -> float_of_int c);
+          "warm_steps_to_95", mean (fun (_, _, _, w) -> float_of_int w);
+          ( "warm_over_cold",
+            mean (fun (_, _, c, w) -> float_of_int w /. float_of_int c) );
+        ] )
+      :: !json_tables
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Harness driver                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1064,7 +1178,7 @@ let emit_json path =
   let minor_words_per_step = measure_minor_words_per_step () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema_version\": 3,\n";
+  Buffer.add_string b "  \"schema_version\": 4,\n";
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
   (* The interpreter mode the measured runs used; "legacy" only if someone
      re-benches with Params.threaded_dispatch = false. *)
@@ -1133,7 +1247,7 @@ let emit_json path =
 
 (* Sections that never touch the memoized matrix; prefilling for them
    would only add startup latency. *)
-let matrix_free = [ "speed"; "codec"; "seeds"; "faults" ]
+let matrix_free = [ "speed"; "codec"; "seeds"; "faults"; "restore" ]
 
 let () =
   Printf.printf "regionsel benchmark harness: %d benchmarks x %d policies%s\n"
@@ -1148,7 +1262,7 @@ let () =
       "ablation-threshold", ablation_threshold; "ablation-cache", ablation_bounded_cache;
       "ablation-layout", ablation_layout;
       "methods", methods; "seeds", seeds; "faults", faults_section; "speed", speed;
-      "codec", codec_speed;
+      "codec", codec_speed; "restore", restore_section;
     ]
   in
   if

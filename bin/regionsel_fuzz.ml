@@ -8,7 +8,8 @@ module Check = Regionsel_check.Check
 module Fuzz = Regionsel_check.Fuzz
 
 let usage =
-  "regionsel_fuzz [--seeds A-B | --seed N] [--steps N] [--shrink] [--out FILE]\n\
+  "regionsel_fuzz [--seeds A-B | --seed N] [--steps N] [--shrink] [--out FILE] \
+   [--snapshots [--corruptions N]]\n\
    regionsel_fuzz --seed N --genome G1,G2,... [--policy P] [--fault F] [--legacy] \
    [--legacy-dispatch] [--steps N]\n\
    regionsel_fuzz --self-test-break"
@@ -47,6 +48,8 @@ let () =
   let fault = ref "" in
   let legacy = ref false in
   let legacy_dispatch = ref false in
+  let snapshots = ref false in
+  let corruptions = ref 50 in
   let spec =
     [
       ("--seeds", Arg.Set_string seeds, "A-B  seed range to fuzz (default 1-5)");
@@ -68,6 +71,13 @@ let () =
         Arg.Set legacy_dispatch,
         " use the legacy terminator-match interpreter (not the threaded closure table) \
          for --genome replay" );
+      ( "--snapshots",
+        Arg.Set snapshots,
+        " fuzz the checkpoint restore path instead: corrupt a mid-run snapshot and \
+         require clean/degraded/rejected restores, never a crash or silent divergence" );
+      ( "--corruptions",
+        Arg.Set_int corruptions,
+        "N  corrupted restores per seed with --snapshots (default 50)" );
       ( "--self-test-break",
         Arg.Set self_test,
         " (test only) inject a cache corruption and verify the sanitizer catches and \
@@ -91,6 +101,24 @@ let () =
       end
   end;
   let lo, hi = parse_seeds !seeds in
+  if !snapshots then begin
+    (* Snapshot-corruption axis: per seed, one mid-run checkpoint battered
+       [corruptions] times; every restore must land in a lawful outcome. *)
+    let failed = ref false in
+    let seed = ref lo in
+    while (not !failed) && !seed <= hi do
+      (match Fuzz.run_snapshot_seed ~corruptions:!corruptions ~max_steps:!steps !seed with
+      | None, s ->
+        Printf.printf "seed %d: %d restores ok (%d clean, %d degraded, %d rejected)\n%!"
+          !seed s.Fuzz.snap_cases s.Fuzz.snap_clean s.Fuzz.snap_degraded s.Fuzz.snap_rejected
+      | Some (c, detail), s ->
+        failed := true;
+        Printf.printf "FAIL %s\n  snapshot restore after %d ok restores: %s\n%!"
+          (Fuzz.cli_line c) (s.Fuzz.snap_cases - 1) detail);
+      incr seed
+    done;
+    exit (if !failed then 1 else 0)
+  end;
   if !genome <> "" then begin
     (* Explicit replay of one case (the shrinker's output format). *)
     let c =

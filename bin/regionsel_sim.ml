@@ -15,6 +15,7 @@ module Table = Regionsel_report.Table
 module Telemetry = Regionsel_telemetry.Telemetry
 module Trace_export = Regionsel_telemetry.Trace_export
 module Check = Regionsel_check.Check
+module Persist = Regionsel_persist.Persist
 
 open Cmdliner
 
@@ -36,10 +37,40 @@ let seed_arg =
 
 let faults_arg =
   let doc =
-    "Enable deterministic fault injection with the named profile (mixed, smc, translation, \
-     pressure)."
+    "Enable deterministic fault injection with the named profile (mixed, crash, smc, \
+     translation, pressure)."
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PROFILE" ~doc)
+
+let save_state_arg =
+  let doc =
+    "Write a warm-state snapshot of the run to $(docv) (atomically: tmp + fsync + \
+     rename).  By default the snapshot is taken after the last step; see --at-step.  \
+     Restoring it with --restore-state and continuing is bit-identical to the \
+     uninterrupted run."
+  in
+  Arg.(value & opt (some string) None & info [ "save-state" ] ~docv:"FILE" ~doc)
+
+let at_step_arg =
+  let doc = "Take the --save-state snapshot the first time the step count reaches $(docv)." in
+  Arg.(value & opt (some int) None & info [ "at-step" ] ~docv:"N" ~doc)
+
+let restore_state_arg =
+  let doc =
+    "Restore a warm-state snapshot from $(docv) before the first step.  The snapshot's \
+     benchmark shape, seed and policy must match this invocation.  Corrupt sections are \
+     dropped with a notice on stderr and re-warm from scratch; a corrupt header aborts \
+     with exit code 5."
+  in
+  Arg.(value & opt (some string) None & info [ "restore-state" ] ~docv:"FILE" ~doc)
+
+let json_arg =
+  let doc =
+    "Print the run metrics as a single JSON object instead of the human-readable \
+     report.  Field order is fixed and floats are lossless, so identical runs produce \
+     byte-identical output."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 let check_arg =
   let doc =
@@ -84,19 +115,31 @@ let params_of_faults = function
       exit 2)
 
 let simulate ?(check = false) ?(params = Params.default) ?(telemetry = Telemetry.none)
-    spec policy steps seed =
+    ?checkpoint ?restore spec policy steps seed =
   let image = Spec.image spec in
   let max_steps = Option.value ~default:spec.Spec.default_steps steps in
   if check then
     Check.checked_run ~params:{ params with Params.validate = true } ?telemetry ~seed
-      ~policy ~max_steps image
-  else Simulator.run ~params ~seed ~telemetry ~policy ~max_steps image
+      ?checkpoint ?restore ~policy ~max_steps image
+  else Simulator.run ~params ~seed ~telemetry ?checkpoint ?restore ~policy ~max_steps image
 
-let with_check_reporting f =
-  try f ()
-  with Check.Check_violation v ->
+(* Distinct, documented exit codes: 2 = CLI lookup error, 3 = invariant
+   violation, 4 = I/O error, 5 = snapshot hard corruption. *)
+let with_error_reporting f =
+  try f () with
+  | Check.Check_violation v ->
     Printf.eprintf "%s\n%!" (Check.violation_to_string v);
     exit 3
+  | Sys_error msg ->
+    Printf.eprintf "i/o error: %s\n%!" msg;
+    exit 4
+  | Unix.Unix_error (err, fn, arg) ->
+    Printf.eprintf "i/o error: %s: %s%s\n%!" fn (Unix.error_message err)
+      (if arg = "" then "" else " (" ^ arg ^ ")");
+    exit 4
+  | Persist.Hard_corruption msg ->
+    Printf.eprintf "snapshot hard corruption: %s\n%!" msg;
+    exit 5
 
 (* Fan independent (spec, x) simulation tasks across domains.  Every run
    allocates its own state, but [Spec.image] is lazy and not thread-safe,
@@ -107,15 +150,55 @@ let parallel_map_specs f tasks =
   Domain_pool.map (fun ((spec : Spec.t), x) -> f spec x) tasks
 
 let run_cmd =
-  let run bench policy steps seed faults trace_out check =
-    with_check_reporting @@ fun () ->
+  let run bench policy steps seed faults trace_out check save_state at_step restore_state
+      json =
+    with_error_reporting @@ fun () ->
     let params = params_of_faults faults in
+    let policy_name = policy in
     let telemetry =
       match trace_out with None -> Telemetry.none | Some _ -> Some (Telemetry.create ())
     in
+    (* Save/restore notices go to stderr (like trace notices) so stdout
+       stays byte-diffable between interrupted and uninterrupted runs. *)
+    let checkpoint =
+      Option.map
+        (fun path ->
+          ( Option.value ~default:max_int at_step,
+            fun (internals : Simulator.internals) ->
+              Persist.save_file ~path ~seed ~policy:policy_name internals;
+              Printf.eprintf "snapshot: warm state saved to %s\n%!" path ))
+        save_state
+    in
+    let restore =
+      Option.map
+        (fun path (internals : Simulator.internals) ->
+          let report = Persist.restore_file ~path ~seed ~policy:policy_name internals in
+          List.iter
+            (fun (d : Persist.degraded) ->
+              Printf.eprintf "snapshot: section %s dropped (%s); re-warming from scratch\n%!"
+                d.Persist.section d.Persist.reason)
+            report.Persist.degraded;
+          if report.Persist.skipped > 0 then
+            Printf.eprintf "snapshot: %d unknown/homeless sections skipped\n%!"
+              report.Persist.skipped;
+          (* The auditor vouches for the restored cache before the first
+             step, whether or not --check is on for the rest of the run.
+             The span rules only apply to a clean restore: a degraded one
+             may legitimately pair a warm cache with a re-warmed (empty)
+             recorder or vice versa. *)
+          let cache = internals.Simulator.int_ctx.Context.cache in
+          let telemetry = if Persist.clean report then telemetry else None in
+          Check.audit_cache ?telemetry ~program:internals.Simulator.int_ctx.Context.program
+            cache ~step:(Code_cache.now cache);
+          Printf.eprintf "snapshot: restored %d sections from %s%s\n%!"
+            (List.length report.Persist.restored)
+            path
+            (if Persist.clean report then "" else " (degraded)"))
+        restore_state
+    in
     let result =
-      simulate ~check ~params ~telemetry (lookup_bench bench) (lookup_policy policy)
-        steps seed
+      simulate ~check ~params ~telemetry ?checkpoint ?restore (lookup_bench bench)
+        (lookup_policy policy) steps seed
     in
     (* Trace notices go to stderr so stdout stays diffable against an
        untraced run (the CI trace-smoke parity check relies on this). *)
@@ -127,19 +210,36 @@ let run_cmd =
       Printf.eprintf "trace: %d events (%d dropped), %d spans -> %s, %s\n%!" (Telemetry.n_emitted t)
         (Telemetry.n_dropped t) (List.length (Telemetry.spans t)) path (path ^ ".jsonl")
     | _ -> ());
-    Format.printf "%a@." Run_metrics.pp (Run_metrics.of_result result);
-    match result.Simulator.fault_log with
-    | None -> ()
-    | Some log ->
-      let module Faults = Regionsel_engine.Faults in
-      Format.printf "fault events:@.";
-      List.iter (fun (s, l) -> Format.printf "  %8d %s@." s l) log.Faults.events
+    if json then print_endline (Run_metrics.to_json (Run_metrics.of_result result))
+    else begin
+      Format.printf "%a@." Run_metrics.pp (Run_metrics.of_result result);
+      match result.Simulator.fault_log with
+      | None -> ()
+      | Some log ->
+        let module Faults = Regionsel_engine.Faults in
+        Format.printf "fault events:@.";
+        List.iter (fun (s, l) -> Format.printf "  %8d %s@." s l) log.Faults.events
+    end
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 on success; 2 on an unknown benchmark, policy, fault profile or parameter;";
+      `P "3 when --check (or the post-restore audit) finds an invariant violation;";
+      `P "4 on an I/O error reading or writing a snapshot or trace;";
+      `P "5 when --restore-state finds hard corruption (bad magic, header damage, or a \
+          benchmark/seed/policy mismatch).";
+    ]
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one benchmark under one policy and print its metrics")
+    (Cmd.info "run" ~man
+       ~doc:
+         "Run one benchmark under one policy and print its metrics; optionally save or \
+          restore a warm-state snapshot")
     Term.(
       const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg
-      $ trace_out_arg $ check_arg)
+      $ trace_out_arg $ check_arg $ save_state_arg $ at_step_arg $ restore_state_arg
+      $ json_arg)
 
 let regions_cmd =
   let run bench policy steps seed limit =
@@ -203,7 +303,7 @@ let disas_cmd =
 
 let matrix_cmd =
   let run bench steps seed faults check =
-    with_check_reporting @@ fun () ->
+    with_error_reporting @@ fun () ->
     let params = params_of_faults faults in
     let spec = lookup_bench bench in
     let rows =

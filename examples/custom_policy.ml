@@ -56,6 +56,11 @@ module Eager_blocks : Policy.S = struct
     | Policy.Region_invalidated { entry } ->
       Counters.release t.ctx.Context.counters entry;
       Policy.No_action
+
+  (* The threshold is fixed and the counter pool lives in the shared
+     context, so a checkpoint carries no policy-private state. *)
+  let save _ _ = ()
+  let load ctx _ = create ctx
 end
 
 let eager : (module Policy.S) = (module Eager_blocks)

@@ -138,7 +138,7 @@ let audit_cache ?telemetry ~program cache ~step =
         !n_live
 
 let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every = 64)
-    ?break_at ~policy ~max_steps image =
+    ?break_at ?checkpoint ?restore ~policy ~max_steps image =
   let params = { params with Params.validate = true } in
   let t = match telemetry with Some t -> t | None -> Telemetry.create () in
   let program = image.Image.program in
@@ -204,8 +204,36 @@ let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every
           if audit_every > 0 && step mod audit_every = 0 then audit ~step);
     }
   in
+  (* Restoring a snapshot fast-forwards the run to its saved position; the
+     shadow oracle must follow, or every subsequent step would "diverge".
+     The run's own interp section — already restored by the caller's hook —
+     is replayed into the shadow, which puts its pc, stack and every PRNG
+     stream at exactly the restored position (warm interpreter state is
+     dispatch-mode-independent). *)
+  let restore =
+    Option.map
+      (fun f (internals : Simulator.internals) ->
+        f internals;
+        match
+          List.find_opt
+            (fun (s : Simulator.section) -> String.equal s.Simulator.sec_name "interp")
+            internals.Simulator.int_sections
+        with
+        | None -> ()
+        | Some s ->
+          let ints = ref [] in
+          s.Simulator.sec_save (fun v -> ints := v :: !ints);
+          let arr = Array.of_list (List.rev !ints) in
+          let i = ref 0 in
+          Interp.load_warm shadow (fun () ->
+              let v = arr.(!i) in
+              incr i;
+              v))
+      restore
+  in
   let result =
-    Simulator.run ~params ~seed ~telemetry:(Some t) ~observer ~policy ~max_steps image
+    Simulator.run ~params ~seed ~telemetry:(Some t) ~observer ?checkpoint ?restore ~policy
+      ~max_steps image
   in
   let final = result.Simulator.stats.Stats.steps in
   audit ~step:final;

@@ -72,6 +72,8 @@ val checked_run :
   ?telemetry:Regionsel_telemetry.Telemetry.t ->
   ?audit_every:int ->
   ?break_at:int ->
+  ?checkpoint:int * (Regionsel_engine.Simulator.internals -> unit) ->
+  ?restore:(Regionsel_engine.Simulator.internals -> unit) ->
   policy:(module Regionsel_engine.Policy.S) ->
   max_steps:int ->
   Regionsel_workload.Image.t ->
@@ -96,4 +98,9 @@ val checked_run :
     [break_at] is the fuzz driver's self-test hook: from that step on, the
     first live region is deliberately desynchronized from the entry index
     ([Code_cache.unsafe_corrupt_for_tests]) — a healthy sanitizer must
-    then raise.  Never set it outside tests. *)
+    then raise.  Never set it outside tests.
+
+    [checkpoint] and [restore] pass through to [Simulator.run]; on restore
+    the shadow oracle is fast-forwarded to the restored interpreter
+    position, so a checked run can resume a snapshot without spurious
+    divergence reports. *)

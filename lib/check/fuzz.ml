@@ -6,7 +6,9 @@ module Params = Regionsel_engine.Params
 module Region = Regionsel_engine.Region
 module Simulator = Regionsel_engine.Simulator
 module Stats = Regionsel_engine.Stats
+module Image = Regionsel_workload.Image
 module Policies = Regionsel_core.Policies
+module Persist = Regionsel_persist.Persist
 module Splitmix = Regionsel_prng.Splitmix
 
 type case = {
@@ -168,6 +170,158 @@ let run_seed ?(max_steps = 4000) seed =
       | Some f -> (Some (c, f), n + 1))
   in
   sweep 0 cases
+
+(* --- Snapshot-corruption axis ---------------------------------------
+
+   Capture a valid mid-run snapshot, then batter it — random byte flips,
+   truncations, garbage tails — and restore every mutant into a fresh
+   run.  Admissible outcomes: a clean restore whose continuation ends
+   bit-identical to the uninterrupted run, a degraded restore whose cache
+   passes {!Check.audit_cache} immediately and whose run completes, or
+   [Persist.Hard_corruption].  Anything else — an unhandled exception, an
+   auditor conviction, or a "clean" restore that silently diverges — is a
+   failure of the recovery path. *)
+
+type snapshot_outcome = Snapshot_clean | Snapshot_degraded of int | Snapshot_rejected
+
+type snapshot_summary = {
+  snap_cases : int;
+  snap_clean : int;
+  snap_degraded : int;
+  snap_rejected : int;
+}
+
+(* Plain (unchecked) runs on both sides of the snapshot: the corruption
+   axis probes the restore path itself, and a sink-less run keeps every
+   emitted section owned by the restoring run.  The matrix sweep above
+   already covers checkpoint-free checked runs. *)
+let snapshot_of_case c ~at =
+  let image = image_of_genome c.genome in
+  let params = params_of c in
+  let snap = ref Bytes.empty in
+  let checkpoint =
+    ( at,
+      fun (internals : Simulator.internals) ->
+        snap := Persist.encode ~seed:(Int64.of_int c.seed) ~policy:c.policy internals )
+  in
+  let result =
+    Simulator.run ~params ~seed:(Int64.of_int c.seed) ~checkpoint
+      ~policy:(policy_exn c.policy) ~max_steps:c.max_steps image
+  in
+  (!snap, signature result)
+
+let restore_case c bytes =
+  let image = image_of_genome c.genome in
+  let params = params_of c in
+  let program = image.Image.program in
+  let report = ref None in
+  let restore (internals : Simulator.internals) =
+    let r =
+      Persist.decode_into bytes ~seed:(Int64.of_int c.seed) ~policy:c.policy internals
+    in
+    report := Some r;
+    (* The structural auditor must accept the cache the instant a restore
+       is accepted, degraded or not — a re-warming subsystem starts empty,
+       never inconsistent. *)
+    let cache = internals.Simulator.int_ctx.Context.cache in
+    Check.audit_cache ~program cache ~step:(Code_cache.now cache)
+  in
+  let result =
+    Simulator.run ~params ~seed:(Int64.of_int c.seed) ~restore
+      ~policy:(policy_exn c.policy) ~max_steps:c.max_steps image
+  in
+  (result, Option.get !report)
+
+let snapshot_outcome c ~reference bytes =
+  match restore_case c bytes with
+  | exception Persist.Hard_corruption _ -> Ok (Snapshot_rejected, "")
+  | exception Check.Check_violation v ->
+    Error ("restore failed the auditor: " ^ Check.violation_to_string v)
+  | exception e -> Error ("restore raised: " ^ Printexc.to_string e)
+  | result, report ->
+    if Persist.clean report && report.Persist.skipped = 0 then
+      if signature result = reference then Ok (Snapshot_clean, "")
+      else Error "clean restore silently diverged from the uninterrupted run"
+    else
+      let reasons =
+        List.map
+          (fun (d : Persist.degraded) -> d.Persist.section ^ ": " ^ d.Persist.reason)
+          report.Persist.degraded
+        @ (if report.Persist.skipped > 0 then
+             [ Printf.sprintf "%d frames skipped" report.Persist.skipped ]
+           else [])
+      in
+      Ok (Snapshot_degraded (List.length report.Persist.degraded), String.concat "; " reasons)
+
+let mutate g bytes =
+  let len = Bytes.length bytes in
+  match Splitmix.int g 4 with
+  | 0 | 1 ->
+    let b = Bytes.copy bytes in
+    let flips = 1 + Splitmix.int g 8 in
+    for _ = 1 to flips do
+      let i = Splitmix.int g len in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Splitmix.int g 255)))
+    done;
+    (b, "flip")
+  | 2 -> (Bytes.sub bytes 0 (Splitmix.int g (len + 1)), "truncate")
+  | _ ->
+    (* Garbage tail: a valid snapshot followed by junk — the reader must
+       reject the junk frames without losing the good prefix. *)
+    let extra = 1 + Splitmix.int g 64 in
+    let b = Bytes.extend bytes 0 extra in
+    for i = len to len + extra - 1 do
+      Bytes.set b i (Char.chr (Splitmix.int g 256))
+    done;
+    (b, "garbage-tail")
+
+let run_snapshot_seed ?(corruptions = 50) ?(max_steps = 3000) seed =
+  let policies = Array.of_list (List.map fst Policies.all) in
+  let faults = Array.of_list fault_profiles_under_test in
+  let c =
+    {
+      seed;
+      genome = genome_of_seed seed;
+      policy = policies.(seed mod Array.length policies);
+      fault = faults.(seed mod Array.length faults);
+      compiled = true;
+      threaded = seed mod 2 = 0;
+      max_steps;
+    }
+  in
+  let snap, reference = snapshot_of_case c ~at:(max 1 (max_steps / 2)) in
+  let g = Splitmix.create ~seed:(Int64.of_int (seed + 0x5eed)) in
+  let clean = ref 0 and degraded = ref 0 and rejected = ref 0 and n = ref 0 in
+  let failure = ref None in
+  let try_one label bytes ~pristine =
+    incr n;
+    match snapshot_outcome c ~reference bytes with
+    | Ok (Snapshot_clean, _) -> incr clean
+    | Ok (Snapshot_degraded _, _) when not pristine -> incr degraded
+    | Ok (Snapshot_degraded _, reasons) ->
+      failure :=
+        Some (c, Printf.sprintf "%s: pristine snapshot restored degraded (%s)" label reasons)
+    | Ok (Snapshot_rejected, _) when not pristine -> incr rejected
+    | Ok (Snapshot_rejected, _) ->
+      failure := Some (c, label ^ ": pristine snapshot rejected as hard corruption")
+    | Error detail -> failure := Some (c, label ^ ": " ^ detail)
+  in
+  (* Control case: the untouched snapshot must restore cleanly and finish
+     bit-identical to the uninterrupted run. *)
+  try_one "control" snap ~pristine:true;
+  let i = ref 0 in
+  while !failure = None && !i < corruptions do
+    incr i;
+    let bytes, kind = mutate g snap in
+    try_one (Printf.sprintf "%s #%d" kind !i) bytes ~pristine:false
+  done;
+  ( !failure,
+    {
+      snap_cases = !n;
+      snap_clean = !clean;
+      snap_degraded = !degraded;
+      snap_rejected = !rejected;
+    } )
 
 let shrink c0 f0 =
   let best = ref (c0, f0) in

@@ -62,6 +62,35 @@ val run_seed : ?max_steps:int -> int -> (case * failure) option * int
     the first failing case, if any, and the number of cases run
     ([max_steps] defaults to 4000 per case). *)
 
+type snapshot_outcome =
+  | Snapshot_clean
+      (** Every section restored; the continued run finished bit-identical
+          to the uninterrupted one. *)
+  | Snapshot_degraded of int
+      (** [n] sections dropped; the cache passed {!Check.audit_cache}
+          immediately after the restore and the run completed. *)
+  | Snapshot_rejected  (** [Persist.Hard_corruption]: nothing restored. *)
+
+type snapshot_summary = {
+  snap_cases : int;  (** Restores attempted (control + corruptions). *)
+  snap_clean : int;
+  snap_degraded : int;
+  snap_rejected : int;
+}
+
+val run_snapshot_seed :
+  ?corruptions:int -> ?max_steps:int -> int -> (case * string) option * snapshot_summary
+(** The snapshot-corruption axis for one seed: derive a case (genome,
+    policy, fault profile and dispatch mode all keyed off the seed),
+    capture a [Persist] snapshot halfway through the run, then restore
+    the pristine snapshot plus [corruptions] (default 50) mutants of it —
+    random byte flips, truncations, garbage tails — each into a fresh
+    run.  Every restore must end in one of the three
+    {!snapshot_outcome}s; the first that instead raises an unhandled
+    exception, fails the immediate post-restore cache audit, or silently
+    diverges after a clean restore is returned as [(case, detail)].
+    [max_steps] (default 3000) bounds each run. *)
+
 val shrink : case -> failure -> case * failure
 (** Greedily minimize a failing case (re-validating with
     {!run_case_cross} after every candidate edit) until no single edit —

@@ -13,6 +13,34 @@ type t = { ctx : Context.t; biases : bias Addr.Table.t (* keyed by conditional s
 let name = "boa"
 let create ctx = { ctx; biases = Addr.Table.create 512 }
 
+(* Checkpoint support.  [biases] is only ever probed by key (never
+   iterated), so content equality is enough on restore. *)
+let save t emit =
+  emit (Addr.Table.length t.biases);
+  (* Site-sorted: canonical bytes regardless of the table's insertion
+     history. *)
+  List.iter
+    (fun (site, b) ->
+      emit site;
+      emit b.taken;
+      emit b.not_taken)
+    (List.sort
+       (fun (a, _) (b, _) -> Addr.compare a b)
+       (Addr.Table.fold (fun k v acc -> (k, v) :: acc) t.biases []))
+
+let load ctx read =
+  let t = create ctx in
+  let n = read () in
+  if n < 0 then failwith "Boa.load: negative bias count";
+  for _ = 1 to n do
+    let site = read () in
+    let taken = read () in
+    let not_taken = read () in
+    if taken < 0 || not_taken < 0 then failwith "Boa.load: negative bias";
+    Addr.Table.replace t.biases site { taken; not_taken }
+  done;
+  t
+
 let bias_of t site =
   match Addr.Table.find_opt t.biases site with
   | Some b -> b

@@ -19,6 +19,17 @@ let create (ctx : Context.t) =
 let t_start t = t.ctx.Context.params.Params.combined_lei_start
 let t_prof t = t.ctx.Context.params.Params.combine_t_prof
 
+(* Checkpoint support. *)
+let save t emit =
+  Observation_store.save t.store emit;
+  History_buffer.save t.buf emit
+
+let load ctx read =
+  let t = create ctx in
+  Observation_store.load t.store read;
+  History_buffer.load t.buf read;
+  t
+
 let observe t ~tgt ~old_seq =
   let path = Lei_former.form ~ctx:t.ctx ~buf:t.buf ~start:tgt ~after_seq:old_seq in
   History_buffer.truncate_after t.buf ~seq:old_seq;

@@ -26,6 +26,43 @@ let create (ctx : Context.t) =
 let t_start t = t.ctx.Context.params.Params.combined_net_start
 let t_prof t = t.ctx.Context.params.Params.combine_t_prof
 
+(* Checkpoint support.  [formers] is iterated by [advance_observations],
+   and that iteration order feeds completion order, store-record order and
+   install order — so restore must reproduce the table's physical layout,
+   not just its contents: the bucket count is saved, the restored table is
+   created at exactly that size (no resize can occur mid-rebuild), and
+   bindings are re-added in reverse iteration order so prepend semantics
+   recreate the original bucket order. *)
+
+let save t emit =
+  (match t.pending with
+  | None -> emit 0
+  | Some a ->
+    emit 1;
+    emit a);
+  Observation_store.save t.store emit;
+  let stats = Addr.Table.stats t.formers in
+  emit stats.Hashtbl.num_buckets;
+  emit (Addr.Table.length t.formers);
+  Addr.Table.iter (fun _entry former -> Net_former.save former emit) t.formers
+
+let load ctx read =
+  let pending =
+    match read () with
+    | 0 -> None
+    | 1 -> Some (read ())
+    | _ -> failwith "Combined_net.load: bad pending tag"
+  in
+  let store = Observation_store.create ctx.Context.gauges in
+  Observation_store.load store read;
+  let buckets = read () in
+  let n = read () in
+  if buckets < 1 || n < 0 then failwith "Combined_net.load: malformed former table";
+  let formers = Addr.Table.create buckets in
+  let fs = List.init n (fun _ -> Net_former.load ~program:ctx.Context.program read) in
+  List.iter (fun f -> Addr.Table.add formers (Net_former.entry f) f) (List.rev fs);
+  { ctx; store; formers; pending }
+
 (* One more eligible execution of [tgt]; maybe arm an observation. *)
 let bump t tgt =
   let c = Counters.incr t.ctx.Context.counters tgt in

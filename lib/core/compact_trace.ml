@@ -65,6 +65,29 @@ let encode (path : Region.path) =
       n_bits = Bitbuf.Writer.length_bits w;
     }
 
+(* Checkpoint support: the encoding is already a flat byte string, so a
+   trace serializes as its geometry plus raw bytes. *)
+
+let save t emit =
+  emit t.entry;
+  emit t.n_bits;
+  emit (Bytes.length t.data);
+  Bytes.iter (fun c -> emit (Char.code c)) t.data
+
+let load read =
+  let entry = read () in
+  let n_bits = read () in
+  let len = read () in
+  if len < 0 || n_bits < 0 || n_bits > len * 8 then
+    failwith "Compact_trace.load: invalid geometry";
+  let data = Bytes.create len in
+  for i = 0 to len - 1 do
+    let c = read () in
+    if c < 0 || c > 255 then failwith "Compact_trace.load: byte out of range";
+    Bytes.set data i (Char.chr c)
+  done;
+  { entry; data; n_bits }
+
 type token = Taken | Not_taken | Indirect of Addr.t
 
 let read_tokens t =

@@ -34,3 +34,10 @@ val decode : Program.t -> t -> Region.path
     recorded outcomes, and returns the path — [encode] then [decode] is the
     identity on block-aligned paths.
     @raise Invalid_argument if the encoding does not replay on [program]. *)
+
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: the entry, bit length, and raw encoding bytes. *)
+
+val load : (unit -> int) -> t
+(** Rebuild a trace from a {!save} stream.  Raises [Failure] on malformed
+    geometry (decoding against the program still revalidates content). *)

@@ -83,3 +83,58 @@ let truncate_after t ~seq =
     t.live <- t.live - dead (cut + 1) 0;
     t.hi <- cut
   end
+
+(* Checkpoint support.  The slot arrays are serialized verbatim — stale
+   slots included — and so is the whole hash index, stale bindings
+   included: [find_seq] deliberately misses a stale binding (returns 0)
+   even when an older live occurrence of the same target exists in the
+   window, so rebuilding the index from live entries would resurrect that
+   older occurrence and silently diverge from the uninterrupted run. *)
+
+let save t emit =
+  emit t.cap;
+  Array.iter emit t.srcs;
+  Array.iter emit t.tgts;
+  Array.iter (fun b -> emit (if b then 1 else 0)) t.fexits;
+  Array.iter emit t.seqs;
+  emit t.hi;
+  emit t.live;
+  emit (Addr.Table.length t.hash);
+  (* Target-sorted: canonical bytes regardless of insertion history. *)
+  List.iter
+    (fun (tgt, seq) ->
+      emit tgt;
+      emit seq)
+    (List.sort
+       (fun (a, _) (b, _) -> Addr.compare a b)
+       (Addr.Table.fold (fun k v acc -> (k, v) :: acc) t.hash []))
+
+let load t read =
+  if read () <> t.cap then failwith "History_buffer.load: capacity mismatch";
+  for i = 0 to t.cap - 1 do
+    t.srcs.(i) <- read ()
+  done;
+  for i = 0 to t.cap - 1 do
+    t.tgts.(i) <- read ()
+  done;
+  for i = 0 to t.cap - 1 do
+    t.fexits.(i) <-
+      (match read () with
+      | 0 -> false
+      | 1 -> true
+      | _ -> failwith "History_buffer.load: bad flag")
+  done;
+  for i = 0 to t.cap - 1 do
+    t.seqs.(i) <- read ()
+  done;
+  t.hi <- read ();
+  t.live <- read ();
+  if t.live < 0 || t.live > t.cap then failwith "History_buffer.load: live count out of range";
+  let n = read () in
+  if n < 0 then failwith "History_buffer.load: negative index length";
+  Addr.Table.reset t.hash;
+  for _ = 1 to n do
+    let tgt = read () in
+    let seq = read () in
+    Addr.Table.replace t.hash tgt seq
+  done

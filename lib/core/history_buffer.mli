@@ -59,3 +59,14 @@ val entries_after : t -> seq:int -> entry list
 val truncate_after : t -> seq:int -> unit
 (** Drop all entries with sequence number strictly greater than [seq] —
     line 13 of Figure 5 ("remove all elements of Buf after old"). *)
+
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: serialize the slot arrays verbatim (stale slots
+    included) and the full hash index (stale bindings included — they are
+    load-bearing: a stale binding shadows older live occurrences, and
+    rebuilding the index from live entries would resurrect them). *)
+
+val load : t -> (unit -> int) -> unit
+(** Restore a {!save} stream into a buffer created with the same
+    capacity.  Raises [Failure] on capacity mismatch or a malformed
+    stream. *)

@@ -13,6 +13,15 @@ let name = "lei"
 let create (ctx : Context.t) =
   { ctx; buf = History_buffer.create ~capacity:ctx.Context.params.Params.lei_buffer_size }
 
+(* Checkpoint support: the history buffer is the policy's only state (the
+   counter pool lives in the shared context). *)
+let save t emit = History_buffer.save t.buf emit
+
+let load ctx read =
+  let t = create ctx in
+  History_buffer.load t.buf read;
+  t
+
 (* INTERPRETED-BRANCH-TAKEN, Figure 5, for a target that is not cached.  A
    code-cache exit reaches the dispatcher exactly like an interpreted taken
    branch, so it runs the same algorithm; its buffer entry carries the

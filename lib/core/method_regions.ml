@@ -30,6 +30,24 @@ let static_boundaries program =
 
 let create (ctx : Context.t) = { ctx; boundaries = static_boundaries ctx.Context.program }
 
+(* Checkpoint support: the boundary set (static plus learned call targets)
+   is the policy's only state.  [Addr.Set] iterates in address order, so a
+   plain element dump round-trips exactly. *)
+let save t emit =
+  emit (Addr.Set.cardinal t.boundaries);
+  Addr.Set.iter emit t.boundaries
+
+let load ctx read =
+  let t = create ctx in
+  let n = read () in
+  if n < 0 then failwith "Method_regions.load: negative boundary count";
+  let acc = ref Addr.Set.empty in
+  for _ = 1 to n do
+    acc := Addr.Set.add (read ()) !acc
+  done;
+  t.boundaries <- !acc;
+  t
+
 let learn t entry = t.boundaries <- Addr.Set.add entry t.boundaries
 
 (* The entry of the function containing [a]: the greatest boundary <= a. *)

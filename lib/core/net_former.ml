@@ -21,6 +21,39 @@ let finish t ~final_next =
   t.finished <- true;
   Done { Region.blocks = List.rev t.rev_blocks; final_next }
 
+(* Checkpoint support: blocks travel as start addresses and are looked up
+   again in the program, so a corrupt stream cannot smuggle in a block the
+   program does not contain. *)
+
+let save t emit =
+  emit t.entry;
+  emit (List.length t.rev_blocks);
+  List.iter (fun (b : Block.t) -> emit b.Block.start) t.rev_blocks;
+  emit t.n_blocks;
+  emit t.n_insts;
+  emit (if t.finished then 1 else 0)
+
+let load ~program read =
+  let entry = read () in
+  let n = read () in
+  if n < 0 then failwith "Net_former.load: negative block count";
+  let rev_blocks =
+    List.init n (fun _ ->
+        let a = read () in
+        if not (Program.is_block_start program a) then
+          failwith "Net_former.load: block is not a block start";
+        Program.block_of_id program (Program.block_id program a))
+  in
+  let n_blocks = read () in
+  let n_insts = read () in
+  let finished =
+    match read () with
+    | 0 -> false
+    | 1 -> true
+    | _ -> failwith "Net_former.load: bad flag"
+  in
+  { entry; rev_blocks; n_blocks; n_insts; finished }
+
 let feed t ~ctx ~block ~taken ~next =
   if t.finished then invalid_arg "Net_former.feed: already finished";
   if t.rev_blocks = [] && not (Addr.equal block.Block.start t.entry) then

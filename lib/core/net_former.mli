@@ -26,3 +26,11 @@ val feed : t -> ctx:Context.t -> block:Block.t -> taken:bool -> next:Addr.t opti
 (** Extend the recording with one interpreted block.  The first fed block
     must start at the former's entry.  After [Done] the former must not be
     fed again. *)
+
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: the recording in progress, blocks as start
+    addresses. *)
+
+val load : program:Program.t -> (unit -> int) -> t
+(** Rebuild a former from a {!save} stream, re-resolving blocks in the
+    program.  Raises [Failure] on a malformed stream. *)

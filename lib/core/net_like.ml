@@ -25,6 +25,38 @@ module Make (C : CONFIG) : Policy.S = struct
   let name = C.name
   let create ctx = { ctx; recording = Idle; exit_targets = Addr.Table.create 256 }
 
+  (* Checkpoint support.  [exit_targets] is a pure membership set (never
+     iterated), so content equality is enough on restore. *)
+  let save t emit =
+    (match t.recording with
+    | Idle -> emit 0
+    | Pending a ->
+      emit 1;
+      emit a
+    | Active former ->
+      emit 2;
+      Net_former.save former emit);
+    emit (Addr.Table.length t.exit_targets);
+    (* Sorted: canonical bytes regardless of insertion history. *)
+    List.iter
+      (fun a -> emit a)
+      (List.sort Addr.compare
+         (Addr.Table.fold (fun a () acc -> a :: acc) t.exit_targets []))
+
+  let load ctx read =
+    let t = create ctx in
+    (match read () with
+    | 0 -> ()
+    | 1 -> t.recording <- Pending (read ())
+    | 2 -> t.recording <- Active (Net_former.load ~program:ctx.Context.program read)
+    | _ -> failwith (name ^ ".load: bad recording tag"));
+    let n = read () in
+    if n < 0 then failwith (name ^ ".load: negative exit-target count");
+    for _ = 1 to n do
+      Addr.Table.replace t.exit_targets (read ()) ()
+    done;
+    t
+
   let threshold_for t tgt =
     if Addr.Table.mem t.exit_targets tgt then C.exit_threshold t.ctx.Context.params
     else C.backward_threshold t.ctx.Context.params

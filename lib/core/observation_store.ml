@@ -28,3 +28,34 @@ let take t entry =
 
 let total_bytes t = t.bytes
 let n_entries t = Addr.Table.length t.table
+
+(* Checkpoint support.  Restoring does not touch the gauges: the shared
+   gauge state has its own snapshot section and is restored separately. *)
+
+let save t emit =
+  emit t.bytes;
+  emit (Addr.Table.length t.table);
+  (* Entry-sorted: table iteration order depends on insertion history,
+     which would make a restored store re-encode differently. *)
+  List.iter
+    (fun (entry, traces) ->
+      emit entry;
+      emit (List.length traces);
+      List.iter (fun tr -> Compact_trace.save tr emit) traces)
+    (List.sort
+       (fun (a, _) (b, _) -> Addr.compare a b)
+       (Addr.Table.fold (fun k v acc -> (k, v) :: acc) t.table []))
+
+let load t read =
+  let bytes = read () in
+  let n = read () in
+  if bytes < 0 || n < 0 then failwith "Observation_store.load: negative length";
+  Addr.Table.reset t.table;
+  for _ = 1 to n do
+    let entry = read () in
+    let len = read () in
+    if len < 0 then failwith "Observation_store.load: negative trace-list length";
+    let traces = List.init len (fun _ -> Compact_trace.load read) in
+    Addr.Table.replace t.table entry traces
+  done;
+  t.bytes <- bytes

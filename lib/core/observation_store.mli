@@ -25,3 +25,11 @@ val take : t -> Addr.t -> Compact_trace.t list
 
 val total_bytes : t -> int
 val n_entries : t -> int
+
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: every stored trace, keyed by entry. *)
+
+val load : t -> (unit -> int) -> unit
+(** Replace the store's contents from a {!save} stream.  Does not touch
+    the shared gauges (they have their own snapshot section).  Raises
+    [Failure] on a malformed stream. *)

@@ -498,6 +498,255 @@ let unsafe_corrupt_for_tests t =
     Int_tbl.remove t.by_entry r.Region.entry;
     true
 
+let region_by_id t id =
+  Queue.fold
+    (fun acc r ->
+      match acc with
+      | Some _ -> acc
+      | None -> if r.Region.id = id && is_live t r then Some r else None)
+    None t.fifo
+
+(* Checkpoint support.
+
+   [save] serializes every region the cache has ever created (live and
+   retired — retired regions still feed the post-run metrics), then the
+   structural state as region-id references: the live set, the FIFO with
+   its tombstones, the retirement list in its original order, the
+   aux-entry index, the evicted-entry set, and the live link graph as
+   (from, slot, target) triples.  The dispatch array is not saved: it
+   mirrors by_entry/by_aux_entry exactly, so restore rebuilds it from
+   them (and the post-restore audit re-proves the agreement).
+
+   The aux-entry index IS saved explicitly rather than rebuilt by
+   replaying installs: an aux entry only claims a dispatch slot that was
+   free at its own install time, so the index depends on install order
+   and interleaved retirements — replay would have to re-run history.
+
+   [load] is decode-then-commit: the entire stream is parsed and
+   cross-validated into local structures first, and the cache is only
+   mutated after the last read, so a torn or corrupt section leaves the
+   cache exactly as it was (empty, for a fresh restore target).  Import
+   emits no telemetry and fires no auditor — restoring is not a lifecycle
+   event. *)
+
+let save t emit =
+  emit t.next_id;
+  emit t.bytes_used;
+  emit t.alloc_cursor;
+  emit t.now;
+  emit t.clock_regressions;
+  emit t.evictions;
+  emit t.flushes;
+  emit t.regenerations;
+  emit t.invalidations;
+  emit t.blacklist_hits;
+  emit t.duplicate_installs;
+  emit t.translation_failures;
+  emit t.links_created;
+  emit t.link_severs;
+  emit t.live_links;
+  emit t.fifo_tombstones;
+  let live = regions t in
+  let all = all_regions t in
+  emit (List.length all);
+  List.iter (fun r -> Region.save r emit) all;
+  emit (List.length live);
+  List.iter (fun (r : Region.t) -> emit r.Region.id) live;
+  emit (Queue.length t.fifo);
+  Queue.iter (fun (r : Region.t) -> emit r.Region.id) t.fifo;
+  emit (List.length t.retired);
+  List.iter (fun (r : Region.t) -> emit r.Region.id) t.retired;
+  emit (Int_tbl.length t.by_aux_entry);
+  List.iter
+    (fun (a, (r : Region.t)) ->
+      emit a;
+      emit r.Region.id)
+    (Int_tbl.sorted_pairs t.by_aux_entry);
+  emit (Int_tbl.length t.evicted_entries);
+  List.iter (fun (a, ()) -> emit a) (Int_tbl.sorted_pairs t.evicted_entries);
+  let triples = ref [] in
+  let n_triples = ref 0 in
+  Queue.iter
+    (fun (r : Region.t) ->
+      if is_live t r then
+        for slot = 0 to Region.n_link_slots r - 1 do
+          match Region.link_target r slot with
+          | Some (tgt : Region.t) ->
+            incr n_triples;
+            triples := (r.Region.id, slot, tgt.Region.id) :: !triples
+          | None -> ()
+        done)
+    t.fifo;
+  emit !n_triples;
+  List.iter
+    (fun (from, slot, tgt) ->
+      emit from;
+      emit slot;
+      emit tgt)
+    (List.rev !triples)
+
+let read_len read what =
+  let n = read () in
+  if n < 0 then failwith (Printf.sprintf "Code_cache.load: negative %s length" what);
+  n
+
+let load t read =
+  let program =
+    match t.program with
+    | Some p -> p
+    | None -> failwith "Code_cache.load: cache was created without a program"
+  in
+  let next_id = read () in
+  let bytes_used = read () in
+  let alloc_cursor = read () in
+  let now = read () in
+  let clock_regressions = read () in
+  let evictions = read () in
+  let flushes = read () in
+  let regenerations = read () in
+  let invalidations = read () in
+  let blacklist_hits = read () in
+  let duplicate_installs = read () in
+  let translation_failures = read () in
+  let links_created = read () in
+  let link_severs = read () in
+  let live_links = read () in
+  let fifo_tombstones = read () in
+  let n_all = read_len read "region" in
+  let by_id = Int_tbl.create (max 16 (2 * n_all)) in
+  for _ = 1 to n_all do
+    let r = Region.load ~program read in
+    if r.Region.id < 0 || Int_tbl.mem by_id r.Region.id then
+      failwith "Code_cache.load: duplicate or negative region id";
+    Int_tbl.replace by_id r.Region.id r
+  done;
+  let resolve id =
+    match Int_tbl.find_opt by_id id with
+    | Some r -> r
+    | None -> failwith "Code_cache.load: unresolved region id"
+  in
+  let n_live = read_len read "live-set" in
+  let live = List.init n_live (fun _ -> resolve (read ())) in
+  let n_fifo = read_len read "fifo" in
+  let fifo_regions = List.init n_fifo (fun _ -> resolve (read ())) in
+  let n_retired = read_len read "retired" in
+  let retired = List.init n_retired (fun _ -> resolve (read ())) in
+  let n_aux = read_len read "aux-entry" in
+  let aux =
+    List.init n_aux (fun _ ->
+        let a = read () in
+        let r = resolve (read ()) in
+        (a, r))
+  in
+  let n_evicted = read_len read "evicted-entry" in
+  let evicted = List.init n_evicted (fun _ -> read ()) in
+  let n_links = read_len read "link" in
+  let links =
+    List.init n_links (fun _ ->
+        let from = resolve (read ()) in
+        let slot = read () in
+        let tgt = resolve (read ()) in
+        if slot < 0 || slot >= Region.n_link_slots from then
+          failwith "Code_cache.load: link slot out of range";
+        (from, slot, tgt))
+  in
+  if live_links <> n_links then failwith "Code_cache.load: live-link count mismatch";
+  let entry_seen = Int_tbl.create (max 16 (2 * n_live)) in
+  List.iter
+    (fun (r : Region.t) ->
+      if Int_tbl.mem entry_seen r.Region.entry then
+        failwith "Code_cache.load: two live regions share an entry";
+      Int_tbl.replace entry_seen r.Region.entry ())
+    live;
+  (* Everything decoded and cross-checked: commit. *)
+  t.next_id <- next_id;
+  t.bytes_used <- bytes_used;
+  t.alloc_cursor <- alloc_cursor;
+  t.now <- now;
+  t.clock_regressions <- clock_regressions;
+  t.evictions <- evictions;
+  t.flushes <- flushes;
+  t.regenerations <- regenerations;
+  t.invalidations <- invalidations;
+  t.blacklist_hits <- blacklist_hits;
+  t.duplicate_installs <- duplicate_installs;
+  t.translation_failures <- translation_failures;
+  t.links_created <- links_created;
+  t.link_severs <- link_severs;
+  t.live_links <- live_links;
+  Int_tbl.reset t.by_entry;
+  Int_tbl.reset t.by_aux_entry;
+  Int_tbl.reset t.evicted_entries;
+  Int_tbl.reset t.incoming_links;
+  Int_tbl.reset t.slot_links;
+  if Array.length t.dispatch > 0 then Array.fill t.dispatch 0 (Array.length t.dispatch) None;
+  List.iter
+    (fun (r : Region.t) ->
+      Int_tbl.replace t.by_entry r.Region.entry r;
+      let id = Program.block_id program r.Region.entry in
+      if id >= 0 then t.dispatch.(id) <- Some r)
+    live;
+  List.iter
+    (fun (a, (r : Region.t)) ->
+      Int_tbl.replace t.by_aux_entry a r;
+      let id = Program.block_id program a in
+      if id >= 0 then t.dispatch.(id) <- Some r)
+    aux;
+  let q = Queue.create () in
+  List.iter (fun r -> Queue.add r q) fifo_regions;
+  t.fifo <- q;
+  t.fifo_tombstones <- fifo_tombstones;
+  t.retired <- retired;
+  List.iter (fun a -> Int_tbl.replace t.evicted_entries a ()) evicted;
+  List.iter
+    (fun ((from : Region.t), slot, (tgt : Region.t)) ->
+      Region.set_link from ~slot (Some tgt);
+      let incoming =
+        match Int_tbl.find_opt t.incoming_links tgt.Region.id with Some l -> l | None -> []
+      in
+      Int_tbl.replace t.incoming_links tgt.Region.id ((from, slot) :: incoming);
+      let through =
+        match Int_tbl.find_opt t.slot_links slot with Some l -> l | None -> []
+      in
+      Int_tbl.replace t.slot_links slot (from :: through))
+    links
+
+let save_blacklist t emit =
+  emit t.fail_installs_until;
+  emit (Int_tbl.length t.blacklist);
+  List.iter
+    (fun (entry, b) ->
+      emit entry;
+      emit b.fails;
+      emit b.until;
+      emit (if b.expire_traced then 1 else 0))
+    (Int_tbl.sorted_pairs t.blacklist)
+
+let load_blacklist t read =
+  let fail_installs_until = read () in
+  let n = read_len read "blacklist" in
+  let entries =
+    List.init n (fun _ ->
+        let entry = read () in
+        let fails = read () in
+        let until = read () in
+        let expire_traced =
+          match read () with
+          | 0 -> false
+          | 1 -> true
+          | _ -> failwith "Code_cache.load_blacklist: bad flag"
+        in
+        if fails < 0 then failwith "Code_cache.load_blacklist: negative failure count";
+        (entry, { fails; until; expire_traced }))
+  in
+  Int_tbl.reset t.blacklist;
+  List.iter (fun (e, b) -> Int_tbl.replace t.blacklist e b) entries;
+  t.fail_installs_until <- fail_installs_until
+
+let reset_blacklist t =
+  Int_tbl.reset t.blacklist;
+  t.fail_installs_until <- -1
+
 let evictions t = t.evictions
 let flushes t = t.flushes
 let regenerations t = t.regenerations

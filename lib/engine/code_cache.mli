@@ -170,6 +170,37 @@ val duplicate_installs : t -> int
 val translation_failures : t -> int
 (** Installs failed by an armed translation-failure window. *)
 
+val region_by_id : t -> int -> Region.t option
+(** The live region with the given id, if any (linear in the FIFO; cold
+    callers only). *)
+
+(** {1 Checkpoint support} *)
+
+val save : t -> (int -> unit) -> unit
+(** Serialize every region ever created (live and retired), the FIFO with
+    its tombstones, the aux-entry index, the evicted-entry set, the live
+    link graph and all counters — everything except the blacklist, which
+    has its own section (see {!save_blacklist}) so it can degrade
+    independently. *)
+
+val load : t -> (unit -> int) -> unit
+(** Restore a {!save} stream into a freshly created cache over the same
+    program.  Decode-then-commit: the stream is fully parsed and
+    cross-validated before the first mutation, so on [Failure] /
+    [Invalid_argument] the cache is untouched.  Emits no telemetry and
+    fires no auditor. *)
+
+val save_blacklist : t -> (int -> unit) -> unit
+(** Serialize the blacklist (per-entry failure counts, backoff deadlines)
+    and the translation-failure window. *)
+
+val load_blacklist : t -> (unit -> int) -> unit
+(** Restore a {!save_blacklist} stream, replacing the current blacklist. *)
+
+val reset_blacklist : t -> unit
+(** Forget every blacklist entry and any armed translation-failure window
+    (an optimizer crash loses this state along with the cache). *)
+
 (** {1 Sanitizer hooks}
 
     Introspection used by [Regionsel_check.Check] to audit the DESIGN.md

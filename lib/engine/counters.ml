@@ -26,3 +26,34 @@ let high_water t = t.high_water
 let total_allocations t = t.total_allocations
 
 let live_entries t = Int_tbl.fold (fun a c acc -> (a, c) :: acc) t.table []
+
+(* A simulated optimizer crash loses every live counter but not the pool's
+   lifetime statistics: the high-water mark and allocation count are run
+   metrics, not recoverable state. *)
+let reset t = Int_tbl.reset t.table
+
+(* Checkpoint support.  Int_tbl iteration order is never observable (see
+   int_tbl.ml), so content equality is all restore has to preserve; the
+   key-sorted emission keeps the bytes canonical regardless of layout. *)
+
+let save t emit =
+  emit (Int_tbl.length t.table);
+  List.iter
+    (fun (a, c) ->
+      emit a;
+      emit c)
+    (Int_tbl.sorted_pairs t.table);
+  emit t.high_water;
+  emit t.total_allocations
+
+let load t read =
+  Int_tbl.reset t.table;
+  let n = read () in
+  if n < 0 then failwith "Counters.load: negative table length";
+  for _ = 1 to n do
+    let a = read () in
+    let c = read () in
+    Int_tbl.replace t.table a c
+  done;
+  t.high_water <- read ();
+  t.total_allocations <- read ()

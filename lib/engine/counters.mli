@@ -33,3 +33,15 @@ val total_allocations : t -> int
 
 val live_entries : t -> (Addr.t * int) list
 (** Currently live counters with their counts, unordered. *)
+
+val reset : t -> unit
+(** Forget every live counter (a simulated optimizer crash loses them) while
+    keeping the lifetime statistics ({!high_water}, {!total_allocations}),
+    which are run metrics rather than recoverable state. *)
+
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: emit the live counters and the pool's lifetime
+    statistics as a flat int stream. *)
+
+val load : t -> (unit -> int) -> unit
+(** Replace the pool's contents from a {!save} stream. *)

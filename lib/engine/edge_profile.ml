@@ -22,7 +22,7 @@ open Regionsel_isa
    counted). *)
 
 type t = {
-  edges : Flat_tbl.t;
+  mutable edges : Flat_tbl.t;
   ring_keys : int array; (* -1 = empty slot *)
   ring_counts : int array;
   mutable ring_live : int; (* occupied slots, to make an empty drain free *)
@@ -109,3 +109,44 @@ let fold f t init =
   Flat_tbl.fold
     (fun key count acc -> f ~src:(unpack_src key) ~dst:(unpack_dst key) count acc)
     t.edges init
+
+(* Checkpoint support.  The ring is serialized verbatim rather than
+   drained: draining would bump [flushes], which bench reports, and would
+   make a save-then-continue run observably different from an
+   uninterrupted one. *)
+
+let save t emit =
+  emit ring_size;
+  Array.iter emit t.ring_keys;
+  Array.iter emit t.ring_counts;
+  emit t.ring_live;
+  emit t.flushes;
+  emit (Flat_tbl.length t.edges);
+  List.iter
+    (fun (key, count) ->
+      emit key;
+      emit count)
+    (Flat_tbl.sorted_pairs t.edges)
+
+let load t read =
+  if read () <> ring_size then failwith "Edge_profile.load: ring size mismatch";
+  for i = 0 to ring_size - 1 do
+    t.ring_keys.(i) <- read ()
+  done;
+  for i = 0 to ring_size - 1 do
+    t.ring_counts.(i) <- read ()
+  done;
+  t.ring_live <- read ();
+  if t.ring_live < 0 || t.ring_live > ring_size then
+    failwith "Edge_profile.load: ring occupancy out of range";
+  t.flushes <- read ();
+  let n = read () in
+  if n < 0 then failwith "Edge_profile.load: negative edge count";
+  let edges = Flat_tbl.create (max 4096 n) in
+  for _ = 1 to n do
+    let key = read () in
+    let count = read () in
+    Flat_tbl.set edges key count
+  done;
+  t.edges <- edges;
+  t.pred_index <- None

@@ -36,3 +36,12 @@ val preds : t -> Addr.t -> Addr.Set.t
 
 val n_edges : t -> int
 val fold : (src:Addr.t -> dst:Addr.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: serialize the backing table {e and} the
+    accumulation ring verbatim (the ring is not drained, so the flush
+    count — which bench reports — is unperturbed by a save). *)
+
+val load : t -> (unit -> int) -> unit
+(** Replace the profile's contents from a {!save} stream.  Raises
+    [Failure] on a structurally invalid stream. *)

@@ -6,6 +6,7 @@ type event =
   | Translation_failure of { window : int }
   | Async_exit
   | Cache_shock of { bytes : int }
+  | Crash
 
 type t = {
   steps : int array;  (* sorted ascending, ties kept in stream order *)
@@ -18,9 +19,10 @@ let label = function
   | Translation_failure _ -> "translation"
   | Async_exit -> "async-exit"
   | Cache_shock _ -> "shock"
+  | Crash -> "crash"
 
 (* Streams are numbered so that simultaneous events apply in a fixed order
-   (SMC before translation before async-exit before shock). *)
+   (SMC before translation before async-exit before shock before crash). *)
 let create ~(profile : Params.fault_profile) ~seed ~program ~max_steps =
   let rng = Splitmix.create ~seed in
   let smc_rng = Splitmix.split rng in
@@ -46,6 +48,7 @@ let create ~(profile : Params.fault_profile) ~seed ~program ~max_steps =
   schedule ~stream:2 ~period:profile.Params.async_exit_period (fun () -> Async_exit);
   schedule ~stream:3 ~period:profile.Params.cache_shock_period (fun () ->
       Cache_shock { bytes = max 1 profile.Params.cache_shock_bytes });
+  schedule ~stream:4 ~period:profile.Params.crash_period (fun () -> Crash);
   let all =
     List.sort
       (fun (s1, k1, _) (s2, k2, _) -> if s1 <> s2 then compare s1 s2 else compare k1 k2)
@@ -65,5 +68,13 @@ let pop t =
   e
 
 let n_events t = Array.length t.steps
+
+(* Checkpoint support: the schedule is a pure function of (profile, seed,
+   program, max_steps), so only the cursor travels. *)
+let cursor t = t.cursor
+
+let set_cursor t c =
+  if c < 0 || c > Array.length t.steps then failwith "Faults.set_cursor: out of range";
+  t.cursor <- c
 
 type log = { events : (int * string) list; samples : (int * float) list }

@@ -28,6 +28,10 @@ type event =
   | Cache_shock of { bytes : int }
       (** External cache pressure that must reclaim [bytes] of cache space
           (a whole flush under [Flush_all]). *)
+  | Crash
+      (** The optimizer process dies and restarts: every warm optimizer
+          structure (code cache, blacklist, counter pool, policy state) is
+          lost; the program itself runs on. *)
 
 type t
 
@@ -52,7 +56,16 @@ val n_events : t -> int
 
 val label : event -> string
 (** Short stable tag for logs/JSON: ["smc" | "translation" | "async-exit"
-    | "shock"]. *)
+    | "shock" | "crash"]. *)
+
+val cursor : t -> int
+(** Checkpoint support: how many events have been popped.  The schedule
+    itself is a pure function of [(profile, seed, program, max_steps)], so
+    the cursor is the schedule's only mutable state. *)
+
+val set_cursor : t -> int -> unit
+(** Reposition the schedule at a saved {!cursor}.  Raises [Failure] when
+    out of range. *)
 
 type log = {
   events : (int * string) list;  (** (step, label) — includes "bailout". *)

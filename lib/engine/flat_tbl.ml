@@ -127,3 +127,11 @@ let iter f t =
   for i = 0 to Array.length t.keys - 1 do
     if t.keys.(i) >= 0 then f t.keys.(i) t.vals.(i)
   done
+
+(* Key-sorted bindings: a canonical enumeration for snapshot codecs, where
+   [iter]'s slot order would leak the table's insertion history (and hence
+   a restore-vs-uninterrupted layout difference) into the bytes. *)
+let sorted_pairs t =
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (fold (fun k v acc -> (k, v) :: acc) t [])

@@ -38,3 +38,8 @@ val length : t -> int
 
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (int -> int -> unit) -> t -> unit
+
+val sorted_pairs : t -> (int * int) list
+(** All bindings sorted by key — the canonical enumeration snapshot
+    codecs must use, so the serialized bytes are a function of the
+    table's content and not of its probe-layout history. *)

@@ -38,3 +38,19 @@ let set_links t n =
 
 let links t = t.links
 let links_high_water t = t.links_high_water
+
+let save t emit =
+  emit t.observed_bytes;
+  emit t.high_water;
+  emit t.blacklisted;
+  emit t.blacklisted_high_water;
+  emit t.links;
+  emit t.links_high_water
+
+let load t read =
+  t.observed_bytes <- read ();
+  t.high_water <- read ();
+  t.blacklisted <- read ();
+  t.blacklisted_high_water <- read ();
+  t.links <- read ();
+  t.links_high_water <- read ()

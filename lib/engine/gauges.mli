@@ -35,3 +35,10 @@ val set_links : t -> int -> unit
 val links : t -> int
 
 val links_high_water : t -> int
+
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: emit every gauge (current values and high-water
+    marks) as a flat int stream. *)
+
+val load : t -> (unit -> int) -> unit
+(** Overwrite every gauge from a {!save} stream. *)

@@ -112,3 +112,28 @@ let reset t =
   t.clock <- 0;
   t.accesses <- 0;
   t.misses <- 0
+
+(* Checkpoint support.  Geometry is not saved — the restored cache must be
+   created with the same parameters; the slot count is emitted as a guard
+   so a geometry mismatch is caught instead of silently misfiling lines. *)
+
+let save t emit =
+  emit (Array.length t.tags);
+  Array.iter emit t.tags;
+  Array.iter emit t.stamps;
+  emit t.clock;
+  emit t.accesses;
+  emit t.misses
+
+let load t read =
+  let n = read () in
+  if n <> Array.length t.tags then failwith "Icache.load: geometry mismatch";
+  for i = 0 to n - 1 do
+    t.tags.(i) <- read ()
+  done;
+  for i = 0 to n - 1 do
+    t.stamps.(i) <- read ()
+  done;
+  t.clock <- read ();
+  t.accesses <- read ();
+  t.misses <- read ()

@@ -31,3 +31,11 @@ val miss_rate : t -> float
 
 val reset : t -> unit
 (** Clear contents and counters. *)
+
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: emit tags, LRU stamps, and counters as a flat int
+    stream.  Geometry is not saved. *)
+
+val load : t -> (unit -> int) -> unit
+(** Restore a {!save} stream into a cache created with the same geometry.
+    Raises [Failure] if the slot counts differ. *)

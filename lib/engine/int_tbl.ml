@@ -16,3 +16,10 @@ include Hashtbl.Make (struct
      the shift brings them down to where Hashtbl's bucket mask looks. *)
   let hash x = (x * 0x9E3779B97F4A7C1) lsr 21
 end)
+
+(* Key-sorted bindings: the canonical enumeration for snapshot codecs.
+   [iter]'s bucket order depends on insertion history, so serializing
+   through it would make a restored table re-encode differently from the
+   one it was copied from. *)
+let sorted_pairs t =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) (fold (fun k v acc -> (k, v) :: acc) t [])

@@ -4,3 +4,8 @@
     the polymorphic [Hashtbl]. *)
 
 include Hashtbl.S with type key = int
+
+val sorted_pairs : 'a t -> (int * 'a) list
+(** All bindings sorted by key — the canonical enumeration snapshot
+    codecs must use, so serialized bytes do not depend on the table's
+    insertion history. *)

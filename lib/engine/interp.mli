@@ -49,6 +49,19 @@ val block : t -> step -> Block.t
 
 val threaded : t -> bool
 
+val save_warm : t -> (int -> unit) -> unit
+(** Serialize the warm state — pc, shadow-stack prefix, root PRNG limbs,
+    and every branch-behaviour state created so far — as an int stream.
+    The threaded-op table is not saved; it is a pure function of the
+    image. *)
+
+val load_warm : t -> (unit -> int) -> unit
+(** Restore a {!save_warm} stream into a freshly created interpreter over
+    the same image.  Every PRNG position (root and per-site) ends up
+    exactly as saved, so the restored interpreter reproduces the original
+    run's remaining step stream bit for bit.  Raises [Failure] on a
+    structurally invalid stream. *)
+
 val pc : t -> Addr.t option
 (** The next block to execute. *)
 

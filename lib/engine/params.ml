@@ -9,6 +9,7 @@ type fault_profile = {
   async_exit_period : int;
   cache_shock_period : int;
   cache_shock_bytes : int;
+  crash_period : int;
 }
 
 let no_faults =
@@ -21,6 +22,7 @@ let no_faults =
     async_exit_period = 0;
     cache_shock_period = 0;
     cache_shock_bytes = 0;
+    crash_period = 0;
   }
 
 let fault_profiles =
@@ -36,6 +38,16 @@ let fault_profiles =
         async_exit_period = 25_000;
         cache_shock_period = 90_000;
         cache_shock_bytes = 4_096;
+        crash_period = 0;
+      } );
+    (* Optimizer crash/restart: periodically lose every warm optimizer
+       structure (cache, blacklist, counters, policy) while the program —
+       and hence its PRNG streams — runs on. *)
+    ( "crash",
+      {
+        no_faults with
+        first_fault_step = 30_000;
+        crash_period = 70_000;
       } );
     (* Self-modifying code only: periodic writes dirty a small block range. *)
     ( "smc",

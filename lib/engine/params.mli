@@ -30,6 +30,12 @@ type fault_profile = {
   cache_shock_period : int;  (** Steps between cache-pressure shocks (0 = off). *)
   cache_shock_bytes : int;
       (** Bytes each shock must reclaim (a whole flush under [Flush_all]). *)
+  crash_period : int;
+      (** Steps between optimizer crash/restarts (0 = off).  A crash loses
+          every warm optimizer structure — code cache, blacklist, counter
+          pool, policy state — while the program itself (and its PRNG
+          streams) runs on, modelling a kill-and-restart of the dynamic
+          optimizer under a persistent workload. *)
 }
 
 val no_faults : fault_profile
@@ -38,8 +44,8 @@ val no_faults : fault_profile
     with [faults = None]. *)
 
 val fault_profiles : (string * fault_profile) list
-(** Named profiles for the CLI / bench ("mixed", "smc", "translation",
-    "pressure"). *)
+(** Named profiles for the CLI / bench ("mixed", "crash", "smc",
+    "translation", "pressure"). *)
 
 val fault_profile : string -> fault_profile option
 

@@ -15,6 +15,8 @@ module type S = sig
   val name : string
   val create : Context.t -> t
   val handle : t -> event -> action
+  val save : t -> (int -> unit) -> unit
+  val load : Context.t -> (unit -> int) -> t
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -22,3 +24,5 @@ type packed = Packed : (module S with type t = 'a) * 'a -> packed
 let instantiate (module P : S) ctx = Packed ((module P), P.create ctx)
 let handle (Packed ((module P), state)) event = P.handle state event
 let name (module P : S) = P.name
+let save (Packed ((module P), state)) emit = P.save state emit
+let load (module P : S) ctx read = Packed ((module P), P.load ctx read)

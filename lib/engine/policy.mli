@@ -49,6 +49,17 @@ module type S = sig
   val name : string
   val create : Context.t -> t
   val handle : t -> event -> action
+
+  val save : t -> (int -> unit) -> unit
+  (** Checkpoint support: serialize the policy's warm observation state
+      (counters, pending formers, stored traces, history cursors) as a
+      flat int stream.  A stateless policy emits nothing. *)
+
+  val load : Context.t -> (unit -> int) -> t
+  (** Rebuild a policy instance from a {!save} stream over the given
+      context.  [load ctx] of a stream saved by a fresh instance must
+      behave exactly like [create ctx].  Raises [Failure] on a
+      structurally invalid stream. *)
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -56,3 +67,10 @@ type packed = Packed : (module S with type t = 'a) * 'a -> packed
 val instantiate : (module S) -> Context.t -> packed
 val handle : packed -> event -> action
 val name : (module S) -> string
+
+val save : packed -> (int -> unit) -> unit
+(** {!S.save} through the packing. *)
+
+val load : (module S) -> Context.t -> (unit -> int) -> packed
+(** {!S.load} through the packing: rebuild a packed instance of the given
+    policy module from a saved stream. *)

@@ -209,4 +209,16 @@ val clear_links : t -> int
 (** Unpatch every outgoing link, returning how many were live (used when
     the region itself is retired). *)
 
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: serialize the region — spec, identity, run-time
+    counters, exit log, cache placement — as a flat int stream.  Link
+    slots are not saved; the code cache re-registers links on restore. *)
+
+val load : program:Program.t -> (unit -> int) -> t
+(** Rebuild a saved region through {!of_spec} over the same program, so
+    the compiled automaton (node numbering, offsets, adjacency, stub
+    count) is recomputed and revalidated rather than trusted from the
+    stream.  Raises [Failure] or [Invalid_argument] on a corrupt
+    stream. *)
+
 val pp : Format.formatter -> t -> unit

@@ -33,6 +33,56 @@ type observer = {
           divergence rule. *)
 }
 
+(* Checkpoint plumbing.  A [section] is one independently recoverable unit
+   of warm state: the persistence layer frames, checksums and versions each
+   one separately, so a torn or bit-flipped section degrades alone — its
+   subsystem re-warms from scratch — instead of poisoning the whole
+   snapshot.  Loaders raise [Failure] on malformed streams and (apart from
+   the fault-cursor commit, which is ordered first) mutate nothing until
+   the stream has parsed. *)
+type section = {
+  sec_name : string;
+  sec_save : (int -> unit) -> unit;
+  sec_load : (unit -> int) -> unit;
+}
+
+type internals = {
+  int_ctx : Context.t;
+  int_stats : Stats.t;
+  int_sections : section list;
+}
+
+(* Floats ride the int stream as two 32-bit halves of their IEEE bits:
+   [Int64.to_int] of a full 64-bit pattern would lose the top bit. *)
+let emit_float emit f =
+  let bits = Int64.bits_of_float f in
+  emit (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+  emit (Int64.to_int (Int64.shift_right_logical bits 32))
+
+let read_float read =
+  let lo = read () in
+  let hi = read () in
+  if lo < 0 || lo > 0xFFFFFFFF || hi < 0 || hi > 0xFFFFFFFF then
+    failwith "Simulator: malformed float in snapshot";
+  Int64.float_of_bits (Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32))
+
+(* Stable codes for the fault-log labels ([Faults.label] plus the
+   watchdog's own "bailout" entries). *)
+let ev_labels = [| "smc"; "translation"; "async-exit"; "shock"; "crash"; "bailout" |]
+
+let ev_label_code l =
+  let rec go i =
+    if i >= Array.length ev_labels then failwith ("Simulator: unknown event label " ^ l)
+    else if String.equal ev_labels.(i) l then i
+    else go (i + 1)
+  in
+  go 0
+
+let ev_label_of_code c =
+  if c < 0 || c >= Array.length ev_labels then
+    failwith "Simulator: bad event-label code in snapshot"
+  else ev_labels.(c)
+
 (* The execution mode is a [Region.t ref] holding [Region.dummy] while
    interpreting, plus an int cell for the position within the region
    ([cur_node] compiled / [cur_addr] legacy).  Physical equality against
@@ -42,13 +92,16 @@ type observer = {
    allocated a [Some], the last allocation on the steady-state path. *)
 
 let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?observer
-    ~policy ~max_steps image =
+    ?checkpoint ?restore ~policy ~max_steps image =
   let program = image.Image.program in
   let ctx = Context.create ~params ~telemetry program in
   (match observer with None -> () | Some o -> o.on_context ctx);
   let cache = ctx.Context.cache in
-  let policy_name = Policy.name policy in
-  let policy = Policy.instantiate policy ctx in
+  let policy_mod = policy in
+  let policy_name = Policy.name policy_mod in
+  (* A ref, not a binding: a crash fault re-instantiates the policy from
+     scratch, and restoring a snapshot replaces it with the saved one. *)
+  let policy = ref (Policy.instantiate policy_mod ctx) in
   let interp = Interp.create ~threaded:params.Params.threaded_dispatch image ~seed in
   let stats = Stats.create () in
   let edges = Edge_profile.create () in
@@ -138,14 +191,14 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
   and reject_spec (spec : Region.spec) =
     Gauges.set_blacklisted ctx.Context.gauges (Code_cache.n_blacklisted cache);
     install_if_any
-      (Policy.handle policy (Policy.Region_invalidated { entry = spec.Region.entry }))
+      (Policy.handle !policy (Policy.Region_invalidated { entry = spec.Region.entry }))
   in
   let interpret_step (block : Block.t) (s : Interp.step) =
     stats.Stats.interpreted_insts <- stats.Stats.interpreted_insts + block.Block.size;
     ib.Policy.block <- block;
     ib.Policy.taken <- s.Interp.taken;
     ib.Policy.next <- s.Interp.next;
-    install_if_any (Policy.handle policy interp_event);
+    install_if_any (Policy.handle !policy interp_event);
     let a = s.Interp.next in
     if Addr.is_none a then halted := true
     else if s.Interp.taken && stats.Stats.steps > !bail_until then begin
@@ -200,7 +253,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
              exact as the unbatched profile's. *)
           Edge_profile.flush edges;
           install_if_any
-            (Policy.handle policy
+            (Policy.handle !policy
                (Policy.Cache_exited
                   { from_entry = region.Region.entry; src = Block.last block; tgt = a }));
           (* The paper's "jump newT": if the policy just installed a region
@@ -285,7 +338,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
             (* Edge-profile drain point, as in [region_step]. *)
             Edge_profile.flush edges;
             install_if_any
-              (Policy.handle policy
+              (Policy.handle !policy
                  (Policy.Cache_exited
                     { from_entry = region.Region.entry; src = Block.last block; tgt = a }));
             (* The paper's "jump newT": if the policy just installed a region
@@ -309,7 +362,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
       (fun (r : Region.t) ->
         if !cur_region == r then cur_region := Region.dummy;
         install_if_any
-          (Policy.handle policy (Policy.Region_invalidated { entry = r.Region.entry })))
+          (Policy.handle !policy (Policy.Region_invalidated { entry = r.Region.entry })))
       retired;
     Gauges.set_blacklisted ctx.Context.gauges (Code_cache.n_blacklisted cache);
     Gauges.set_links ctx.Context.gauges (Code_cache.n_links cache)
@@ -319,6 +372,7 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
     | Faults.Translation_failure _ -> 1
     | Faults.Async_exit -> 2
     | Faults.Cache_shock _ -> 3
+    | Faults.Crash -> 4
   in
   let apply_fault ev =
     stats.Stats.faults_injected <- stats.Stats.faults_injected + 1;
@@ -335,6 +389,23 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
         stats.Stats.async_exits <- stats.Stats.async_exits + 1
       end
     | Faults.Cache_shock { bytes } -> deliver_invalidations (Code_cache.shock cache ~bytes)
+    | Faults.Crash ->
+      (* The optimizer process dies and restarts: every warm optimizer
+         structure is lost — live regions, links, the blacklist, live
+         profiling counters, policy state, any claim on the program
+         counter — while the program itself (interpreter state) and the
+         run's accumulated metrics persist.  No invalidations are
+         delivered: the policy that would receive them died with the
+         cache. *)
+      cur_region := Region.dummy;
+      ignore (Code_cache.flush_all cache : Region.t list);
+      Code_cache.reset_blacklist cache;
+      Counters.reset ctx.Context.counters;
+      Gauges.add_observed_bytes ctx.Context.gauges
+        (-Gauges.observed_bytes ctx.Context.gauges);
+      Gauges.set_blacklisted ctx.Context.gauges 0;
+      Gauges.set_links ctx.Context.gauges 0;
+      policy := Policy.instantiate policy_mod ctx
   in
   (* The bailout watchdog (fault runs only): sample the cached-instruction
      share over a sliding window; if it collapses relative to its peak
@@ -369,6 +440,201 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
       deliver_invalidations retired
     end;
     next_window := stats.Stats.steps + params.Params.watchdog_window
+  in
+  (* Loop-state section codec: the refs above plus the fault cursor, the
+     event/sample logs and the link-dedup table — everything the hot loop
+     owns that is not already inside a subsystem with its own section. *)
+  let save_loop emit =
+    let r = !cur_region in
+    emit (if r == Region.dummy then -1 else r.Region.id);
+    emit !cur_addr;
+    emit !cur_node;
+    emit (if !halted then 1 else 0);
+    emit !bail_until;
+    emit (if !bail_exit_pending then 1 else 0);
+    emit !next_window;
+    emit_float emit !peak_share;
+    Stats.save_snapshot !window_start emit;
+    (match faults with
+    | None -> emit 0
+    | Some f ->
+      emit 1;
+      emit (Faults.cursor f));
+    emit (List.length !ev_log);
+    List.iter
+      (fun (step, l) ->
+        emit step;
+        emit (ev_label_code l))
+      !ev_log;
+    emit (List.length !sample_log);
+    List.iter
+      (fun (step, v) ->
+        emit step;
+        emit_float emit v)
+      !sample_log;
+    emit (Flat_tbl.length links);
+    List.iter
+      (fun (k, v) ->
+        emit k;
+        emit v)
+      (Flat_tbl.sorted_pairs links)
+  in
+  let load_loop read =
+    let read_bool what =
+      match read () with
+      | 0 -> false
+      | 1 -> true
+      | _ -> failwith ("Simulator: bad flag in snapshot: " ^ what)
+    in
+    let rid = read () in
+    let addr = read () in
+    let node = read () in
+    let halted' = read_bool "halted" in
+    let bail_until' = read () in
+    let bail_exit_pending' = read_bool "bail-exit-pending" in
+    let next_window' = read () in
+    let peak_share' = read_float read in
+    let window_start' = Stats.load_snapshot read in
+    let fault_cursor =
+      match read () with
+      | 0 -> None
+      | 1 -> Some (read ())
+      | _ -> failwith "Simulator: bad fault-cursor tag in snapshot"
+    in
+    let read_len what =
+      let n = read () in
+      if n < 0 then failwith ("Simulator: negative length in snapshot: " ^ what);
+      n
+    in
+    let ev_log' =
+      List.init (read_len "event log") (fun _ ->
+          let step = read () in
+          (step, ev_label_of_code (read ())))
+    in
+    let sample_log' =
+      List.init (read_len "sample log") (fun _ ->
+          let step = read () in
+          (step, read_float read))
+    in
+    let link_pairs =
+      List.init (read_len "link table") (fun _ ->
+          let k = read () in
+          let v = read () in
+          if k < 0 || v < 0 then failwith "Simulator: negative link entry in snapshot";
+          (k, v))
+    in
+    (* Resolve the mode refs against the restored cache.  A region id that
+       no longer resolves (the cache section was dropped and re-warmed
+       empty) falls back to the interpreter rather than failing the whole
+       section. *)
+    (* With no live region ([rid < 0], or the cache section was dropped
+       and re-warmed empty) the node id is scratch — region entry always
+       sets it before compiled stepping reads it — so it is restored
+       verbatim, like [cur_addr], to keep a re-encoded snapshot
+       byte-identical to the one just loaded. *)
+    let region', node' =
+      if rid < 0 then (Region.dummy, node)
+      else
+        match Code_cache.region_by_id cache rid with
+        | None -> (Region.dummy, node)
+        | Some r ->
+          if node < 0 || node >= Array.length r.Region.node_blocks then
+            failwith "Simulator: region node out of range in snapshot";
+          (* [cur_addr] is the live position only in legacy mode; compiled
+             stepping advances [cur_node] alone (a link transition can move
+             to another region without touching [cur_addr]), so there the
+             address is restored verbatim as scratch state. *)
+          if
+            (not compiled)
+            && not
+                 (Array.exists
+                    (fun (b : Block.t) -> Addr.equal b.Block.start addr)
+                    r.Region.node_blocks)
+          then failwith "Simulator: region address not a node start in snapshot";
+          (r, node)
+    in
+    (* Commit.  The fault-cursor store goes first: [Faults.set_cursor] is
+       the only committing call that can raise, and failing before any ref
+       is written leaves the loop state untouched (fresh), which is the
+       degraded-section contract. *)
+    (match (faults, fault_cursor) with
+    | Some f, Some c -> Faults.set_cursor f c
+    | None, None -> ()
+    | Some _, None | None, Some _ ->
+      failwith "Simulator: snapshot fault profile does not match this run");
+    fault_next := (match faults with None -> max_int | Some f -> Faults.next_step f);
+    cur_region := region';
+    cur_addr := addr;
+    cur_node := node';
+    halted := halted';
+    bail_until := bail_until';
+    bail_exit_pending := bail_exit_pending';
+    next_window := next_window';
+    peak_share := peak_share';
+    window_start := window_start';
+    ev_log := ev_log';
+    sample_log := sample_log';
+    List.iter (fun (k, v) -> Flat_tbl.set links k v) link_pairs
+  in
+  let internals =
+    let sec name save load = { sec_name = name; sec_save = save; sec_load = load } in
+    (* Save/restore order is load order; "loop" goes last because its
+       region reference resolves against the already-restored cache. *)
+    {
+      int_ctx = ctx;
+      int_stats = stats;
+      int_sections =
+        [
+          sec "interp" (Interp.save_warm interp) (Interp.load_warm interp);
+          sec "stats" (Stats.save stats) (Stats.load stats);
+          sec "edges" (Edge_profile.save edges) (Edge_profile.load edges);
+          sec "icache" (Icache.save icache) (Icache.load icache);
+          sec "counters"
+            (Counters.save ctx.Context.counters)
+            (Counters.load ctx.Context.counters);
+          sec "gauges" (Gauges.save ctx.Context.gauges) (Gauges.load ctx.Context.gauges);
+          sec "cache" (Code_cache.save cache) (Code_cache.load cache);
+          sec "blacklist" (Code_cache.save_blacklist cache) (Code_cache.load_blacklist cache);
+          sec "policy"
+            (fun emit -> Policy.save !policy emit)
+            (fun read -> policy := Policy.load policy_mod ctx read);
+        ]
+        @ (match telemetry with
+          | None -> []
+          | Some tel -> [ sec "telemetry" (Telemetry.save tel) (Telemetry.load tel) ])
+        @ [ sec "loop" save_loop load_loop ];
+    }
+  in
+  (match restore with
+  | None -> ()
+  | Some f ->
+    f internals;
+    (* A snapshot and the run restoring it need not agree on
+       instrumentation: a sink-less save carries no telemetry section,
+       and a damaged cache or telemetry frame re-warms one side only.
+       Reconcile the span ledger with the restored live set so the
+       sanitizer's open-spans = live-regions rule holds from the first
+       post-restore audit; a matched clean restore makes both passes
+       no-ops. *)
+    (match telemetry with
+    | None -> ()
+    | Some tel ->
+      let step = stats.Stats.steps in
+      let live = Int_tbl.create 64 in
+      Code_cache.iter_entries cache (fun _ r ->
+          Int_tbl.replace live r.Region.id ();
+          if not (Telemetry.span_open tel ~id:r.Region.id) then
+            Telemetry.install (Some tel) ~step ~id:r.Region.id
+              ~n_nodes:r.Region.n_nodes);
+      Telemetry.reconcile_spans tel ~step ~live:(fun id -> Int_tbl.mem live id)));
+  let has_checkpoint = Option.is_some checkpoint in
+  let checkpoint_done = ref false in
+  let maybe_checkpoint () =
+    match checkpoint with
+    | Some (at, fn) when (not !checkpoint_done) && stats.Stats.steps >= at ->
+      checkpoint_done := true;
+      fn internals
+    | _ -> ()
   in
   (* Bailouts, fault arrival, and watchdog windows all require a fault
      profile, so a clean run folds their four per-step compares into this
@@ -416,10 +682,20 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
         end;
         if stats.Stats.steps >= !next_window then watchdog ()
       end;
+      if has_checkpoint then maybe_checkpoint ();
       loop ()
     end
   in
   loop ();
+  (* A checkpoint aimed past the run's actual length (or at [max_int], the
+     CLI's "save at end") fires here, before the final flush, so the saved
+     edge ring matches what a mid-run checkpoint at this step would have
+     seen and restore-then-finish replays the flush identically. *)
+  (match checkpoint with
+  | Some (_, fn) when not !checkpoint_done ->
+    checkpoint_done := true;
+    fn internals
+  | _ -> ());
   (* End of run is the final observation point. *)
   Edge_profile.flush edges;
   let fault_log =

@@ -62,11 +62,39 @@ type observer = {
     effect on the simulation.  With [observer = None] (the default) the
     loop pays one compare per step; metrics are identical either way. *)
 
+type section = {
+  sec_name : string;  (** Stable identifier ("interp", "cache", "loop", …). *)
+  sec_save : (int -> unit) -> unit;
+      (** Serialize the section's current state as a flat int stream.  Pure
+          observation: saving changes no simulated outcome. *)
+  sec_load : (unit -> int) -> unit;
+      (** Replace the section's state from a saved stream.  Raises
+          [Failure] on a malformed stream, in which case the section keeps
+          its fresh (run-start) state — the caller treats it as degraded
+          and the subsystem re-warms from scratch. *)
+}
+(** One independently recoverable unit of warm state.  The persistence
+    layer ([Regionsel_persist.Persist]) frames, checksums and versions
+    each section separately so corruption degrades section by section. *)
+
+type internals = {
+  int_ctx : Context.t;
+  int_stats : Stats.t;
+  int_sections : section list;
+      (** In save order, which is also the required load order: the final
+          "loop" section resolves its current-region reference against the
+          already-restored code cache. *)
+}
+(** The checkpoint surface handed to the [checkpoint] and [restore] hooks
+    of {!run}: everything warm about the run, as named sections. *)
+
 val run :
   ?params:Params.t ->
   ?seed:int64 ->
   ?telemetry:Regionsel_telemetry.Telemetry.sink ->
   ?observer:observer ->
+  ?checkpoint:int * (internals -> unit) ->
+  ?restore:(internals -> unit) ->
   policy:(module Policy.S) ->
   max_steps:int ->
   Regionsel_workload.Image.t ->
@@ -78,4 +106,19 @@ val run :
     invalidation, fault delivery, bailout enter/exit, blacklist
     add/expire) into its ring buffer; the default sink is a no-op and
     recording is pure observation — enabling it changes no simulated
-    outcome (guarded by the parity suite). *)
+    outcome (guarded by the parity suite).
+
+    [checkpoint] is [(at_step, fn)]: the first time the step count reaches
+    [at_step], [fn] is called once with the run's {!internals} — saving
+    through them is pure observation.  A threshold the run never reaches
+    (use [max_int] for "at end of run") fires once after the last step,
+    before end-of-run finalization.  [restore] is called once before the
+    first step; loading a snapshot saved at step [N] through it and
+    continuing is bit-identical — metrics, telemetry, PRNG streams — to
+    the uninterrupted run, provided params, seed, image and policy match.
+
+    With [params.faults] naming a profile with a [crash_period], crash
+    events kill the warm optimizer mid-run: the cache is flushed, the
+    blacklist, live counters and policy state are reset, and execution
+    falls back to the interpreter — the program itself and the run's
+    accumulated metrics persist. *)

@@ -100,6 +100,100 @@ let diff ~earlier ~later =
     recovery_steps = later.Snapshot.recovery_steps - earlier.Snapshot.recovery_steps;
   }
 
+(* Checkpoint support: the counters as a flat int stream, in declaration
+   order.  [save_snapshot]/[load_snapshot] serialize a frozen image the
+   same way (the bailout watchdog's window baseline survives restore). *)
+
+let save t emit =
+  emit t.steps;
+  emit t.interpreted_insts;
+  emit t.cached_insts;
+  emit t.taken_branches;
+  emit t.region_transitions;
+  emit t.dispatches;
+  emit t.cache_exits_to_interp;
+  emit t.installs;
+  emit t.links;
+  emit t.link_hits;
+  emit t.node_steps;
+  emit t.install_rejects;
+  emit t.faults_injected;
+  emit t.async_exits;
+  emit t.bailouts;
+  emit t.recovery_steps
+
+let load t read =
+  t.steps <- read ();
+  t.interpreted_insts <- read ();
+  t.cached_insts <- read ();
+  t.taken_branches <- read ();
+  t.region_transitions <- read ();
+  t.dispatches <- read ();
+  t.cache_exits_to_interp <- read ();
+  t.installs <- read ();
+  t.links <- read ();
+  t.link_hits <- read ();
+  t.node_steps <- read ();
+  t.install_rejects <- read ();
+  t.faults_injected <- read ();
+  t.async_exits <- read ();
+  t.bailouts <- read ();
+  t.recovery_steps <- read ()
+
+let save_snapshot (s : Snapshot.t) emit =
+  emit s.Snapshot.steps;
+  emit s.Snapshot.interpreted_insts;
+  emit s.Snapshot.cached_insts;
+  emit s.Snapshot.taken_branches;
+  emit s.Snapshot.region_transitions;
+  emit s.Snapshot.dispatches;
+  emit s.Snapshot.cache_exits_to_interp;
+  emit s.Snapshot.installs;
+  emit s.Snapshot.links;
+  emit s.Snapshot.link_hits;
+  emit s.Snapshot.node_steps;
+  emit s.Snapshot.install_rejects;
+  emit s.Snapshot.faults_injected;
+  emit s.Snapshot.async_exits;
+  emit s.Snapshot.bailouts;
+  emit s.Snapshot.recovery_steps
+
+let load_snapshot read =
+  let steps = read () in
+  let interpreted_insts = read () in
+  let cached_insts = read () in
+  let taken_branches = read () in
+  let region_transitions = read () in
+  let dispatches = read () in
+  let cache_exits_to_interp = read () in
+  let installs = read () in
+  let links = read () in
+  let link_hits = read () in
+  let node_steps = read () in
+  let install_rejects = read () in
+  let faults_injected = read () in
+  let async_exits = read () in
+  let bailouts = read () in
+  let recovery_steps = read () in
+  {
+    Snapshot.steps;
+    interpreted_insts;
+    cached_insts;
+    taken_branches;
+    region_transitions;
+    dispatches;
+    cache_exits_to_interp;
+    installs;
+    links;
+    link_hits;
+    node_steps;
+    install_rejects;
+    faults_injected;
+    async_exits;
+    bailouts;
+    recovery_steps;
+  }
+
 let total_insts t = t.interpreted_insts + t.cached_insts
 
 let hit_rate t =

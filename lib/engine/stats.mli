@@ -65,6 +65,15 @@ val snapshot : t -> Snapshot.t
 val diff : earlier:Snapshot.t -> later:Snapshot.t -> Snapshot.t
 (** Field-wise [later - earlier]: the activity inside one window. *)
 
+val save : t -> (int -> unit) -> unit
+(** Checkpoint support: emit every counter, in declaration order. *)
+
+val load : t -> (unit -> int) -> unit
+(** Overwrite every counter from a {!save} stream. *)
+
+val save_snapshot : Snapshot.t -> (int -> unit) -> unit
+val load_snapshot : (unit -> int) -> Snapshot.t
+
 val total_insts : t -> int
 
 val hit_rate : t -> float

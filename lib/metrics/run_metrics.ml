@@ -123,6 +123,66 @@ let of_result ?(x = 0.9) (result : Simulator.result) =
       Gauges.blacklisted_high_water result.Simulator.ctx.Context.gauges;
   }
 
+(* Machine-readable dump: fixed field order, [%.17g] floats (lossless for
+   binary64), so two runs with identical metrics produce byte-identical
+   JSON — the checkpoint round-trip gate in CI diffs this output. *)
+let to_json t =
+  let b = Buffer.create 1024 in
+  let first = ref true in
+  let field k v =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b (Printf.sprintf "  %S: %s" k v)
+  in
+  let str k v = field k (Printf.sprintf "%S" v) in
+  let int k v = field k (string_of_int v) in
+  let boolean k v = field k (if v then "true" else "false") in
+  let flt k v = field k (if Float.is_finite v then Printf.sprintf "%.17g" v else "null") in
+  Buffer.add_string b "{\n";
+  str "benchmark" t.benchmark;
+  str "policy" t.policy;
+  int "steps" t.steps;
+  boolean "halted" t.halted;
+  int "total_insts" t.total_insts;
+  flt "hit_rate" t.hit_rate;
+  int "n_regions" t.n_regions;
+  int "code_expansion" t.code_expansion;
+  int "n_stubs" t.n_stubs;
+  flt "avg_region_insts" t.avg_region_insts;
+  flt "spanned_cycle_ratio" t.spanned_cycle_ratio;
+  flt "executed_cycle_ratio" t.executed_cycle_ratio;
+  int "region_transitions" t.region_transitions;
+  int "dispatches" t.dispatches;
+  int "cover_90" t.cover_90;
+  boolean "cover_90_achievable" t.cover_90_achievable;
+  int "counters_high_water" t.counters_high_water;
+  int "observed_bytes_high_water" t.observed_bytes_high_water;
+  int "est_cache_bytes" t.est_cache_bytes;
+  int "exit_dominated_regions" t.exit_dominated_regions;
+  flt "exit_dominated_fraction" t.exit_dominated_fraction;
+  int "exit_dominated_dup_insts" t.exit_dominated_dup_insts;
+  flt "exit_dominated_dup_fraction" t.exit_dominated_dup_fraction;
+  int "links" t.links;
+  int "link_hits" t.link_hits;
+  int "link_severs" t.link_severs;
+  int "links_high_water" t.links_high_water;
+  int "node_steps" t.node_steps;
+  int "icache_accesses" t.icache_accesses;
+  int "icache_misses" t.icache_misses;
+  flt "icache_miss_rate" t.icache_miss_rate;
+  int "evictions" t.evictions;
+  int "cache_flushes" t.cache_flushes;
+  int "regenerations" t.regenerations;
+  int "invalidations" t.invalidations;
+  int "blacklist_hits" t.blacklist_hits;
+  int "install_rejects" t.install_rejects;
+  int "faults_injected" t.faults_injected;
+  int "async_exits" t.async_exits;
+  int "bailouts" t.bailouts;
+  int "recovery_steps" t.recovery_steps;
+  int "blacklisted_high_water" t.blacklisted_high_water;
+  Buffer.add_string b "\n}";
+  Buffer.contents b
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s / %s:@,\

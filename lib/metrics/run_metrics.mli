@@ -76,3 +76,9 @@ val of_result : ?x:float -> Regionsel_engine.Simulator.result -> t
     (default 0.9). *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One JSON object with every field, in declaration order, floats printed
+    with [%.17g] (lossless): runs with identical metrics produce
+    byte-identical output, which the CI checkpoint round-trip gate diffs
+    directly. *)

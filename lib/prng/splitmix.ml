@@ -29,6 +29,19 @@ let create ~seed =
 
 let copy g = { hi = g.hi; lo = g.lo; mhi = 0; mlo = 0 }
 
+(* The full generator state is the two state limbs: [mhi]/[mlo] are
+   scratch (the last mixed output) and are never read across draws, so a
+   saved-and-restored generator reproduces the exact remaining stream. *)
+let state g = g.hi, g.lo
+
+let set_state g ~hi ~lo =
+  if hi < 0 || hi > mask32 || lo < 0 || lo > mask32 then
+    invalid_arg "Splitmix.set_state: limbs must lie in [0, 2^32)";
+  g.hi <- hi;
+  g.lo <- lo;
+  g.mhi <- 0;
+  g.mlo <- 0
+
 (* Low 64 bits of the product (xh:xl) * (yh:yl), into mhi:mlo.  The cross
    terms enter shifted left by 32, so only their low 32 bits matter, and
    native multiplication is exact mod 2^63, so those bits survive; the

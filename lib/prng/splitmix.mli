@@ -17,6 +17,15 @@ val copy : t -> t
 (** [copy g] is an independent generator that will produce the same future
     stream as [g]. *)
 
+val state : t -> int * int
+(** [state g] is the full generator state as [(hi, lo)] 32-bit limbs.
+    Handing the pair to {!set_state} reproduces [g]'s exact remaining
+    stream — the checkpoint/restore hook. *)
+
+val set_state : t -> hi:int -> lo:int -> unit
+(** Overwrite the generator state with saved limbs.  Raises
+    [Invalid_argument] if either limb lies outside [[0, 2^32)]. *)
+
 val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent of [g]'s remaining stream.  Used to give every

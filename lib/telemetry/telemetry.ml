@@ -48,6 +48,7 @@ let fault_label = function
   | 1 -> "translation"
   | 2 -> "async-exit"
   | 3 -> "shock"
+  | 4 -> "crash"
   | c -> Printf.sprintf "fault-%d" c
 
 module Hist = struct
@@ -314,6 +315,118 @@ let n_open_spans t =
   let n = ref 0 in
   iter_open_spans t (fun ~id:_ ~installed_at:_ -> incr n);
   !n
+
+(* Close any open span whose region id is not in [live].  Restore uses
+   this when the ledger survived a snapshot but the cache section did
+   not (its regions re-warmed away): the ghost spans close as
+   [End_of_run] so spans = installs still holds. *)
+let reconcile_spans t ~step ~live =
+  for id = 0 to Array.length t.open_at - 1 do
+    if t.open_at.(id) >= 0 && not (live id) then close_span t ~step ~id ~cause:End_of_run
+  done
+
+(* Checkpoint support.  The ring is serialized verbatim (written prefix
+   only: after [head] events the touched physical slots are exactly
+   [min head cap]), the span ledger by length so restore reproduces the
+   exact array geometry, and completed spans in list order.  [load] fills
+   an existing recorder so the caller controls capacity; a capacity
+   mismatch is a hard error because [head] indexes a specific ring
+   geometry. *)
+
+let cause_code = function Evicted -> 0 | Flushed -> 1 | Invalidated -> 2 | End_of_run -> 3
+
+let cause_of_code = function
+  | 0 -> Evicted
+  | 1 -> Flushed
+  | 2 -> Invalidated
+  | 3 -> End_of_run
+  | c -> failwith (Printf.sprintf "Telemetry.load: bad cause code %d" c)
+
+let save_hist (h : Hist.h) emit =
+  Array.iter emit h.Hist.counts;
+  emit h.Hist.count;
+  emit h.Hist.sum;
+  emit h.Hist.max_value
+
+let load_hist (h : Hist.h) read =
+  for b = 0 to Array.length h.Hist.counts - 1 do
+    let c = read () in
+    if c < 0 then failwith "Telemetry.load: negative histogram bucket";
+    h.Hist.counts.(b) <- c
+  done;
+  h.Hist.count <- read ();
+  h.Hist.sum <- read ();
+  h.Hist.max_value <- read ()
+
+let save t emit =
+  emit t.cap;
+  emit t.head;
+  let live_slots = min t.head t.cap * slots in
+  for i = 0 to live_slots - 1 do
+    emit t.buf.(i)
+  done;
+  save_hist t.hist_residency emit;
+  save_hist t.hist_first_link emit;
+  save_hist t.hist_trace_length emit;
+  save_hist t.hist_cooldown emit;
+  let n = Array.length t.open_at in
+  emit n;
+  Array.iter emit t.open_at;
+  Array.iter emit t.nodes_of;
+  Bytes.iter (fun c -> emit (Char.code c)) t.linked;
+  emit (List.length t.spans_rev);
+  List.iter
+    (fun s ->
+      emit s.id;
+      emit s.installed_at;
+      emit s.retired_at;
+      emit (cause_code s.cause);
+      emit s.n_nodes)
+    t.spans_rev;
+  emit t.installs;
+  emit (if t.finished then 1 else 0)
+
+let load t read =
+  let cap = read () in
+  if cap <> t.cap then
+    failwith
+      (Printf.sprintf "Telemetry.load: capacity mismatch (snapshot %d, recorder %d)" cap t.cap);
+  let head = read () in
+  if head < 0 then failwith "Telemetry.load: negative head";
+  let live_slots = min head cap * slots in
+  Array.fill t.buf 0 (Array.length t.buf) 0;
+  for i = 0 to live_slots - 1 do
+    t.buf.(i) <- read ()
+  done;
+  t.head <- head;
+  load_hist t.hist_residency read;
+  load_hist t.hist_first_link read;
+  load_hist t.hist_trace_length read;
+  load_hist t.hist_cooldown read;
+  let n = read () in
+  if n < 1 then failwith "Telemetry.load: bad ledger size";
+  let open_at = Array.init n (fun _ -> read ()) in
+  let nodes_of = Array.init n (fun _ -> read ()) in
+  let linked = Bytes.init n (fun _ -> Char.chr (read () land 0xFF)) in
+  t.open_at <- open_at;
+  t.nodes_of <- nodes_of;
+  t.linked <- linked;
+  let n_spans = read () in
+  if n_spans < 0 then failwith "Telemetry.load: negative span count";
+  let spans_rev = ref [] in
+  for _ = 1 to n_spans do
+    let id = read () in
+    let installed_at = read () in
+    let retired_at = read () in
+    let cause = cause_of_code (read ()) in
+    let n_nodes = read () in
+    spans_rev := { id; installed_at; retired_at; cause; n_nodes } :: !spans_rev
+  done;
+  (* [spans_rev] was emitted in list order; re-consing reversed it, so one
+     more [List.rev] restores the original order. *)
+  t.spans_rev <- List.rev !spans_rev;
+  t.installs <- read ();
+  t.finished <- (match read () with 0 -> false | 1 -> true | _ -> failwith "Telemetry.load: bad finished flag")
 
 let residency t = t.hist_residency
 let time_to_first_link t = t.hist_first_link

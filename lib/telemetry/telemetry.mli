@@ -60,7 +60,8 @@ val label : kind -> string
 
 val fault_label : int -> string
 (** Label for a [Fault] event's code: 0 = ["smc"], 1 = ["translation"],
-    2 = ["async-exit"], 3 = ["shock"] (matching [Faults.label]). *)
+    2 = ["async-exit"], 3 = ["shock"], 4 = ["crash"] (matching
+    [Faults.label]). *)
 
 (** {1 Emission} — allocation-free; no-ops on a [None] sink. *)
 
@@ -129,6 +130,12 @@ val iter_open_spans : t -> (id:int -> installed_at:int -> unit) -> unit
 val n_open_spans : t -> int
 (** Open spans (regions installed and not yet retired). *)
 
+val reconcile_spans : t -> step:int -> live:(int -> bool) -> unit
+(** Close (as [End_of_run]) any open span whose region id fails [live].
+    Snapshot restore uses this when the ledger outlived the cache section
+    it described — the ghost spans close so spans = installs holds and
+    the sanitizer's open-spans = live-regions rule is re-established. *)
+
 (** {1 Histograms} *)
 
 module Hist : sig
@@ -162,3 +169,16 @@ val trace_length : t -> Hist.h
 
 val blacklist_cooldown : t -> Hist.h
 (** Cooldown durations in steps, observed at each blacklist (re-)arming. *)
+
+(** {1 Checkpoint support} *)
+
+val save : t -> (int -> unit) -> unit
+(** Serialize the full recorder — ring (written slots verbatim, so
+    {!events}, {!n_emitted} and {!n_dropped} survive exactly), histograms,
+    span ledger geometry, completed spans, counters — as a flat int
+    stream. *)
+
+val load : t -> (unit -> int) -> unit
+(** Fill an existing recorder from a {!save} stream.  The recorder must
+    have been created at the same capacity as the saved one; raises
+    [Failure] on a capacity mismatch or a malformed stream. *)

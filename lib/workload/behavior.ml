@@ -96,6 +96,74 @@ let choose = function
     s.pos <- (if p = Array.length s.targets then 0 else p);
     tgt
 
+(* Checkpoint support: flatten a state's mutable position — PRNG limbs,
+   loop/pattern/phase cursors — into an int stream and restore it into a
+   freshly instantiated state of the same spec.  The structure (variant
+   shape, phase arity) comes from the spec at load time, so only the
+   mutables travel; a shape mismatch means the stream does not belong to
+   this spec and raises [Failure]. *)
+
+let rec save_state st emit =
+  match st with
+  | S_const _ -> ()
+  | S_bernoulli s ->
+    let hi, lo = Splitmix.state s.prng in
+    emit hi;
+    emit lo
+  | S_loop s -> emit s.left
+  | S_pattern s -> emit s.pos
+  | S_phased s ->
+    emit s.phase;
+    emit s.left;
+    Array.iter (fun (_, inner) -> save_state inner emit) s.phases
+
+let rec load_state st read =
+  match st with
+  | S_const _ -> ()
+  | S_bernoulli s ->
+    let hi = read () in
+    let lo = read () in
+    Splitmix.set_state s.prng ~hi ~lo
+  | S_loop s ->
+    let left = read () in
+    if left < 0 || left >= s.trip then failwith "Behavior.load_state: loop cursor out of range";
+    s.left <- left
+  | S_pattern s ->
+    let pos = read () in
+    if pos < 0 || pos >= Array.length s.pattern then
+      failwith "Behavior.load_state: pattern cursor out of range";
+    s.pos <- pos
+  | S_phased s ->
+    let phase = read () in
+    let left = read () in
+    if phase < 0 || phase >= Array.length s.phases then
+      failwith "Behavior.load_state: phase index out of range";
+    let len, _ = s.phases.(phase) in
+    if left < 1 || left > len then failwith "Behavior.load_state: phase cursor out of range";
+    s.phase <- phase;
+    s.left <- left;
+    Array.iter (fun (_, inner) -> load_state inner read) s.phases
+
+let save_indirect st emit =
+  match st with
+  | I_weighted s ->
+    let hi, lo = Splitmix.state s.prng in
+    emit hi;
+    emit lo
+  | I_round_robin s -> emit s.pos
+
+let load_indirect st read =
+  match st with
+  | I_weighted s ->
+    let hi = read () in
+    let lo = read () in
+    Splitmix.set_state s.prng ~hi ~lo
+  | I_round_robin s ->
+    let pos = read () in
+    if pos < 0 || pos >= Array.length s.targets then
+      failwith "Behavior.load_indirect: cursor out of range";
+    s.pos <- pos
+
 let rec pp_spec ppf = function
   | Always_taken -> Format.pp_print_string ppf "always"
   | Never_taken -> Format.pp_print_string ppf "never"

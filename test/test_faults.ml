@@ -202,10 +202,60 @@ let watchdog_bails_out_under_thrash () =
   check_true "cooldown steps counted" (m.Run_metrics.recovery_steps > 0);
   check_true "bailout flushed the cache" (m.Run_metrics.cache_flushes > 0)
 
+(* Crash events interleave with every other stream without disturbing the
+   schedule invariants: construction stays deterministic and the merged
+   schedule stays step-sorted. *)
+let crash_schedule_deterministic_and_sorted () =
+  let image = figure3 () in
+  let profile =
+    {
+      (Option.get (Params.fault_profile "mixed")) with
+      Params.first_fault_step = 5_000;
+      crash_period = 17_000;
+    }
+  in
+  let mk () =
+    Faults.create ~profile ~seed:11L ~program:image.Image.program ~max_steps:400_000
+  in
+  let a = mk () and b = mk () in
+  check_int "same length" (Faults.n_events a) (Faults.n_events b);
+  check_true "schedule not empty" (Faults.n_events a > 0);
+  let crashes = ref 0 and others = ref 0 and last = ref min_int in
+  while Faults.next_step a < max_int do
+    let step = Faults.next_step a in
+    check_true "schedule is step-sorted" (step >= !last);
+    last := step;
+    check_int "same step as twin" step (Faults.next_step b);
+    let ea = Faults.pop a and eb = Faults.pop b in
+    Alcotest.(check string) "same event as twin" (Faults.label ea) (Faults.label eb);
+    match ea with Faults.Crash -> incr crashes | _ -> incr others
+  done;
+  check_true "crash events scheduled" (!crashes > 1);
+  check_true "other streams still fire alongside crashes" (!others > 0)
+
+(* An end-to-end crash run: the warm state dies and re-forms, and doing it
+   twice yields identical metrics (crash recovery is as reproducible as a
+   clean run). *)
+let crash_run_recovers_deterministically () =
+  let profile = Option.get (Params.fault_profile "crash") in
+  let profile = { profile with Params.first_fault_step = 20_000; crash_period = 30_000 } in
+  let spec = Option.get (Suite.find "gzip") in
+  let image = Spec.image spec in
+  let m () =
+    Run_metrics.of_result (run_faulty ~policy:"net" ~max_steps:120_000 ~profile image)
+  in
+  let a = m () and b = m () in
+  if a <> b then Alcotest.fail "two identical crash runs diverged";
+  check_true "crashes were injected" (a.Run_metrics.faults_injected >= 3);
+  check_true "cache was flushed by crashes" (a.Run_metrics.cache_flushes >= 3);
+  check_true "regions re-formed after crashes" (a.Run_metrics.n_regions > 0)
+
 let suite =
   [
     case "schedule is exact" schedule_is_exact;
     case "schedule is deterministic" schedule_is_deterministic;
+    case "crash schedule deterministic and step-sorted" crash_schedule_deterministic_and_sorted;
+    case "crash run recovers deterministically" crash_run_recovers_deterministically;
     case "fault runs are deterministic" fault_runs_are_deterministic;
     case "counters populated" counters_populated;
     case "clean run has no log" clean_run_has_no_log;

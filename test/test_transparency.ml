@@ -20,6 +20,8 @@ module Null_policy : Policy.S = struct
   let name = "null"
   let create _ = ()
   let handle () _ = Policy.No_action
+  let save () _ = ()
+  let load _ _ = ()
 end
 
 let null : (module Policy.S) = (module Null_policy)
