@@ -1150,6 +1150,51 @@ let measure_minor_words_per_step () =
   let a2 = alloc (2 * n) in
   (a2 -. a1) /. float_of_int n
 
+(* Multi-stream scaling: aggregate steps/sec of N independent tenants
+   (same workload, distinct seeds) multiplexed over the available domains
+   by the Multi_stream scheduler.  One stream measures the scheduler's
+   overhead against the headline single-run figure; N streams measure how
+   close aggregate throughput gets to linear in the domain count.  Rows
+   are kept for [--json] under the "streams" key (the CI scale gate). *)
+module Multi_stream = Regionsel_engine.Multi_stream
+
+let scale_rows : (int * float) list ref = ref []
+
+let scale () =
+  header "Multi-stream scaling: aggregate steps/sec (domain-sharded tenants)";
+  let image = Spec.image (Option.get (Suite.find "twolf")) in
+  let policy = Option.get (Policies.find "net") in
+  let steps = if quick then 100_000 else 400_000 in
+  let n_domains = Domain_pool.default_n_domains () in
+  let measure streams =
+    let run () =
+      ignore
+        (Multi_stream.run ~n_domains:(min n_domains streams) ~batch_steps:16384
+           (List.init streams (fun i ->
+                Multi_stream.tenant ~seed:(Int64.of_int (i + 1)) ~policy ~max_steps:steps
+                  ~name:(Printf.sprintf "t%d" i) image)))
+    in
+    run () (* warm-up *);
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      run ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    float_of_int (streams * steps) /. !best
+  in
+  let rows = List.map (fun s -> (s, measure s)) [ 1; 2; 4; 8 ] in
+  scale_rows := rows;
+  let base = List.assoc 1 rows in
+  Table.print
+    ~header:[ "streams"; "Magg-steps/s"; "speedup" ]
+    (List.map
+       (fun (s, r) ->
+         [ string_of_int s; Table.fmt_float 2 (r /. 1e6); Table.fmt_float 2 (r /. base) ])
+       rows);
+  Printf.printf "(%d domains available)\n" n_domains
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -1178,8 +1223,10 @@ let emit_json path =
   let minor_words_per_step = measure_minor_words_per_step () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema_version\": 4,\n";
+  Buffer.add_string b "  \"schema_version\": 5,\n";
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b
+    (Printf.sprintf "  \"n_domains\": %d,\n" (Domain_pool.default_n_domains ()));
   (* The interpreter mode the measured runs used; "legacy" only if someone
      re-benches with Params.threaded_dispatch = false. *)
   Buffer.add_string b
@@ -1201,6 +1248,24 @@ let emit_json path =
        "  \"links\": %d,\n  \"link_hits\": %d,\n  \"link_severs\": %d,\n  \
         \"links_high_water\": %d,\n  \"node_steps\": %d,\n  \"profiler_flushes\": %d,\n"
        links link_hits link_severs links_hw node_steps profiler_flushes);
+  (* Always-present key like fault_bursts: [] when the scale section
+     didn't run. *)
+  let srows = !scale_rows in
+  if srows = [] then Buffer.add_string b "  \"streams\": [],\n"
+  else begin
+    let base = List.assoc 1 srows in
+    Buffer.add_string b "  \"streams\": [\n";
+    List.iteri
+      (fun i (s, r) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"streams\": %d, \"aggregate_steps_per_sec\": %s, \"speedup\": %s}" s
+             (json_float r)
+             (json_float (r /. base)));
+        Buffer.add_string b (if i < List.length srows - 1 then ",\n" else "\n"))
+      srows;
+    Buffer.add_string b "  ],\n"
+  end;
   (* The key is part of the schema even when the fault section didn't run
      (e.g. [--only speed]): an explicit empty array, never a missing key. *)
   let bursts = List.rev !fault_bursts in
@@ -1247,7 +1312,7 @@ let emit_json path =
 
 (* Sections that never touch the memoized matrix; prefilling for them
    would only add startup latency. *)
-let matrix_free = [ "speed"; "codec"; "seeds"; "faults"; "restore" ]
+let matrix_free = [ "speed"; "codec"; "seeds"; "faults"; "restore"; "scale" ]
 
 let () =
   Printf.printf "regionsel benchmark harness: %d benchmarks x %d policies%s\n"
@@ -1262,7 +1327,7 @@ let () =
       "ablation-threshold", ablation_threshold; "ablation-cache", ablation_bounded_cache;
       "ablation-layout", ablation_layout;
       "methods", methods; "seeds", seeds; "faults", faults_section; "speed", speed;
-      "codec", codec_speed; "restore", restore_section;
+      "codec", codec_speed; "restore", restore_section; "scale", scale;
     ]
   in
   if

@@ -9,7 +9,7 @@ module Fuzz = Regionsel_check.Fuzz
 
 let usage =
   "regionsel_fuzz [--seeds A-B | --seed N] [--steps N] [--shrink] [--out FILE] \
-   [--snapshots [--corruptions N]]\n\
+   [--snapshots [--corruptions N]] [--streams]\n\
    regionsel_fuzz --seed N --genome G1,G2,... [--policy P] [--fault F] [--legacy] \
    [--legacy-dispatch] [--steps N]\n\
    regionsel_fuzz --self-test-break"
@@ -50,6 +50,7 @@ let () =
   let legacy_dispatch = ref false in
   let snapshots = ref false in
   let corruptions = ref 50 in
+  let streams = ref false in
   let spec =
     [
       ("--seeds", Arg.Set_string seeds, "A-B  seed range to fuzz (default 1-5)");
@@ -78,6 +79,11 @@ let () =
       ( "--corruptions",
         Arg.Set_int corruptions,
         "N  corrupted restores per seed with --snapshots (default 50)" );
+      ( "--streams",
+        Arg.Set streams,
+        " fuzz the multi-stream scheduler instead: seeded 2-4 tenant fleets (mixed \
+         policies and faults), each tenant solo-checked under the sanitizer, then \
+         multiplexed and held to solo parity and cross-domain budget determinism" );
       ( "--self-test-break",
         Arg.Set self_test,
         " (test only) inject a cache corruption and verify the sanitizer catches and \
@@ -115,6 +121,32 @@ let () =
         failed := true;
         Printf.printf "FAIL %s\n  snapshot restore after %d ok restores: %s\n%!"
           (Fuzz.cli_line c) (s.Fuzz.snap_cases - 1) detail);
+      incr seed
+    done;
+    exit (if !failed then 1 else 0)
+  end;
+  if !streams then begin
+    (* Multi-stream axis: tenant fleets held to solo parity (no budget)
+       and cross-domain determinism (shared budget).  Failures are already
+       shrunk — per-tenant reproducers print as replayable cli lines. *)
+    let failed = ref false in
+    let seed = ref lo in
+    while (not !failed) && !seed <= hi do
+      (match Fuzz.run_streams_seed ~max_steps:!steps !seed with
+      | None, n -> Printf.printf "seed %d: %d-tenant fleet ok\n%!" !seed n
+      | Some (cases, detail), n ->
+        failed := true;
+        Printf.printf "FAIL seed %d (%d-tenant fleet, shrunk to %d): %s\n%!" !seed n
+          (List.length cases) detail;
+        List.iter (fun c -> Printf.printf "  tenant: %s\n%!" (Fuzz.cli_line c)) cases;
+        match !out with
+        | "" -> ()
+        | path ->
+          let oc = open_out path in
+          Printf.fprintf oc "# %s\n" detail;
+          List.iter (fun c -> Printf.fprintf oc "%s\n" (Fuzz.cli_line c)) cases;
+          close_out oc;
+          Printf.printf "reproducer written to %s\n%!" path);
       incr seed
     done;
     exit (if !failed then 1 else 0)

@@ -16,6 +16,9 @@ module Telemetry = Regionsel_telemetry.Telemetry
 module Trace_export = Regionsel_telemetry.Trace_export
 module Check = Regionsel_check.Check
 module Persist = Regionsel_persist.Persist
+module Event_log = Regionsel_persist.Event_log
+module Branch_stream = Regionsel_engine.Branch_stream
+module Image = Regionsel_workload.Image
 
 open Cmdliner
 
@@ -115,13 +118,29 @@ let params_of_faults = function
       exit 2)
 
 let simulate ?(check = false) ?(params = Params.default) ?(telemetry = Telemetry.none)
-    ?checkpoint ?restore spec policy steps seed =
+    ?checkpoint ?restore ?record ?replay spec policy steps seed =
   let image = Spec.image spec in
   let max_steps = Option.value ~default:spec.Spec.default_steps steps in
   if check then
     Check.checked_run ~params:{ params with Params.validate = true } ?telemetry ~seed
-      ?checkpoint ?restore ~policy ~max_steps image
-  else Simulator.run ~params ~seed ~telemetry ?checkpoint ?restore ~policy ~max_steps image
+      ?checkpoint ?restore ?record ?replay ~policy ~max_steps image
+  else
+    Simulator.run ~params ~seed ~telemetry ?checkpoint ?restore ?record ?replay ~policy
+      ~max_steps image
+
+(* Shared by run/record/replay so their stdout is byte-diffable: a replayed
+   run must print exactly what the live run printed. *)
+let print_metrics ~json (result : Simulator.result) =
+  if json then print_endline (Run_metrics.to_json (Run_metrics.of_result result))
+  else begin
+    Format.printf "%a@." Run_metrics.pp (Run_metrics.of_result result);
+    match result.Simulator.fault_log with
+    | None -> ()
+    | Some log ->
+      let module Faults = Regionsel_engine.Faults in
+      Format.printf "fault events:@.";
+      List.iter (fun (s, l) -> Format.printf "  %8d %s@." s l) log.Faults.events
+  end
 
 (* Distinct, documented exit codes: 2 = CLI lookup error, 3 = invariant
    violation, 4 = I/O error, 5 = snapshot hard corruption. *)
@@ -210,16 +229,7 @@ let run_cmd =
       Printf.eprintf "trace: %d events (%d dropped), %d spans -> %s, %s\n%!" (Telemetry.n_emitted t)
         (Telemetry.n_dropped t) (List.length (Telemetry.spans t)) path (path ^ ".jsonl")
     | _ -> ());
-    if json then print_endline (Run_metrics.to_json (Run_metrics.of_result result))
-    else begin
-      Format.printf "%a@." Run_metrics.pp (Run_metrics.of_result result);
-      match result.Simulator.fault_log with
-      | None -> ()
-      | Some log ->
-        let module Faults = Regionsel_engine.Faults in
-        Format.printf "fault events:@.";
-        List.iter (fun (s, l) -> Format.printf "  %8d %s@." s l) log.Faults.events
-    end
+    print_metrics ~json result
   in
   let man =
     [
@@ -240,6 +250,91 @@ let run_cmd =
       const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg
       $ trace_out_arg $ check_arg $ save_state_arg $ at_step_arg $ restore_state_arg
       $ json_arg)
+
+let record_cmd =
+  let run bench policy steps seed faults check events_out json =
+    with_error_reporting @@ fun () ->
+    let params = params_of_faults faults in
+    let spec = lookup_bench bench in
+    let events = Branch_stream.recorder () in
+    let result =
+      simulate ~check ~params ~record:events spec (lookup_policy policy) steps seed
+    in
+    (* The recording notice goes to stderr: stdout must be byte-diffable
+       against a plain run (and against the later replay). *)
+    let size =
+      Event_log.write_file ~path:events_out ~program:(Spec.image spec).Image.program ~seed
+        events
+    in
+    Printf.eprintf "events: %d branch events (%d bytes) recorded to %s\n%!"
+      (Branch_stream.length events) size events_out;
+    print_metrics ~json result
+  in
+  let events_out =
+    let doc =
+      "Write the run's branch-event log to $(docv) (atomically: tmp + fsync + rename), \
+       for later bit-identical replay with the replay subcommand."
+    in
+    Arg.(required & opt (some string) None & info [ "events-out" ] ~docv:"FILE" ~doc)
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 on success; 2 on an unknown benchmark, policy or fault profile;";
+      `P "3 when --check finds an invariant violation;";
+      `P "4 on an I/O error writing the event log.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "record" ~man
+       ~doc:
+         "Run one benchmark live and record its branch-event stream; stdout is \
+          byte-identical to the plain run subcommand")
+    Term.(
+      const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg $ check_arg
+      $ events_out $ json_arg)
+
+let replay_cmd =
+  let run bench policy steps seed faults check events_in json =
+    with_error_reporting @@ fun () ->
+    let params = params_of_faults faults in
+    let spec = lookup_bench bench in
+    let events =
+      Event_log.read_file ~path:events_in ~program:(Spec.image spec).Image.program ~seed
+    in
+    Printf.eprintf "events: replaying %d branch events from %s\n%!"
+      (Branch_stream.length events) events_in;
+    let result =
+      simulate ~check ~params ~replay:events spec (lookup_policy policy) steps seed
+    in
+    print_metrics ~json result
+  in
+  let events_in =
+    let doc =
+      "Replay the branch-event log at $(docv) instead of the live interpreter.  The \
+       log's benchmark shape and seed must match this invocation; with matching params, \
+       policy and budget the metrics are byte-identical to the recorded live run."
+    in
+    Arg.(required & opt (some string) None & info [ "events-in" ] ~docv:"FILE" ~doc)
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 on success; 2 on an unknown benchmark, policy or fault profile;";
+      `P "3 when --check finds an invariant violation;";
+      `P "4 on an I/O error reading the event log;";
+      `P "5 when the event log is corrupt (bad magic, checksum or framing damage) or \
+          names a different run (benchmark shape or seed mismatch).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "replay" ~man
+       ~doc:
+         "Re-run the selection/cache engine over a recorded branch-event stream; stdout \
+          is byte-identical to the live run that recorded it")
+    Term.(
+      const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg $ check_arg
+      $ events_in $ json_arg)
 
 let regions_cmd =
   let run bench policy steps seed limit =
@@ -575,6 +670,6 @@ let main =
   Cmd.group
     (Cmd.info "regionsel_sim" ~version:"1.0.0"
        ~doc:"Simulate region selection for dynamic optimization systems")
-    [ run_cmd; regions_cmd; profile_cmd; disas_cmd; matrix_cmd; domination_cmd; suite_cmd; sweep_cmd; export_cmd; describe_cmd; list_cmd ]
+    [ run_cmd; record_cmd; replay_cmd; regions_cmd; profile_cmd; disas_cmd; matrix_cmd; domination_cmd; suite_cmd; sweep_cmd; export_cmd; describe_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -123,6 +123,14 @@ let audit_cache ?telemetry ~program cache ~step =
   if Code_cache.clock_regressions cache <> 0 then
     fail ~step ~rule:"clock-monotone" "set_now was handed a stale step %d time(s)"
       (Code_cache.clock_regressions cache);
+  (* Quota bound: once installs and quota evictions have settled, the live
+     footprint fits the tenant's quota (the multi-stream invariant). *)
+  (match Code_cache.quota cache with
+  | None -> ()
+  | Some q ->
+    if Code_cache.bytes_used cache > q then
+      fail ~step ~rule:"quota-accounting"
+        "cache holds %d bytes against a quota of %d" (Code_cache.bytes_used cache) q);
   (* Telemetry span ledger: open spans are exactly the live regions. *)
   match telemetry with
   | None -> ()
@@ -138,7 +146,7 @@ let audit_cache ?telemetry ~program cache ~step =
         !n_live
 
 let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every = 64)
-    ?break_at ?checkpoint ?restore ~policy ~max_steps image =
+    ?break_at ?checkpoint ?restore ?record ?replay ~policy ~max_steps image =
   let params = { params with Params.validate = true } in
   let t = match telemetry with Some t -> t | None -> Telemetry.create () in
   let program = image.Image.program in
@@ -232,8 +240,8 @@ let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every
       restore
   in
   let result =
-    Simulator.run ~params ~seed ~telemetry:(Some t) ~observer ?checkpoint ?restore ~policy
-      ~max_steps image
+    Simulator.run ~params ~seed ~telemetry:(Some t) ~observer ?checkpoint ?restore ?record
+      ?replay ~policy ~max_steps image
   in
   let final = result.Simulator.stats.Stats.steps in
   audit ~step:final;

@@ -63,6 +63,8 @@ val audit_cache :
       [Region.cache_bytes] of the live regions.
     - ["clock-monotone"]: [Code_cache.set_now] was never handed a stale
       step.
+    - ["quota-accounting"]: with a quota set ([Code_cache.set_quota]), the
+      live footprint fits it — the multi-stream budget invariant.
     - ["span-open"] / ["span-ledger"] (with [telemetry]): the open
       telemetry spans are exactly the live regions. *)
 
@@ -74,6 +76,8 @@ val checked_run :
   ?break_at:int ->
   ?checkpoint:int * (Regionsel_engine.Simulator.internals -> unit) ->
   ?restore:(Regionsel_engine.Simulator.internals -> unit) ->
+  ?record:Regionsel_engine.Branch_stream.events ->
+  ?replay:Regionsel_engine.Branch_stream.events ->
   policy:(module Regionsel_engine.Policy.S) ->
   max_steps:int ->
   Regionsel_workload.Image.t ->
@@ -103,4 +107,10 @@ val checked_run :
     [checkpoint] and [restore] pass through to [Simulator.run]; on restore
     the shadow oracle is fast-forwarded to the restored interpreter
     position, so a checked run can resume a snapshot without spurious
-    divergence reports. *)
+    divergence reports.
+
+    [record] and [replay] pass through to [Simulator.run].  A checked
+    {e replay} is a strong oracle: the recorded events are cross-checked
+    step by step against the shadow interpreter, so a recording that does
+    not reproduce the live program's exact branch stream raises rather
+    than silently skewing metrics. *)

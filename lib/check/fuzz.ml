@@ -10,6 +10,7 @@ module Image = Regionsel_workload.Image
 module Policies = Regionsel_core.Policies
 module Persist = Regionsel_persist.Persist
 module Splitmix = Regionsel_prng.Splitmix
+module Multi_stream = Regionsel_engine.Multi_stream
 
 type case = {
   seed : int;
@@ -358,6 +359,170 @@ let shrink c0 f0 =
   in
   loop ();
   !best
+
+(* --- Multi-stream axis -----------------------------------------------
+
+   Seeded tenant fleets (2-4 tenants, mixed policies, fault profiles and
+   dispatch modes) exercise the scheduler's two contracts: without a
+   budget, every tenant's multiplexed result is bit-identical to running
+   it alone; with a shared budget, the outcome (signatures, quota
+   counters, round count) is identical whatever [n_domains].  Each tenant
+   is first run solo under the full sanitizer — the checked run's shadow
+   interpreter oracle — so scheduler failures are never confused with
+   engine failures.  Failures shrink to a single-tenant reproducer when
+   one exists, else to a minimal tenant subset. *)
+
+let stream_cases_of_seed ?(max_steps = 3000) seed =
+  let policies = Array.of_list (List.map fst Policies.all) in
+  let faults = Array.of_list fault_profiles_under_test in
+  let n = 2 + (seed mod 3) in
+  List.init n (fun i ->
+      let tseed = (seed * 131) + i in
+      {
+        seed = tseed;
+        genome = genome_of_seed tseed;
+        policy = policies.((seed + i) mod Array.length policies);
+        fault = faults.((seed + (2 * i)) mod Array.length faults);
+        compiled = true;
+        threaded = (seed + i) mod 2 = 0;
+        max_steps;
+      })
+
+let tenants_of_cases cases =
+  List.mapi
+    (fun i c ->
+      Multi_stream.tenant ~params:(params_of c) ~seed:(Int64.of_int c.seed)
+        ~policy:(policy_exn c.policy) ~max_steps:c.max_steps
+        ~name:(Printf.sprintf "t%d" i)
+        (image_of_genome c.genome))
+    cases
+
+let solo_signature c =
+  let image = image_of_genome c.genome in
+  signature
+    (Simulator.run ~params:(params_of c) ~seed:(Int64.of_int c.seed)
+       ~policy:(policy_exn c.policy) ~max_steps:c.max_steps image)
+
+(* Post-run structural audit of every tenant's final cache (including the
+   quota-accounting rule); [Some detail] on the first conviction. *)
+let audit_outcome (o : Multi_stream.outcome) =
+  try
+    List.iter
+      (fun (name, (r : Simulator.result)) ->
+        let cache = r.Simulator.ctx.Context.cache in
+        let program = r.Simulator.image.Image.program in
+        try Check.audit_cache ~program cache ~step:(Code_cache.now cache)
+        with Check.Check_violation v ->
+          failwith (name ^ ": " ^ Check.violation_to_string v))
+      o.Multi_stream.results;
+    None
+  with Failure detail -> Some detail
+
+let outcome_signatures (o : Multi_stream.outcome) =
+  List.map (fun (_, r) -> signature r) o.Multi_stream.results
+
+(* Greedy tenant-subset shrink: a single-tenant reproducer if any tenant
+   fails alone, else drop tenants while the fleet still fails. *)
+let shrink_tenants fails cases detail =
+  let single =
+    List.find_map
+      (fun c -> Option.map (fun d -> ([ c ], d)) (fails [ c ]))
+      cases
+  in
+  match single with
+  | Some r -> r
+  | None ->
+    let drop i l = List.filteri (fun j _ -> j <> i) l in
+    let rec loop cases detail =
+      let candidate =
+        if List.length cases <= 2 then None
+        else
+          List.find_map
+            (fun i ->
+              let cs = drop i cases in
+              Option.map (fun d -> (cs, d)) (fails cs))
+            (List.init (List.length cases) Fun.id)
+      in
+      match candidate with
+      | Some (cs, d) -> loop cs d
+      | None -> (cases, detail)
+    in
+    loop cases detail
+
+let run_streams_seed ?(max_steps = 3000) seed =
+  let cases = stream_cases_of_seed ~max_steps seed in
+  let n_tenants = List.length cases in
+  (* 1. Every tenant solo under the full sanitizer. *)
+  let rec solo = function
+    | [] -> None
+    | c :: rest -> (
+      match checked ~audit_every:64 c ~compiled:c.compiled with
+      | Ok _ -> solo rest
+      | Error v -> Some (c, Violation v))
+  in
+  match solo cases with
+  | Some (c, f) ->
+    let c, f = shrink c f in
+    (Some ([ c ], failure_to_string f), n_tenants)
+  | None -> (
+    let multi ?budget_bytes ~n_domains cs =
+      Multi_stream.run ~n_domains ~batch_steps:512 ?budget_bytes (tenants_of_cases cs)
+    in
+    let guard f = try f () with e -> Some ("scheduler raised: " ^ Printexc.to_string e) in
+    (* 2. No budget: multiplexed == solo, bit for bit, for every tenant. *)
+    let parity_fails cs =
+      guard (fun () ->
+          let o = multi ~n_domains:2 cs in
+          match audit_outcome o with
+          | Some d -> Some d
+          | None ->
+            List.find_map
+              (fun ((name, _), (got, want)) ->
+                if got = want then None
+                else Some (name ^ " diverged from its solo run"))
+              (List.combine o.Multi_stream.results
+                 (List.combine (outcome_signatures o) (List.map solo_signature cs))))
+    in
+    (* 3. Shared budget: the outcome is a pure function of the barrier
+       states — identical whatever the domain count. *)
+    let budget_of cs =
+      let o = multi ~n_domains:1 cs in
+      let total =
+        List.fold_left
+          (fun acc (_, (r : Simulator.result)) ->
+            acc + Code_cache.bytes_used r.Simulator.ctx.Context.cache)
+          0 o.Multi_stream.results
+      in
+      max 2048 (total / 2)
+    in
+    let budget_fails ~budget cs =
+      guard (fun () ->
+          let o1 = multi ~budget_bytes:budget ~n_domains:1 cs in
+          let o2 = multi ~budget_bytes:budget ~n_domains:2 cs in
+          match audit_outcome o1 with
+          | Some d -> Some d
+          | None -> (
+            match audit_outcome o2 with
+            | Some d -> Some d
+            | None ->
+              if outcome_signatures o1 <> outcome_signatures o2 then
+                Some "budgeted outcome differs between 1 and 2 domains"
+              else if
+                (o1.Multi_stream.rounds, o1.Multi_stream.quota_rejects,
+                 o1.Multi_stream.quota_evictions)
+                <> (o2.Multi_stream.rounds, o2.Multi_stream.quota_rejects,
+                    o2.Multi_stream.quota_evictions)
+              then Some "budgeted quota counters differ between 1 and 2 domains"
+              else None))
+    in
+    match parity_fails cases with
+    | Some detail -> (Some (shrink_tenants parity_fails cases detail), n_tenants)
+    | None -> (
+      let budget = budget_of cases in
+      match budget_fails ~budget cases with
+      | Some detail ->
+        (Some (shrink_tenants (budget_fails ~budget) cases detail), n_tenants)
+      | None -> (None, n_tenants)))
 
 let self_test () =
   let image = image_of_genome [ 1 ] in

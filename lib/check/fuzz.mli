@@ -91,6 +91,27 @@ val run_snapshot_seed :
     diverges after a clean restore is returned as [(case, detail)].
     [max_steps] (default 3000) bounds each run. *)
 
+val stream_cases_of_seed : ?max_steps:int -> int -> case list
+(** The tenant fleet the multi-stream axis derives from a seed: 2-4
+    tenants with their own genomes, cycling through the policy and fault
+    tables and alternating dispatch modes ([max_steps] defaults to 3000
+    per tenant). *)
+
+val run_streams_seed : ?max_steps:int -> int -> (case list * string) option * int
+(** The multi-stream axis for one seed.  Each tenant of
+    {!stream_cases_of_seed} first runs solo under the full sanitizer (a
+    solo violation shrinks through {!shrink} and is reported as a
+    one-tenant fleet); then the fleet is multiplexed through
+    [Multi_stream.run] (batch 512) and checked against the scheduler's
+    contracts: without a budget every tenant's result must be
+    bit-identical to its solo run, and with a shared budget (derived from
+    the fleet's unconstrained footprint) the outcome — signatures, quota
+    counters, round count — must be identical on 1 and 2 domains, with
+    every final cache passing {!Check.audit_cache} (including the
+    quota-accounting rule).  A failing fleet shrinks to a single-tenant
+    reproducer when one exists, else to a minimal tenant subset.  Returns
+    the shrunk fleet and a detail line, if any, plus the fleet size. *)
+
 val shrink : case -> failure -> case * failure
 (** Greedily minimize a failing case (re-validating with
     {!run_case_cross} after every candidate edit) until no single edit —

@@ -1,12 +1,13 @@
 open Regionsel_isa
 module Telemetry = Regionsel_telemetry.Telemetry
 
-type reject = Duplicate_entry | Blacklisted | Translation_failed
+type reject = Duplicate_entry | Blacklisted | Translation_failed | Quota_exceeded
 
 let reject_to_string = function
   | Duplicate_entry -> "duplicate-entry"
   | Blacklisted -> "blacklisted"
   | Translation_failed -> "translation-failed"
+  | Quota_exceeded -> "quota-exceeded"
 
 type blacklist_entry = {
   mutable fails : int;
@@ -38,6 +39,12 @@ type t = {
       (* Bump allocator for region placement; holes left by eviction are not
          reused, as in cache managers that only reclaim on flush. *)
   capacity_bytes : int option;
+  mutable quota_bytes : int option;
+      (* Scheduler-imposed byte quota (per-tenant share of a global budget),
+         tightening [capacity_bytes] at runtime.  Not part of snapshots:
+         whoever imposed it re-imposes it after a restore. *)
+  mutable quota_rejects : int;
+  mutable quota_evictions : int;
   eviction : Params.eviction;
   evicted_entries : unit Int_tbl.t;
   program : Program.t option;
@@ -102,6 +109,9 @@ let create ?capacity_bytes ?(eviction = Params.Flush_all)
     bytes_used = 0;
     alloc_cursor = 0;
     capacity_bytes;
+    quota_bytes = None;
+    quota_rejects = 0;
+    quota_evictions = 0;
     eviction;
     evicted_entries = Int_tbl.create 64;
     program;
@@ -310,8 +320,17 @@ let flush_all t =
 
 let n_regions t = Int_tbl.length t.by_entry
 
+(* The byte bound installs must respect: the static capacity tightened by
+   the runtime quota, whichever is smaller. *)
+let effective_capacity t =
+  match t.capacity_bytes, t.quota_bytes with
+  | None, None -> None
+  | (Some _ as c), None -> c
+  | None, (Some _ as q) -> q
+  | Some c, Some q -> Some (min c q)
+
 let rec make_room t needed =
-  match t.capacity_bytes with
+  match effective_capacity t with
   | None -> ()
   | Some capacity ->
     if t.bytes_used + needed > capacity && n_regions t > 0 then begin
@@ -384,33 +403,42 @@ let install t (spec : Region.spec) =
       end
       else begin
         let region = Region.of_spec ~id:t.next_id ~selected_at:t.next_id ?program:t.program spec in
-        make_room t (Region.cache_bytes region);
-        t.next_id <- t.next_id + 1;
-        if Int_tbl.mem t.evicted_entries spec.Region.entry then
-          t.regenerations <- t.regenerations + 1;
-        Int_tbl.replace t.by_entry spec.Region.entry region;
-        dispatch_set t spec.Region.entry region;
-        Addr.Set.iter
-          (fun a ->
-            (* An aux entry must not steal an address another live region
-               already claims: overwriting its index slot would leave that
-               region live-but-undispatchable (and, once this region
-               retires, a permanently dead dispatch slot).  The colliding
-               aux entry simply is not dispatchable — the owning region
-               still executes through it via its internal edges. *)
-            if not (mem t a) then begin
-              Int_tbl.replace t.by_aux_entry a region;
-              dispatch_set t a region
-            end)
-          region.Region.aux_entries;
-        Queue.add region t.fifo;
-        t.bytes_used <- t.bytes_used + Region.cache_bytes region;
-        Region.set_cache_base region t.alloc_cursor;
-        t.alloc_cursor <- t.alloc_cursor + Region.cache_bytes region;
-        Telemetry.install t.telemetry ~step:t.now ~id:region.Region.id
-          ~n_nodes:region.Region.n_nodes;
-        audited t "install";
-        Ok region
+        let bytes = Region.cache_bytes region in
+        match t.quota_bytes with
+        | Some quota when bytes > quota ->
+          (* The region can never fit under the tenant's quota, no matter
+             what is evicted: a typed admission reject with no cache
+             mutation (the region id is not consumed). *)
+          t.quota_rejects <- t.quota_rejects + 1;
+          Error Quota_exceeded
+        | Some _ | None ->
+          make_room t bytes;
+          t.next_id <- t.next_id + 1;
+          if Int_tbl.mem t.evicted_entries spec.Region.entry then
+            t.regenerations <- t.regenerations + 1;
+          Int_tbl.replace t.by_entry spec.Region.entry region;
+          dispatch_set t spec.Region.entry region;
+          Addr.Set.iter
+            (fun a ->
+              (* An aux entry must not steal an address another live region
+                 already claims: overwriting its index slot would leave that
+                 region live-but-undispatchable (and, once this region
+                 retires, a permanently dead dispatch slot).  The colliding
+                 aux entry simply is not dispatchable — the owning region
+                 still executes through it via its internal edges. *)
+              if not (mem t a) then begin
+                Int_tbl.replace t.by_aux_entry a region;
+                dispatch_set t a region
+              end)
+            region.Region.aux_entries;
+          Queue.add region t.fifo;
+          t.bytes_used <- t.bytes_used + bytes;
+          Region.set_cache_base region t.alloc_cursor;
+          t.alloc_cursor <- t.alloc_cursor + bytes;
+          Telemetry.install t.telemetry ~step:t.now ~id:region.Region.id
+            ~n_nodes:region.Region.n_nodes;
+          audited t "install";
+          Ok region
       end
 
 let install_exn t spec =
@@ -472,6 +500,35 @@ let shock t ~bytes =
       | None -> continue := false
     done;
     List.rev !retired
+
+(* Quota changes: tightening below the current footprint forces immediate
+   evictions.  Quota pressure always evicts oldest-first, whatever the
+   configured eviction policy: the tenant did nothing wrong when the
+   *global* budget shifted, so flushing its whole cache (the [Flush_all]
+   response to self-inflicted capacity pressure) would be out of
+   proportion.  Returns the retired regions so the caller can deliver
+   invalidations to the policy. *)
+let set_quota t quota =
+  (match quota with
+  | Some q when q < 0 -> invalid_arg "Code_cache.set_quota: negative quota"
+  | Some _ | None -> ());
+  t.quota_bytes <- quota;
+  match quota with
+  | None -> []
+  | Some q ->
+    let retired = ref [] in
+    while t.bytes_used > q && n_regions t > 0 do
+      match evict_oldest t with
+      | Some r ->
+        t.quota_evictions <- t.quota_evictions + 1;
+        retired := r :: !retired
+      | None -> ()
+    done;
+    List.rev !retired
+
+let quota t = t.quota_bytes
+let quota_rejects t = t.quota_rejects
+let quota_evictions t = t.quota_evictions
 
 let by_selection rs =
   List.sort (fun (a : Region.t) b -> compare a.Region.selected_at b.Region.selected_at) rs

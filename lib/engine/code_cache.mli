@@ -24,6 +24,9 @@ type reject =
   | Duplicate_entry  (** A live region with the same entry exists. *)
   | Blacklisted  (** The entry is in a blacklist cooldown. *)
   | Translation_failed  (** An injected translation-failure window is open. *)
+  | Quota_exceeded
+      (** The region alone is larger than the tenant's byte quota, so no
+          amount of eviction can admit it (see {!set_quota}). *)
 
 val reject_to_string : reject -> string
 
@@ -110,6 +113,30 @@ val shock : t -> bytes:int -> Region.t list
 val flush_all : t -> Region.t list
 (** Retire every live region and count one flush (the bailout watchdog's
     hammer).  Returns the retired regions in selection order. *)
+
+val set_quota : t -> int option -> Region.t list
+(** Set or clear the runtime byte quota — a scheduler-imposed bound (the
+    tenant's share of a global budget) that tightens [capacity_bytes] for
+    as long as it is set: installs evict under [min capacity quota], and a
+    region larger than the quota is rejected outright with
+    [Quota_exceeded].  Tightening the quota below the current footprint
+    evicts oldest-first (whatever the configured eviction policy — global
+    budget pressure is not the tenant's fault, so a whole-cache flush
+    would be out of proportion) until the footprint fits; the evicted
+    regions are returned so the caller can deliver invalidations.  The
+    quota is runtime state, not part of snapshots: whoever imposed it
+    re-imposes it after a restore.
+    @raise Invalid_argument on a negative quota. *)
+
+val quota : t -> int option
+(** The current quota, if one is set. *)
+
+val quota_rejects : t -> int
+(** Installs rejected with [Quota_exceeded]. *)
+
+val quota_evictions : t -> int
+(** Regions evicted by {!set_quota} tightening (a subset of the evictions
+    counter). *)
 
 val arm_translation_failures : t -> window:int -> unit
 (** Make every install within the next [window] steps (measured against

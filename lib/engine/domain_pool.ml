@@ -11,9 +11,9 @@ let default_n_domains () =
   match Sys.getenv_opt "REGIONSEL_DOMAINS" with
   | Some s -> (
     match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> invalid_arg "REGIONSEL_DOMAINS must be a positive integer")
-  | None -> Domain.recommended_domain_count ()
+    | Some n -> max 1 n (* 0 or negative clamps to sequential, not an error *)
+    | None -> invalid_arg "REGIONSEL_DOMAINS must be an integer")
+  | None -> max 1 (Domain.recommended_domain_count ())
 
 (* Work-stealing by shared index: domains race on [next] and write results
    into a slot array, so order is preserved without any per-task channel. *)
@@ -55,4 +55,42 @@ let map ?n_domains f tasks =
     |> List.map (function
          | Some r -> r
          | None -> failwith "Domain_pool.map: missing result")
+  end
+
+(* Same stealing discipline for effectful tasks that return nothing: the
+   multi-stream scheduler advances an array of run handles one batch each.
+   Elements are claimed exactly once, so [f] may mutate the state its own
+   element owns without synchronization. *)
+let iter ?n_domains f tasks =
+  let n = Array.length tasks in
+  let n_domains =
+    match n_domains with Some d -> max 1 d | None -> default_n_domains ()
+  in
+  if n = 0 then ()
+  else if n_domains = 1 || n = 1 then Array.iter f tasks
+  else begin
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f tasks.(i) with
+          | () -> ()
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+            continue := false
+      done
+    in
+    let spawned =
+      List.init (min n_domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end

@@ -7,11 +7,12 @@
     memoization caches, CSV export) byte-identical to a sequential run. *)
 
 val default_n_domains : unit -> int
-(** The [REGIONSEL_DOMAINS] environment variable if set (must be >= 1),
-    otherwise {!Domain.recommended_domain_count}.
+(** The [REGIONSEL_DOMAINS] environment variable if set, otherwise
+    {!Domain.recommended_domain_count}; always at least 1 (zero or negative
+    values clamp to sequential execution rather than erroring, so scripts
+    can force single-domain runs with [REGIONSEL_DOMAINS=0]).
 
-    @raise Invalid_argument if the variable is set but not a positive
-    integer. *)
+    @raise Invalid_argument if the variable is set but not an integer. *)
 
 val map : ?n_domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~n_domains f tasks] applies [f] to every task, using up to
@@ -27,3 +28,12 @@ val map : ?n_domains:int -> ('a -> 'b) -> 'a list -> 'b list
     [f] must not depend on unforced {!Stdlib.Lazy} values shared between
     tasks: force them on the calling domain first (see
     {!Regionsel_workload.Spec.image}). *)
+
+val iter : ?n_domains:int -> ('a -> unit) -> 'a array -> unit
+(** [iter ~n_domains f tasks] applies [f] to every array element once, with
+    the same work-stealing, inline-when-sequential and first-exception
+    semantics as {!map}.  Each element is claimed by exactly one domain, so
+    [f] may freely mutate state owned by its own element (the multi-stream
+    scheduler's batch advance); the array itself is only read.  All effects
+    of every [f] call happen before [iter] returns (the join is a full
+    barrier). *)

@@ -1,0 +1,151 @@
+(* The domain-sharded multi-stream scheduler.
+
+   N tenants — independent simulations with their own policy, stats,
+   telemetry sink, fault schedule and PRNG stream — advance in bounded
+   batches over a work-stealing Domain_pool.iter.  All per-run state is
+   domain-local while a batch runs (a handle is owned by whichever domain
+   claimed it); domains meet only at the batch barrier, where the main
+   domain walks the tenants in submission order to rebalance cache quotas.
+   That discipline makes the schedule deterministic: every cross-tenant
+   decision is a pure function of the barrier states, which do not depend
+   on how the batches were interleaved across domains, so the outcome is
+   bit-identical whatever [n_domains] — and, with no budget, bit-identical
+   to running each tenant alone. *)
+
+type tenant = {
+  t_name : string;
+  t_params : Params.t option;
+  t_seed : int64 option;
+  t_telemetry : Regionsel_telemetry.Telemetry.sink option;
+  t_policy : (module Policy.S);
+  t_max_steps : int;
+  t_image : Regionsel_workload.Image.t;
+}
+
+let tenant ?params ?seed ?telemetry ~policy ~max_steps ~name image =
+  {
+    t_name = name;
+    t_params = params;
+    t_seed = seed;
+    t_telemetry = telemetry;
+    t_policy = policy;
+    t_max_steps = max_steps;
+    t_image = image;
+  }
+
+let name t = t.t_name
+
+type outcome = {
+  results : (string * Simulator.result) list;
+      (** One per tenant, in submission order. *)
+  rounds : int;
+  quota_rejects : int;
+  quota_evictions : int;
+}
+
+(* Recompute per-tenant quotas from the barrier snapshot, in tenant order.
+
+   Exhausted tenants keep their final cache untouched (their metrics are
+   already decided); their footprint stays charged against the budget.  The
+   remaining budget is split into fair shares among the active tenants;
+   shares the under-fair tenants are not using are granted as extra
+   headroom to the over-fair ("hungry") ones, remainder to the earliest.
+   Tightening below a tenant's footprint evicts through the quota layer —
+   the cross-tenant pressure path.  Aggregate footprint is therefore at
+   most the budget at every barrier; between barriers it can transiently
+   exceed it by at most the granted slack, reclaimed at the next barrier. *)
+let rebalance ~budget sims =
+  let active, frozen_bytes =
+    Array.fold_left
+      (fun (active, frozen) sim ->
+        if Simulator.exhausted sim then (active, frozen + Simulator.cache_bytes_used sim)
+        else (sim :: active, frozen))
+      ([], 0) sims
+  in
+  let active = Array.of_list (List.rev active) in
+  let n_active = Array.length active in
+  if n_active > 0 then begin
+    let avail = max 0 (budget - frozen_bytes) in
+    let fair = avail / n_active in
+    let used = Array.map Simulator.cache_bytes_used active in
+    let slack = ref 0 and n_hungry = ref 0 in
+    Array.iter
+      (fun u -> if u > fair then incr n_hungry else slack := !slack + (fair - u))
+      used;
+    let extra = if !n_hungry = 0 then 0 else !slack / !n_hungry in
+    let remainder = if !n_hungry = 0 then 0 else !slack mod !n_hungry in
+    let first_hungry = ref true in
+    Array.iteri
+      (fun i sim ->
+        let q =
+          if used.(i) > fair then begin
+            let r = if !first_hungry then remainder else 0 in
+            first_hungry := false;
+            fair + extra + r
+          end
+          else fair
+        in
+        Simulator.set_cache_quota sim (Some q))
+      active
+  end
+
+let run ?n_domains ?(batch_steps = 4096) ?budget_bytes tenants =
+  if batch_steps <= 0 then invalid_arg "Multi_stream.run: batch_steps must be positive";
+  (match budget_bytes with
+  | Some b when b < 0 -> invalid_arg "Multi_stream.run: negative budget"
+  | Some _ | None -> ());
+  match tenants with
+  | [] -> { results = []; rounds = 0; quota_rejects = 0; quota_evictions = 0 }
+  | tenants ->
+    let sims =
+      Array.of_list
+        (List.map
+           (fun t ->
+             Simulator.create ?params:t.t_params ?seed:t.t_seed
+               ?telemetry:t.t_telemetry ~policy:t.t_policy
+               ~max_steps:t.t_max_steps t.t_image)
+           tenants)
+    in
+    (* Initial fair shares, before any tenant has run. *)
+    (match budget_bytes with
+    | Some budget ->
+      let fair = budget / Array.length sims in
+      Array.iter (fun sim -> Simulator.set_cache_quota sim (Some fair)) sims
+    | None -> ());
+    let rounds = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let active =
+        Array.of_list
+          (Array.to_list sims |> List.filter (fun s -> not (Simulator.exhausted s)))
+      in
+      if Array.length active = 0 then continue := false
+      else begin
+        incr rounds;
+        Domain_pool.iter ?n_domains
+          (fun sim -> Simulator.advance sim ~upto:(Simulator.steps sim + batch_steps))
+          active;
+        match budget_bytes with
+        | Some budget -> rebalance ~budget sims
+        | None -> ()
+      end
+    done;
+    (* Finalization (end-of-run checkpoints, edge-profile flushes) happens
+       on the main domain, in tenant order. *)
+    let results =
+      List.map2 (fun t sim -> (t.t_name, Simulator.finish sim)) tenants
+        (Array.to_list sims)
+    in
+    let quota_rejects =
+      List.fold_left
+        (fun acc (_, (r : Simulator.result)) ->
+          acc + Code_cache.quota_rejects r.Simulator.ctx.Context.cache)
+        0 results
+    in
+    let quota_evictions =
+      List.fold_left
+        (fun acc (_, (r : Simulator.result)) ->
+          acc + Code_cache.quota_evictions r.Simulator.ctx.Context.cache)
+        0 results
+    in
+    { results; rounds = !rounds; quota_rejects; quota_evictions }

@@ -1,0 +1,59 @@
+(** The domain-sharded multi-stream scheduler.
+
+    Multiplexes N independent tenant simulations — each with its own
+    policy, stats, telemetry sink, fault schedule and PRNG stream — over
+    OCaml 5 domains in bounded step batches ({!Domain_pool.iter} work
+    stealing).  A run handle is owned by whichever domain is advancing it;
+    domains synchronize only at batch barriers, where the main domain
+    walks the tenants in submission order.  Every cross-tenant decision is
+    a pure function of the barrier states, so the outcome is bit-identical
+    whatever [n_domains] — and with no shared budget the tenants are fully
+    independent: each tenant's result is bit-identical to running it alone
+    through {!Simulator.run} (guarded by the multi-stream parity suite).
+
+    With [budget_bytes], the tenants share a global code-cache byte
+    budget.  Each barrier recomputes per-tenant quotas from the barrier
+    footprints: the budget (less the frozen footprint of already-finished
+    tenants) splits into fair shares; headroom the under-fair tenants are
+    not using is granted to the over-fair ones, which otherwise evict down
+    to their share ({!Code_cache.set_quota}) — cross-tenant eviction
+    pressure.  Aggregate footprint never exceeds the budget at a barrier;
+    between barriers it can transiently overshoot by at most the granted
+    slack. *)
+
+type tenant
+
+val tenant :
+  ?params:Params.t ->
+  ?seed:int64 ->
+  ?telemetry:Regionsel_telemetry.Telemetry.sink ->
+  policy:(module Policy.S) ->
+  max_steps:int ->
+  name:string ->
+  Regionsel_workload.Image.t ->
+  tenant
+(** One independent stream: the same arguments {!Simulator.run} takes,
+    plus a [name] used to label its slot in the outcome. *)
+
+val name : tenant -> string
+
+type outcome = {
+  results : (string * Simulator.result) list;
+      (** One per tenant, in submission order. *)
+  rounds : int;  (** Batch barriers executed. *)
+  quota_rejects : int;
+      (** Installs rejected as [Quota_exceeded], summed over tenants. *)
+  quota_evictions : int;
+      (** Regions evicted by quota tightening, summed over tenants. *)
+}
+
+val run :
+  ?n_domains:int ->
+  ?batch_steps:int ->
+  ?budget_bytes:int ->
+  tenant list ->
+  outcome
+(** [run tenants] advances every tenant to completion in [batch_steps]
+    batches (default 4096) over up to [n_domains] domains (default
+    {!Domain_pool.default_n_domains}).  An empty list is a no-op outcome.
+    @raise Invalid_argument on [batch_steps <= 0] or a negative budget. *)

@@ -91,8 +91,22 @@ let ev_label_of_code c =
    of the ~100k region-to-region transitions of a cache-friendly run
    allocated a [Some], the last allocation on the steady-state path. *)
 
-let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?observer
-    ?checkpoint ?restore ~policy ~max_steps image =
+(* A resumable run: the hot loop bounded by a step limit instead of owning
+   the whole budget, so a scheduler can multiplex many runs in bounded
+   batches.  The closures share the run's state; nothing outside them can
+   observe a half-stepped simulator. *)
+type t = {
+  h_advance : int -> unit;
+  h_finish : unit -> result;
+  h_steps : unit -> int;
+  h_halted : unit -> bool;
+  h_max_steps : int;
+  h_set_quota : int option -> unit;
+  h_bytes_used : unit -> int;
+}
+
+let create ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?observer
+    ?checkpoint ?restore ?record ?replay ~policy ~max_steps image =
   let program = image.Image.program in
   let ctx = Context.create ~params ~telemetry program in
   (match observer with None -> () | Some o -> o.on_context ctx);
@@ -134,6 +148,12 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
   (* Hot-loop scratch: one step record and one policy event, reused for
      every interpreted block so the per-step path allocates nothing. *)
   let sbuf = Interp.make_step () in
+  (* Branch-event source: the live interpreter, or a recorded stream.  The
+     clean-run fast path keeps the direct [Interp.step_into] call; replay
+     pays one option compare per step either way. *)
+  let replay_stream = Option.map Branch_stream.of_events replay in
+  let has_record = Option.is_some record in
+  let rec_events = match record with Some ev -> ev | None -> Branch_stream.recorder () in
   let ib = { Policy.block = Program.block_of_id program 0; taken = false; next = Addr.none } in
   let interp_event = Policy.Interp_block ib in
   (* Selection events are policy decisions, stamped before the install is
@@ -640,11 +660,21 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
      profile, so a clean run folds their four per-step compares into this
      one hoisted, always-false branch. *)
   let has_events = faults <> None in
+  (* [limit] is the current advance bound, always <= max_steps; {!run}
+     sets it to the full budget once, so the uninterrupted path costs one
+     extra immediate load per step over the old closed loop. *)
+  let limit = ref 0 in
   let rec loop () =
-    if stats.Stats.steps >= max_steps || !halted then ()
-    else if not (Interp.step_into interp sbuf) then halted := true
+    if stats.Stats.steps >= !limit || !halted then ()
+    else if
+      not
+        (match replay_stream with
+        | None -> Interp.step_into interp sbuf
+        | Some stream -> Branch_stream.next_into stream sbuf)
+    then halted := true
     else begin
       stats.Stats.steps <- stats.Stats.steps + 1;
+      if has_record then Branch_stream.append rec_events sbuf;
       if sbuf.Interp.taken then stats.Stats.taken_branches <- stats.Stats.taken_branches + 1;
       let block = Program.block_of_id program sbuf.Interp.block_id in
       let next = sbuf.Interp.next in
@@ -686,21 +716,67 @@ let run ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?o
       loop ()
     end
   in
-  loop ();
-  (* A checkpoint aimed past the run's actual length (or at [max_int], the
-     CLI's "save at end") fires here, before the final flush, so the saved
-     edge ring matches what a mid-run checkpoint at this step would have
-     seen and restore-then-finish replays the flush identically. *)
-  (match checkpoint with
-  | Some (_, fn) when not !checkpoint_done ->
-    checkpoint_done := true;
-    fn internals
-  | _ -> ());
-  (* End of run is the final observation point. *)
-  Edge_profile.flush edges;
-  let fault_log =
-    match faults with
-    | None -> None
-    | Some _ -> Some { Faults.events = List.rev !ev_log; samples = List.rev !sample_log }
+  let advance upto =
+    let upto = if upto > max_steps then max_steps else upto in
+    if upto > !limit then limit := upto;
+    loop ()
   in
-  { image; policy_name; ctx; stats; edges; icache; halted = !halted; fault_log }
+  let finished = ref None in
+  let finish () =
+    match !finished with
+    | Some r -> r
+    | None ->
+      limit := max_steps;
+      loop ();
+      (* A checkpoint aimed past the run's actual length (or at [max_int],
+         the CLI's "save at end") fires here, before the final flush, so
+         the saved edge ring matches what a mid-run checkpoint at this step
+         would have seen and restore-then-finish replays the flush
+         identically. *)
+      (match checkpoint with
+      | Some (_, fn) when not !checkpoint_done ->
+        checkpoint_done := true;
+        fn internals
+      | _ -> ());
+      (* End of run is the final observation point. *)
+      Edge_profile.flush edges;
+      let fault_log =
+        match faults with
+        | None -> None
+        | Some _ -> Some { Faults.events = List.rev !ev_log; samples = List.rev !sample_log }
+      in
+      let r = { image; policy_name; ctx; stats; edges; icache; halted = !halted; fault_log } in
+      finished := Some r;
+      r
+  in
+  (* Quota changes arrive from the multi-stream scheduler at batch
+     boundaries; evictions they force go through the same invalidation
+     delivery as faults and shocks, so the policy drops its stale state. *)
+  let set_quota q =
+    Code_cache.set_now cache stats.Stats.steps;
+    deliver_invalidations (Code_cache.set_quota cache q)
+  in
+  {
+    h_advance = advance;
+    h_finish = finish;
+    h_steps = (fun () -> stats.Stats.steps);
+    h_halted = (fun () -> !halted);
+    h_max_steps = max_steps;
+    h_set_quota = set_quota;
+    h_bytes_used = (fun () -> Code_cache.bytes_used cache);
+  }
+
+let advance t ~upto = t.h_advance upto
+let finish t = t.h_finish ()
+let steps t = t.h_steps ()
+let halted t = t.h_halted ()
+let max_steps t = t.h_max_steps
+let exhausted t = t.h_steps () >= t.h_max_steps || t.h_halted ()
+let set_cache_quota t quota = t.h_set_quota quota
+let cache_bytes_used t = t.h_bytes_used ()
+
+let run ?params ?seed ?telemetry ?observer ?checkpoint ?restore ?record ?replay ~policy
+    ~max_steps image =
+  finish
+    (create ?params ?seed ?telemetry ?observer ?checkpoint ?restore ?record ?replay ~policy
+       ~max_steps image)

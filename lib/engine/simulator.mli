@@ -88,6 +88,60 @@ type internals = {
 (** The checkpoint surface handed to the [checkpoint] and [restore] hooks
     of {!run}: everything warm about the run, as named sections. *)
 
+type t
+(** A resumable run: the same simulation {!run} performs, but advanced in
+    caller-bounded step batches.  The multi-stream scheduler
+    ({!Multi_stream}) multiplexes many of these over domains; a handle's
+    state is owned by whichever domain is currently advancing it, with
+    hand-offs only at batch boundaries. *)
+
+val create :
+  ?params:Params.t ->
+  ?seed:int64 ->
+  ?telemetry:Regionsel_telemetry.Telemetry.sink ->
+  ?observer:observer ->
+  ?checkpoint:int * (internals -> unit) ->
+  ?restore:(internals -> unit) ->
+  ?record:Branch_stream.events ->
+  ?replay:Branch_stream.events ->
+  policy:(module Policy.S) ->
+  max_steps:int ->
+  Regionsel_workload.Image.t ->
+  t
+(** Set up a run without stepping it (the [restore] hook, if any, fires
+    here).  [record] tees every executed branch event into the given
+    recording; [replay] substitutes a recorded stream for the live
+    interpreter as the branch-event source — a replayed run over a
+    recording of a live run with the same params, seed, policy and budget
+    is bit-identical to that live run.  Recording and replaying are not
+    meaningfully combined with mid-run snapshot restore (the stream cursor
+    is not part of the snapshot). *)
+
+val advance : t -> upto:int -> unit
+(** Step until the step count reaches [min upto max_steps], the program
+    halts, or the stream ends.  Monotone: an [upto] at or below the
+    current count is a no-op. *)
+
+val finish : t -> result
+(** Run any remaining budget, then finalize (end-of-run checkpoint, final
+    edge-profile flush, fault-log assembly).  Idempotent: further calls
+    return the same result.  [run] is exactly [create] + [finish]. *)
+
+val steps : t -> int
+val halted : t -> bool
+val max_steps : t -> int
+
+val exhausted : t -> bool
+(** No more stepping will happen: the budget is spent or the run halted. *)
+
+val set_cache_quota : t -> int option -> unit
+(** Set or clear this run's code-cache byte quota ({!Code_cache.set_quota});
+    regions evicted to fit are reported to the policy as invalidations,
+    exactly like fault-driven evictions.  Called by the multi-stream
+    scheduler at batch boundaries. *)
+
+val cache_bytes_used : t -> int
+
 val run :
   ?params:Params.t ->
   ?seed:int64 ->
@@ -95,6 +149,8 @@ val run :
   ?observer:observer ->
   ?checkpoint:int * (internals -> unit) ->
   ?restore:(internals -> unit) ->
+  ?record:Branch_stream.events ->
+  ?replay:Branch_stream.events ->
   policy:(module Policy.S) ->
   max_steps:int ->
   Regionsel_workload.Image.t ->

@@ -1,0 +1,163 @@
+(* On-disk branch-event recordings.
+
+   The file is the persistent form of a [Branch_stream.events] recording:
+   a CRC'd identity header (program shape + seed, the two inputs that
+   determine the branch stream) followed by one bit-packed payload.  Each
+   event costs [kb + 1 + kn] bits where [kb]/[kn] are the minimal widths
+   for a block id / successor code under the program's block count — for
+   the bundled workloads (tens to hundreds of blocks) that is ~2 bytes per
+   event against the 24 bytes of the in-memory arrays.
+
+   Unlike snapshots there is no per-section degrade path: a recording with
+   any corrupt byte cannot be replayed bit-identically, which is its whole
+   contract, so every validation failure is [Persist.Hard_corruption]. *)
+
+open Regionsel_isa
+module Branch_stream = Regionsel_engine.Branch_stream
+module Bitbuf = Regionsel_core.Bitbuf
+
+let magic = "REVL"
+let version = 1
+
+(* Bits to represent every value in [0, max]. *)
+let bits_for max =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  if max = 0 then 1 else go 0 max
+
+let add_bits w v k =
+  for i = k - 1 downto 0 do
+    Bitbuf.Writer.add_bit w ((v lsr i) land 1 = 1)
+  done
+
+let read_bits r k =
+  let v = ref 0 in
+  for _ = 1 to k do
+    v := (!v lsl 1) lor if Bitbuf.Reader.read_bit r then 1 else 0
+  done;
+  !v
+
+let bu32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let ru32 bytes pos =
+  (Char.code (Bytes.get bytes pos) lsl 24)
+  lor (Char.code (Bytes.get bytes (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.get bytes (pos + 2)) lsl 8)
+  lor Char.code (Bytes.get bytes (pos + 3))
+
+let seed_lo seed = Int64.to_int (Int64.logand seed 0xFFFFFFFFL)
+let seed_hi seed = Int64.to_int (Int64.shift_right_logical seed 32)
+
+let encode ~program ~seed events =
+  let n_blocks = Program.n_blocks program in
+  let kb = bits_for (n_blocks - 1) in
+  let kn = bits_for n_blocks in
+  let w = Bitbuf.Writer.create () in
+  Branch_stream.iter
+    (fun ~block_id ~taken ~next ->
+      if block_id >= n_blocks then
+        invalid_arg "Event_log.encode: block id outside the program";
+      add_bits w block_id kb;
+      Bitbuf.Writer.add_bit w taken;
+      let code =
+        if next = Addr.none then 0
+        else begin
+          let id = Program.block_id program next in
+          if id < 0 then
+            invalid_arg "Event_log.encode: successor is not a block start";
+          id + 1
+        end
+      in
+      add_bits w code kn)
+    events;
+  let payload = Bitbuf.Writer.contents w in
+  let n_bits = Bitbuf.Writer.length_bits w in
+  let header = Buffer.create 32 in
+  Buffer.add_string header magic;
+  bu32 header version;
+  bu32 header n_blocks;
+  bu32 header (seed_lo seed);
+  bu32 header (seed_hi seed);
+  bu32 header (Branch_stream.length events land 0xFFFFFFFF);
+  bu32 header ((Branch_stream.length events asr 32) land 0x7FFFFFFF);
+  let hbytes = Buffer.to_bytes header in
+  let out = Buffer.create (Bytes.length hbytes + Bytes.length payload + 16) in
+  Buffer.add_bytes out hbytes;
+  bu32 out (Persist.crc32 hbytes ~pos:0 ~len:(Bytes.length hbytes));
+  bu32 out n_bits;
+  Buffer.add_bytes out payload;
+  bu32 out (Persist.crc32 payload ~pos:0 ~len:(Bytes.length payload));
+  Buffer.to_bytes out
+
+let corrupt reason = raise (Persist.Hard_corruption ("event log: " ^ reason))
+
+let decode bytes ~program ~seed =
+  let total = Bytes.length bytes in
+  if total < 36 then corrupt "truncated header";
+  if Bytes.sub_string bytes 0 4 <> magic then corrupt "bad magic";
+  let stored_header_crc = ru32 bytes 28 in
+  if Persist.crc32 bytes ~pos:0 ~len:28 <> stored_header_crc then
+    corrupt "header checksum mismatch";
+  let v = ru32 bytes 4 in
+  if v <> version then corrupt (Printf.sprintf "unsupported version %d" v);
+  let n_blocks = ru32 bytes 8 in
+  if n_blocks <> Program.n_blocks program then
+    corrupt
+      (Printf.sprintf "program mismatch (%d blocks recorded, %d here)" n_blocks
+         (Program.n_blocks program));
+  if ru32 bytes 12 <> seed_lo seed || ru32 bytes 16 <> seed_hi seed then
+    corrupt "seed mismatch";
+  let n_events = (ru32 bytes 24 lsl 32) lor ru32 bytes 20 in
+  let n_bits = ru32 bytes 32 in
+  let kb = bits_for (n_blocks - 1) in
+  let kn = bits_for n_blocks in
+  if n_events * (kb + 1 + kn) <> n_bits then corrupt "event count disagrees with payload size";
+  let plen = (n_bits + 7) / 8 in
+  if total <> 36 + plen + 4 then corrupt "truncated payload";
+  let payload = Bytes.sub bytes 36 plen in
+  if Persist.crc32 payload ~pos:0 ~len:plen <> ru32 bytes (36 + plen) then
+    corrupt "payload checksum mismatch";
+  let r = Bitbuf.Reader.create payload ~n_bits in
+  let events = Branch_stream.recorder () in
+  for _ = 1 to n_events do
+    let block_id = read_bits r kb in
+    if block_id >= n_blocks then corrupt "block id outside the program";
+    let taken = Bitbuf.Reader.read_bit r in
+    let code = read_bits r kn in
+    if code > n_blocks then corrupt "successor code outside the program";
+    let next =
+      if code = 0 then Addr.none else (Program.block_of_id program (code - 1)).Block.start
+    in
+    Branch_stream.append_event events ~block_id ~taken ~next
+  done;
+  events
+
+let write_file ~path ~program ~seed events =
+  let data = encode ~program ~seed events in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let rec write_all off =
+    if off < Bytes.length data then
+      write_all (off + Unix.write fd data off (Bytes.length data - off))
+  in
+  (try
+     write_all 0;
+     Unix.fsync fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.close fd;
+  Unix.rename tmp path;
+  Bytes.length data
+
+let read_file ~path ~program ~seed =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode (Bytes.of_string data) ~program ~seed

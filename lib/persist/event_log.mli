@@ -1,0 +1,52 @@
+(** On-disk branch-event recordings: the persistent producer half of
+    {!Regionsel_engine.Branch_stream}.
+
+    A recording written by [regionsel_sim record] (or any run with
+    [Simulator.run ~record]) replays through {!read_file} +
+    [Simulator.run ~replay] bit-identically to the original live run,
+    given the same params, policy and budget — the identity header pins
+    the two stream-determining inputs (program shape and seed) so a
+    recording cannot silently replay against the wrong run.
+
+    The format follows the snapshot discipline ({!Persist}): CRC'd header,
+    CRC'd bit-packed payload ([~kb+kn+1] bits per event under the
+    program's block count).  Unlike snapshots there is no degraded mode —
+    a recording that cannot be replayed exactly is useless, so {e every}
+    validation failure raises {!Persist.Hard_corruption}. *)
+
+val write_file :
+  path:string ->
+  program:Regionsel_isa.Program.t ->
+  seed:int64 ->
+  Regionsel_engine.Branch_stream.events ->
+  int
+(** Encode and write atomically (tmp + fsync + rename), returning the
+    file's size in bytes.
+    @raise Invalid_argument if an event does not fit the program (block id
+    out of range, successor not a block start).
+    @raise Unix.Unix_error when the file cannot be written. *)
+
+val read_file :
+  path:string ->
+  program:Regionsel_isa.Program.t ->
+  seed:int64 ->
+  Regionsel_engine.Branch_stream.events
+(** Read, validate and decode a recording.
+    @raise Sys_error when the file cannot be read.
+    @raise Persist.Hard_corruption on any validation failure: bad magic or
+    version, checksum mismatch, truncation, out-of-range ids, or an
+    identity mismatch (different program shape or seed). *)
+
+(** {1 In-memory codec} — the file body, for tests and corruption drills. *)
+
+val encode :
+  program:Regionsel_isa.Program.t ->
+  seed:int64 ->
+  Regionsel_engine.Branch_stream.events ->
+  bytes
+
+val decode :
+  bytes ->
+  program:Regionsel_isa.Program.t ->
+  seed:int64 ->
+  Regionsel_engine.Branch_stream.events

@@ -1,0 +1,227 @@
+(* The branch-stream seam: a run consuming a recording of itself must be
+   bit-identical to the live run — the paper's substitution argument made
+   executable.  Checked over the full (workload x policy) matrix, clean
+   and under mixed faults, plus the on-disk codec's round-trip and
+   corruption behaviour. *)
+
+module Spec = Regionsel_workload.Spec
+module Suite = Regionsel_workload.Suite
+module Image = Regionsel_workload.Image
+module Simulator = Regionsel_engine.Simulator
+module Branch_stream = Regionsel_engine.Branch_stream
+module Interp = Regionsel_engine.Interp
+module Params = Regionsel_engine.Params
+module Run_metrics = Regionsel_metrics.Run_metrics
+module Policies = Regionsel_core.Policies
+module Event_log = Regionsel_persist.Event_log
+module Persist = Regionsel_persist.Persist
+module Addr = Regionsel_isa.Addr
+open Fixtures
+
+let budget (spec : Spec.t) = min spec.Spec.default_steps 30_000
+
+let tasks =
+  List.concat_map
+    (fun (spec : Spec.t) -> List.map (fun (p, _) -> spec, p) Policies.all)
+    Suite.all
+
+(* Live run recording its stream, then a replayed run over the recording:
+   the two metric JSONs (fixed field order, lossless floats) must be
+   byte-identical.  [to_json] equality is the strongest cheap comparison
+   we have — it covers every exported metric. *)
+let live_vs_replay ?params () =
+  List.iter
+    (fun ((spec : Spec.t), pname) ->
+      let policy = Option.get (Policies.find pname) in
+      let max_steps = budget spec in
+      let image = Spec.image spec in
+      let events = Branch_stream.recorder () in
+      let live =
+        Simulator.run ?params ~seed:1L ~record:events ~policy ~max_steps image
+      in
+      let replayed = Simulator.run ?params ~seed:1L ~replay:events ~policy ~max_steps image in
+      let lj = Run_metrics.to_json (Run_metrics.of_result live) in
+      let rj = Run_metrics.to_json (Run_metrics.of_result replayed) in
+      if lj <> rj then
+        Alcotest.failf "live vs replay diverged for %s under %s:\nlive:   %s\nreplay: %s"
+          spec.Spec.name pname lj rj;
+      (* Recording must also be pure observation: the recorded run's
+         metrics equal an unrecorded run's. *)
+      let plain = Simulator.run ?params ~seed:1L ~policy ~max_steps image in
+      Alcotest.(check string)
+        (Printf.sprintf "recording is pure observation (%s/%s)" spec.Spec.name pname)
+        (Run_metrics.to_json (Run_metrics.of_result plain))
+        lj)
+    tasks
+
+let matrix_clean () = live_vs_replay ()
+
+let matrix_mixed_faults () =
+  let faults = Params.fault_profile "mixed" in
+  live_vs_replay ~params:{ Params.default with Params.faults } ()
+
+(* The in-memory recorder API itself. *)
+let recorder_basics () =
+  let ev = Branch_stream.recorder () in
+  check_int "empty" 0 (Branch_stream.length ev);
+  (* Push enough events to force several growths past the initial array. *)
+  for i = 0 to 4999 do
+    Branch_stream.append_event ev ~block_id:(i mod 300) ~taken:(i mod 3 = 0)
+      ~next:(if i mod 7 = 0 then Addr.none else i * 2)
+  done;
+  check_int "length" 5000 (Branch_stream.length ev);
+  for i = 0 to 4999 do
+    assert (Branch_stream.get_block_id ev i = i mod 300);
+    assert (Branch_stream.get_taken ev i = (i mod 3 = 0));
+    assert (Branch_stream.get_next ev i = if i mod 7 = 0 then Addr.none else i * 2)
+  done;
+  check_true "equal to itself" (Branch_stream.equal ev ev);
+  let other = Branch_stream.recorder () in
+  Branch_stream.iter
+    (fun ~block_id ~taken ~next -> Branch_stream.append_event other ~block_id ~taken ~next)
+    ev;
+  check_true "iter rebuilds an equal recording" (Branch_stream.equal ev other);
+  Branch_stream.append_event other ~block_id:1 ~taken:false ~next:Addr.none;
+  check_true "longer recording differs" (not (Branch_stream.equal ev other));
+  check_true "negative block id rejected"
+    (try
+       Branch_stream.append_event ev ~block_id:(-1) ~taken:false ~next:0;
+       false
+     with Invalid_argument _ -> true)
+
+(* [of_events] delivers exactly the recorded events then reports a halt,
+   and [of_interp] over a fresh interpreter reproduces the recording. *)
+let stream_producers_agree () =
+  let image = figure2 ~iters:500 () in
+  let interp = Interp.create image ~seed:7L in
+  let ev = Branch_stream.recorder () in
+  let s = Interp.make_step () in
+  let live = Branch_stream.of_interp interp in
+  let n = ref 0 in
+  while Branch_stream.next_into live s && !n < 100_000 do
+    Branch_stream.append ev s;
+    incr n
+  done;
+  check_true "program halted" (!n < 100_000);
+  let replay = Branch_stream.of_events ev in
+  let interp2 = Interp.create image ~seed:7L in
+  let live2 = Branch_stream.of_interp interp2 in
+  let a = Interp.make_step () and b = Interp.make_step () in
+  let steps = ref 0 in
+  let rec loop () =
+    let ra = Branch_stream.next_into replay a in
+    let rb = Branch_stream.next_into live2 b in
+    check_true "streams end together" (ra = rb);
+    if ra then begin
+      incr steps;
+      check_int "block id" b.Interp.block_id a.Interp.block_id;
+      check_true "taken" (a.Interp.taken = b.Interp.taken);
+      check_true "next" (Addr.equal a.Interp.next b.Interp.next);
+      loop ()
+    end
+  in
+  loop ();
+  check_int "replay delivered every event" (Branch_stream.length ev) !steps
+
+(* --- Event_log codec ------------------------------------------------ *)
+
+let record_of (spec : Spec.t) pname =
+  let policy = Option.get (Policies.find pname) in
+  let events = Branch_stream.recorder () in
+  ignore
+    (Simulator.run ~seed:1L ~record:events ~policy ~max_steps:(budget spec)
+       (Spec.image spec));
+  events
+
+let codec_round_trip () =
+  List.iter
+    (fun bench ->
+      let spec = Option.get (Suite.find bench) in
+      let program = (Spec.image spec).Image.program in
+      let events = record_of spec "net" in
+      let bytes = Event_log.encode ~program ~seed:1L events in
+      let decoded = Event_log.decode bytes ~program ~seed:1L in
+      check_true
+        (Printf.sprintf "round trip (%s, %d events, %d bytes)" bench
+           (Branch_stream.length events) (Bytes.length bytes))
+        (Branch_stream.equal events decoded))
+    [ "gzip"; "twolf"; "mcf" ]
+
+let codec_file_round_trip () =
+  let spec = Option.get (Suite.find "gzip") in
+  let program = (Spec.image spec).Image.program in
+  let events = record_of spec "net" in
+  let path = Filename.temp_file "regionsel_events" ".revl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let size = Event_log.write_file ~path ~program ~seed:1L events in
+      check_int "reported size is the file size" size
+        (let ic = open_in_bin path in
+         let n = in_channel_length ic in
+         close_in ic;
+         n);
+      let decoded = Event_log.read_file ~path ~program ~seed:1L in
+      check_true "file round trip" (Branch_stream.equal events decoded))
+
+let expect_corruption what f =
+  match f () with
+  | (_ : Branch_stream.events) -> Alcotest.failf "%s: accepted instead of rejected" what
+  | exception Persist.Hard_corruption _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: raised %s instead of Hard_corruption" what (Printexc.to_string e)
+
+let codec_rejects_corruption () =
+  let spec = Option.get (Suite.find "gzip") in
+  let program = (Spec.image spec).Image.program in
+  let events = record_of spec "net" in
+  let pristine = Event_log.encode ~program ~seed:1L events in
+  let flip i bytes =
+    let b = Bytes.copy bytes in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    b
+  in
+  expect_corruption "bad magic" (fun () ->
+      Event_log.decode (flip 0 pristine) ~program ~seed:1L);
+  expect_corruption "header bit flip" (fun () ->
+      Event_log.decode (flip 9 pristine) ~program ~seed:1L);
+  expect_corruption "payload bit flip" (fun () ->
+      Event_log.decode (flip 40 pristine) ~program ~seed:1L);
+  expect_corruption "truncation" (fun () ->
+      Event_log.decode (Bytes.sub pristine 0 (Bytes.length pristine / 2)) ~program ~seed:1L);
+  expect_corruption "empty file" (fun () ->
+      Event_log.decode Bytes.empty ~program ~seed:1L);
+  (* Identity pinning: same bytes, wrong seed or wrong program. *)
+  expect_corruption "seed mismatch" (fun () ->
+      Event_log.decode pristine ~program ~seed:2L);
+  let other = (Spec.image (Option.get (Suite.find "twolf"))).Image.program in
+  expect_corruption "program mismatch" (fun () ->
+      Event_log.decode pristine ~program:other ~seed:1L)
+
+(* A corrupt recording must never reach the engine: the CLI contract is
+   exit-code 5, here the exception at decode time. *)
+let replay_after_round_trip_is_identical () =
+  let spec = Option.get (Suite.find "twolf") in
+  let image = Spec.image spec in
+  let program = image.Image.program in
+  let policy = Option.get (Policies.find "lei") in
+  let max_steps = budget spec in
+  let events = Branch_stream.recorder () in
+  let live = Simulator.run ~seed:1L ~record:events ~policy ~max_steps image in
+  let decoded = Event_log.decode (Event_log.encode ~program ~seed:1L events) ~program ~seed:1L in
+  let replayed = Simulator.run ~seed:1L ~replay:decoded ~policy ~max_steps image in
+  Alcotest.(check string) "replay through the codec is bit-identical"
+    (Run_metrics.to_json (Run_metrics.of_result live))
+    (Run_metrics.to_json (Run_metrics.of_result replayed))
+
+let suite =
+  [
+    case "recorder basics" recorder_basics;
+    case "producers agree (live vs recorded)" stream_producers_agree;
+    case "matrix: live == replay, byte-identical" matrix_clean;
+    case "matrix: live == replay under mixed faults" matrix_mixed_faults;
+    case "event-log round trip" codec_round_trip;
+    case "event-log file round trip" codec_file_round_trip;
+    case "event-log rejects corruption and identity mismatch" codec_rejects_corruption;
+    case "replay through the codec is bit-identical" replay_after_round_trip_is_identical;
+  ]

@@ -386,6 +386,99 @@ let link_guards () =
   check_int "still one live link" 1 (Code_cache.n_links cache);
   ignore program
 
+(* Byte quotas (the multi-stream scheduler's per-tenant share of a global
+   budget).  Admission honours [min capacity quota]; tightening evicts
+   oldest-first whatever the eviction policy; an oversized spec is a typed
+   reject with no cache mutation. *)
+
+let quota_tightening_evicts_oldest_first () =
+  (* Flush_all policy on purpose: quota pressure must NOT flush, it must
+     shed oldest-first — the tenant did nothing wrong when the global
+     budget shifted. *)
+  let cache = plain_cache ~eviction:Params.Flush_all () in
+  for i = 0 to 4 do
+    ignore (Code_cache.install_exn cache (spec_at (i * 16)))
+  done;
+  check_true "no quota by default" (Code_cache.quota cache = None);
+  let retired = Code_cache.set_quota cache (Some (3 * region_cost)) in
+  Alcotest.(check (list int)) "two oldest retired, in age order" [ 0; 16 ]
+    (List.map entry_of retired);
+  check_int "quota evictions counted" 2 (Code_cache.quota_evictions cache);
+  check_int "no flush happened" 0 (Code_cache.flushes cache);
+  check_int "three live" 3 (Code_cache.n_regions cache);
+  check_true "footprint within quota"
+    (Code_cache.bytes_used cache <= 3 * region_cost);
+  check_true "quota readable" (Code_cache.quota cache = Some (3 * region_cost));
+  (* Loosening (or matching) the footprint retires nothing. *)
+  check_int "no-op retighten" 0
+    (List.length (Code_cache.set_quota cache (Some (4 * region_cost))))
+
+let quota_bounds_admission () =
+  (* Unbounded capacity, quota of two regions: the third install evicts
+     the oldest under the effective bound. *)
+  let cache = plain_cache ~eviction:Params.Evict_oldest () in
+  ignore (Code_cache.set_quota cache (Some (2 * region_cost)));
+  for i = 0 to 2 do
+    ignore (Code_cache.install_exn cache (spec_at (i * 16)))
+  done;
+  check_int "two live under quota" 2 (Code_cache.n_regions cache);
+  check_true "oldest evicted" (Code_cache.find cache 0 = None);
+  check_true "newcomers live"
+    (Code_cache.find cache 16 <> None && Code_cache.find cache 32 <> None);
+  (* A quota tighter than capacity wins over capacity... *)
+  let tight =
+    plain_cache ~capacity_bytes:(10 * region_cost) ~eviction:Params.Evict_oldest ()
+  in
+  ignore (Code_cache.set_quota tight (Some (1 * region_cost)));
+  ignore (Code_cache.install_exn tight (spec_at 0));
+  ignore (Code_cache.install_exn tight (spec_at 16));
+  check_int "quota tighter than capacity wins" 1 (Code_cache.n_regions tight);
+  (* ...and capacity tighter than quota still applies. *)
+  let cap = plain_cache ~capacity_bytes:region_cost ~eviction:Params.Evict_oldest () in
+  ignore (Code_cache.set_quota cap (Some (100 * region_cost)));
+  ignore (Code_cache.install_exn cap (spec_at 0));
+  ignore (Code_cache.install_exn cap (spec_at 16));
+  check_int "capacity tighter than quota wins" 1 (Code_cache.n_regions cap)
+
+let oversized_spec_is_typed_reject () =
+  let cache = plain_cache ~eviction:Params.Evict_oldest () in
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  let bytes_before = Code_cache.bytes_used cache in
+  ignore (Code_cache.set_quota cache (Some (2 * region_cost)));
+  (* A spec that alone exceeds the quota can never fit, whatever is
+     evicted: reject without touching the cache. *)
+  let huge = spec_at ~size:100 200 in
+  check_true "oversized spec rejected"
+    (Code_cache.install cache huge = Error Code_cache.Quota_exceeded);
+  check_int "reject counted" 1 (Code_cache.quota_rejects cache);
+  check_int "no eviction attempted" 0 (Code_cache.quota_evictions cache);
+  check_int "resident region untouched" 1 (Code_cache.n_regions cache);
+  check_int "accounting untouched" bytes_before (Code_cache.bytes_used cache);
+  check_true "rejection is printable"
+    (Code_cache.reject_to_string Code_cache.Quota_exceeded = "quota-exceeded");
+  (* The region id was not consumed by the reject: the next admitted
+     region's id is contiguous with the last one's. *)
+  let r = Code_cache.install_exn cache (spec_at 16) in
+  check_int "region id not consumed by reject" 1 r.Region.id
+
+let clearing_quota_lifts_the_bound () =
+  let cache = plain_cache ~eviction:Params.Evict_oldest () in
+  ignore (Code_cache.set_quota cache (Some region_cost));
+  ignore (Code_cache.install_exn cache (spec_at 0));
+  ignore (Code_cache.install_exn cache (spec_at 16));
+  check_int "bounded while quota set" 1 (Code_cache.n_regions cache);
+  check_int "clearing retires nothing" 0 (List.length (Code_cache.set_quota cache None));
+  check_true "quota cleared" (Code_cache.quota cache = None);
+  for i = 2 to 9 do
+    ignore (Code_cache.install_exn cache (spec_at (i * 16)))
+  done;
+  check_int "unbounded again" 9 (Code_cache.n_regions cache);
+  check_true "negative quota rejected"
+    (try
+       ignore (Code_cache.set_quota cache (Some (-1)));
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     case "flush_all returns victims" flush_all_returns_victims;
@@ -408,4 +501,8 @@ let suite =
     case "set_now clamps stale stamps" set_now_clamps_stale_stamps;
     case "auditor fires on mutations" auditor_fires_on_mutations;
     case "link guards" link_guards;
+    case "quota tightening evicts oldest first" quota_tightening_evicts_oldest_first;
+    case "quota bounds admission" quota_bounds_admission;
+    case "oversized spec is a typed reject" oversized_spec_is_typed_reject;
+    case "clearing quota lifts the bound" clearing_quota_lifts_the_bound;
   ]

@@ -68,7 +68,49 @@ let default_n_domains_env () =
         (try
            ignore (Domain_pool.default_n_domains ());
            false
-         with Invalid_argument _ -> true))
+         with Invalid_argument _ -> true));
+  (* Zero and negative clamp to sequential rather than erroring, so scripts
+     can force single-domain runs without knowing the validation rules. *)
+  with_env "0" (fun () -> check_int "0 clamps to 1" 1 (Domain_pool.default_n_domains ()));
+  with_env "-3" (fun () -> check_int "-3 clamps to 1" 1 (Domain_pool.default_n_domains ()));
+  with_env " 2 " (fun () ->
+      check_int "whitespace trimmed" 2 (Domain_pool.default_n_domains ()))
+
+let iter_covers_all () =
+  (* Every element visited exactly once, effects visible after the join. *)
+  let n = 100 in
+  let hits = Array.make n (Atomic.make 0) in
+  for i = 0 to n - 1 do
+    hits.(i) <- Atomic.make 0
+  done;
+  Domain_pool.iter ~n_domains:4 (fun i -> Atomic.incr hits.(i)) (Array.init n Fun.id);
+  Array.iter (fun a -> check_int "visited exactly once" 1 (Atomic.get a)) hits
+
+let iter_inline_and_empty () =
+  Domain_pool.iter ~n_domains:4 (fun _ -> Alcotest.fail "called on empty") [||];
+  let self = Domain.self () in
+  let saw = ref [] in
+  Domain_pool.iter ~n_domains:1
+    (fun i ->
+      check_true "runs on the calling domain" (Domain.self () = self);
+      saw := i :: !saw)
+    [| 1; 2; 3 |];
+  Alcotest.(check (list int)) "inline left to right" [ 3; 2; 1 ] !saw;
+  (* A single element never spawns either, whatever n_domains says. *)
+  let saw_one = ref 0 in
+  Domain_pool.iter ~n_domains:8 (fun i -> saw_one := i) [| 42 |];
+  check_int "singleton" 42 !saw_one
+
+let iter_exception () =
+  let raised =
+    try
+      Domain_pool.iter ~n_domains:4
+        (fun i -> if i = 13 then raise (Boom i))
+        (Array.init 40 Fun.id);
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "exception reaches the caller" (Some 13) raised
 
 let suite =
   [
@@ -77,4 +119,7 @@ let suite =
     case "empty and singleton" empty_and_singleton;
     case "exception propagation" exception_propagation;
     case "REGIONSEL_DOMAINS env" default_n_domains_env;
+    case "iter covers all elements" iter_covers_all;
+    case "iter inline, empty and singleton" iter_inline_and_empty;
+    case "iter exception propagation" iter_exception;
   ]
