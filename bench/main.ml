@@ -1129,6 +1129,48 @@ let measure_link_counters () =
     m.Run_metrics.node_steps,
     Regionsel_engine.Edge_profile.flushes result.Simulator.edges )
 
+(* Windowed-metrics overhead on the headline cell: the same run measured
+   back-to-back with sampling off and with a recorder at the default
+   window, best-of-3 each.  The recorder is recreated per run (its window
+   list grows during the run); export cost is excluded — the gate prices
+   the always-on sampling path only, and CI holds the fraction under
+   3%. *)
+let measure_metrics_overhead () =
+  let module Metrics = Regionsel_obs.Metrics in
+  let image = Spec.image (Option.get (Suite.find "twolf")) in
+  let policy = Option.get (Policies.find "net") in
+  let steps = if quick then 100_000 else 400_000 in
+  let best_of_3 run =
+    run () (* warm-up *);
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      run ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    float_of_int steps /. !best
+  in
+  let off =
+    best_of_3 (fun () ->
+        ignore
+          (Regionsel_engine.Simulator.run ~seed:1L ~policy ~max_steps:steps image))
+  in
+  let on =
+    best_of_3 (fun () ->
+        let r =
+          Metrics.create
+            ~labels:[ "tenant", "twolf"; "policy", "net"; "dispatch", "threaded" ]
+            ()
+        in
+        let result =
+          Regionsel_engine.Simulator.run ~seed:1L ~policy
+            ~on_window:(Metrics.hook r) ~max_steps:steps image
+        in
+        Metrics.finalize r result)
+  in
+  (off, on, Float.max 0.0 (1.0 -. (on /. off)))
+
 (* Steady-state allocation of the headline loop, in minor-heap words per
    executed block: two runs differing only in length cancel the per-run
    setup costs (the interpreter's op table, policy state, region installs
@@ -1221,9 +1263,10 @@ let emit_json path =
     measure_link_counters ()
   in
   let minor_words_per_step = measure_minor_words_per_step () in
+  let metrics_off, metrics_on, metrics_overhead = measure_metrics_overhead () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema_version\": 5,\n";
+  Buffer.add_string b "  \"schema_version\": 6,\n";
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string b
     (Printf.sprintf "  \"n_domains\": %d,\n" (Domain_pool.default_n_domains ()));
@@ -1243,6 +1286,12 @@ let emit_json path =
        (json_float steps_per_sec_hot_legacy));
   Buffer.add_string b
     (Printf.sprintf "  \"minor_words_per_step\": %s,\n" (json_float minor_words_per_step));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"metrics_overhead\": {\"steps_per_sec_off\": %s, \"steps_per_sec_on\": %s, \
+        \"overhead_frac\": %s, \"window\": %d},\n"
+       (json_float metrics_off) (json_float metrics_on) (json_float metrics_overhead)
+       Regionsel_obs.Metrics.default_window);
   Buffer.add_string b
     (Printf.sprintf
        "  \"links\": %d,\n  \"link_hits\": %d,\n  \"link_severs\": %d,\n  \

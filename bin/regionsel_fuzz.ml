@@ -12,7 +12,7 @@ let usage =
    [--snapshots [--corruptions N]] [--streams]\n\
    regionsel_fuzz --seed N --genome G1,G2,... [--policy P] [--fault F] [--legacy] \
    [--legacy-dispatch] [--steps N]\n\
-   regionsel_fuzz --self-test-break"
+   regionsel_fuzz --self-test-break [--flight FILE]"
 
 let parse_seeds s =
   match String.index_opt s '-' with
@@ -24,18 +24,23 @@ let parse_seeds s =
 let parse_genome s =
   String.split_on_char ',' s |> List.filter (fun g -> g <> "") |> List.map int_of_string
 
-let report_failure ~shrink ~out (c, f) =
+let report_failure ~shrink ~out ~flight (c, f) =
   Printf.printf "FAIL %s\n  %s\n%!" (Fuzz.cli_line c) (Fuzz.failure_to_string f);
   let c, f = if shrink then Fuzz.shrink c f else (c, f) in
   if shrink then
     Printf.printf "shrunk to: %s\n  %s\n%!" (Fuzz.cli_line c) (Fuzz.failure_to_string f);
-  match out with
+  (match out with
   | "" -> ()
   | path ->
     let oc = open_out path in
     Printf.fprintf oc "%s\n# %s\n" (Fuzz.cli_line c) (Fuzz.failure_to_string f);
     close_out oc;
-    Printf.printf "reproducer written to %s\n%!" path
+    Printf.printf "reproducer written to %s\n%!" path);
+  match flight with
+  | "" -> ()
+  | path ->
+    let n = Fuzz.flight_dump c f ~path in
+    Printf.printf "flight recorder: %d windows -> %s\n%!" n path
 
 let () =
   let seeds = ref "1-5" in
@@ -51,6 +56,7 @@ let () =
   let snapshots = ref false in
   let corruptions = ref 50 in
   let streams = ref false in
+  let flight = ref "" in
   let spec =
     [
       ("--seeds", Arg.Set_string seeds, "A-B  seed range to fuzz (default 1-5)");
@@ -88,11 +94,16 @@ let () =
         Arg.Set self_test,
         " (test only) inject a cache corruption and verify the sanitizer catches and \
          shrinks it" );
+      ( "--flight",
+        Arg.Set_string flight,
+        "FILE  on failure, re-run the shrunk case with windowed metrics and dump the \
+         flight record (metric history leading up to the crash + reproducer line) to \
+         FILE as JSONL" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   if !self_test then begin
-    match Fuzz.self_test () with
+    match Fuzz.self_test ?flight:(if !flight = "" then None else Some !flight) () with
     | Error msg ->
       Printf.eprintf "self-test FAILED: %s\n%!" msg;
       exit 1
@@ -169,7 +180,7 @@ let () =
       Printf.printf "ok: %s\n%!" (Fuzz.cli_line c);
       exit 0
     | Some f ->
-      report_failure ~shrink:!shrink ~out:!out (c, f);
+      report_failure ~shrink:!shrink ~out:!out ~flight:!flight (c, f);
       exit 1
   end;
   let failed = ref false in
@@ -183,7 +194,7 @@ let () =
     | Some (c, f), n ->
       total := !total + n;
       failed := true;
-      report_failure ~shrink:!shrink ~out:!out (c, f));
+      report_failure ~shrink:!shrink ~out:!out ~flight:!flight (c, f));
     incr seed
   done;
   if !failed then exit 1

@@ -19,6 +19,7 @@ module Persist = Regionsel_persist.Persist
 module Event_log = Regionsel_persist.Event_log
 module Branch_stream = Regionsel_engine.Branch_stream
 module Image = Regionsel_workload.Image
+module Metrics = Regionsel_obs.Metrics
 
 open Cmdliner
 
@@ -92,6 +93,28 @@ let trace_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Sample windowed metrics during the run and write them to $(docv) as JSONL \
+     time-series (one record per window per series) plus a scrape-ready Prometheus \
+     text snapshot to $(docv).prom.  Sampling is pure observation — the printed \
+     metrics are byte-identical with or without it — and the exports are \
+     byte-deterministic for a fixed seed.  On a crash (invariant violation or \
+     snapshot hard corruption) the last windows are dumped to $(docv).flight.jsonl."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_window_arg =
+  let doc = "Metrics window length in steps (sampled at absolute step multiples)." in
+  Arg.(value & opt int Metrics.default_window & info [ "metrics-window" ] ~docv:"N" ~doc)
+
+let status_arg =
+  let doc =
+    "Print a one-line summary of every closed metrics window to stderr (stdout stays \
+     byte-diffable).  Implies metrics sampling even without --metrics-out."
+  in
+  Arg.(value & flag & info [ "status" ] ~doc)
+
 let lookup_bench name =
   match Suite.find name with
   | Some s -> s
@@ -118,15 +141,74 @@ let params_of_faults = function
       exit 2)
 
 let simulate ?(check = false) ?(params = Params.default) ?(telemetry = Telemetry.none)
-    ?checkpoint ?restore ?record ?replay spec policy steps seed =
+    ?on_window ?checkpoint ?restore ?record ?replay spec policy steps seed =
   let image = Spec.image spec in
   let max_steps = Option.value ~default:spec.Spec.default_steps steps in
   if check then
     Check.checked_run ~params:{ params with Params.validate = true } ?telemetry ~seed
-      ?checkpoint ?restore ?record ?replay ~policy ~max_steps image
+      ?on_window ?checkpoint ?restore ?record ?replay ~policy ~max_steps image
   else
-    Simulator.run ~params ~seed ~telemetry ?checkpoint ?restore ?record ?replay ~policy
-      ~max_steps image
+    Simulator.run ~params ~seed ~telemetry ?on_window ?checkpoint ?restore ?record ?replay
+      ~policy ~max_steps image
+
+(* Windowed-metrics plumbing, shared by run/matrix/replay.  All notices
+   (status lines, export summaries, flight dumps) go to stderr: stdout
+   must stay byte-diffable against a metrics-off run. *)
+let metrics_recorder ~bench ~policy ~params metrics_out metrics_window status =
+  if metrics_out = None && not status then None
+  else begin
+    if metrics_window <= 0 then begin
+      Printf.eprintf "metrics window must be positive (got %d)\n" metrics_window;
+      exit 2
+    end;
+    let notify =
+      if status then Some (fun w -> Printf.eprintf "%s\n%!" (Metrics.status_line w))
+      else None
+    in
+    Some
+      (Metrics.create ~window:metrics_window ?notify
+         ~labels:
+           [
+             ("tenant", bench);
+             ("policy", policy);
+             ("dispatch", if params.Params.threaded_dispatch then "threaded" else "legacy");
+           ]
+         ())
+  end
+
+let export_metrics metrics_out windows =
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    Metrics.write_jsonl ~path windows;
+    Metrics.write_prometheus ~path:(path ^ ".prom") windows;
+    Printf.eprintf "metrics: %d windows -> %s, %s\n%!" (List.length windows) path
+      (path ^ ".prom")
+
+(* Crash flight recorder: when a metered run dies on an invariant
+   violation or snapshot hard corruption, dump the newest windows plus
+   the exact CLI line before the error path takes over. *)
+let with_flight_dump recorder metrics_out f =
+  match (recorder, metrics_out) with
+  | Some r, Some path ->
+    (try f ()
+     with (Check.Check_violation _ | Persist.Hard_corruption _) as e ->
+       let detail =
+         match e with
+         | Check.Check_violation v -> Check.violation_to_string v
+         | Persist.Hard_corruption msg -> "hard corruption: " ^ msg
+         | _ -> assert false
+       in
+       let fpath = path ^ ".flight.jsonl" in
+       let n =
+         Metrics.flight_dump ~path:fpath
+           ~cli:(String.concat " " (Array.to_list Sys.argv))
+           ~detail
+           (Metrics.last_windows r Metrics.default_flight_keep)
+       in
+       Printf.eprintf "flight recorder: %d windows -> %s\n%!" n fpath;
+       raise e)
+  | _ -> f ()
 
 (* Shared by run/record/replay so their stdout is byte-diffable: a replayed
    run must print exactly what the live run printed. *)
@@ -170,10 +252,13 @@ let parallel_map_specs f tasks =
 
 let run_cmd =
   let run bench policy steps seed faults trace_out check save_state at_step restore_state
-      json =
+      metrics_out metrics_window status json =
     with_error_reporting @@ fun () ->
     let params = params_of_faults faults in
     let policy_name = policy in
+    let recorder =
+      metrics_recorder ~bench ~policy:policy_name ~params metrics_out metrics_window status
+    in
     let telemetry =
       match trace_out with None -> Telemetry.none | Some _ -> Some (Telemetry.create ())
     in
@@ -216,9 +301,16 @@ let run_cmd =
         restore_state
     in
     let result =
-      simulate ~check ~params ~telemetry ?checkpoint ?restore (lookup_bench bench)
-        (lookup_policy policy) steps seed
+      with_flight_dump recorder metrics_out @@ fun () ->
+      simulate ~check ~params ~telemetry
+        ?on_window:(Option.map Metrics.hook recorder)
+        ?checkpoint ?restore (lookup_bench bench) (lookup_policy policy) steps seed
     in
+    (match recorder with
+    | None -> ()
+    | Some r ->
+      Metrics.finalize r result;
+      export_metrics metrics_out (Metrics.windows r));
     (* Trace notices go to stderr so stdout stays diffable against an
        untraced run (the CI trace-smoke parity check relies on this). *)
     (match telemetry, trace_out with
@@ -249,7 +341,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg
       $ trace_out_arg $ check_arg $ save_state_arg $ at_step_arg $ restore_state_arg
-      $ json_arg)
+      $ metrics_out_arg $ metrics_window_arg $ status_arg $ json_arg)
 
 let record_cmd =
   let run bench policy steps seed faults check events_out json =
@@ -295,18 +387,30 @@ let record_cmd =
       $ events_out $ json_arg)
 
 let replay_cmd =
-  let run bench policy steps seed faults check events_in json =
+  let run bench policy steps seed faults check events_in metrics_out metrics_window status
+      json =
     with_error_reporting @@ fun () ->
     let params = params_of_faults faults in
     let spec = lookup_bench bench in
+    let recorder =
+      metrics_recorder ~bench ~policy ~params metrics_out metrics_window status
+    in
     let events =
       Event_log.read_file ~path:events_in ~program:(Spec.image spec).Image.program ~seed
     in
     Printf.eprintf "events: replaying %d branch events from %s\n%!"
       (Branch_stream.length events) events_in;
     let result =
-      simulate ~check ~params ~replay:events spec (lookup_policy policy) steps seed
+      with_flight_dump recorder metrics_out @@ fun () ->
+      simulate ~check ~params
+        ?on_window:(Option.map Metrics.hook recorder)
+        ~replay:events spec (lookup_policy policy) steps seed
     in
+    (match recorder with
+    | None -> ()
+    | Some r ->
+      Metrics.finalize r result;
+      export_metrics metrics_out (Metrics.windows r));
     print_metrics ~json result
   in
   let events_in =
@@ -334,7 +438,7 @@ let replay_cmd =
           is byte-identical to the live run that recorded it")
     Term.(
       const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ faults_arg $ check_arg
-      $ events_in $ json_arg)
+      $ events_in $ metrics_out_arg $ metrics_window_arg $ status_arg $ json_arg)
 
 let regions_cmd =
   let run bench policy steps seed limit =
@@ -397,15 +501,35 @@ let disas_cmd =
     Term.(const run $ bench_arg $ policy_arg $ steps_arg $ seed_arg $ limit)
 
 let matrix_cmd =
-  let run bench steps seed faults check =
+  let run bench steps seed faults check metrics_out metrics_window status =
     with_error_reporting @@ fun () ->
     let params = params_of_faults faults in
     let spec = lookup_bench bench in
+    (* One recorder per policy run, created and sampled inside its worker
+       domain, read back on the main domain after the joins; results come
+       back in submission order, so the combined export is deterministic
+       (status lines from concurrent runs may interleave on stderr). *)
     let rows =
       parallel_map_specs
         (fun spec (name, policy) ->
-          let m = Run_metrics.of_result (simulate ~check ~params spec policy steps seed) in
-          [
+          let recorder =
+            metrics_recorder ~bench ~policy:name ~params metrics_out metrics_window status
+          in
+          let result =
+            simulate ~check ~params
+              ?on_window:(Option.map Metrics.hook recorder)
+              spec policy steps seed
+          in
+          let m = Run_metrics.of_result result in
+          let windows =
+            match recorder with
+            | None -> []
+            | Some r ->
+              Metrics.finalize r result;
+              Metrics.windows r
+          in
+          ( windows,
+            [
             name;
             string_of_int m.Run_metrics.n_regions;
             Table.fmt_pct m.Run_metrics.hit_rate;
@@ -418,20 +542,23 @@ let matrix_cmd =
             string_of_int m.Run_metrics.counters_high_water;
             Table.fmt_pct m.Run_metrics.exit_dominated_fraction;
             Table.fmt_pct m.Run_metrics.icache_miss_rate;
-          ])
+          ] ))
         (List.map (fun p -> spec, p) Policies.all)
     in
+    export_metrics metrics_out (List.concat_map fst rows);
     Table.print
       ~header:
         [
           "policy"; "regions"; "hit"; "expansion"; "stubs"; "transitions"; "cyclic";
           "exec-cyc"; "cover90"; "counters"; "exit-dom"; "icache-miss";
         ]
-      rows
+      (List.map snd rows)
   in
   Cmd.v
     (Cmd.info "matrix" ~doc:"Run one benchmark under every policy")
-    Term.(const run $ bench_arg $ steps_arg $ seed_arg $ faults_arg $ check_arg)
+    Term.(
+      const run $ bench_arg $ steps_arg $ seed_arg $ faults_arg $ check_arg
+      $ metrics_out_arg $ metrics_window_arg $ status_arg)
 
 let domination_cmd =
   let run bench policy steps seed =

@@ -146,7 +146,7 @@ let audit_cache ?telemetry ~program cache ~step =
         !n_live
 
 let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every = 64)
-    ?break_at ?checkpoint ?restore ?record ?replay ~policy ~max_steps image =
+    ?break_at ?on_window ?checkpoint ?restore ?record ?replay ~policy ~max_steps image =
   let params = { params with Params.validate = true } in
   let t = match telemetry with Some t -> t | None -> Telemetry.create () in
   let program = image.Image.program in
@@ -240,8 +240,8 @@ let checked_run ?(params = Params.default) ?(seed = 1L) ?telemetry ?(audit_every
       restore
   in
   let result =
-    Simulator.run ~params ~seed ~telemetry:(Some t) ~observer ?checkpoint ?restore ?record
-      ?replay ~policy ~max_steps image
+    Simulator.run ~params ~seed ~telemetry:(Some t) ~observer ?on_window ?checkpoint
+      ?restore ?record ?replay ~policy ~max_steps image
   in
   let final = result.Simulator.stats.Stats.steps in
   audit ~step:final;

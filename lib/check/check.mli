@@ -74,6 +74,7 @@ val checked_run :
   ?telemetry:Regionsel_telemetry.Telemetry.t ->
   ?audit_every:int ->
   ?break_at:int ->
+  ?on_window:Regionsel_engine.Simulator.window_hook ->
   ?checkpoint:int * (Regionsel_engine.Simulator.internals -> unit) ->
   ?restore:(Regionsel_engine.Simulator.internals -> unit) ->
   ?record:Regionsel_engine.Branch_stream.events ->

@@ -11,6 +11,7 @@ module Policies = Regionsel_core.Policies
 module Persist = Regionsel_persist.Persist
 module Splitmix = Regionsel_prng.Splitmix
 module Multi_stream = Regionsel_engine.Multi_stream
+module Metrics = Regionsel_obs.Metrics
 
 type case = {
   seed : int;
@@ -524,7 +525,48 @@ let run_streams_seed ?(max_steps = 3000) seed =
         (Some (shrink_tenants (budget_fails ~budget) cases detail), n_tenants)
       | None -> (None, n_tenants)))
 
-let self_test () =
+(* --- Flight recorder -------------------------------------------------
+
+   Every fuzz case is deterministic, so the metric history leading up to
+   a failure can be reconstructed after the fact: re-run the (shrunk)
+   case with a small-window metrics recorder, stopping just short of the
+   failing step for a violation (the crash step itself never completes),
+   and dump the retained ring with the reproducer CLI line.  The re-run
+   is unsanitized — it observes the honest pre-crash history, not the
+   corruption the sanitizer injected or convicted. *)
+
+let flight_labels c =
+  [
+    ("tenant", "fuzz");
+    ("policy", c.policy);
+    ("dispatch", (if c.threaded then "threaded" else "legacy"));
+  ]
+
+let flight_dump ?(window = 64) ?params c failure ~path =
+  let params = match params with Some p -> p | None -> params_of c in
+  let upto =
+    match failure with
+    | Violation v -> max 0 (v.Check.step - 1)
+    | Mode_divergence _ -> c.max_steps
+  in
+  let window = max 1 (min window (max 1 (upto / 4))) in
+  let r =
+    Metrics.create ~window ~keep:Metrics.default_flight_keep ~labels:(flight_labels c) ()
+  in
+  let sim =
+    Simulator.create ~params ~seed:(Int64.of_int c.seed) ~on_window:(Metrics.hook r)
+      ~policy:(policy_exn c.policy) ~max_steps:upto (image_of_genome c.genome)
+  in
+  let result = Simulator.finish sim in
+  Metrics.finalize r result;
+  (* A failure inside the first window still ships a (possibly zero-step)
+     end-state sample, so a dump always carries at least one window. *)
+  if Metrics.n_windows r = 0 then Simulator.sample sim (Metrics.sample r);
+  Metrics.flight_dump ~path ~cli:(cli_line c)
+    ~detail:(failure_to_string failure)
+    (Metrics.windows r)
+
+let self_test ?flight () =
   let image = image_of_genome [ 1 ] in
   (* A threshold of 2 gets the first region installed within a handful of
      steps, so the shrunk reproducer lands well under the 20-step bound. *)
@@ -548,4 +590,20 @@ let self_test () =
         | None -> budget
       else budget
     in
-    Ok (minimize 2000 v)
+    let budget = minimize 2000 v in
+    (match flight with
+    | None -> ()
+    | Some path ->
+      let c =
+        {
+          seed = 1;
+          genome = [ 1 ];
+          policy = "net";
+          fault = None;
+          compiled = true;
+          threaded = Params.default.Params.threaded_dispatch;
+          max_steps = budget;
+        }
+      in
+      ignore (flight_dump ~window:1 ~params c (Violation v) ~path));
+    Ok budget

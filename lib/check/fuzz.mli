@@ -119,10 +119,29 @@ val shrink : case -> failure -> case * failure
     halving the budget — still fails.  Returns the minimal case and its
     failure. *)
 
-val self_test : unit -> (int, string) result
+val flight_dump :
+  ?window:int ->
+  ?params:Regionsel_engine.Params.t ->
+  case ->
+  failure ->
+  path:string ->
+  int
+(** Write the crash flight record for a failing case: re-run it (cases
+    are deterministic) with a small-window metrics recorder
+    ({!Regionsel_obs.Metrics}), stopping just short of a violation's
+    failing step, and dump the retained window ring to [path] as JSONL
+    headed by the reproducer CLI line and the failure detail.  The re-run
+    is unsanitized — it records the honest metric history leading up to
+    the crash.  Always writes at least one window (a failure inside the
+    first window ships a zero-step end-state sample).  Returns the number
+    of windows written. *)
+
+val self_test : ?flight:string -> unit -> (int, string) result
 (** Prove the sanitizer catches real corruption: run a tiny hot loop with
     a low selection threshold and [break_at = 1], so the first installed
     region is silently dropped from the entry index, then shrink the step
     budget of the resulting violation.  [Ok budget] is the minimal budget
     that still reproduces (the acceptance bound is 20); [Error] means the
-    corruption went uncaught — the sanitizer is broken. *)
+    corruption went uncaught — the sanitizer is broken.  With [flight], a
+    {!flight_dump} of the shrunk reproducer is written there — the CI
+    assertion that crash dumps actually appear on the failure path. *)

@@ -89,7 +89,7 @@ let rebalance ~budget sims =
       active
   end
 
-let run ?n_domains ?(batch_steps = 4096) ?budget_bytes tenants =
+let run ?n_domains ?(batch_steps = 4096) ?budget_bytes ?on_barrier tenants =
   if batch_steps <= 0 then invalid_arg "Multi_stream.run: batch_steps must be positive";
   (match budget_bytes with
   | Some b when b < 0 -> invalid_arg "Multi_stream.run: negative budget"
@@ -112,22 +112,36 @@ let run ?n_domains ?(batch_steps = 4096) ?budget_bytes tenants =
       let fair = budget / Array.length sims in
       Array.iter (fun sim -> Simulator.set_cache_quota sim (Some fair)) sims
     | None -> ());
+    let names = Array.of_list (List.map (fun t -> t.t_name) tenants) in
     let rounds = ref 0 in
     let continue = ref true in
     while !continue do
-      let active =
-        Array.of_list
-          (Array.to_list sims |> List.filter (fun s -> not (Simulator.exhausted s)))
+      let active_idx =
+        List.filter
+          (fun i -> not (Simulator.exhausted sims.(i)))
+          (List.init (Array.length sims) Fun.id)
       in
-      if Array.length active = 0 then continue := false
+      if active_idx = [] then continue := false
       else begin
         incr rounds;
+        let active = Array.of_list (List.map (fun i -> sims.(i)) active_idx) in
         Domain_pool.iter ?n_domains
           (fun sim -> Simulator.advance sim ~upto:(Simulator.steps sim + batch_steps))
           active;
-        match budget_bytes with
+        (match budget_bytes with
         | Some budget -> rebalance ~budget sims
+        | None -> ());
+        (* Barrier observation (metrics sampling) runs last, on the main
+           domain, over this round's participants in submission order —
+           after rebalancing, so quota evictions land in the window that
+           caused them.  Pure observation: what the hook sees is a pure
+           function of the barrier states, hence identical whatever
+           [n_domains]. *)
+        match on_barrier with
         | None -> ()
+        | Some fn ->
+          fn ~round:!rounds
+            (Array.of_list (List.map (fun i -> (names.(i), sims.(i))) active_idx))
       end
     done;
     (* Finalization (end-of-run checkpoints, edge-profile flushes) happens

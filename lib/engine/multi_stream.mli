@@ -51,9 +51,20 @@ val run :
   ?n_domains:int ->
   ?batch_steps:int ->
   ?budget_bytes:int ->
+  ?on_barrier:(round:int -> (string * Simulator.t) array -> unit) ->
   tenant list ->
   outcome
 (** [run tenants] advances every tenant to completion in [batch_steps]
     batches (default 4096) over up to [n_domains] domains (default
     {!Domain_pool.default_n_domains}).  An empty list is a no-op outcome.
+
+    [on_barrier] is the metrics observation point: called on the main
+    domain at the end of every round — after the batch advance joins and
+    after any quota rebalance — with the 1-based round number and this
+    round's participants (name, handle) in submission order.  The hook
+    may read tenant state ({!Simulator.sample}, {!Simulator.steps},
+    {!Simulator.cache_bytes_used}) but must mutate nothing simulated;
+    everything it can observe is a pure function of the barrier states,
+    so what it sees is bit-identical whatever [n_domains].
+
     @raise Invalid_argument on [batch_steps <= 0] or a negative budget. *)

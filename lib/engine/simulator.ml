@@ -33,6 +33,14 @@ type observer = {
           divergence rule. *)
 }
 
+type window_hook = {
+  win_every : int;
+      (** Window length in steps; the hook fires when the step count
+          reaches each successive multiple-of-[win_every] boundary. *)
+  win_fn : step:int -> stats:Stats.t -> ctx:Context.t -> unit;
+      (** Pure observation: reads counters, mutates nothing simulated. *)
+}
+
 (* Checkpoint plumbing.  A [section] is one independently recoverable unit
    of warm state: the persistence layer frames, checksums and versions each
    one separately, so a torn or bit-flipped section degrades alone — its
@@ -103,10 +111,11 @@ type t = {
   h_max_steps : int;
   h_set_quota : int option -> unit;
   h_bytes_used : unit -> int;
+  h_sample : (step:int -> stats:Stats.t -> ctx:Context.t -> unit) -> unit;
 }
 
 let create ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?observer
-    ?checkpoint ?restore ?record ?replay ~policy ~max_steps image =
+    ?on_window ?checkpoint ?restore ?record ?replay ~policy ~max_steps image =
   let program = image.Image.program in
   let ctx = Context.create ~params ~telemetry program in
   (match observer with None -> () | Some o -> o.on_context ctx);
@@ -660,6 +669,19 @@ let create ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none)
      profile, so a clean run folds their four per-step compares into this
      one hoisted, always-false branch. *)
   let has_events = faults <> None in
+  (* Windowed-metrics hook: fires at each multiple-of-[win_every] step
+     boundary.  Off by default; like [has_events] and [has_checkpoint],
+     the clean path pays one always-false compare per step.  Boundaries
+     are absolute multiples of the window so a restored run samples at
+     the same steps as the uninterrupted one. *)
+  let has_window = on_window <> None in
+  let mwin_next =
+    ref
+      (match on_window with
+      | None -> max_int
+      | Some w ->
+        stats.Stats.steps - (stats.Stats.steps mod w.win_every) + w.win_every)
+  in
   (* [limit] is the current advance bound, always <= max_steps; {!run}
      sets it to the full budget once, so the uninterrupted path costs one
      extra immediate load per step over the old closed loop. *)
@@ -711,6 +733,14 @@ let create ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none)
           | None -> ())
         end;
         if stats.Stats.steps >= !next_window then watchdog ()
+      end;
+      if has_window && stats.Stats.steps >= !mwin_next then begin
+        match on_window with
+        | Some w ->
+          w.win_fn ~step:stats.Stats.steps ~stats ~ctx;
+          mwin_next :=
+            stats.Stats.steps - (stats.Stats.steps mod w.win_every) + w.win_every
+        | None -> ()
       end;
       if has_checkpoint then maybe_checkpoint ();
       loop ()
@@ -764,6 +794,7 @@ let create ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none)
     h_max_steps = max_steps;
     h_set_quota = set_quota;
     h_bytes_used = (fun () -> Code_cache.bytes_used cache);
+    h_sample = (fun fn -> fn ~step:stats.Stats.steps ~stats ~ctx);
   }
 
 let advance t ~upto = t.h_advance upto
@@ -774,9 +805,10 @@ let max_steps t = t.h_max_steps
 let exhausted t = t.h_steps () >= t.h_max_steps || t.h_halted ()
 let set_cache_quota t quota = t.h_set_quota quota
 let cache_bytes_used t = t.h_bytes_used ()
+let sample t fn = t.h_sample fn
 
-let run ?params ?seed ?telemetry ?observer ?checkpoint ?restore ?record ?replay ~policy
-    ~max_steps image =
+let run ?params ?seed ?telemetry ?observer ?on_window ?checkpoint ?restore ?record ?replay
+    ~policy ~max_steps image =
   finish
-    (create ?params ?seed ?telemetry ?observer ?checkpoint ?restore ?record ?replay ~policy
-       ~max_steps image)
+    (create ?params ?seed ?telemetry ?observer ?on_window ?checkpoint ?restore ?record
+       ?replay ~policy ~max_steps image)

@@ -62,6 +62,23 @@ type observer = {
     effect on the simulation.  With [observer = None] (the default) the
     loop pays one compare per step; metrics are identical either way. *)
 
+type window_hook = {
+  win_every : int;
+      (** Window length in steps.  The hook fires whenever the step count
+          reaches a multiple-of-[win_every] boundary — absolute multiples,
+          so a restored run samples at the same steps as the uninterrupted
+          one. *)
+  win_fn : step:int -> stats:Stats.t -> ctx:Context.t -> unit;
+      (** Called at each boundary with the live counters.  Pure
+          observation: the metrics recorder ([Regionsel_obs.Metrics]) reads
+          [Stats]/cache/gauge/telemetry counters here and must mutate
+          nothing simulated. *)
+}
+(** Windowed-metrics hook.  With [on_window = None] (the default) the loop
+    pays one always-false compare per step — same discipline as
+    [observer] and [checkpoint]; simulated outcomes are identical either
+    way (guarded by the parity suite). *)
+
 type section = {
   sec_name : string;  (** Stable identifier ("interp", "cache", "loop", …). *)
   sec_save : (int -> unit) -> unit;
@@ -100,6 +117,7 @@ val create :
   ?seed:int64 ->
   ?telemetry:Regionsel_telemetry.Telemetry.sink ->
   ?observer:observer ->
+  ?on_window:window_hook ->
   ?checkpoint:int * (internals -> unit) ->
   ?restore:(internals -> unit) ->
   ?record:Branch_stream.events ->
@@ -142,11 +160,20 @@ val set_cache_quota : t -> int option -> unit
 
 val cache_bytes_used : t -> int
 
+val sample : t -> (step:int -> stats:Stats.t -> ctx:Context.t -> unit) -> unit
+(** Observe the run's live counters between advances: calls the function
+    with the current step count, stats and context.  The multi-stream
+    scheduler's barrier sampling and end-of-run partial-window flushes use
+    this; like the window hook, the callback must be pure observation.
+    Only safe from whichever domain currently owns the handle (at batch
+    barriers, the scheduler's main domain). *)
+
 val run :
   ?params:Params.t ->
   ?seed:int64 ->
   ?telemetry:Regionsel_telemetry.Telemetry.sink ->
   ?observer:observer ->
+  ?on_window:window_hook ->
   ?checkpoint:int * (internals -> unit) ->
   ?restore:(internals -> unit) ->
   ?record:Branch_stream.events ->

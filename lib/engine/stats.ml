@@ -78,26 +78,34 @@ let snapshot t =
     recovery_steps = t.recovery_steps;
   }
 
+(* Counters are monotone within a run, but a window can straddle a
+   counter reload (a crash fault resets nothing here, yet [load] may
+   install an older image, e.g. a snapshot restore taken before the
+   window opened).  A window is a measure of activity: clamp at zero so a
+   baseline from a discarded future never yields negative rates. *)
+let ( -^ ) a b = if a > b then a - b else 0
+
 let diff ~earlier ~later =
   {
-    Snapshot.steps = later.Snapshot.steps - earlier.Snapshot.steps;
-    interpreted_insts = later.Snapshot.interpreted_insts - earlier.Snapshot.interpreted_insts;
-    cached_insts = later.Snapshot.cached_insts - earlier.Snapshot.cached_insts;
-    taken_branches = later.Snapshot.taken_branches - earlier.Snapshot.taken_branches;
+    Snapshot.steps = later.Snapshot.steps -^ earlier.Snapshot.steps;
+    interpreted_insts =
+      later.Snapshot.interpreted_insts -^ earlier.Snapshot.interpreted_insts;
+    cached_insts = later.Snapshot.cached_insts -^ earlier.Snapshot.cached_insts;
+    taken_branches = later.Snapshot.taken_branches -^ earlier.Snapshot.taken_branches;
     region_transitions =
-      later.Snapshot.region_transitions - earlier.Snapshot.region_transitions;
-    dispatches = later.Snapshot.dispatches - earlier.Snapshot.dispatches;
+      later.Snapshot.region_transitions -^ earlier.Snapshot.region_transitions;
+    dispatches = later.Snapshot.dispatches -^ earlier.Snapshot.dispatches;
     cache_exits_to_interp =
-      later.Snapshot.cache_exits_to_interp - earlier.Snapshot.cache_exits_to_interp;
-    installs = later.Snapshot.installs - earlier.Snapshot.installs;
-    links = later.Snapshot.links - earlier.Snapshot.links;
-    link_hits = later.Snapshot.link_hits - earlier.Snapshot.link_hits;
-    node_steps = later.Snapshot.node_steps - earlier.Snapshot.node_steps;
-    install_rejects = later.Snapshot.install_rejects - earlier.Snapshot.install_rejects;
-    faults_injected = later.Snapshot.faults_injected - earlier.Snapshot.faults_injected;
-    async_exits = later.Snapshot.async_exits - earlier.Snapshot.async_exits;
-    bailouts = later.Snapshot.bailouts - earlier.Snapshot.bailouts;
-    recovery_steps = later.Snapshot.recovery_steps - earlier.Snapshot.recovery_steps;
+      later.Snapshot.cache_exits_to_interp -^ earlier.Snapshot.cache_exits_to_interp;
+    installs = later.Snapshot.installs -^ earlier.Snapshot.installs;
+    links = later.Snapshot.links -^ earlier.Snapshot.links;
+    link_hits = later.Snapshot.link_hits -^ earlier.Snapshot.link_hits;
+    node_steps = later.Snapshot.node_steps -^ earlier.Snapshot.node_steps;
+    install_rejects = later.Snapshot.install_rejects -^ earlier.Snapshot.install_rejects;
+    faults_injected = later.Snapshot.faults_injected -^ earlier.Snapshot.faults_injected;
+    async_exits = later.Snapshot.async_exits -^ earlier.Snapshot.async_exits;
+    bailouts = later.Snapshot.bailouts -^ earlier.Snapshot.bailouts;
+    recovery_steps = later.Snapshot.recovery_steps -^ earlier.Snapshot.recovery_steps;
   }
 
 (* Checkpoint support: the counters as a flat int stream, in declaration

@@ -63,7 +63,10 @@ val snapshot : t -> Snapshot.t
 (** Freeze the current counter values. *)
 
 val diff : earlier:Snapshot.t -> later:Snapshot.t -> Snapshot.t
-(** Field-wise [later - earlier]: the activity inside one window. *)
+(** Field-wise [later - earlier], clamped at zero: the activity inside
+    one window.  A window that straddles a counter reload (snapshot
+    restore to an older image) reads as empty activity, never as a
+    negative rate. *)
 
 val save : t -> (int -> unit) -> unit
 (** Checkpoint support: emit every counter, in declaration order. *)

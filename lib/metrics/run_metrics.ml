@@ -51,6 +51,7 @@ type t = {
   bailouts : int;
   recovery_steps : int;
   blacklisted_high_water : int;
+  telemetry : (int * int * int * int) option;
 }
 
 let inst_bytes = Region.inst_bytes
@@ -121,6 +122,18 @@ let of_result ?(x = 0.9) (result : Simulator.result) =
     recovery_steps = result.Simulator.stats.Stats.recovery_steps;
     blacklisted_high_water =
       Gauges.blacklisted_high_water result.Simulator.ctx.Context.gauges;
+    (* Ring-loss and span-ledger visibility without exporting a trace
+       file.  Only populated when the run carried a sink: a sink-less
+       run's JSON must stay byte-identical to pre-telemetry output. *)
+    telemetry =
+      (match result.Simulator.ctx.Context.telemetry with
+      | None -> None
+      | Some tel ->
+        Some
+          ( Regionsel_telemetry.Telemetry.n_emitted tel,
+            Regionsel_telemetry.Telemetry.n_dropped tel,
+            Regionsel_telemetry.Telemetry.n_open_spans tel,
+            List.length (Regionsel_telemetry.Telemetry.spans tel) ));
   }
 
 (* Machine-readable dump: fixed field order, [%.17g] floats (lossless for
@@ -180,6 +193,13 @@ let to_json t =
   int "bailouts" t.bailouts;
   int "recovery_steps" t.recovery_steps;
   int "blacklisted_high_water" t.blacklisted_high_water;
+  (match t.telemetry with
+  | None -> ()
+  | Some (emitted, dropped, spans_open, spans_closed) ->
+    int "telemetry_events_emitted" emitted;
+    int "telemetry_events_dropped" dropped;
+    int "telemetry_spans_open" spans_open;
+    int "telemetry_spans_closed" spans_closed);
   Buffer.add_string b "\n}";
   Buffer.contents b
 

@@ -61,6 +61,13 @@ type t = {
   recovery_steps : int;  (** Steps spent in bailout cooldowns. *)
   blacklisted_high_water : int;
       (** Peak number of simultaneously blacklisted entries. *)
+  telemetry : (int * int * int * int) option;
+      (** [(events_emitted, events_dropped, spans_open, spans_closed)]
+          from the run's telemetry sink — ring-loss and span-ledger
+          visibility without exporting a trace.  [None] for sink-less
+          runs, whose JSON stays byte-identical to earlier versions;
+          {!pp} never prints it, so the human report is identical with
+          and without a tracer. *)
 }
 
 val inst_bytes : int

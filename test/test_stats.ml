@@ -94,10 +94,56 @@ let diff_of_equal_snapshots_is_zero () =
   Alcotest.(check int) "cached zero" 0 d.Stats.Snapshot.cached_insts;
   Alcotest.(check int) "recovery zero" 0 d.Stats.Snapshot.recovery_steps
 
+let diff_clamps_reloaded_counters () =
+  (* A snapshot taken before a counter reload (checkpoint restore into a
+     younger state, or a test harness recycling a [Stats.t]) can exceed
+     the later one.  The window must read as empty activity, never as a
+     negative delta that would corrupt rate math downstream. *)
+  let s = Stats.create () in
+  bump s 7;
+  let earlier = Stats.snapshot s in
+  let fresh = Stats.create () in
+  bump fresh 2;
+  let later = Stats.snapshot fresh in
+  let d = Stats.diff ~earlier ~later in
+  Alcotest.(check int) "steps clamped" 0 d.Stats.Snapshot.steps;
+  Alcotest.(check int) "interpreted clamped" 0 d.Stats.Snapshot.interpreted_insts;
+  Alcotest.(check int) "cached clamped" 0 d.Stats.Snapshot.cached_insts;
+  Alcotest.(check int) "branches clamped" 0 d.Stats.Snapshot.taken_branches;
+  Alcotest.(check int) "transitions clamped" 0 d.Stats.Snapshot.region_transitions;
+  Alcotest.(check int) "dispatches clamped" 0 d.Stats.Snapshot.dispatches;
+  Alcotest.(check int) "exits clamped" 0 d.Stats.Snapshot.cache_exits_to_interp;
+  Alcotest.(check int) "installs clamped" 0 d.Stats.Snapshot.installs;
+  Alcotest.(check int) "links clamped" 0 d.Stats.Snapshot.links;
+  Alcotest.(check int) "link hits clamped" 0 d.Stats.Snapshot.link_hits;
+  Alcotest.(check int) "node steps clamped" 0 d.Stats.Snapshot.node_steps;
+  Alcotest.(check int) "rejects clamped" 0 d.Stats.Snapshot.install_rejects;
+  Alcotest.(check int) "faults clamped" 0 d.Stats.Snapshot.faults_injected;
+  Alcotest.(check int) "async exits clamped" 0 d.Stats.Snapshot.async_exits;
+  Alcotest.(check int) "bailouts clamped" 0 d.Stats.Snapshot.bailouts;
+  Alcotest.(check int) "recovery clamped" 0 d.Stats.Snapshot.recovery_steps
+
+let diff_clamps_per_field_not_per_record () =
+  (* The clamp is field-wise: counters that did advance across the window
+     still report their delta even when a sibling field went backwards. *)
+  let s = Stats.create () in
+  bump s 3;
+  let earlier = Stats.snapshot s in
+  bump s 2;
+  (* One counter "reloads" below its earlier value; the rest advanced. *)
+  s.Stats.recovery_steps <- 1;
+  let later = Stats.snapshot s in
+  let d = Stats.diff ~earlier ~later in
+  Alcotest.(check int) "advanced field reports its window" (2 * 2) d.Stats.Snapshot.steps;
+  Alcotest.(check int) "advanced sibling unaffected" (5 * 2) d.Stats.Snapshot.cached_insts;
+  Alcotest.(check int) "reloaded field clamps to zero" 0 d.Stats.Snapshot.recovery_steps
+
 let suite =
   [
     case "snapshot is frozen" snapshot_is_frozen;
     case "snapshot copies every field" snapshot_copies_every_field;
     case "diff is field-wise" diff_is_field_wise;
     case "diff of equal snapshots is zero" diff_of_equal_snapshots_is_zero;
+    case "diff clamps reloaded counters" diff_clamps_reloaded_counters;
+    case "diff clamps per field, not per record" diff_clamps_per_field_not_per_record;
   ]

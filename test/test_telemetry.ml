@@ -72,7 +72,15 @@ let tracer_on_metrics_identical () =
   in
   let off = run Telemetry.none in
   let on = run (Some (Telemetry.create ())) in
-  Alcotest.(check bool) "Run_metrics identical with tracer on" true (off = on)
+  (* The [telemetry] field itself is the one deliberate difference: it
+     reports the sink's own bookkeeping and is [None] without a sink. *)
+  Alcotest.(check bool) "sink-less run has no telemetry field" true
+    (off.Run_metrics.telemetry = None);
+  Alcotest.(check bool) "traced run reports its sink" true
+    (on.Run_metrics.telemetry <> None);
+  Alcotest.(check bool) "Run_metrics identical with tracer on" true
+    ({ off with Run_metrics.telemetry = None }
+    = { on with Run_metrics.telemetry = None })
 
 let finish_closes_open_spans () =
   (* A clean (fault-free) run retires nothing: every span must be closed
