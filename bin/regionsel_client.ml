@@ -1,0 +1,113 @@
+(* Client for the region-selection daemon: stream a recorded event file
+   into a tenant session, or run a control command.
+
+   Exit codes: 0 = done, 2 = CLI error, 4 = I/O error, 5 = corrupt
+   recording, 6 = server rejected the request (admission or protocol). *)
+
+open Cmdliner
+module Client = Regionsel_serve.Client
+module Proto = Regionsel_serve.Proto
+module Persist = Regionsel_persist.Persist
+
+let with_error_reporting f =
+  try f () with
+  | Client.Rejected { code; detail } ->
+    Printf.eprintf "rejected: %s: %s\n%!" (Proto.reject_code_to_string code) detail;
+    exit 6
+  | Proto.Protocol_error msg ->
+    Printf.eprintf "protocol error: %s\n%!" msg;
+    exit 6
+  | Sys_error msg ->
+    Printf.eprintf "i/o error: %s\n%!" msg;
+    exit 4
+  | Unix.Unix_error (err, fn, arg) ->
+    Printf.eprintf "i/o error: %s: %s%s\n%!" fn (Unix.error_message err)
+      (if arg = "" then "" else " (" ^ arg ^ ")");
+    exit 4
+  | Persist.Hard_corruption msg ->
+    Printf.eprintf "recording hard corruption: %s\n%!" msg;
+    exit 5
+  | Invalid_argument msg ->
+    Printf.eprintf "error: %s\n%!" msg;
+    exit 2
+
+let socket_arg =
+  let doc = "The daemon's Unix-domain socket path." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let stream_cmd =
+  let run socket_path tenant bench policy seed steps events_in chunk truncate_at =
+    with_error_reporting @@ fun () ->
+    match
+      Client.stream_file ?chunk ?truncate_at ~socket_path ~tenant ~bench ~policy ~seed
+        ~max_steps:(Option.value steps ~default:0) ~path:events_in ()
+    with
+    | Client.Finished json -> print_endline json
+    | Client.Truncated n -> Printf.eprintf "disconnected after %d events (no fin)\n%!" n
+  in
+  let tenant_arg =
+    let doc = "Tenant name (the session identity stem)." in
+    Arg.(required & opt (some string) None & info [ "tenant" ] ~docv:"NAME" ~doc)
+  in
+  let bench_arg =
+    let doc = "Benchmark the recording was made from." in
+    Arg.(required & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+  in
+  let policy_arg =
+    let doc = "Region-selection policy for the session." in
+    Arg.(value & opt string "net" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed the recording was made with." in
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let steps_arg =
+    let doc = "Step budget (default: the bench's standard budget)." in
+    Arg.(value & opt (some int) None & info [ "n"; "steps" ] ~docv:"N" ~doc)
+  in
+  let events_in_arg =
+    let doc = "REVL branch-event recording to stream (regionsel_sim record)." in
+    Arg.(required & opt (some string) None & info [ "events-in" ] ~docv:"FILE" ~doc)
+  in
+  let chunk_arg =
+    let doc = "Events per batch frame." in
+    Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"N" ~doc)
+  in
+  let truncate_arg =
+    let doc =
+      "Disconnect (without fin) after sending at most $(docv) events — the session \
+       stays resumable; used to exercise snapshot/restore."
+    in
+    Arg.(value & opt (some int) None & info [ "truncate-at" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Stream a recorded event file into a tenant session; print the Result JSON")
+    Term.(
+      const run $ socket_arg $ tenant_arg $ bench_arg $ policy_arg $ seed_arg $ steps_arg
+      $ events_in_arg $ chunk_arg $ truncate_arg)
+
+let ctrl_cmd =
+  let run socket_path cmd =
+    with_error_reporting @@ fun () ->
+    match Client.ctrl ~socket_path (String.concat " " cmd) with
+    | Ok text -> print_string text
+    | Error (code, detail) ->
+      Printf.eprintf "rejected: %s: %s\n%!" (Proto.reject_code_to_string code) detail;
+      exit 6
+  in
+  let cmd_arg =
+    let doc = "Control command: ping, status, prom, jsonl [N], shutdown." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"CMD" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "ctrl" ~doc:"Run one control command against a running daemon")
+    Term.(const run $ socket_arg $ cmd_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "regionsel_client" ~version:"1.0.0"
+       ~doc:"Client for the streaming region-selection daemon")
+    [ stream_cmd; ctrl_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -9,7 +9,7 @@ module Fuzz = Regionsel_check.Fuzz
 
 let usage =
   "regionsel_fuzz [--seeds A-B | --seed N] [--steps N] [--shrink] [--out FILE] \
-   [--snapshots [--corruptions N]] [--streams]\n\
+   [--snapshots [--corruptions N]] [--streams] [--frames [--cases N]]\n\
    regionsel_fuzz --seed N --genome G1,G2,... [--policy P] [--fault F] [--legacy] \
    [--legacy-dispatch] [--steps N]\n\
    regionsel_fuzz --self-test-break [--flight FILE]"
@@ -42,6 +42,131 @@ let report_failure ~shrink ~out ~flight (c, f) =
     let n = Fuzz.flight_dump c f ~path in
     Printf.printf "flight recorder: %d windows -> %s\n%!" n path
 
+(* Daemon-framing axis: batter the wire protocol — truncated frames,
+   bit flips, garbage splices, corrupt length prefixes — through the
+   server's incremental dechunker and, for Events bodies, the batch
+   event codec.  The contract under fuzz: every outcome is typed
+   ([Proto.Protocol_error] / [Persist.Hard_corruption] / clean decode),
+   never any other exception, and a pristine byte stream always decodes
+   every frame that went in. *)
+let run_frames_seed ~cases seed =
+  let module P = Regionsel_serve.Proto in
+  let module Sm = Regionsel_prng.Splitmix in
+  let module Spec = Regionsel_workload.Spec in
+  let module Suite = Regionsel_workload.Suite in
+  let module Image = Regionsel_workload.Image in
+  let module Program = Regionsel_isa.Program in
+  let module Block = Regionsel_isa.Block in
+  let module Addr = Regionsel_isa.Addr in
+  let module Event_log = Regionsel_persist.Event_log in
+  let module Persist = Regionsel_persist.Persist in
+  let module Branch_stream = Regionsel_engine.Branch_stream in
+  let rng = Sm.create ~seed:(Int64.add (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L) 1L) in
+  let spec = match Suite.find "gzip" with Some s -> s | None -> assert false in
+  let image = Spec.image spec in
+  let program = image.Image.program in
+  let n_blocks = Program.n_blocks program in
+  let mk_events n =
+    let ev = Branch_stream.recorder () in
+    for _ = 1 to n do
+      let next =
+        if Sm.bool rng then (Program.block_of_id program (Sm.int rng n_blocks)).Block.start
+        else Addr.none
+      in
+      Branch_stream.append_event ev ~block_id:(Sm.int rng n_blocks) ~taken:(Sm.bool rng)
+        ~next
+    done;
+    Event_log.encode_batch ~program ev ~pos:0 ~len:n
+  in
+  let valid_msg () =
+    match Sm.int rng 8 with
+    | 0 ->
+      P.Hello
+        { h_tenant = "t"; h_bench = "gzip"; h_policy = "net"; h_seed = 7L;
+          h_max_steps = Sm.int rng 100000 }
+    | 1 -> P.Events (mk_events (1 + Sm.int rng 200))
+    | 2 -> P.Fin
+    | 3 -> P.Ctrl "status"
+    | 4 -> P.Welcome { resume_step = Sm.int rng 100000; session = "s" }
+    | 5 -> P.Reject { code = P.Bad_frame; detail = "detail" }
+    | 6 -> P.Result "{}"
+    | _ -> P.Data "body"
+  in
+  let n_ok = ref 0 and n_rejected = ref 0 in
+  let failure = ref None in
+  let case i =
+    let n_msgs = 1 + Sm.int rng 3 in
+    let buf = Buffer.create 256 in
+    for _ = 1 to n_msgs do
+      Buffer.add_bytes buf (P.encode (valid_msg ()))
+    done;
+    let data = Buffer.to_bytes buf in
+    let mutation = Sm.int rng 4 in
+    let data =
+      match mutation with
+      | 0 -> data (* pristine: must decode every frame *)
+      | 1 ->
+        (* truncate mid-stream *)
+        Bytes.sub data 0 (1 + Sm.int rng (Bytes.length data - 1))
+      | 2 ->
+        (* flip one bit *)
+        let j = Sm.int rng (Bytes.length data) in
+        Bytes.set data j
+          (Char.chr (Char.code (Bytes.get data j) lxor (1 lsl Sm.int rng 8)));
+        data
+      | _ ->
+        (* splice trailing garbage *)
+        Bytes.cat data (Bytes.init (1 + Sm.int rng 32) (fun _ -> Char.chr (Sm.int rng 256)))
+    in
+    let dech = P.Dechunker.create () in
+    let decoded = ref 0 in
+    let outcome =
+      try
+        let pos = ref 0 in
+        while !pos < Bytes.length data do
+          let len = min (1 + Sm.int rng 97) (Bytes.length data - !pos) in
+          P.Dechunker.feed dech data ~pos:!pos ~len;
+          pos := !pos + len;
+          let draining = ref true in
+          while !draining do
+            match P.Dechunker.next dech with
+            | Some msg ->
+              incr decoded;
+              (match msg with
+              | P.Events body -> (
+                try
+                  ignore
+                    (Event_log.decode_batch body ~program
+                       ~into:(Branch_stream.recorder ()))
+                with Persist.Hard_corruption _ -> ())
+              | _ -> ())
+            | None -> draining := false
+          done
+        done;
+        `Clean
+      with P.Protocol_error _ -> `Rejected
+    in
+    match outcome with
+    | `Clean when mutation = 0 && !decoded <> n_msgs ->
+      failure :=
+        Some
+          (Printf.sprintf "case %d: pristine stream decoded %d of %d frames" i !decoded
+             n_msgs)
+    | `Rejected when mutation = 0 ->
+      failure := Some (Printf.sprintf "case %d: pristine stream rejected" i)
+    | `Clean -> incr n_ok
+    | `Rejected -> incr n_rejected
+  in
+  let i = ref 0 in
+  while !failure = None && !i < cases do
+    (try case !i
+     with e ->
+       failure :=
+         Some (Printf.sprintf "case %d: unexpected exception %s" !i (Printexc.to_string e)));
+    incr i
+  done;
+  (!failure, !n_ok, !n_rejected)
+
 let () =
   let seeds = ref "1-5" in
   let steps = ref 4000 in
@@ -56,6 +181,8 @@ let () =
   let snapshots = ref false in
   let corruptions = ref 50 in
   let streams = ref false in
+  let frames = ref false in
+  let cases = ref 200 in
   let flight = ref "" in
   let spec =
     [
@@ -90,6 +217,12 @@ let () =
         " fuzz the multi-stream scheduler instead: seeded 2-4 tenant fleets (mixed \
          policies and faults), each tenant solo-checked under the sanitizer, then \
          multiplexed and held to solo parity and cross-domain budget determinism" );
+      ( "--frames",
+        Arg.Set frames,
+        " fuzz the daemon wire protocol instead: truncated/bit-flipped/garbage frames \
+         through the incremental dechunker and the batch event codec; every outcome \
+         must be a typed reject or a clean decode, never a crash" );
+      ("--cases", Arg.Set_int cases, "N  frame cases per seed with --frames (default 200)");
       ( "--self-test-break",
         Arg.Set self_test,
         " (test only) inject a cache corruption and verify the sanitizer catches and \
@@ -158,6 +291,23 @@ let () =
           List.iter (fun c -> Printf.fprintf oc "%s\n" (Fuzz.cli_line c)) cases;
           close_out oc;
           Printf.printf "reproducer written to %s\n%!" path);
+      incr seed
+    done;
+    exit (if !failed then 1 else 0)
+  end;
+  if !frames then begin
+    (* Daemon-framing axis: corrupt wire bytes must always land in a
+       typed outcome. *)
+    let failed = ref false in
+    let seed = ref lo in
+    while (not !failed) && !seed <= hi do
+      (match run_frames_seed ~cases:!cases !seed with
+      | None, ok, rejected ->
+        Printf.printf "seed %d: %d frame cases ok (%d clean, %d rejected)\n%!" !seed
+          (ok + rejected) ok rejected
+      | Some detail, _, _ ->
+        failed := true;
+        Printf.printf "FAIL seed %d (frames): %s\n%!" !seed detail);
       incr seed
     done;
     exit (if !failed then 1 else 0)

@@ -112,6 +112,7 @@ type t = {
   h_set_quota : int option -> unit;
   h_bytes_used : unit -> int;
   h_sample : (step:int -> stats:Stats.t -> ctx:Context.t -> unit) -> unit;
+  h_internals : unit -> internals;
 }
 
 let create ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none) ?observer
@@ -795,6 +796,7 @@ let create ?(params = Params.default) ?(seed = 1L) ?(telemetry = Telemetry.none)
     h_set_quota = set_quota;
     h_bytes_used = (fun () -> Code_cache.bytes_used cache);
     h_sample = (fun fn -> fn ~step:stats.Stats.steps ~stats ~ctx);
+    h_internals = (fun () -> internals);
   }
 
 let advance t ~upto = t.h_advance upto
@@ -806,6 +808,7 @@ let exhausted t = t.h_steps () >= t.h_max_steps || t.h_halted ()
 let set_cache_quota t quota = t.h_set_quota quota
 let cache_bytes_used t = t.h_bytes_used ()
 let sample t fn = t.h_sample fn
+let internals t = t.h_internals ()
 
 let run ?params ?seed ?telemetry ?observer ?on_window ?checkpoint ?restore ?record ?replay
     ~policy ~max_steps image =

@@ -168,6 +168,12 @@ val sample : t -> (step:int -> stats:Stats.t -> ctx:Context.t -> unit) -> unit
     Only safe from whichever domain currently owns the handle (at batch
     barriers, the scheduler's main domain). *)
 
+val internals : t -> internals
+(** The run's checkpoint surface, for on-demand snapshots between
+    advances — the daemon's disconnect/shutdown path, where the save
+    point is an external event rather than a step threshold.  Saving
+    through it is pure observation; same ownership rule as {!sample}. *)
+
 val run :
   ?params:Params.t ->
   ?seed:int64 ->

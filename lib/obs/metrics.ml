@@ -254,10 +254,12 @@ let to_jsonl ws =
 
 let output_jsonl oc ws = output_string oc (to_jsonl ws)
 
+(* Exports publish atomically (tmp + fsync + rename, the persist layer's
+   pattern): a concurrent scraper — or the daemon's control connection —
+   never observes a torn file, only the previous complete export or this
+   one. *)
 let write_jsonl ~path ws =
-  let oc = open_out path in
-  output_jsonl oc ws;
-  close_out oc
+  Regionsel_persist.Io.write_atomic ~path (Bytes.of_string (to_jsonl ws))
 
 let help_of = function
   | "steps" -> "Steps executed in the last window"
@@ -351,9 +353,7 @@ let to_prometheus ws =
   Buffer.contents buf
 
 let write_prometheus ~path ws =
-  let oc = open_out path in
-  output_string oc (to_prometheus ws);
-  close_out oc
+  Regionsel_persist.Io.write_atomic ~path (Bytes.of_string (to_prometheus ws))
 
 (* --- Live status ------------------------------------------------------ *)
 
@@ -383,12 +383,12 @@ let status_line w =
 let default_flight_keep = 16
 
 let flight_dump ~path ~cli ?(detail = "") ws =
-  let oc = open_out path in
-  output_string oc
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
     (Printf.sprintf "{\"flight\":1,\"cli\":\"%s\",\"detail\":\"%s\",\"windows\":%d}\n"
        (json_escape cli) (json_escape detail) (List.length ws));
-  output_jsonl oc ws;
-  close_out oc;
+  List.iter (add_jsonl_window buf) ws;
+  Regionsel_persist.Io.write_atomic ~path (Buffer.to_bytes buf);
   List.length ws
 
 (* --- Multi-stream fleets ---------------------------------------------- *)

@@ -51,27 +51,40 @@ let ru32 bytes pos =
 let seed_lo seed = Int64.to_int (Int64.logand seed 0xFFFFFFFFL)
 let seed_hi seed = Int64.to_int (Int64.shift_right_logical seed 32)
 
+let corrupt reason = raise (Persist.Hard_corruption ("event log: " ^ reason))
+
+let pack_event w ~program ~n_blocks ~kb ~kn ~block_id ~taken ~next =
+  if block_id >= n_blocks then invalid_arg "Event_log.encode: block id outside the program";
+  add_bits w block_id kb;
+  Bitbuf.Writer.add_bit w taken;
+  let code =
+    if next = Addr.none then 0
+    else begin
+      let id = Program.block_id program next in
+      if id < 0 then invalid_arg "Event_log.encode: successor is not a block start";
+      id + 1
+    end
+  in
+  add_bits w code kn
+
+let unpack_event r ~program ~n_blocks ~kb ~kn ~into =
+  let block_id = read_bits r kb in
+  if block_id >= n_blocks then corrupt "block id outside the program";
+  let taken = Bitbuf.Reader.read_bit r in
+  let code = read_bits r kn in
+  if code > n_blocks then corrupt "successor code outside the program";
+  let next =
+    if code = 0 then Addr.none else (Program.block_of_id program (code - 1)).Block.start
+  in
+  Branch_stream.append_event into ~block_id ~taken ~next
+
 let encode ~program ~seed events =
   let n_blocks = Program.n_blocks program in
   let kb = bits_for (n_blocks - 1) in
   let kn = bits_for n_blocks in
   let w = Bitbuf.Writer.create () in
   Branch_stream.iter
-    (fun ~block_id ~taken ~next ->
-      if block_id >= n_blocks then
-        invalid_arg "Event_log.encode: block id outside the program";
-      add_bits w block_id kb;
-      Bitbuf.Writer.add_bit w taken;
-      let code =
-        if next = Addr.none then 0
-        else begin
-          let id = Program.block_id program next in
-          if id < 0 then
-            invalid_arg "Event_log.encode: successor is not a block start";
-          id + 1
-        end
-      in
-      add_bits w code kn)
+    (fun ~block_id ~taken ~next -> pack_event w ~program ~n_blocks ~kb ~kn ~block_id ~taken ~next)
     events;
   let payload = Bitbuf.Writer.contents w in
   let n_bits = Bitbuf.Writer.length_bits w in
@@ -91,8 +104,6 @@ let encode ~program ~seed events =
   Buffer.add_bytes out payload;
   bu32 out (Persist.crc32 payload ~pos:0 ~len:(Bytes.length payload));
   Buffer.to_bytes out
-
-let corrupt reason = raise (Persist.Hard_corruption ("event log: " ^ reason))
 
 let decode bytes ~program ~seed =
   let total = Bytes.length bytes in
@@ -123,34 +134,69 @@ let decode bytes ~program ~seed =
   let r = Bitbuf.Reader.create payload ~n_bits in
   let events = Branch_stream.recorder () in
   for _ = 1 to n_events do
-    let block_id = read_bits r kb in
-    if block_id >= n_blocks then corrupt "block id outside the program";
-    let taken = Bitbuf.Reader.read_bit r in
-    let code = read_bits r kn in
-    if code > n_blocks then corrupt "successor code outside the program";
-    let next =
-      if code = 0 then Addr.none else (Program.block_of_id program (code - 1)).Block.start
-    in
-    Branch_stream.append_event events ~block_id ~taken ~next
+    unpack_event r ~program ~n_blocks ~kb ~kn ~into:events
   done;
   events
 
+(* The wire form of a recording slice — the daemon's Events frame body.
+   Same bit packing and checksum discipline as the file, but no identity
+   header: on the wire, identity was already pinned by the session Hello.
+
+       u32 n_events | u32 n_bits | payload | u32 crc32(payload) *)
+
+let encode_batch ~program events ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Branch_stream.length events then
+    invalid_arg "Event_log.encode_batch: range outside the recording";
+  let n_blocks = Program.n_blocks program in
+  let kb = bits_for (n_blocks - 1) in
+  let kn = bits_for n_blocks in
+  let w = Bitbuf.Writer.create () in
+  for i = pos to pos + len - 1 do
+    pack_event w ~program ~n_blocks ~kb ~kn
+      ~block_id:(Branch_stream.get_block_id events i)
+      ~taken:(Branch_stream.get_taken events i)
+      ~next:(Branch_stream.get_next events i)
+  done;
+  let payload = Bitbuf.Writer.contents w in
+  let n_bits = Bitbuf.Writer.length_bits w in
+  let out = Buffer.create (Bytes.length payload + 16) in
+  bu32 out len;
+  bu32 out n_bits;
+  Buffer.add_bytes out payload;
+  bu32 out (Persist.crc32 payload ~pos:0 ~len:(Bytes.length payload));
+  Buffer.to_bytes out
+
+let decode_batch bytes ~program ~into =
+  let total = Bytes.length bytes in
+  if total < 12 then corrupt "truncated batch";
+  let n_events = ru32 bytes 0 in
+  let n_bits = ru32 bytes 4 in
+  let n_blocks = Program.n_blocks program in
+  let kb = bits_for (n_blocks - 1) in
+  let kn = bits_for n_blocks in
+  if n_events * (kb + 1 + kn) <> n_bits then corrupt "event count disagrees with payload size";
+  let plen = (n_bits + 7) / 8 in
+  if total <> 8 + plen + 4 then corrupt "truncated batch payload";
+  let payload = Bytes.sub bytes 8 plen in
+  if Persist.crc32 payload ~pos:0 ~len:plen <> ru32 bytes (8 + plen) then
+    corrupt "batch payload checksum mismatch";
+  let r = Bitbuf.Reader.create payload ~n_bits in
+  (* Unpack into a scratch recorder first: a payload whose checksum holds
+     but whose events fail validation (block ids outside the program) must
+     not leave a partial append in [into] — callers feed live replay
+     streams. *)
+  let scratch = Branch_stream.recorder () in
+  for _ = 1 to n_events do
+    unpack_event r ~program ~n_blocks ~kb ~kn ~into:scratch
+  done;
+  Branch_stream.iter
+    (fun ~block_id ~taken ~next -> Branch_stream.append_event into ~block_id ~taken ~next)
+    scratch;
+  n_events
+
 let write_file ~path ~program ~seed events =
   let data = encode ~program ~seed events in
-  let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let rec write_all off =
-    if off < Bytes.length data then
-      write_all (off + Unix.write fd data off (Bytes.length data - off))
-  in
-  (try
-     write_all 0;
-     Unix.fsync fd
-   with e ->
-     Unix.close fd;
-     raise e);
-  Unix.close fd;
-  Unix.rename tmp path;
+  Io.write_atomic ~path data;
   Bytes.length data
 
 let read_file ~path ~program ~seed =

@@ -50,3 +50,27 @@ val decode :
   program:Regionsel_isa.Program.t ->
   seed:int64 ->
   Regionsel_engine.Branch_stream.events
+
+(** {1 Wire batches} — the daemon's Events-frame body: a slice of a
+    recording in the same bit packing and checksum discipline as the
+    file, but without the identity header (on the wire, identity was
+    pinned by the session handshake). *)
+
+val encode_batch :
+  program:Regionsel_isa.Program.t ->
+  Regionsel_engine.Branch_stream.events ->
+  pos:int ->
+  len:int ->
+  bytes
+(** Encode events [pos .. pos+len-1].
+    @raise Invalid_argument on a range outside the recording or an event
+    that does not fit the program. *)
+
+val decode_batch :
+  bytes ->
+  program:Regionsel_isa.Program.t ->
+  into:Regionsel_engine.Branch_stream.events ->
+  int
+(** Validate and append a batch's events onto [into] (a live replay
+    source may be consuming it), returning the number appended.
+    @raise Persist.Hard_corruption on any validation failure. *)

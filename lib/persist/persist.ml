@@ -229,30 +229,26 @@ let decode_into bytes ~seed ~policy (internals : Simulator.internals) =
   { restored = List.rev !restored; degraded = List.rev !degraded; skipped = !skipped }
 
 let save_file ?crash_after_bytes ~path ~seed ~policy internals =
-  let data = encode ~seed ~policy internals in
-  let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let write_all n =
-    let rec go off remaining =
-      if remaining > 0 then begin
-        let w = Unix.write fd data off remaining in
-        go (off + w) (remaining - w)
-      end
-    in
-    go 0 n
+  Io.write_atomic ?crash_after_bytes ~path (encode ~seed ~policy internals)
+
+(* Daemon session naming: one snapshot file per (tenant, bench, policy,
+   seed) identity.  The tenant name is sanitized into a filesystem-safe
+   stem; the rest of the identity rides as a CRC32 suffix, so a tenant
+   reconnecting under a different bench/policy/seed resolves to a fresh
+   session instead of tripping the snapshot header's identity check. *)
+let session_file ~dir ~tenant ~bench ~policy ~seed =
+  let stem =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+        | _ -> '_')
+      tenant
   in
-  match crash_after_bytes with
-  | Some n ->
-    (* Simulated crash mid-checkpoint: a prefix of the temporary is on
-       disk, nothing was fsynced, and the rename never happens — the
-       previous snapshot at [path], if any, is untouched. *)
-    write_all (min (max n 0) (Bytes.length data));
-    Unix.close fd
-  | None ->
-    write_all (Bytes.length data);
-    Unix.fsync fd;
-    Unix.close fd;
-    Unix.rename tmp path
+  let stem = if stem = "" then "tenant" else stem in
+  let ident = Bytes.of_string (Printf.sprintf "%s|%s|%s|%Ld" tenant bench policy seed) in
+  Filename.concat dir
+    (Printf.sprintf "%s-%08x.session" stem (crc32 ident ~pos:0 ~len:(Bytes.length ident)))
 
 let restore_file ~path ~seed ~policy internals =
   let ic = open_in_bin path in

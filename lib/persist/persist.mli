@@ -77,6 +77,14 @@ val save_file :
     temporary file and neither fsyncs nor renames — the simulated
     mid-checkpoint crash: [path] keeps whatever it held before. *)
 
+val session_file :
+  dir:string -> tenant:string -> bench:string -> policy:string -> seed:int64 -> string
+(** The canonical snapshot path for a daemon tenant session: a
+    filesystem-safe stem derived from [tenant] plus a CRC32 of the full
+    [(tenant, bench, policy, seed)] identity, so reconnecting under a
+    different identity resolves to a different file (a fresh session)
+    rather than tripping {!restore_file}'s header check. *)
+
 val restore_file : path:string -> seed:int64 -> policy:string -> Simulator.internals -> report
 (** Read [path] and {!decode_into} it.
     @raise Sys_error when the file cannot be read.

@@ -1,0 +1,88 @@
+(* The daemon's client driver: streams a recorded branch-event file into
+   a tenant session and runs control commands.  Used by the
+   [regionsel_client] binary, the lifecycle tests and the CI smoke job —
+   one implementation of the re-alignment protocol (skip to the server's
+   [resume_step]) so every caller resumes identically. *)
+
+module Branch_stream = Regionsel_engine.Branch_stream
+module Event_log = Regionsel_persist.Event_log
+module Spec = Regionsel_workload.Spec
+module Suite = Regionsel_workload.Suite
+module Image = Regionsel_workload.Image
+
+exception Rejected of { code : Proto.reject_code; detail : string }
+
+let connect ~socket_path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let with_connection ~socket_path f =
+  let fd = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) (fun () -> f fd)
+
+let expect_frame fd =
+  match Proto.read_msg fd with
+  | Some msg -> msg
+  | None -> raise (Proto.Protocol_error "server closed the connection mid-session")
+
+type outcome =
+  | Finished of string  (** The Result frame's [Run_metrics] JSON. *)
+  | Truncated of int  (** Disconnected after sending this many events. *)
+
+let stream_events ?(chunk = 4096) ?truncate_at ~socket_path ~tenant ~bench ~policy ~seed
+    ~max_steps ~program events =
+  with_connection ~socket_path (fun fd ->
+      Proto.write_msg fd
+        (Proto.Hello
+           { h_tenant = tenant; h_bench = bench; h_policy = policy; h_seed = seed;
+             h_max_steps = max_steps });
+      match expect_frame fd with
+      | Proto.Reject { code; detail } -> raise (Rejected { code; detail })
+      | Proto.Welcome { resume_step; session = _ } ->
+        let total = Branch_stream.length events in
+        (* The server has already consumed [resume_step] events of this
+           recording (a restored session); resend from there. *)
+        let pos = ref (min resume_step total) in
+        let stop = match truncate_at with Some n -> min n total | None -> total in
+        let sent = ref 0 in
+        while !pos < stop do
+          let len = min chunk (stop - !pos) in
+          let body = Event_log.encode_batch ~program events ~pos:!pos ~len in
+          Proto.write_msg fd (Proto.Events body);
+          pos := !pos + len;
+          sent := !sent + len
+        done;
+        if truncate_at <> None then Truncated !sent
+        else begin
+          Proto.write_msg fd Proto.Fin;
+          match expect_frame fd with
+          | Proto.Result json -> Finished json
+          | Proto.Reject { code; detail } -> raise (Rejected { code; detail })
+          | _ -> raise (Proto.Protocol_error "expected a Result frame")
+        end
+      | _ -> raise (Proto.Protocol_error "expected a Welcome or Reject frame"))
+
+let stream_file ?chunk ?truncate_at ~socket_path ~tenant ~bench ~policy ~seed ~max_steps
+    ~path () =
+  match Suite.find bench with
+  | None -> invalid_arg (Printf.sprintf "Client.stream_file: unknown bench %S" bench)
+  | Some spec ->
+    let image = Spec.image spec in
+    let program = image.Image.program in
+    let events = Event_log.read_file ~path ~program ~seed in
+    let max_steps = if max_steps = 0 then spec.Spec.default_steps else max_steps in
+    stream_events ?chunk ?truncate_at ~socket_path ~tenant ~bench ~policy ~seed ~max_steps
+      ~program events
+
+let ctrl ~socket_path cmd =
+  with_connection ~socket_path (fun fd ->
+      Proto.write_msg fd (Proto.Ctrl cmd);
+      match expect_frame fd with
+      | Proto.Data text -> Ok text
+      | Proto.Reject { code; detail } -> Error (code, detail)
+      | _ -> raise (Proto.Protocol_error "expected a Data or Reject frame"))

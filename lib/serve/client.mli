@@ -1,0 +1,58 @@
+(** Client driver for the daemon: stream a recorded branch-event file
+    into a tenant session, or run a control command.  The single
+    implementation of the resume re-alignment (skip to the server's
+    [resume_step]) shared by the CLI binary, the lifecycle tests and the
+    CI smoke job. *)
+
+exception Rejected of { code : Proto.reject_code; detail : string }
+(** The server answered with a typed Reject. *)
+
+type outcome =
+  | Finished of string  (** The Result frame's [Run_metrics] JSON. *)
+  | Truncated of int  (** Disconnected after sending this many events. *)
+
+val stream_events :
+  ?chunk:int ->
+  ?truncate_at:int ->
+  socket_path:string ->
+  tenant:string ->
+  bench:string ->
+  policy:string ->
+  seed:int64 ->
+  max_steps:int ->
+  program:Regionsel_isa.Program.t ->
+  Regionsel_engine.Branch_stream.events ->
+  outcome
+(** Hello, then the events in [chunk]-sized batches (default 4096) from
+    the server's [resume_step], then Fin and the Result.  With
+    [truncate_at:n] the connection instead drops after sending at most
+    [n] events and no Fin — the session stays resumable (the server
+    snapshots it on disconnect); returns {!Truncated}.
+    @raise Rejected on a typed server reject.
+    @raise Proto.Protocol_error on a malformed or out-of-sequence reply. *)
+
+val stream_file :
+  ?chunk:int ->
+  ?truncate_at:int ->
+  socket_path:string ->
+  tenant:string ->
+  bench:string ->
+  policy:string ->
+  seed:int64 ->
+  max_steps:int ->
+  path:string ->
+  unit ->
+  outcome
+(** {!stream_events} over a REVL recording file ([Event_log.read_file],
+    so the identity header is checked against [bench]'s program and
+    [seed]).  [max_steps = 0] means the bench's default budget.
+    @raise Invalid_argument on an unknown bench.
+    @raise Regionsel_persist.Persist.Hard_corruption on a damaged file. *)
+
+val ctrl :
+  socket_path:string ->
+  string ->
+  (string, Proto.reject_code * string) result
+(** Run one control command ([ping], [status], [prom], [jsonl],
+    [jsonl N], [shutdown]) on a fresh connection; [Ok] carries the Data
+    reply body. *)

@@ -1,0 +1,569 @@
+(* The streaming region-selection daemon.
+
+   One process, one Unix-domain listening socket, one event loop.  Each
+   client connection either streams a tenant (Hello, Events*, Fin) or
+   issues control commands (Ctrl) — see [Proto].  Tenant simulations are
+   multiplexed through [Multi_stream.Engine]: between socket activity the
+   loop runs batch-barrier rounds, each tenant bounded by the events its
+   connection has ingested so far, so a replay stream is never run dry
+   (which would falsely read as a program halt).
+
+   Flow control is two-sided.  Admission control answers Hello with a
+   typed Reject when tenant slots or the shared cache budget saturate
+   (the engine's typed admission rejects).  Backpressure bounds each
+   connection's ingest backlog: when a tenant's unconsumed events exceed
+   [ingest_max], the loop simply stops selecting its socket for reads —
+   the kernel buffer fills, the client's writes block, and nothing here
+   buffers unboundedly; reads resume once the backlog drains below half
+   the bound (hysteresis, so a tenant hovering at the bound does not
+   flap in and out of the read set).
+
+   Sessions survive both disconnects and daemon restarts: a tenant's
+   warm state is snapshotted through [Persist.save_file] (atomic, CRC'd,
+   the PR 7 identity machinery) on disconnect and on SIGTERM/SIGINT, and
+   restored when the same (tenant, bench, policy, seed) identity says
+   Hello again.  The snapshot does not carry the replay cursor; instead
+   Welcome tells the client how many events the restored run has already
+   consumed and the client resends from there — that re-alignment is
+   what makes a resumed run bit-identical to an uninterrupted one. *)
+
+module Simulator = Regionsel_engine.Simulator
+module Branch_stream = Regionsel_engine.Branch_stream
+module Multi_stream = Regionsel_engine.Multi_stream
+module Params = Regionsel_engine.Params
+module Context = Regionsel_engine.Context
+module Spec = Regionsel_workload.Spec
+module Suite = Regionsel_workload.Suite
+module Image = Regionsel_workload.Image
+module Policies = Regionsel_core.Policies
+module Run_metrics = Regionsel_metrics.Run_metrics
+module Persist = Regionsel_persist.Persist
+module Event_log = Regionsel_persist.Event_log
+module Metrics = Regionsel_obs.Metrics
+module Check = Regionsel_check.Check
+
+type config = {
+  socket_path : string;
+  state_dir : string;  (** Session snapshots + flight dumps live here. *)
+  budget_bytes : int option;  (** Shared code-cache budget across tenants. *)
+  quota_floor : int;  (** Admission floor for per-tenant fair shares. *)
+  max_tenants : int;
+  batch_steps : int;
+  ingest_max : int;  (** Per-tenant unconsumed-event bound (backpressure). *)
+  n_domains : int option;
+  metrics_keep : int;  (** Windows retained per tenant recorder. *)
+  verbose : bool;
+}
+
+let default_config ~socket_path ~state_dir =
+  {
+    socket_path;
+    state_dir;
+    budget_bytes = None;
+    quota_floor = 4096;
+    max_tenants = 64;
+    batch_steps = 4096;
+    ingest_max = 1 lsl 16;
+    n_domains = None;
+    metrics_keep = 256;
+    verbose = false;
+  }
+
+(* The backpressure hysteresis, pure so it can be unit-tested: pause
+   reads at [high], resume only once the backlog has drained to
+   [high / 2]. *)
+let wants_read ~backlog ~high ~paused =
+  if paused then backlog <= high / 2 else backlog < high
+
+type session = {
+  s_tenant : string;
+  s_bench : string;
+  s_policy_name : string;
+  s_seed : int64;
+  s_program : Regionsel_isa.Program.t;
+  s_sim : Simulator.t;
+  s_events : Branch_stream.events;
+      (* This attachment's ingest buffer, also the sim's replay source:
+         [Branch_stream.of_events] reads the live length, so appending
+         here feeds the running simulation. *)
+  s_base : int;  (* steps already consumed when this attachment began *)
+  s_snap : string;  (* snapshot path (session identity file) *)
+  mutable s_fin : bool;
+}
+
+let available s = s.s_base + Branch_stream.length s.s_events
+let backlog s = available s - Simulator.steps s.s_sim
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dech : Proto.Dechunker.t;
+  mutable c_session : session option;
+  mutable c_paused : bool;
+  mutable c_closed : bool;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  engine : Multi_stream.Engine.t;
+  mutable conns : conn list;
+  recorders : (string, Metrics.recorder) Hashtbl.t;
+  mutable recorder_order : string list;  (* first-seen order, for exports *)
+  mutable stopping : bool;
+  scratch : Bytes.t;
+}
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.verbose then Printf.eprintf "regionsel_daemon: %s\n%!" s)
+    fmt
+
+let dispatch_label () =
+  if Params.default.Params.threaded_dispatch then "threaded" else "legacy"
+
+let recorder_for t ~tenant ~policy =
+  match Hashtbl.find_opt t.recorders tenant with
+  | Some r -> r
+  | None ->
+    let r =
+      Metrics.create ~keep:t.cfg.metrics_keep
+        ~labels:[ ("tenant", tenant); ("policy", policy); ("dispatch", dispatch_label ()) ]
+        ()
+    in
+    Hashtbl.add t.recorders tenant r;
+    t.recorder_order <- t.recorder_order @ [ tenant ];
+    r
+
+let all_windows t =
+  List.concat_map
+    (fun tenant ->
+      match Hashtbl.find_opt t.recorders tenant with
+      | Some r -> Metrics.windows r
+      | None -> [])
+    t.recorder_order
+
+let flight_windows t =
+  List.concat_map
+    (fun tenant ->
+      match Hashtbl.find_opt t.recorders tenant with
+      | Some r -> Metrics.last_windows r Metrics.default_flight_keep
+      | None -> [])
+    t.recorder_order
+
+(* Barrier observation, exactly as the CLI fleet runs: one window per
+   participating tenant per round. *)
+let on_barrier t ~round:_ participants =
+  Array.iter
+    (fun (name, sim) ->
+      match Hashtbl.find_opt t.recorders name with
+      | Some r -> Simulator.sample sim (fun ~step ~stats ~ctx -> Metrics.sample r ~step ~stats ~ctx)
+      | None -> ())
+    participants
+
+(* --- Sending (EPIPE-safe) --------------------------------------------- *)
+
+(* SIGPIPE is ignored process-wide; a write to a dead peer surfaces as
+   EPIPE/ECONNRESET here and just closes the connection.  [false] means
+   the peer is gone. *)
+let send t conn msg =
+  if conn.c_closed then false
+  else
+    try
+      Proto.write_msg conn.c_fd msg;
+      true
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      log t "peer vanished mid-write";
+      conn.c_closed <- true;
+      false
+
+(* --- Session lifecycle ------------------------------------------------ *)
+
+let snapshot_session t s =
+  Persist.save_file ~path:s.s_snap ~seed:s.s_seed ~policy:s.s_policy_name
+    (Simulator.internals s.s_sim);
+  log t "tenant %s: snapshot at step %d -> %s" s.s_tenant (Simulator.steps s.s_sim) s.s_snap
+
+(* Detach a connection's session, snapshotting it for a later reconnect.
+   Not called for completed sessions (those already left the engine). *)
+let detach t conn =
+  match conn.c_session with
+  | None -> ()
+  | Some s ->
+    conn.c_session <- None;
+    (match Multi_stream.Engine.retire t.engine ~name:s.s_tenant with
+    | Some _ -> snapshot_session t s
+    | None -> ())
+
+let close_conn t conn =
+  if not conn.c_closed then conn.c_closed <- true;
+  detach t conn;
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+
+let tenant_attached t name =
+  List.exists
+    (fun c ->
+      (not c.c_closed)
+      && match c.c_session with Some s -> String.equal s.s_tenant name | None -> false)
+    t.conns
+
+(* Hello: admission control, session identity, snapshot restore. *)
+let handle_hello t conn (h : Proto.hello) =
+  let reject code detail =
+    ignore (send t conn (Proto.Reject { code; detail }));
+    log t "tenant %s: rejected (%s: %s)" h.Proto.h_tenant
+      (Proto.reject_code_to_string code) detail
+  in
+  match conn.c_session with
+  | Some _ -> reject Proto.Bad_frame "second hello on a streaming connection"
+  | None -> (
+    let tenant = h.Proto.h_tenant in
+    if tenant_attached t tenant then reject Proto.Busy_tenant (tenant ^ " is already streaming")
+    else
+      match (Suite.find h.Proto.h_bench, Policies.find h.Proto.h_policy) with
+      | None, _ -> reject Proto.Unknown_bench h.Proto.h_bench
+      | _, None -> reject Proto.Unknown_policy h.Proto.h_policy
+      | Some spec, Some policy ->
+        let image = Spec.image spec in
+        let program = image.Image.program in
+        let max_steps =
+          if h.Proto.h_max_steps = 0 then spec.Spec.default_steps else h.Proto.h_max_steps
+        in
+        let snap =
+          Persist.session_file ~dir:t.cfg.state_dir ~tenant ~bench:h.Proto.h_bench
+            ~policy:h.Proto.h_policy ~seed:h.Proto.h_seed
+        in
+        let events = Branch_stream.recorder () in
+        let create ~restore () =
+          Simulator.create ?restore ~seed:h.Proto.h_seed ~replay:events ~policy ~max_steps
+            image
+        in
+        let restore_hook internals =
+          let report =
+            Persist.restore_file ~path:snap ~seed:h.Proto.h_seed ~policy:h.Proto.h_policy
+              internals
+          in
+          List.iter
+            (fun d ->
+              log t "tenant %s: degraded section %s (%s)" tenant d.Persist.section
+                d.Persist.reason)
+            report.Persist.degraded;
+          (* The restored cache must satisfy every invariant before the
+             tenant takes another step; a violation dumps the flight
+             recorder and kills the daemon (exit 3). *)
+          Check.audit_cache ~program internals.Simulator.int_ctx.Context.cache
+            ~step:internals.Simulator.int_stats.Regionsel_engine.Stats.steps
+        in
+        let sim =
+          if Sys.file_exists snap then (
+            try create ~restore:(Some restore_hook) ()
+            with Persist.Hard_corruption msg ->
+              (* An unusable session file is not the client's fault and
+                 not fatal: drop it and start the session fresh. *)
+              log t "tenant %s: corrupt session discarded (%s)" tenant msg;
+              (try Sys.remove snap with Sys_error _ -> ());
+              create ~restore:None ())
+          else create ~restore:None ()
+        in
+        (match Multi_stream.Engine.admit t.engine ~name:tenant sim with
+        | Error (Multi_stream.Engine.Tenants_saturated _ as r) ->
+          reject Proto.Tenants_saturated (Multi_stream.Engine.reject_to_string r)
+        | Error (Multi_stream.Engine.Budget_saturated _ as r) ->
+          reject Proto.Budget_saturated (Multi_stream.Engine.reject_to_string r)
+        | Error (Multi_stream.Engine.Duplicate_tenant _ as r) ->
+          reject Proto.Busy_tenant (Multi_stream.Engine.reject_to_string r)
+        | Ok () ->
+          let resume_step = Simulator.steps sim in
+          ignore (recorder_for t ~tenant ~policy:h.Proto.h_policy);
+          conn.c_session <-
+            Some
+              {
+                s_tenant = tenant;
+                s_bench = h.Proto.h_bench;
+                s_policy_name = h.Proto.h_policy;
+                s_seed = h.Proto.h_seed;
+                s_program = program;
+                s_sim = sim;
+                s_events = events;
+                s_base = resume_step;
+                s_snap = snap;
+                s_fin = false;
+              };
+          log t "tenant %s: attached (bench %s, policy %s, resume %d)" tenant
+            h.Proto.h_bench h.Proto.h_policy resume_step;
+          ignore
+            (send t conn
+               (Proto.Welcome { resume_step; session = Filename.basename snap }))))
+
+let handle_events t conn body =
+  match conn.c_session with
+  | None ->
+    ignore (send t conn (Proto.Reject { code = Proto.Bad_frame; detail = "events before hello" }));
+    close_conn t conn
+  | Some s when s.s_fin ->
+    ignore (send t conn (Proto.Reject { code = Proto.Bad_frame; detail = "events after fin" }));
+    close_conn t conn
+  | Some s -> (
+    try ignore (Event_log.decode_batch body ~program:s.s_program ~into:s.s_events)
+    with Persist.Hard_corruption msg ->
+      ignore (send t conn (Proto.Reject { code = Proto.Corrupt_events; detail = msg }));
+      close_conn t conn)
+
+let status_text t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "rounds %d\n" (Multi_stream.Engine.rounds t.engine);
+  List.iter
+    (fun (name, sim) ->
+      let line =
+        match
+          List.find_map
+            (fun c ->
+              match c.c_session with
+              | Some s when (not c.c_closed) && String.equal s.s_tenant name -> Some s
+              | _ -> None)
+            t.conns
+        with
+        | Some s ->
+          Printf.sprintf "tenant %s steps %d backlog %d fin %b exhausted %b\n" name
+            (Simulator.steps sim) (backlog s) s.s_fin (Simulator.exhausted sim)
+        | None ->
+          Printf.sprintf "tenant %s steps %d detached\n" name (Simulator.steps sim)
+      in
+      Buffer.add_string buf line)
+    (Multi_stream.Engine.tenants t.engine);
+  Buffer.contents buf
+
+let handle_ctrl t conn cmd =
+  let reply text = ignore (send t conn (Proto.Data text)) in
+  match String.split_on_char ' ' (String.trim cmd) with
+  | [ "ping" ] -> reply "pong"
+  | [ "status" ] -> reply (status_text t)
+  | [ "prom" ] -> reply (Metrics.to_prometheus (all_windows t))
+  | [ "jsonl" ] -> reply (Metrics.to_jsonl (all_windows t))
+  | [ "jsonl"; n ] -> (
+    match int_of_string_opt n with
+    | Some k when k >= 0 ->
+      reply
+        (Metrics.to_jsonl
+           (List.concat_map
+              (fun tenant ->
+                match Hashtbl.find_opt t.recorders tenant with
+                | Some r -> Metrics.last_windows r k
+                | None -> [])
+              t.recorder_order))
+    | _ ->
+      ignore
+        (send t conn (Proto.Reject { code = Proto.Bad_frame; detail = "bad jsonl tail count" })))
+  | [ "shutdown" ] ->
+    reply "bye";
+    t.stopping <- true
+  | _ ->
+    ignore
+      (send t conn (Proto.Reject { code = Proto.Bad_frame; detail = "unknown command " ^ cmd }))
+
+let handle_msg t conn = function
+  | Proto.Hello h -> handle_hello t conn h
+  | Proto.Events body -> handle_events t conn body
+  | Proto.Fin -> (
+    match conn.c_session with
+    | Some s -> s.s_fin <- true
+    | None ->
+      ignore (send t conn (Proto.Reject { code = Proto.Bad_frame; detail = "fin before hello" }));
+      close_conn t conn)
+  | Proto.Ctrl cmd -> handle_ctrl t conn cmd
+  | Proto.Welcome _ | Proto.Reject _ | Proto.Result _ | Proto.Data _ ->
+    ignore
+      (send t conn (Proto.Reject { code = Proto.Bad_frame; detail = "server-only frame" }));
+    close_conn t conn
+
+(* Drain every complete frame the connection has buffered.  Garbage —
+   typed [Protocol_error] — answers with a Reject and closes; it never
+   escapes as a crash. *)
+let drain_frames t conn =
+  let rec go () =
+    if not conn.c_closed then
+      match Proto.Dechunker.next conn.c_dech with
+      | Some msg ->
+        handle_msg t conn msg;
+        go ()
+      | None -> ()
+  in
+  try go ()
+  with Proto.Protocol_error msg ->
+    ignore (send t conn (Proto.Reject { code = Proto.Bad_frame; detail = msg }));
+    close_conn t conn
+
+let handle_readable t conn =
+  match Unix.read conn.c_fd t.scratch 0 (Bytes.length t.scratch) with
+  | 0 -> close_conn t conn (* EOF: snapshot + detach via close *)
+  | n ->
+    Proto.Dechunker.feed conn.c_dech t.scratch ~pos:0 ~len:n;
+    drain_frames t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn t conn
+
+(* --- Engine driving --------------------------------------------------- *)
+
+let session_of_tenant t name =
+  List.find_map
+    (fun c ->
+      match c.c_session with
+      | Some s when (not c.c_closed) && String.equal s.s_tenant name -> Some s
+      | _ -> None)
+    t.conns
+
+let step_limit t ~name ~sim:_ =
+  match session_of_tenant t name with Some s -> available s | None -> 0
+
+(* Finish tenants whose stream is complete: Fin received and every
+   ingested event consumed (or the step budget spent first).  The replay
+   stream may then run dry inside [finish] — that is exactly what a solo
+   replay run does, so the Result is bit-identical to one. *)
+let finish_ready t =
+  List.iter
+    (fun conn ->
+      match conn.c_session with
+      | Some s
+        when s.s_fin && (backlog s <= 0 || Simulator.exhausted s.s_sim)
+             && not conn.c_closed ->
+        (match Multi_stream.Engine.retire t.engine ~name:s.s_tenant with
+        | Some sim ->
+          let result = Simulator.finish sim in
+          (match Hashtbl.find_opt t.recorders s.s_tenant with
+          | Some r -> Metrics.finalize r result
+          | None -> ());
+          conn.c_session <- None;
+          (* The session completed: its snapshot, if any, is spent. *)
+          (try Sys.remove s.s_snap with Sys_error _ -> ());
+          let json = Run_metrics.to_json (Run_metrics.of_result result) in
+          ignore (send t conn (Proto.Result json));
+          log t "tenant %s: finished at step %d" s.s_tenant result.Simulator.stats.Regionsel_engine.Stats.steps
+        | None -> conn.c_session <- None)
+      | _ -> ())
+    t.conns
+
+let any_backlog t =
+  List.exists
+    (fun c -> match c.c_session with Some s -> backlog s > 0 | None -> false)
+    t.conns
+
+(* --- The event loop --------------------------------------------------- *)
+
+let accept_ready t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    t.conns <-
+      t.conns
+      @ [ { c_fd = fd; c_dech = Proto.Dechunker.create (); c_session = None;
+            c_paused = false; c_closed = false } ]
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+let update_pause t conn =
+  match conn.c_session with
+  | Some s -> conn.c_paused <- not (wants_read ~backlog:(backlog s) ~high:t.cfg.ingest_max ~paused:conn.c_paused)
+  | None -> conn.c_paused <- false
+
+let snapshot_all t =
+  List.iter (fun conn -> detach t conn) t.conns
+
+let cleanup t =
+  List.iter (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Sys.remove t.cfg.socket_path with Sys_error _ -> ()
+
+let loop t stop =
+  while not (t.stopping || !stop) do
+    List.iter (update_pause t) t.conns;
+    let read_fds =
+      t.listen_fd
+      :: List.filter_map
+           (fun c -> if c.c_closed || c.c_paused then None else Some c.c_fd)
+           t.conns
+    in
+    let timeout = if any_backlog t then 0.0 else 0.25 in
+    (match Unix.select read_fds [] [] timeout with
+    | readable, _, _ ->
+      if List.memq t.listen_fd readable then accept_ready t;
+      List.iter
+        (fun c -> if (not c.c_closed) && List.memq c.c_fd readable then handle_readable t c)
+        t.conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* One bounded engine round per loop turn: socket work and simulation
+       work interleave, and a slow or stalled client never blocks either
+       (its tenant just has nothing to advance). *)
+    ignore (Multi_stream.Engine.round t.engine ~limit:(fun ~name ~sim -> step_limit t ~name ~sim));
+    finish_ready t;
+    let dead, live = List.partition (fun c -> c.c_closed) t.conns in
+    List.iter (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) dead;
+    t.conns <- live
+  done
+
+let serve cfg =
+  if cfg.batch_steps <= 0 then invalid_arg "Server.serve: batch_steps must be positive";
+  if cfg.ingest_max <= 0 then invalid_arg "Server.serve: ingest_max must be positive";
+  if not (Sys.file_exists cfg.state_dir) then Unix.mkdir cfg.state_dir 0o755;
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 16;
+  Unix.set_nonblock listen_fd;
+  (* The barrier hook needs [t], which needs the engine: tie the knot
+     through a forward reference. *)
+  let hook_target = ref None in
+  let engine =
+    Multi_stream.Engine.create ?n_domains:cfg.n_domains ~batch_steps:cfg.batch_steps
+      ?budget_bytes:cfg.budget_bytes ~quota_floor:cfg.quota_floor
+      ~max_tenants:cfg.max_tenants
+      ~on_barrier:(fun ~round participants ->
+        match !hook_target with
+        | Some t -> on_barrier t ~round participants
+        | None -> ())
+      ()
+  in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      engine;
+      conns = [];
+      recorders = Hashtbl.create 8;
+      recorder_order = [];
+      stopping = false;
+      scratch = Bytes.create (1 lsl 16);
+    }
+  in
+  hook_target := Some t;
+  let stop = ref false in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true)) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true)) in
+  let restore_signals () =
+    Sys.set_signal Sys.sigpipe old_pipe;
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int
+  in
+  (try loop t stop
+   with e ->
+     (* kill -TERM semantics apply to crashes too: every live tenant is
+        snapshotted before the daemon goes down, and a sanitizer
+        violation additionally dumps the flight recorder. *)
+     (match e with
+     | Check.Check_violation v ->
+       let path = Filename.concat cfg.state_dir "flight.jsonl" in
+       let n =
+         Metrics.flight_dump ~path
+           ~cli:(String.concat " " (Array.to_list Sys.argv))
+           ~detail:(Check.violation_to_string v) (flight_windows t)
+       in
+       Printf.eprintf "regionsel_daemon: flight recorder: %d windows -> %s\n%!" n path
+     | _ -> ());
+     snapshot_all t;
+     cleanup t;
+     restore_signals ();
+     raise e);
+  (* Clean shutdown (signal or ctrl command): snapshot every attached
+     tenant so it can resume after restart. *)
+  snapshot_all t;
+  cleanup t;
+  restore_signals ()

@@ -1,6 +1,11 @@
 let () =
   Alcotest.run "regionsel"
     [
+      (* The daemon suite forks server processes, and OCaml 5 forbids
+         Unix.fork once any Domain has ever been spawned — so it must run
+         before every domain-spawning suite (domain-pool, multi-stream,
+         parity, obs). *)
+      "daemon", Test_daemon.suite;
       "prng", Test_prng.suite;
       "isa", Test_isa.suite;
       "behavior", Test_behavior.suite;

@@ -1,0 +1,525 @@
+(* The daemon stack's contracts, bottom-up:
+
+   - [Io.write_all] survives EINTR/EAGAIN (nonblocking pipe with a slow
+     reader) and [Io.write_atomic] never leaves a torn target — a crash
+     mid-write keeps the previous contents bit-for-bit.
+   - The wire protocol round-trips through the incremental dechunker at
+     any chunking, and every malformation is a typed [Protocol_error].
+   - [Multi_stream.fair_split] conserves every byte of an odd budget
+     (qcheck, the rebalance-remainder bugfix).
+   - Daemon lifecycle, against a forked server: disconnect/reconnect
+     resumes bit-identically; SIGTERM mid-stream snapshots attached
+     tenants and a restarted daemon resumes them; admission rejects are
+     typed; backpressure on one tenant never stalls another; an abruptly
+     dying client (SIGPIPE on the Result write) never kills the daemon. *)
+
+module Spec = Regionsel_workload.Spec
+module Suite = Regionsel_workload.Suite
+module Image = Regionsel_workload.Image
+module Simulator = Regionsel_engine.Simulator
+module Branch_stream = Regionsel_engine.Branch_stream
+module Multi_stream = Regionsel_engine.Multi_stream
+module Policies = Regionsel_core.Policies
+module Run_metrics = Regionsel_metrics.Run_metrics
+module Persist = Regionsel_persist.Persist
+module Io = Regionsel_persist.Io
+module Metrics = Regionsel_obs.Metrics
+module Proto = Regionsel_serve.Proto
+module Server = Regionsel_serve.Server
+module Client = Regionsel_serve.Client
+open Fixtures
+
+let policy_exn name = Option.get (Policies.find name)
+let spec_exn name = Option.get (Suite.find name)
+
+(* ---- Io: retries and atomic publication ---- *)
+
+let write_all_survives_slow_nonblocking_reader () =
+  let rd, wr = Unix.pipe ~cloexec:false () in
+  Unix.set_nonblock wr;
+  let payload = Bytes.init 600_000 (fun i -> Char.chr (i land 0xFF)) in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* Slow reader: drain in small sips so the writer fills the pipe and
+       hits EAGAIN repeatedly. *)
+    Unix.close wr;
+    let buf = Bytes.create 4096 in
+    let total = ref 0 in
+    let eof = ref false in
+    while not !eof do
+      (try ignore (Unix.select [ rd ] [] [] 0.001) with Unix.Unix_error _ -> ());
+      match Unix.read rd buf 0 (Bytes.length buf) with
+      | 0 -> eof := true
+      | n -> total := !total + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Unix._exit (if !total = Bytes.length payload then 0 else 1)
+  | pid ->
+    Unix.close rd;
+    Io.write_all wr payload ~pos:0 ~len:(Bytes.length payload);
+    Unix.close wr;
+    let _, status = Unix.waitpid [] pid in
+    check_true "reader got every byte" (status = Unix.WEXITED 0)
+
+let crash_mid_write_keeps_previous_contents () =
+  let path = Filename.temp_file "regionsel" ".atomic" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      let old = "previous complete export\n" in
+      Io.write_atomic ~path (Bytes.of_string old);
+      (* Crash after 7 bytes of the replacement: the target must still
+         hold the old contents, entire. *)
+      Io.write_atomic ~crash_after_bytes:7 ~path (Bytes.of_string "replacement that never lands");
+      let ic = open_in_bin path in
+      let got = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "target untouched by the crashed write" old got)
+
+let metrics_exports_publish_atomically () =
+  (* The torn-export bugfix: exporters go through tmp+rename, so the
+     published file parses completely and no .tmp residue remains. *)
+  let spec = spec_exn "gzip" in
+  let r = Metrics.create ~window:500 ~labels:[ ("tenant", "gzip") ] () in
+  let result =
+    Simulator.run ~seed:1L ~on_window:(Metrics.hook r) ~policy:(policy_exn "net")
+      ~max_steps:4000 (Spec.image spec)
+  in
+  Metrics.finalize r result;
+  let path = Filename.temp_file "regionsel" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      Metrics.write_jsonl ~path (Metrics.windows r);
+      check_true "no tmp residue" (not (Sys.file_exists (path ^ ".tmp")));
+      let ic = open_in_bin path in
+      let got = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "published bytes are the export" (Metrics.to_jsonl (Metrics.windows r)) got;
+      Metrics.write_prometheus ~path (Metrics.windows r);
+      check_true "no tmp residue after prometheus" (not (Sys.file_exists (path ^ ".tmp"))))
+
+(* ---- Wire protocol ---- *)
+
+let sample_msgs () =
+  [
+    Proto.Hello
+      { h_tenant = "alpha"; h_bench = "gzip"; h_policy = "net"; h_seed = 7L;
+        h_max_steps = 60000 };
+    Proto.Fin;
+    Proto.Ctrl "status";
+    Proto.Welcome { resume_step = 12288; session = "alpha-00c0ffee.session" };
+    Proto.Reject { code = Proto.Budget_saturated; detail = "floor 4096" };
+    Proto.Result "{\"steps\": 1}";
+    Proto.Data "pong";
+    Proto.Events (Bytes.of_string "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00");
+  ]
+
+let msg_equal a b =
+  match (a, b) with
+  | Proto.Events x, Proto.Events y -> Bytes.equal x y
+  | x, y -> x = y
+
+let frames_roundtrip_at_any_chunking () =
+  let msgs = sample_msgs () in
+  let stream = Bytes.concat Bytes.empty (List.map Proto.encode msgs) in
+  List.iter
+    (fun chunk ->
+      let d = Proto.Dechunker.create () in
+      let got = ref [] in
+      let pos = ref 0 in
+      while !pos < Bytes.length stream do
+        let len = min chunk (Bytes.length stream - !pos) in
+        Proto.Dechunker.feed d stream ~pos:!pos ~len;
+        pos := !pos + len;
+        let rec drain () =
+          match Proto.Dechunker.next d with
+          | Some m ->
+            got := m :: !got;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      check_int
+        (Printf.sprintf "all frames at chunk %d" chunk)
+        (List.length msgs) (List.length !got);
+      List.iter2
+        (fun want have -> check_true "frame round-trips" (msg_equal want have))
+        msgs (List.rev !got);
+      check_int "nothing left buffered" 0 (Proto.Dechunker.pending d))
+    [ 1; 3; 7; 4096 ]
+
+let truncated_frame_is_pending_not_error () =
+  let frame = Proto.encode Proto.Fin in
+  let d = Proto.Dechunker.create () in
+  Proto.Dechunker.feed d frame ~pos:0 ~len:(Bytes.length frame - 1);
+  check_true "incomplete frame yields none" (Proto.Dechunker.next d = None);
+  Proto.Dechunker.feed d frame ~pos:(Bytes.length frame - 1) ~len:1;
+  check_true "completing the frame yields it" (Proto.Dechunker.next d = Some Proto.Fin)
+
+let corrupt_frames_raise_protocol_error () =
+  let expect_error what bytes =
+    let d = Proto.Dechunker.create () in
+    Proto.Dechunker.feed d bytes ~pos:0 ~len:(Bytes.length bytes);
+    match
+      let rec drain () =
+        match Proto.Dechunker.next d with Some _ -> drain () | None -> ()
+      in
+      drain ()
+    with
+    | () -> Alcotest.failf "%s: decoded without error" what
+    | exception Proto.Protocol_error _ -> ()
+  in
+  expect_error "zero length prefix" (Bytes.of_string "\x00\x00\x00\x00");
+  expect_error "oversized length prefix" (Bytes.of_string "\xFF\xFF\xFF\xFF\x01");
+  expect_error "unknown kind" (Bytes.of_string "\x00\x00\x00\x01\x63");
+  (* A Hello whose tenant string runs past the frame end. *)
+  expect_error "truncated hello string"
+    (Bytes.of_string "\x00\x00\x00\x06\x01\x00\x00\x00\x40\x61");
+  (* A Data frame with trailing junk after its payload. *)
+  let data = Proto.encode (Proto.Data "x") in
+  let inflated = Bytes.copy data in
+  Bytes.set inflated 3 (Char.chr (Char.code (Bytes.get data 3) + 2));
+  expect_error "trailing bytes" (Bytes.cat inflated (Bytes.of_string "zz"))
+
+(* ---- fair_split conservation (the rebalance remainder bugfix) ---- *)
+
+let qcheck_fair_split_conserves =
+  QCheck.Test.make ~name:"fair_split conserves odd budgets exactly" ~count:500
+    QCheck.(
+      pair (int_range 0 1_000_003)
+        (list_of_size Gen.(int_range 1 17) (int_range 0 200_000)))
+    (fun (avail, used_list) ->
+      let used = Array.of_list used_list in
+      let quotas, slack = Multi_stream.fair_split ~avail used in
+      let n = Array.length used in
+      let fair = avail / n and rem = avail mod n in
+      let sum = Array.fold_left ( + ) 0 quotas in
+      sum = avail + slack
+      && slack >= 0
+      && Array.for_all (fun q -> q >= 0) quotas
+      && Array.mapi (fun i q -> q >= fair + (if i < rem then 1 else 0)) quotas
+         |> Array.for_all Fun.id)
+
+(* ---- Backpressure hysteresis ---- *)
+
+let backpressure_hysteresis_has_no_flap () =
+  check_true "reads below high" (Server.wants_read ~backlog:1023 ~high:1024 ~paused:false);
+  check_true "pauses at high" (not (Server.wants_read ~backlog:1024 ~high:1024 ~paused:false));
+  check_true "stays paused above low"
+    (not (Server.wants_read ~backlog:600 ~high:1024 ~paused:true));
+  check_true "resumes at low" (Server.wants_read ~backlog:512 ~high:1024 ~paused:true)
+
+(* ---- Daemon lifecycle (forked server) ---- *)
+
+let astring_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Poll until [cond] holds — daemon-side effects (snapshots on
+   disconnect) land asynchronously to the client's view. *)
+let eventually ?(timeout = 5.0) cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if cond () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let fresh_dir () =
+  let dir = Filename.temp_file "regionsel" ".daemon" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let start_daemon ?(ingest_max = 1 lsl 16) ?max_tenants ~dir () =
+  let socket_path = Filename.concat dir "d.sock" in
+  let cfg = Server.default_config ~socket_path ~state_dir:(Filename.concat dir "state") in
+  let cfg =
+    { cfg with
+      Server.batch_steps = 1024;
+      ingest_max;
+      n_domains = Some 2;
+      max_tenants = Option.value max_tenants ~default:cfg.Server.max_tenants
+    }
+  in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try Server.serve cfg with _ -> Unix._exit 1);
+    Unix._exit 0
+  | pid ->
+    (* Wait for the socket to come up. *)
+    let rec wait n =
+      if n = 0 then Alcotest.fail "daemon socket never appeared";
+      if not (Sys.file_exists socket_path) then begin
+        Unix.sleepf 0.02;
+        wait (n - 1)
+      end
+    in
+    wait 500;
+    (pid, socket_path)
+
+let stop_daemon pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  status
+
+let with_daemon ?ingest_max ?max_tenants f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let pid, socket_path = start_daemon ?ingest_max ?max_tenants ~dir () in
+      Fun.protect
+        ~finally:(fun () -> ignore (stop_daemon pid))
+        (fun () -> f ~dir ~socket_path))
+
+let bench = "gzip"
+let seed = 7L
+let steps = 8000
+
+let recorded_events =
+  lazy
+    (let spec = spec_exn bench in
+     let events = Branch_stream.recorder () in
+     ignore
+       (Simulator.run ~seed ~record:events ~policy:(policy_exn "net") ~max_steps:steps
+          (Spec.image spec));
+     events)
+
+let solo_json () =
+  let spec = spec_exn bench in
+  let result =
+    Simulator.run ~seed ~replay:(Lazy.force recorded_events) ~policy:(policy_exn "net")
+      ~max_steps:steps (Spec.image spec)
+  in
+  Run_metrics.to_json (Run_metrics.of_result result)
+
+let program () = (Spec.image (spec_exn bench)).Image.program
+
+let stream ?chunk ?truncate_at ~socket_path ~tenant () =
+  Client.stream_events ?chunk ?truncate_at ~socket_path ~tenant ~bench ~policy:"net" ~seed
+    ~max_steps:steps ~program:(program ()) (Lazy.force recorded_events)
+
+let streamed_result_matches_solo_run () =
+  with_daemon (fun ~dir:_ ~socket_path ->
+      match stream ~socket_path ~tenant:"alpha" () with
+      | Client.Finished json ->
+        Alcotest.(check string) "daemon result = solo replay" (solo_json ()) json
+      | Client.Truncated _ -> Alcotest.fail "unexpected truncation")
+
+let disconnect_then_reconnect_is_bit_identical () =
+  with_daemon (fun ~dir ~socket_path ->
+      (match stream ~socket_path ~tenant:"alpha" ~truncate_at:3000 () with
+      | Client.Truncated n -> check_true "sent a prefix" (n > 0)
+      | Client.Finished _ -> Alcotest.fail "truncated stream finished");
+      (* The disconnect snapshotted the session. *)
+      let state = Filename.concat dir "state" in
+      check_true "session snapshot exists"
+        (eventually (fun () ->
+             Array.exists
+               (fun f -> Filename.check_suffix f ".session")
+               (Sys.readdir state)));
+      match stream ~socket_path ~tenant:"alpha" () with
+      | Client.Finished json ->
+        Alcotest.(check string) "resumed result = solo replay" (solo_json ()) json;
+        check_true "spent snapshot removed"
+          (not
+             (Array.exists
+                (fun f -> Filename.check_suffix f ".session")
+                (Sys.readdir state)))
+      | Client.Truncated _ -> Alcotest.fail "unexpected truncation")
+
+let sigterm_snapshots_and_restart_resumes () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let pid, socket_path = start_daemon ~dir () in
+      (* Attach a tenant and leave the connection OPEN mid-stream, so the
+         SIGTERM path (not the disconnect path) must snapshot it. *)
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      Proto.write_msg fd
+        (Proto.Hello
+           { h_tenant = "alpha"; h_bench = bench; h_policy = "net"; h_seed = seed;
+             h_max_steps = steps });
+      (match Proto.read_msg fd with
+      | Some (Proto.Welcome { resume_step = 0; _ }) -> ()
+      | _ -> Alcotest.fail "expected a fresh welcome");
+      let events = Lazy.force recorded_events in
+      let body = Regionsel_persist.Event_log.encode_batch ~program:(program ()) events ~pos:0 ~len:3000 in
+      Proto.write_msg fd (Proto.Events body);
+      (* Let the engine ingest and advance a little before the kill. *)
+      Unix.sleepf 0.3;
+      let status = stop_daemon pid in
+      check_true "daemon exited cleanly on SIGTERM" (status = Unix.WEXITED 0);
+      Unix.close fd;
+      let state = Filename.concat dir "state" in
+      check_true "SIGTERM snapshotted the attached tenant"
+        (Array.exists
+           (fun f -> Filename.check_suffix f ".session")
+           (Sys.readdir state));
+      (* Restart over the same state dir; the tenant resumes and finishes
+         bit-identically to an uninterrupted run. *)
+      let pid, socket_path = start_daemon ~dir () in
+      Fun.protect
+        ~finally:(fun () -> ignore (stop_daemon pid))
+        (fun () ->
+          match stream ~socket_path ~tenant:"alpha" () with
+          | Client.Finished json ->
+            Alcotest.(check string) "restarted daemon resumes bit-identically"
+              (solo_json ()) json
+          | Client.Truncated _ -> Alcotest.fail "unexpected truncation"))
+
+let admission_rejects_are_typed () =
+  with_daemon ~max_tenants:1 (fun ~dir:_ ~socket_path ->
+      (* Hold one tenant attached on a raw connection. *)
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket_path);
+          Proto.write_msg fd
+            (Proto.Hello
+               { h_tenant = "alpha"; h_bench = bench; h_policy = "net"; h_seed = seed;
+                 h_max_steps = steps });
+          (match Proto.read_msg fd with
+          | Some (Proto.Welcome _) -> ()
+          | _ -> Alcotest.fail "expected a welcome");
+          (* Same tenant name again: busy. *)
+          (match stream ~socket_path ~tenant:"alpha" () with
+          | exception Client.Rejected { code = Proto.Busy_tenant; _ } -> ()
+          | _ -> Alcotest.fail "expected a busy-tenant reject");
+          (* A second tenant: slots are full. *)
+          (match stream ~socket_path ~tenant:"beta" () with
+          | exception Client.Rejected { code = Proto.Tenants_saturated; _ } -> ()
+          | _ -> Alcotest.fail "expected a tenants-saturated reject");
+          (* An unknown bench is rejected before admission. *)
+          match
+            Client.stream_events ~socket_path ~tenant:"gamma" ~bench:"nonesuch"
+              ~policy:"net" ~seed ~max_steps:steps ~program:(program ())
+              (Lazy.force recorded_events)
+          with
+          | exception Client.Rejected { code = Proto.Unknown_bench; _ } -> ()
+          | _ -> Alcotest.fail "expected an unknown-bench reject"))
+
+let backpressured_tenant_does_not_stall_others () =
+  (* A tiny ingest bound forces the slow tenant's connection out of the
+     read set while a second tenant streams to completion. *)
+  with_daemon ~ingest_max:256 (fun ~dir:_ ~socket_path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket_path);
+          Proto.write_msg fd
+            (Proto.Hello
+               { h_tenant = "slow"; h_bench = bench; h_policy = "net"; h_seed = seed;
+                 h_max_steps = steps });
+          (match Proto.read_msg fd with
+          | Some (Proto.Welcome _) -> ()
+          | _ -> Alcotest.fail "expected a welcome");
+          (* Flood well past the ingest bound, then stall without Fin. *)
+          let events = Lazy.force recorded_events in
+          let body =
+            Regionsel_persist.Event_log.encode_batch ~program:(program ()) events ~pos:0
+              ~len:(Branch_stream.length events)
+          in
+          Proto.write_msg fd (Proto.Events body);
+          (* The other tenant must finish normally meanwhile. *)
+          match stream ~socket_path ~tenant:"fast" () with
+          | Client.Finished json ->
+            Alcotest.(check string) "fast tenant unaffected" (solo_json ()) json
+          | Client.Truncated _ -> Alcotest.fail "unexpected truncation"))
+
+let dying_client_never_kills_the_daemon () =
+  with_daemon (fun ~dir:_ ~socket_path ->
+      (* Die right after Fin, before reading Result: the daemon's Result
+         write hits a dead peer (EPIPE with SIGPIPE ignored). *)
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      Proto.write_msg fd
+        (Proto.Hello
+           { h_tenant = "ghost"; h_bench = bench; h_policy = "net"; h_seed = seed;
+             h_max_steps = steps });
+      (match Proto.read_msg fd with
+      | Some (Proto.Welcome _) -> ()
+      | _ -> Alcotest.fail "expected a welcome");
+      let events = Lazy.force recorded_events in
+      let body =
+        Regionsel_persist.Event_log.encode_batch ~program:(program ()) events ~pos:0
+          ~len:(Branch_stream.length events)
+      in
+      Proto.write_msg fd (Proto.Events body);
+      Proto.write_msg fd Proto.Fin;
+      Unix.close fd;
+      (* Garbage on a fresh connection must also only cost that
+         connection. *)
+      let fd2 = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd2 (Unix.ADDR_UNIX socket_path);
+      ignore (Unix.write fd2 (Bytes.of_string "\xFF\xFF\xFF\xFF garbage") 0 12);
+      Unix.close fd2;
+      (* Give the daemon time to process both, then prove it's alive. *)
+      Unix.sleepf 0.3;
+      match Client.ctrl ~socket_path "ping" with
+      | Ok "pong" -> ()
+      | _ -> Alcotest.fail "daemon died or misanswered after client deaths")
+
+let control_surface_serves_live_exports () =
+  with_daemon (fun ~dir:_ ~socket_path ->
+      (match stream ~socket_path ~tenant:"alpha" () with
+      | Client.Finished _ -> ()
+      | Client.Truncated _ -> Alcotest.fail "unexpected truncation");
+      (match Client.ctrl ~socket_path "prom" with
+      | Ok text ->
+        check_true "prometheus names the tenant"
+          (astring_contains text "tenant=\"alpha\"");
+        check_true "prometheus has steps series" (astring_contains text "regionsel_steps")
+      | _ -> Alcotest.fail "prom scrape failed");
+      (match Client.ctrl ~socket_path "jsonl 2" with
+      | Ok text -> check_true "jsonl tail is json records" (astring_contains text "\"series\"")
+      | _ -> Alcotest.fail "jsonl tail failed");
+      match Client.ctrl ~socket_path "status" with
+      | Ok text -> check_true "status reports rounds" (astring_contains text "rounds")
+      | _ -> Alcotest.fail "status failed")
+
+let suite =
+  [
+    case "write_all survives a slow nonblocking reader" write_all_survives_slow_nonblocking_reader;
+    case "crash mid-write keeps previous contents" crash_mid_write_keeps_previous_contents;
+    case "metrics exports publish atomically" metrics_exports_publish_atomically;
+    case "frames round-trip at any chunking" frames_roundtrip_at_any_chunking;
+    case "truncated frame is pending, not an error" truncated_frame_is_pending_not_error;
+    case "corrupt frames raise protocol errors" corrupt_frames_raise_protocol_error;
+    QCheck_alcotest.to_alcotest qcheck_fair_split_conserves;
+    case "backpressure hysteresis has no flap" backpressure_hysteresis_has_no_flap;
+    case "streamed result matches the solo run" streamed_result_matches_solo_run;
+    case "disconnect then reconnect is bit-identical" disconnect_then_reconnect_is_bit_identical;
+    case "SIGTERM snapshots; restart resumes" sigterm_snapshots_and_restart_resumes;
+    case "admission rejects are typed" admission_rejects_are_typed;
+    case "backpressured tenant does not stall others" backpressured_tenant_does_not_stall_others;
+    case "dying client never kills the daemon" dying_client_never_kills_the_daemon;
+    case "control surface serves live exports" control_surface_serves_live_exports;
+  ]
