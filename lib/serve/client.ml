@@ -12,7 +12,15 @@ module Image = Regionsel_workload.Image
 
 exception Rejected of { code : Proto.reject_code; detail : string }
 
+(* The daemon can close mid-stream (a typed Reject on corrupt events, a
+   crash); without this the client's next write would die on SIGPIPE
+   with no error at all instead of surfacing [Rejected] or a
+   [Unix_error EPIPE].  Installed once, on first connection. *)
+let sigpipe_ignored =
+  lazy (ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore))
+
 let connect ~socket_path =
+  Lazy.force sigpipe_ignored;
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   try
     Unix.connect fd (Unix.ADDR_UNIX socket_path);

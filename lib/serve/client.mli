@@ -2,10 +2,20 @@
     into a tenant session, or run a control command.  The single
     implementation of the resume re-alignment (skip to the server's
     [resume_step]) shared by the CLI binary, the lifecycle tests and the
-    CI smoke job. *)
+    CI smoke job.
+
+    The first connection ignores [SIGPIPE] process-wide, so a daemon
+    that closes mid-stream surfaces as {!Rejected} or a
+    [Unix.Unix_error (EPIPE, _, _)] instead of killing the client. *)
 
 exception Rejected of { code : Proto.reject_code; detail : string }
 (** The server answered with a typed Reject. *)
+
+val with_connection : socket_path:string -> (Unix.file_descr -> 'a) -> 'a
+(** Connect to the daemon, run [f], close the socket (also on raise).
+    Ensures [SIGPIPE] is ignored first — raw-protocol callers (tests,
+    custom drivers) get the same EPIPE-as-exception discipline as the
+    high-level entry points. *)
 
 type outcome =
   | Finished of string  (** The Result frame's [Run_metrics] JSON. *)

@@ -25,6 +25,11 @@ let max_frame = 1 lsl 24
 
 let max_string = 1 lsl 16
 
+let max_text = max_frame - 16
+(* Export replies (Data, Result) can be far larger than any identity
+   string — a Prometheus snapshot over many tenants x 256 windows runs
+   to megabytes — so they get the whole frame budget, not [max_string]. *)
+
 type hello = {
   h_tenant : string;
   h_bench : string;
@@ -92,6 +97,11 @@ let bstring buf s =
   bu32 buf (String.length s);
   Buffer.add_string buf s
 
+let btext buf s =
+  if String.length s > max_text then invalid_arg "Proto: text too long";
+  bu32 buf (String.length s);
+  Buffer.add_string buf s
+
 let kind_of = function
   | Hello _ -> 1
   | Events _ -> 2
@@ -120,8 +130,8 @@ let encode msg =
   | Reject { code; detail } ->
     Buffer.add_char body (Char.chr (code_of_reject code));
     bstring body detail
-  | Result json -> bstring body json
-  | Data text -> bstring body text);
+  | Result json -> btext body json
+  | Data text -> btext body text);
   let blen = Buffer.length body in
   if 1 + blen > max_frame then invalid_arg "Proto: frame too large";
   let out = Buffer.create (5 + blen) in
@@ -154,9 +164,15 @@ let ru32 cur what =
   lor (Char.code (Bytes.get b (p + 2)) lsl 8)
   lor Char.code (Bytes.get b (p + 3))
 
+(* [bu64] masks the high word to 0x7FFFFFFF and a legitimate OCaml int
+   never has hi >= 0x40000000 (63-bit ints: v asr 32 <= 0x3FFFFFFF), so
+   anything above is a crafted frame — on decode it would drop bit 31
+   and land bit 30 in the sign bit, yielding wrapped or negative values.
+   Reject it instead. *)
 let ru64 cur what =
   let hi = ru32 cur what in
   let lo = ru32 cur what in
+  if hi >= 0x40000000 then fail "%s value out of range (hi word 0x%08X)" what hi;
   (hi lsl 32) lor lo
 
 let rseed cur what =
@@ -164,13 +180,16 @@ let rseed cur what =
   let lo = ru32 cur what in
   Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
 
-let rstring cur what =
+let rbounded cur what ~limit =
   let n = ru32 cur what in
-  if n > max_string then fail "%s string longer than %d bytes" what max_string;
+  if n > limit then fail "%s string longer than %d bytes" what limit;
   need cur n what;
   let s = Bytes.sub_string cur.c_bytes cur.c_pos n in
   cur.c_pos <- cur.c_pos + n;
   s
+
+let rstring cur what = rbounded cur what ~limit:max_string
+let rtext cur what = rbounded cur what ~limit:max_text
 
 let finished cur what =
   if cur.c_pos <> cur.c_end then fail "%s frame has %d trailing bytes" what (cur.c_end - cur.c_pos)
@@ -197,6 +216,7 @@ let decode_frame bytes ~pos ~len =
     | 4 -> Ctrl (rstring cur "ctrl command")
     | 10 ->
       let resume_step = ru64 cur "welcome resume_step" in
+      if resume_step < 0 then fail "negative resume_step";
       let session = rstring cur "welcome session" in
       Welcome { resume_step; session }
     | 11 ->
@@ -204,8 +224,8 @@ let decode_frame bytes ~pos ~len =
       if c >= Array.length reject_codes then fail "unknown reject code %d" c;
       let detail = rstring cur "reject detail" in
       Reject { code = reject_codes.(c); detail }
-    | 12 -> Result (rstring cur "result json")
-    | 13 -> Data (rstring cur "data body")
+    | 12 -> Result (rtext cur "result json")
+    | 13 -> Data (rtext cur "data body")
     | k -> fail "unknown frame kind %d" k
   in
   (match msg with Events _ -> () | _ -> finished cur "frame");

@@ -16,7 +16,18 @@
    the kernel buffer fills, the client's writes block, and nothing here
    buffers unboundedly; reads resume once the backlog drains below half
    the bound (hysteresis, so a tenant hovering at the bound does not
-   flap in and out of the read set).
+   flap in and out of the read set).  An exhausted simulation (step
+   budget spent, or the program halted) is the one exception: it can
+   never drain its backlog, so its connection is never paused — the
+   remaining events (bounded by the client's recording) are absorbed so
+   the Fin behind them can be read and the tenant finished.
+
+   Sends never block the loop either: outgoing frames are queued per
+   connection and flushed through the writability set of the main
+   select, so a peer that stops draining its socket — say a control
+   client that requested a megabytes-long export and went away — stalls
+   only its own replies.  A connection whose unsent queue passes
+   [send_max] is dropped.
 
    Sessions survive both disconnects and daemon restarts: a tenant's
    warm state is snapshotted through [Persist.save_file] (atomic, CRC'd,
@@ -100,6 +111,14 @@ type conn = {
   mutable c_session : session option;
   mutable c_paused : bool;
   mutable c_closed : bool;
+      (* No further reads or sends; the fd itself stays open until the
+         end-of-loop sweep has flushed any queued output — the sweep is
+         the single place a connection fd is ever closed, so a
+         descriptor can never be closed twice (and never race a number
+         reused in between). *)
+  c_out : Bytes.t Queue.t;  (* encoded frames not yet written *)
+  mutable c_out_pos : int;  (* offset into the queue's head chunk *)
+  mutable c_out_len : int;  (* total unsent bytes, for the [send_max] cap *)
 }
 
 type t = {
@@ -160,21 +179,70 @@ let on_barrier t ~round:_ participants =
       | None -> ())
     participants
 
-(* --- Sending (EPIPE-safe) --------------------------------------------- *)
+(* --- Sending (non-blocking, EPIPE-safe) ------------------------------- *)
 
-(* SIGPIPE is ignored process-wide; a write to a dead peer surfaces as
-   EPIPE/ECONNRESET here and just closes the connection.  [false] means
-   the peer is gone. *)
+let send_max = 2 * Proto.max_frame
+(* A peer may stop draining with up to one maximal reply in flight and
+   another queued; past that it is not a slow reader, it is a stalled
+   one, and the connection is dropped rather than buffered for. *)
+
+let drop_output conn =
+  Queue.clear conn.c_out;
+  conn.c_out_pos <- 0;
+  conn.c_out_len <- 0
+
+(* Write as much queued output as the socket will take right now.
+   Returns [false] when the peer is gone (SIGPIPE is ignored
+   process-wide, so a dead peer surfaces as EPIPE/ECONNRESET); the
+   queued output is discarded and the connection marked closed — the
+   sweep closes the fd. *)
+let flush_out t conn =
+  let rec go () =
+    match Queue.peek_opt conn.c_out with
+    | None -> true
+    | Some chunk -> (
+      let len = Bytes.length chunk - conn.c_out_pos in
+      match Unix.write conn.c_fd chunk conn.c_out_pos len with
+      | n ->
+        conn.c_out_len <- conn.c_out_len - n;
+        if n = len then begin
+          ignore (Queue.pop conn.c_out);
+          conn.c_out_pos <- 0;
+          go ()
+        end
+        else begin
+          conn.c_out_pos <- conn.c_out_pos + n;
+          true (* kernel buffer full; the select write set resumes us *)
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> true
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        log t "peer vanished mid-write";
+        drop_output conn;
+        conn.c_closed <- true;
+        false)
+  in
+  go ()
+
+(* Queue a frame and opportunistically flush.  Never blocks: what the
+   socket refuses stays queued for the event loop's writability set.
+   [false] means the peer is gone or hopelessly stalled. *)
 let send t conn msg =
   if conn.c_closed then false
-  else
-    try
-      Proto.write_msg conn.c_fd msg;
-      true
-    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-      log t "peer vanished mid-write";
+  else begin
+    let data = Proto.encode msg in
+    if conn.c_out_len + Bytes.length data > send_max then begin
+      log t "peer stalled with %d bytes queued; dropping connection" conn.c_out_len;
+      drop_output conn;
       conn.c_closed <- true;
       false
+    end
+    else begin
+      Queue.add data conn.c_out;
+      conn.c_out_len <- conn.c_out_len + Bytes.length data;
+      flush_out t conn
+    end
+  end
 
 (* --- Session lifecycle ------------------------------------------------ *)
 
@@ -194,10 +262,14 @@ let detach t conn =
     | Some _ -> snapshot_session t s
     | None -> ())
 
+(* Finish with a connection: no further reads or sends, snapshot +
+   detach its session.  The fd is NOT closed here — any queued output
+   (e.g. the Reject that precedes most closes) still flushes through the
+   loop's writability set, and the end-of-loop sweep does the single
+   [Unix.close] once the queue is empty. *)
 let close_conn t conn =
-  if not conn.c_closed then conn.c_closed <- true;
-  detach t conn;
-  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+  conn.c_closed <- true;
+  detach t conn
 
 let tenant_attached t name =
   List.exists
@@ -441,9 +513,16 @@ let finish_ready t =
       | _ -> ())
     t.conns
 
+(* Pending engine work: unconsumed events behind a simulation that can
+   still consume them.  An exhausted simulation's backlog never drains,
+   so counting it would pin the select timeout at zero and busy-spin the
+   loop until its Fin arrives. *)
 let any_backlog t =
   List.exists
-    (fun c -> match c.c_session with Some s -> backlog s > 0 | None -> false)
+    (fun c ->
+      match c.c_session with
+      | Some s -> backlog s > 0 && not (Simulator.exhausted s.s_sim)
+      | None -> false)
     t.conns
 
 (* --- The event loop --------------------------------------------------- *)
@@ -455,13 +534,20 @@ let accept_ready t =
     t.conns <-
       t.conns
       @ [ { c_fd = fd; c_dech = Proto.Dechunker.create (); c_session = None;
-            c_paused = false; c_closed = false } ]
+            c_paused = false; c_closed = false; c_out = Queue.create ();
+            c_out_pos = 0; c_out_len = 0 } ]
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
 
+(* An exhausted simulation can never drain its backlog, so pausing its
+   connection would wedge it permanently: the Fin behind the remaining
+   events could never be read, and [finish_ready] would never fire.
+   Keep reading — the leftover events are bounded by the client's
+   recording. *)
 let update_pause t conn =
   match conn.c_session with
-  | Some s -> conn.c_paused <- not (wants_read ~backlog:(backlog s) ~high:t.cfg.ingest_max ~paused:conn.c_paused)
-  | None -> conn.c_paused <- false
+  | Some s when not (Simulator.exhausted s.s_sim) ->
+    conn.c_paused <- not (wants_read ~backlog:(backlog s) ~high:t.cfg.ingest_max ~paused:conn.c_paused)
+  | Some _ | None -> conn.c_paused <- false
 
 let snapshot_all t =
   List.iter (fun conn -> detach t conn) t.conns
@@ -481,10 +567,18 @@ let loop t stop =
            (fun c -> if c.c_closed || c.c_paused then None else Some c.c_fd)
            t.conns
     in
+    (* A closed connection stays in the write set until its queued
+       output (typically a final Reject) has drained. *)
+    let write_fds =
+      List.filter_map (fun c -> if c.c_out_len > 0 then Some c.c_fd else None) t.conns
+    in
     let timeout = if any_backlog t then 0.0 else 0.25 in
-    (match Unix.select read_fds [] [] timeout with
-    | readable, _, _ ->
+    (match Unix.select read_fds write_fds [] timeout with
+    | readable, writable, _ ->
       if List.memq t.listen_fd readable then accept_ready t;
+      List.iter
+        (fun c -> if c.c_out_len > 0 && List.memq c.c_fd writable then ignore (flush_out t c))
+        t.conns;
       List.iter
         (fun c -> if (not c.c_closed) && List.memq c.c_fd readable then handle_readable t c)
         t.conns
@@ -494,8 +588,15 @@ let loop t stop =
        (its tenant just has nothing to advance). *)
     ignore (Multi_stream.Engine.round t.engine ~limit:(fun ~name ~sim -> step_limit t ~name ~sim));
     finish_ready t;
-    let dead, live = List.partition (fun c -> c.c_closed) t.conns in
-    List.iter (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) dead;
+    (* The single place a connection fd is closed: closed AND drained. *)
+    let dead, live =
+      List.partition (fun c -> c.c_closed && c.c_out_len = 0) t.conns
+    in
+    List.iter
+      (fun c ->
+        detach t c;
+        try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+      dead;
     t.conns <- live
   done
 

@@ -13,7 +13,13 @@
     connection's ingest backlog to [ingest_max] unconsumed events by
     removing the socket from the read set — the client's writes block in
     the kernel; the daemon never buffers unboundedly — resuming below
-    half the bound.
+    half the bound.  A tenant whose simulation is exhausted (step budget
+    spent or program halted) is never paused: its backlog cannot drain,
+    so the remaining events are absorbed to reach the Fin behind them.
+    Outgoing frames are queued per connection and flushed through the
+    loop's writability set, so a peer that stops draining its replies
+    stalls only itself (and is dropped once its unsent queue passes a
+    bound).
 
     Sessions survive disconnects and daemon restarts: warm state is
     snapshotted through {!Regionsel_persist.Persist.save_file} on

@@ -10,8 +10,12 @@
    - Daemon lifecycle, against a forked server: disconnect/reconnect
      resumes bit-identically; SIGTERM mid-stream snapshots attached
      tenants and a restarted daemon resumes them; admission rejects are
-     typed; backpressure on one tenant never stalls another; an abruptly
-     dying client (SIGPIPE on the Result write) never kills the daemon. *)
+     typed; backpressure on one tenant never stalls another; a tenant
+     exhausted mid-stream still drains to its Fin (no read-pause
+     deadlock); a control peer that never reads its replies stalls only
+     itself (queued sends, not blocking writes); an abruptly dying
+     client (SIGPIPE on the Result write) never kills the daemon, and a
+     daemon closing mid-stream never SIGPIPE-kills the client. *)
 
 module Spec = Regionsel_workload.Spec
 module Suite = Regionsel_workload.Suite
@@ -187,7 +191,23 @@ let corrupt_frames_raise_protocol_error () =
   let data = Proto.encode (Proto.Data "x") in
   let inflated = Bytes.copy data in
   Bytes.set inflated 3 (Char.chr (Char.code (Bytes.get data 3) + 2));
-  expect_error "trailing bytes" (Bytes.cat inflated (Bytes.of_string "zz"))
+  expect_error "trailing bytes" (Bytes.cat inflated (Bytes.of_string "zz"));
+  (* A u64 whose high word a legitimate encoder can never produce
+     (bu64 masks to 0x7FFFFFFF; OCaml ints keep hi <= 0x3FFFFFFF): on a
+     63-bit int it would wrap or go negative, so it must be rejected.
+     Here: a Welcome whose resume_step has hi = 0x40000000. *)
+  expect_error "out-of-range u64"
+    (Bytes.of_string
+       "\x00\x00\x00\x0E\x0A\x40\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x01\x78")
+
+let large_export_reply_roundtrips () =
+  (* Export replies (Data, Result) carry whole Prometheus/JSONL
+     snapshots — far past [max_string]; they get the frame budget. *)
+  let text = String.init 200_000 (fun i -> Char.chr (32 + (i mod 90))) in
+  let frame = Proto.encode (Proto.Data text) in
+  match Proto.decode_frame frame ~pos:4 ~len:(Bytes.length frame - 4) with
+  | Proto.Data got -> Alcotest.(check string) "large data round-trips" text got
+  | _ -> Alcotest.fail "expected a Data frame"
 
 (* ---- fair_split conservation (the rebalance remainder bugfix) ---- *)
 
@@ -308,11 +328,11 @@ let recorded_events =
           (Spec.image spec));
      events)
 
-let solo_json () =
+let solo_json ?(max_steps = steps) () =
   let spec = spec_exn bench in
   let result =
     Simulator.run ~seed ~replay:(Lazy.force recorded_events) ~policy:(policy_exn "net")
-      ~max_steps:steps (Spec.image spec)
+      ~max_steps (Spec.image spec)
   in
   Run_metrics.to_json (Run_metrics.of_result result)
 
@@ -454,6 +474,86 @@ let backpressured_tenant_does_not_stall_others () =
             Alcotest.(check string) "fast tenant unaffected" (solo_json ()) json
           | Client.Truncated _ -> Alcotest.fail "unexpected truncation"))
 
+let exhausted_tenant_still_drains_and_finishes () =
+  (* A step budget smaller than the recording: the simulation exhausts
+     mid-stream with a backlog that can never drain.  The daemon must
+     keep reading past the ingest bound (the leftover events are dead
+     weight, bounded by the recording) so the Fin behind them arrives
+     and the tenant finishes — formerly a permanent read-pause deadlock
+     with the loop busy-spinning on a zero select timeout. *)
+  let max_steps = 1000 in
+  with_daemon ~ingest_max:256 (fun ~dir:_ ~socket_path ->
+      match
+        Client.stream_events ~socket_path ~tenant:"short" ~bench ~policy:"net" ~seed
+          ~max_steps ~program:(program ()) (Lazy.force recorded_events)
+      with
+      | Client.Finished json ->
+        Alcotest.(check string) "exhausted tenant result = solo run"
+          (solo_json ~max_steps ()) json
+      | Client.Truncated _ -> Alcotest.fail "unexpected truncation")
+
+let stalled_control_reader_does_not_stall_the_daemon () =
+  with_daemon (fun ~dir:_ ~socket_path ->
+      (* Populate the recorders so export replies have real bulk. *)
+      (match stream ~socket_path ~tenant:"alpha" () with
+      | Client.Finished _ -> ()
+      | Client.Truncated _ -> Alcotest.fail "unexpected truncation");
+      let reply =
+        match Client.ctrl ~socket_path "jsonl" with
+        | Ok text when String.length text > 0 -> text
+        | _ -> Alcotest.fail "jsonl export failed"
+      in
+      (* Enough unread replies to overflow any kernel socket buffer: the
+         daemon must queue them per connection and keep serving — with
+         blocking sends, the first full buffer would stall every
+         tenant. *)
+      let n = min 2000 (max 8 (1_500_000 / String.length reply)) in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket_path);
+          for _ = 1 to n do
+            Proto.write_msg fd (Proto.Ctrl "jsonl")
+          done;
+          (* While those replies sit queued, another tenant streams to
+             completion. *)
+          (match stream ~socket_path ~tenant:"beta" () with
+          | Client.Finished json ->
+            Alcotest.(check string) "tenant unaffected by a stalled reader"
+              (solo_json ()) json
+          | Client.Truncated _ -> Alcotest.fail "unexpected truncation");
+          (* The stalled reader wakes up: every reply was kept. *)
+          for i = 1 to n do
+            match Proto.read_msg fd with
+            | Some (Proto.Data _) -> ()
+            | _ -> Alcotest.failf "reply %d of %d missing or malformed" i n
+          done))
+
+let daemon_close_mid_stream_surfaces_as_error () =
+  (* The daemon rejects corrupt events and closes; the client keeps
+     writing.  With SIGPIPE at its default the client process would be
+     killed silently — the client driver must ignore it so the broken
+     pipe surfaces as an exception (and the Reject stays readable). *)
+  with_daemon (fun ~dir:_ ~socket_path ->
+      Client.with_connection ~socket_path (fun fd ->
+          Proto.write_msg fd
+            (Proto.Hello
+               { h_tenant = "noisy"; h_bench = bench; h_policy = "net"; h_seed = seed;
+                 h_max_steps = steps });
+          (match Proto.read_msg fd with
+          | Some (Proto.Welcome _) -> ()
+          | _ -> Alcotest.fail "expected a welcome");
+          Proto.write_msg fd (Proto.Events (Bytes.make 64 '\xAB'));
+          let junk = Proto.encode (Proto.Events (Bytes.make 65536 '\xAB')) in
+          match
+            for _ = 1 to 4096 do
+              Regionsel_persist.Io.write_all fd junk ~pos:0 ~len:(Bytes.length junk)
+            done
+          with
+          | () -> Alcotest.fail "writes to a closed daemon kept succeeding"
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()))
+
 let dying_client_never_kills_the_daemon () =
   with_daemon (fun ~dir:_ ~socket_path ->
       (* Die right after Fin, before reading Result: the daemon's Result
@@ -513,6 +613,7 @@ let suite =
     case "frames round-trip at any chunking" frames_roundtrip_at_any_chunking;
     case "truncated frame is pending, not an error" truncated_frame_is_pending_not_error;
     case "corrupt frames raise protocol errors" corrupt_frames_raise_protocol_error;
+    case "large export replies round-trip" large_export_reply_roundtrips;
     QCheck_alcotest.to_alcotest qcheck_fair_split_conserves;
     case "backpressure hysteresis has no flap" backpressure_hysteresis_has_no_flap;
     case "streamed result matches the solo run" streamed_result_matches_solo_run;
@@ -520,6 +621,9 @@ let suite =
     case "SIGTERM snapshots; restart resumes" sigterm_snapshots_and_restart_resumes;
     case "admission rejects are typed" admission_rejects_are_typed;
     case "backpressured tenant does not stall others" backpressured_tenant_does_not_stall_others;
+    case "exhausted tenant still drains and finishes" exhausted_tenant_still_drains_and_finishes;
+    case "stalled control reader does not stall the daemon" stalled_control_reader_does_not_stall_the_daemon;
+    case "daemon close mid-stream surfaces as an error" daemon_close_mid_stream_surfaces_as_error;
     case "dying client never kills the daemon" dying_client_never_kills_the_daemon;
     case "control surface serves live exports" control_surface_serves_live_exports;
   ]
